@@ -1,0 +1,407 @@
+(* dpv — command-line front end for the verification workflow.
+
+   Subcommands:
+     train    train the direct perception network and cache/save it
+     verify   run one (property, psi, strategy) verification case
+     monitor  stream frames at the runtime monitor
+     render   print an ASCII rendering of a scene
+     info     show the model architecture and experiment defaults      *)
+
+module Workflow = Dpv_core.Workflow
+module Verify = Dpv_core.Verify
+module Report = Dpv_core.Report
+module Oracle = Dpv_scenario.Oracle
+module Generator = Dpv_scenario.Generator
+module Camera = Dpv_scenario.Camera
+module Scene = Dpv_scenario.Scene
+module Road = Dpv_scenario.Road
+module Network = Dpv_nn.Network
+module Serialize = Dpv_nn.Serialize
+module Runtime = Dpv_monitor.Runtime
+module Box_monitor = Dpv_monitor.Box_monitor
+module Polyhedron = Dpv_monitor.Polyhedron
+module Propagate = Dpv_absint.Propagate
+module Rng = Dpv_tensor.Rng
+
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let cache_dir =
+  let doc = "Directory for the trained-model cache." in
+  Arg.(value & opt string "_cache" & info [ "cache-dir" ] ~doc)
+
+let seed =
+  let doc = "Random seed for the whole pipeline." in
+  Arg.(value & opt int Workflow.default_setup.Workflow.seed & info [ "seed" ] ~doc)
+
+let setup_of ~seed = { Workflow.default_setup with Workflow.seed }
+
+let property_conv =
+  let parse s =
+    match Oracle.find s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown property %S (try: %s)" s
+               (String.concat ", " (List.map fst Oracle.all))))
+  in
+  let print fmt p = Format.fprintf fmt "%s" p.Dpv_spec.Property.name in
+  Arg.conv (parse, print)
+
+let property_arg =
+  let doc = "Input property phi (bends-right, bends-left, straight, ...)." in
+  Arg.(
+    value
+    & opt property_conv Oracle.bends_right
+    & info [ "p"; "property" ] ~doc)
+
+let psi_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "far-left" ] -> Ok (Workflow.psi_steer_far_left ())
+    | [ "far-left"; t ] ->
+        Ok (Workflow.psi_steer_far_left ~threshold:(float_of_string t) ())
+    | [ "far-right" ] -> Ok (Workflow.psi_steer_far_right ())
+    | [ "far-right"; t ] ->
+        Ok (Workflow.psi_steer_far_right ~threshold:(float_of_string t) ())
+    | [ "straight" ] -> Ok (Workflow.psi_steer_straight ())
+    | [ "straight"; h ] ->
+        Ok (Workflow.psi_steer_straight ~halfwidth:(float_of_string h) ())
+    | _ -> (
+        (* Fall back to the raw inequality language, e.g.
+           "y0 >= 2.5 && y1 <= 0.3". *)
+        match Dpv_spec.Risk.of_string s with
+        | Ok psi -> Ok psi
+        | Error e ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "not a named condition (far-left[:T], far-right[:T], \
+                    straight[:H]) and not a valid inequality (%s)"
+                   e)))
+  in
+  let print fmt psi = Format.fprintf fmt "%s" psi.Dpv_spec.Risk.name in
+  Arg.conv (parse, print)
+
+let psi_arg =
+  let doc =
+    "Risk condition psi: far-left[:T], far-right[:T] or straight[:H]."
+  in
+  Arg.(value & opt psi_conv (Workflow.psi_steer_far_left ()) & info [ "psi" ] ~doc)
+
+let strategy_conv =
+  let parse = function
+    | "static-box" -> Ok (Workflow.Static Propagate.Box)
+    | "static-zonotope" -> Ok (Workflow.Static Propagate.Zonotope)
+    | "static-deeppoly" -> Ok (Workflow.Static Propagate.Deeppoly)
+    | "data-box" -> Ok Workflow.Data_box
+    | "data-octagon" -> Ok Workflow.Data_octagon
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown strategy %S (static-box, static-zonotope, \
+                static-deeppoly, data-box, data-octagon)"
+               s))
+  in
+  let print fmt s = Format.fprintf fmt "%s" (Workflow.strategy_name s) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  let doc = "Bounds strategy for the region S." in
+  Arg.(value & opt strategy_conv Workflow.Data_octagon & info [ "strategy" ] ~doc)
+
+(* ---- train ---- *)
+
+let train_cmd =
+  let run seed cache_dir output =
+    let prepared = Workflow.prepare_cached ~quiet:false ~cache_dir (setup_of ~seed) in
+    Format.printf "trained: %a@." Network.pp prepared.Workflow.perception;
+    Format.printf "val MAE: %.3f m / %.4f rad@." prepared.Workflow.val_mae.(0)
+      prepared.Workflow.val_mae.(1);
+    (match output with
+    | Some path ->
+        Serialize.save prepared.Workflow.perception ~path;
+        Format.printf "saved model to %s@." path
+    | None -> ());
+    0
+  in
+  let output =
+    let doc = "Also save the model to this path." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train the direct perception network")
+    Term.(const run $ seed $ cache_dir $ output)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run seed cache_dir property psi strategy cut =
+    let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
+    let case = Workflow.run_case ?cut prepared ~property ~psi ~strategy in
+    Format.printf "%a@." Report.pp_case case;
+    match case.Workflow.result.Verify.verdict with
+    | Verify.Safe _ -> 0
+    | Verify.Unsafe _ -> 1
+    | Verify.Unknown _ -> 2
+  in
+  let cut =
+    let doc = "Cut layer (defaults to the deepest ReLU)." in
+    Arg.(value & opt (some int) None & info [ "cut" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify a (phi, psi) safety property of the cached network")
+    Term.(const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg $ cut)
+
+(* ---- monitor ---- *)
+
+let monitor_cmd =
+  let run seed cache_dir frames shifted =
+    let setup = setup_of ~seed in
+    let prepared = Workflow.prepare_cached ~cache_dir setup in
+    let region =
+      Runtime.Poly (Polyhedron.fit_octagon ~margin:0.05 prepared.Workflow.bounds_features)
+    in
+    let monitor =
+      Runtime.create ~network:prepared.Workflow.perception
+        ~cut:setup.Workflow.cut ~region
+    in
+    let config =
+      if shifted then
+        {
+          setup.Workflow.scenario with
+          Generator.rain_probability = 0.7;
+          fog_probability = 0.3;
+          camera =
+            { setup.Workflow.scenario.Generator.camera with Camera.noise_std = 0.08 };
+        }
+      else setup.Workflow.scenario
+    in
+    let rng = Rng.create (seed + 31) in
+    for _ = 1 to frames do
+      let scene = Generator.sample_scene config rng in
+      ignore (Runtime.infer monitor (Generator.render_scene config rng scene))
+    done;
+    Format.printf "%a@." Runtime.pp_stats (Runtime.stats monitor);
+    0
+  in
+  let frames =
+    Arg.(value & opt int 500 & info [ "n"; "frames" ] ~doc:"Frames to stream.")
+  in
+  let shifted =
+    Arg.(
+      value & flag
+      & info [ "shifted" ] ~doc:"Stream distribution-shifted frames instead.")
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Stream frames at the runtime monitor")
+    Term.(const run $ seed $ cache_dir $ frames $ shifted)
+
+(* ---- render ---- *)
+
+let render_cmd =
+  let run curvature lanes ego weather =
+    let road = Road.make ~curvature ~curvature_rate:0.0 ~num_lanes:lanes () in
+    let weather =
+      match weather with
+      | "clear" -> Scene.Clear
+      | "rain" -> Scene.Rain
+      | "fog" -> Scene.Fog
+      | w ->
+          Format.eprintf "unknown weather %S, using clear@." w;
+          Scene.Clear
+    in
+    let scene = Scene.make ~weather ~road ~ego_lane:ego () in
+    print_string (Camera.to_ascii Camera.default_config
+      (Camera.render Camera.default_config scene));
+    0
+  in
+  let curvature =
+    Arg.(value & opt float (-0.02) & info [ "k"; "curvature" ] ~doc:"1/m.")
+  in
+  let lanes = Arg.(value & opt int 3 & info [ "lanes" ] ~doc:"Lane count.") in
+  let ego = Arg.(value & opt int 1 & info [ "ego-lane" ] ~doc:"Ego lane.") in
+  let weather =
+    Arg.(value & opt string "clear" & info [ "weather" ] ~doc:"clear|rain|fog.")
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"ASCII-render a synthetic camera frame")
+    Term.(const run $ curvature $ lanes $ ego $ weather)
+
+(* ---- certify ---- *)
+
+let certify_cmd =
+  let run seed cache_dir property psi strategy output =
+    let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
+    let case = Workflow.run_case prepared ~property ~psi ~strategy in
+    let cert =
+      Dpv_core.Certificate.of_case case
+        ~features:prepared.Workflow.bounds_features
+    in
+    Dpv_core.Certificate.save cert ~path:output;
+    Format.printf "%a@.saved to %s@." Dpv_core.Certificate.pp cert output;
+    match case.Workflow.result.Verify.verdict with
+    | Verify.Safe _ -> 0
+    | Verify.Unsafe _ -> 1
+    | Verify.Unknown _ -> 2
+  in
+  let output =
+    Arg.(
+      value & opt string "dpv.cert"
+      & info [ "o"; "output" ] ~doc:"Certificate output path.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Verify and emit a deployable certificate (verdict, monitoring \
+             region, characterizer head, statistical table)")
+    Term.(
+      const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
+      $ output)
+
+(* ---- check-cert ---- *)
+
+let check_cert_cmd =
+  let run seed cache_dir path =
+    match Dpv_core.Certificate.load ~path with
+    | Error e ->
+        Format.eprintf "cannot load certificate: %s@." e;
+        2
+    | Ok cert -> (
+        Format.printf "%a@." Dpv_core.Certificate.pp cert;
+        let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
+        match
+          Dpv_core.Certificate.validate_witness cert
+            ~perception:prepared.Workflow.perception
+        with
+        | Some true ->
+            Format.printf "witness replay: CONFIRMED on the cached network@.";
+            0
+        | Some false ->
+            Format.printf "witness replay: REFUTED (stale certificate?)@.";
+            1
+        | None ->
+            Format.printf "no witness to replay@.";
+            0)
+  in
+  let path =
+    Arg.(value & opt string "dpv.cert" & info [ "f"; "file" ] ~doc:"Certificate path.")
+  in
+  Cmd.v
+    (Cmd.info "check-cert" ~doc:"Load a certificate and replay its witness")
+    Term.(const run $ seed $ cache_dir $ path)
+
+(* ---- refine ---- *)
+
+let refine_cmd =
+  let run seed cache_dir property psi strategy max_steps =
+    let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
+    let outcome =
+      Dpv_core.Refine.run ?max_steps prepared ~property ~psi ~strategy
+    in
+    Format.printf "%a@." Dpv_core.Refine.pp_outcome outcome;
+    match outcome with
+    | Dpv_core.Refine.Proved _ -> 0
+    | Dpv_core.Refine.Refuted _ -> 1
+    | Dpv_core.Refine.Exhausted _ -> 2
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~doc:"Refinement levels to try (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Verify with layer-wise incremental abstraction refinement")
+    Term.(
+      const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
+      $ max_steps)
+
+(* ---- attack ---- *)
+
+let attack_cmd =
+  let run seed cache_dir property psi steps n_seeds =
+    let setup = setup_of ~seed in
+    let prepared = Workflow.prepare_cached ~cache_dir setup in
+    let characterizer, _, _ = Workflow.train_characterizer prepared ~property in
+    let rng = Rng.create (seed + 99) in
+    let seeds =
+      Generator.scenes_and_images setup.Workflow.scenario rng ~n:n_seeds
+      |> Array.to_list
+      |> List.filter (fun (scene, _) -> Dpv_spec.Property.holds property scene)
+      |> List.map snd
+      |> Array.of_list
+    in
+    Format.printf "attacking from %d frames where %s holds...@."
+      (Array.length seeds) property.Dpv_spec.Property.name;
+    let config = { Dpv_core.Attack.default_config with steps } in
+    match
+      Dpv_core.Attack.search ~perception:prepared.Workflow.perception
+        ~characterizer ~psi ~config ~seeds ()
+    with
+    | Some c ->
+        Format.printf
+          "counterexample after %d PGD steps (seed %d): output %a, logit %.3f@."
+          c.Dpv_core.Attack.iterations c.Dpv_core.Attack.seed_index
+          Dpv_tensor.Vec.pp c.Dpv_core.Attack.output c.Dpv_core.Attack.logit;
+        print_string
+          (Camera.to_ascii setup.Workflow.scenario.Generator.camera
+             c.Dpv_core.Attack.image);
+        0
+    | None ->
+        Format.printf "no counterexample found within the budget@.";
+        1
+  in
+  let steps =
+    Arg.(value & opt int 200 & info [ "steps" ] ~doc:"PGD steps per seed.")
+  in
+  let n_seeds =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~doc:"Frames to sample as seeds.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Search for a concrete image counterexample by PGD")
+    Term.(const run $ seed $ cache_dir $ property_arg $ psi_arg $ steps $ n_seeds)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run seed cache_dir =
+    let setup = setup_of ~seed in
+    let prepared = Workflow.prepare_cached ~cache_dir setup in
+    Format.printf "model: %a@." Network.pp prepared.Workflow.perception;
+    Format.printf "parameters: %d@."
+      (Network.num_parameters prepared.Workflow.perception);
+    Format.printf "cut layers available: %s@."
+      (String.concat ", "
+         (List.map string_of_int (Workflow.cut_options setup)));
+    Format.printf "properties: %s@."
+      (String.concat ", " (List.map fst Oracle.all));
+    0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show model and experiment defaults")
+    Term.(const run $ seed $ cache_dir)
+
+let () =
+  let doc = "safety verification of direct perception neural networks" in
+  let main =
+    Cmd.group
+      (Cmd.info "dpv" ~version:"1.0.0" ~doc)
+      [
+        train_cmd;
+        verify_cmd;
+        certify_cmd;
+        check_cert_cmd;
+        refine_cmd;
+        attack_cmd;
+        monitor_cmd;
+        render_cmd;
+        info_cmd;
+      ]
+  in
+  exit (Cmd.eval' main)

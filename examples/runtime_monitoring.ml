@@ -1,0 +1,72 @@
+(* Runtime assume-guarantee monitoring (Section 2.2).
+
+   A proof obtained over the data-derived region S~ is conditional: it
+   only covers executions whose cut-layer activations stay inside S~.
+   This example deploys the monitor and streams frames at it:
+
+   - in-distribution frames (same highway, same weather mix) should
+     trigger (almost) no warnings;
+   - distribution-shifted frames (heavy rain/fog, more sensor noise)
+     violate the assumption and must raise warnings.
+
+   Run with: dune exec examples/runtime_monitoring.exe *)
+
+module Workflow = Dpv_core.Workflow
+module Runtime = Dpv_monitor.Runtime
+module Box_monitor = Dpv_monitor.Box_monitor
+module Polyhedron = Dpv_monitor.Polyhedron
+module Generator = Dpv_scenario.Generator
+module Camera = Dpv_scenario.Camera
+module Rng = Dpv_tensor.Rng
+
+let stream_frames monitor config rng ~n =
+  Runtime.reset monitor;
+  for _ = 1 to n do
+    let scene = Generator.sample_scene config rng in
+    let image = Generator.render_scene config rng scene in
+    ignore (Runtime.infer monitor image)
+  done;
+  Runtime.stats monitor
+
+let () =
+  Format.printf "== runtime monitoring ==@.";
+  let setup = Workflow.default_setup in
+  let prepared = Workflow.prepare_cached ~cache_dir:"_cache" setup in
+  let features = prepared.Workflow.bounds_features in
+  let monitors =
+    [
+      ("box S~", Runtime.Box (Box_monitor.fit ~margin:0.02 features));
+      ("octagon S~", Runtime.Poly (Polyhedron.fit_octagon ~margin:0.05 features));
+    ]
+  in
+  let shifted_config =
+    (* Footnote-7 variations pushed outside the training envelope. *)
+    {
+      setup.Workflow.scenario with
+      Generator.rain_probability = 0.7;
+      fog_probability = 0.3;
+      curvature_range = (-0.045, 0.045);
+      camera =
+        {
+          setup.Workflow.scenario.Generator.camera with
+          Camera.noise_std = 0.08;
+        };
+    }
+  in
+  List.iter
+    (fun (name, region) ->
+      let monitor =
+        Runtime.create ~network:prepared.Workflow.perception
+          ~cut:setup.Workflow.cut ~region
+      in
+      let in_dist =
+        stream_frames monitor setup.Workflow.scenario (Rng.create 3001) ~n:500
+      in
+      let shifted = stream_frames monitor shifted_config (Rng.create 3002) ~n:500 in
+      Format.printf "%-12s in-distribution: %a@." name Runtime.pp_stats in_dist;
+      Format.printf "%-12s shifted:         %a@." name Runtime.pp_stats shifted)
+    monitors;
+  Format.printf
+    "@.Reading: near-zero warnings in distribution keep the conditional@.\
+     proof in force; the warning rate under shift is the monitor doing@.\
+     its job — the proof's assumption no longer holds there.@."

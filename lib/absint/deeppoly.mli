@@ -1,0 +1,28 @@
+(** Symbolic-bounds abstract domain (DeepPoly-style).
+
+    Every neuron of the current layer carries two affine expressions over
+    the *input* variables — a symbolic lower and upper bound — plus the
+    input box to concretize them.  Affine layers transform the
+    expressions exactly; ReLU uses the DeepPoly relaxation (upper chord
+    [u(x-l)/(u-l)], lower [x] or [0] by minimal area), substituting the
+    pre-activation's own symbolic bounds.
+
+    Compared to the zonotope domain this keeps bound *direction*
+    information per neuron rather than shared noise symbols; on typical
+    ReLU networks the two are incomparable, so the library offers both
+    (the paper's related work names box, octagon and zonotope; symbolic
+    propagation is its reference [20]). *)
+
+type t
+
+val of_box : Box_domain.t -> t
+(** Sides must be finite. *)
+
+val dim : t -> int
+val to_box : t -> Box_domain.t
+(** Concretized per-neuron interval bounds. *)
+
+val transfer_layer : Dpv_nn.Layer.t -> t -> t
+val propagate : Dpv_nn.Network.t -> t -> t
+val propagate_all : Dpv_nn.Network.t -> t -> Box_domain.t array
+(** Interval enclosures at every layer (index 0 = the input box). *)

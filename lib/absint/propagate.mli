@@ -1,0 +1,27 @@
+(** Unified entry point for static analysis of network prefixes.
+
+    This is the "static analysis" leg of the paper's workflow: a sound
+    over-approximation [S] of the values reachable at the cut layer [l]
+    (Lemma 2), computed by pushing the input region through the prefix
+    with the chosen abstract domain. *)
+
+type domain = Box | Zonotope | Deeppoly
+
+val domain_name : domain -> string
+val domain_of_string : string -> domain option
+
+val layer_bounds :
+  domain ->
+  Dpv_nn.Network.t ->
+  input_box:Box_domain.t ->
+  cut:int ->
+  Box_domain.t
+(** Interval enclosure of [f^(cut)] over the input box. *)
+
+val all_layer_bounds :
+  domain -> Dpv_nn.Network.t -> input_box:Box_domain.t -> Box_domain.t array
+(** Enclosures at every layer (index 0 = input box); used to derive
+    per-neuron big-M constants in the MILP encoding. *)
+
+val output_bounds :
+  domain -> Dpv_nn.Network.t -> input_box:Box_domain.t -> Box_domain.t

@@ -1,0 +1,132 @@
+module Network = Dpv_nn.Network
+module Grad = Dpv_train.Grad
+module Risk = Dpv_spec.Risk
+module Linexpr = Dpv_spec.Linexpr
+module Vec = Dpv_tensor.Vec
+
+type candidate = {
+  image : Vec.t;
+  output : Vec.t;
+  logit : float;
+  iterations : int;
+  seed_index : int;
+}
+
+type config = {
+  steps : int;
+  step_size : float;
+  pixel_lo : float;
+  pixel_hi : float;
+  logit_margin : float;
+}
+
+let default_config =
+  { steps = 200; step_size = 0.01; pixel_lo = 0.0; pixel_hi = 1.0; logit_margin = 0.0 }
+
+(* Hinge slack of one inequality at an output point, and its gradient
+   contribution direction (the inequality's coefficient vector, signed). *)
+let inequality_slack (ineq : Risk.inequality) out =
+  let v = Linexpr.eval ineq.Risk.expr out in
+  match ineq.Risk.rel with
+  | `Le -> v -. ineq.Risk.bound
+  | `Ge -> ineq.Risk.bound -. v
+
+let logit_of ~perception ~characterizer image =
+  let features =
+    Network.forward_upto perception ~cut:characterizer.Characterizer.cut image
+  in
+  Characterizer.logit characterizer features
+
+let attack_loss ~perception ~characterizer ~psi config image =
+  let out = Network.forward perception image in
+  let psi_loss =
+    List.fold_left
+      (fun acc ineq -> acc +. Float.max 0.0 (inequality_slack ineq out))
+      0.0 psi.Risk.inequalities
+  in
+  let logit = logit_of ~perception ~characterizer image in
+  psi_loss +. Float.max 0.0 (config.logit_margin -. logit)
+
+let is_counterexample ~perception ~characterizer ~psi ?(logit_margin = 0.0)
+    image =
+  let out = Network.forward perception image in
+  Risk.holds psi out
+  && logit_of ~perception ~characterizer image >= logit_margin
+
+(* dL/d(image).  Two backward passes: one through the full perception for
+   the active psi hinges, one through prefix+head for the logit hinge. *)
+let loss_gradient ~perception ~characterizer ~joined ~psi config image =
+  let dim_out = Network.output_dim perception in
+  let out = Network.forward perception image in
+  let d_output = Vec.zeros dim_out in
+  List.iter
+    (fun (ineq : Risk.inequality) ->
+      if inequality_slack ineq out > 0.0 then
+        let sign = match ineq.Risk.rel with `Le -> 1.0 | `Ge -> -1.0 in
+        List.iter
+          (fun (c, i) -> d_output.(i) <- d_output.(i) +. (sign *. c))
+          (Linexpr.normalized_terms ineq.Risk.expr))
+    psi.Risk.inequalities;
+  let activations = Network.activations perception image in
+  let _, d_input_psi = Grad.backward perception ~activations ~d_output in
+  let logit = logit_of ~perception ~characterizer image in
+  let d_input_logit =
+    if config.logit_margin -. logit > 0.0 then begin
+      let joined_acts = Network.activations joined image in
+      let _, d =
+        Grad.backward joined ~activations:joined_acts ~d_output:[| -1.0 |]
+      in
+      d
+    end
+    else Vec.zeros (Vec.dim image)
+  in
+  Vec.add d_input_psi d_input_logit
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let pgd_from ~perception ~characterizer ~joined ~psi config ~seed_index seed =
+  let image = Vec.copy seed in
+  let rec loop iter =
+    if
+      is_counterexample ~perception ~characterizer ~psi
+        ~logit_margin:config.logit_margin image
+    then
+      Some
+        {
+          image = Vec.copy image;
+          output = Network.forward perception image;
+          logit = logit_of ~perception ~characterizer image;
+          iterations = iter;
+          seed_index;
+        }
+    else if iter >= config.steps then None
+    else begin
+      let g = loss_gradient ~perception ~characterizer ~joined ~psi config image in
+      for i = 0 to Vec.dim image - 1 do
+        let step = if g.(i) > 0.0 then -.config.step_size
+                   else if g.(i) < 0.0 then config.step_size
+                   else 0.0 in
+        image.(i) <- clamp config.pixel_lo config.pixel_hi (image.(i) +. step)
+      done;
+      loop (iter + 1)
+    end
+  in
+  loop 0
+
+let search ~perception ~characterizer ~psi ?(config = default_config) ~seeds () =
+  let cut = characterizer.Characterizer.cut in
+  let joined =
+    Network.stack (Network.prefix perception ~cut) characterizer.Characterizer.head
+  in
+  let n = Array.length seeds in
+  let rec go i =
+    if i >= n then None
+    else
+      match
+        pgd_from ~perception ~characterizer ~joined ~psi config ~seed_index:i
+          seeds.(i)
+      with
+      | Some c -> Some c
+      | None -> go (i + 1)
+  in
+  go 0

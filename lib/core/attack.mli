@@ -1,0 +1,60 @@
+(** Adversarial counterexample search in input space.
+
+    When the MILP produces a feature-level witness, it may not correspond
+    to any real image (the region S over-approximates).  Section 5 of
+    the paper suggests closing that gap "by capturing more data or by
+    using adversarial perturbation techniques".  This module implements
+    the latter: projected gradient descent over the image that pushes
+    the perception output into the risk condition [psi] while keeping
+    the characterizer firing — a concrete, input-level counterexample
+    when it succeeds. *)
+
+type candidate = {
+  image : Dpv_tensor.Vec.t;
+  output : Dpv_tensor.Vec.t;
+  logit : float;
+  iterations : int;
+  seed_index : int;  (** which seed image the attack started from *)
+}
+
+type config = {
+  steps : int;          (** PGD iterations per seed *)
+  step_size : float;    (** signed-gradient step in pixel units *)
+  pixel_lo : float;
+  pixel_hi : float;
+  logit_margin : float; (** require the characterizer to fire this hard *)
+}
+
+val default_config : config
+(** 200 steps, step 0.01, pixels in [0,1], margin 0. *)
+
+val attack_loss :
+  perception:Dpv_nn.Network.t ->
+  characterizer:Characterizer.t ->
+  psi:Dpv_spec.Risk.t ->
+  config ->
+  Dpv_tensor.Vec.t ->
+  float
+(** Hinge loss that is 0 exactly on counterexamples: positive slack of
+    every violated [psi] inequality plus the characterizer's firing
+    deficit. *)
+
+val search :
+  perception:Dpv_nn.Network.t ->
+  characterizer:Characterizer.t ->
+  psi:Dpv_spec.Risk.t ->
+  ?config:config ->
+  seeds:Dpv_tensor.Vec.t array ->
+  unit ->
+  candidate option
+(** Runs PGD from every seed image (typically frames whose oracle label
+    says [phi] holds) and returns the first concrete counterexample
+    found, validated by forward execution. *)
+
+val is_counterexample :
+  perception:Dpv_nn.Network.t ->
+  characterizer:Characterizer.t ->
+  psi:Dpv_spec.Risk.t ->
+  ?logit_margin:float ->
+  Dpv_tensor.Vec.t ->
+  bool

@@ -1,0 +1,268 @@
+module Network = Dpv_nn.Network
+module Serialize = Dpv_nn.Serialize
+module Polyhedron = Dpv_monitor.Polyhedron
+module Runtime = Dpv_monitor.Runtime
+module Risk = Dpv_spec.Risk
+module Vec = Dpv_tensor.Vec
+
+type verdict =
+  | Safe_unconditional
+  | Safe_conditional
+  | Unsafe of Vec.t
+  | Inconclusive of string
+
+type t = {
+  property_name : string;
+  psi : Risk.t;
+  strategy : string;
+  cut : int;
+  verdict : verdict;
+  region : Polyhedron.halfspace list;
+  region_dim : int;
+  head : Network.t;
+  table : Statistical.table;
+}
+
+let region_of_case (case : Workflow.case_report) ~features =
+  match case.Workflow.strategy with
+  | Workflow.Static _ -> ([], 0)
+  | Workflow.Data_box ->
+      let p = Polyhedron.fit_box features in
+      (Polyhedron.halfspaces p, Polyhedron.dim p)
+  | Workflow.Data_octagon ->
+      let p = Polyhedron.prune_redundant (Polyhedron.fit_octagon features) in
+      (Polyhedron.halfspaces p, Polyhedron.dim p)
+
+let of_case (case : Workflow.case_report) ~features =
+  let verdict =
+    match case.Workflow.result.Verify.verdict with
+    | Verify.Safe { conditional = false } -> Safe_unconditional
+    | Verify.Safe { conditional = true } -> Safe_conditional
+    | Verify.Unsafe { features = w; _ } -> Unsafe w
+    | Verify.Unknown reason -> Inconclusive reason
+  in
+  let region, region_dim = region_of_case case ~features in
+  {
+    property_name = case.Workflow.property_name;
+    psi = case.Workflow.psi;
+    strategy = Workflow.strategy_name case.Workflow.strategy;
+    cut = case.Workflow.characterizer.Characterizer.cut;
+    verdict;
+    region;
+    region_dim;
+    head = case.Workflow.characterizer.Characterizer.head;
+    table = case.Workflow.table;
+  }
+
+let guarantee t = Statistical.guarantee t.table
+
+let monitor t ~network =
+  match t.verdict with
+  | Safe_conditional when t.region <> [] ->
+      Some
+        (Runtime.create ~network ~cut:t.cut
+           ~region:
+             (Runtime.Poly (Polyhedron.of_halfspaces ~dim:t.region_dim t.region)))
+  | Safe_conditional | Safe_unconditional | Unsafe _ | Inconclusive _ -> None
+
+let validate_witness t ~perception =
+  match t.verdict with
+  | Unsafe witness ->
+      let suffix = Network.suffix perception ~cut:t.cut in
+      let output = Network.forward suffix witness in
+      let logit = (Network.forward t.head witness).(0) in
+      Some (Risk.holds ~tol:1e-5 t.psi output && logit >= -1e-5)
+  | Safe_unconditional | Safe_conditional | Inconclusive _ -> None
+
+(* ---- serialization ----
+   Line-oriented; floats in %h so round-trips are exact; the head network
+   is embedded through Dpv_nn.Serialize, indented by two spaces so its
+   lines cannot be confused with certificate keys. *)
+
+let float_text = Printf.sprintf "%h"
+
+let vec_text v = String.concat " " (List.map float_text (Vec.to_list v))
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "dpv-certificate 1";
+  line "property %s" t.property_name;
+  line "psi %s" (Risk.to_string t.psi);
+  line "strategy %s" t.strategy;
+  line "cut %d" t.cut;
+  (match t.verdict with
+  | Safe_unconditional -> line "verdict safe"
+  | Safe_conditional -> line "verdict safe-conditional"
+  | Unsafe w ->
+      line "verdict unsafe %d" (Vec.dim w);
+      line "%s" (vec_text w)
+  | Inconclusive reason -> line "verdict inconclusive %s" reason);
+  line "table %s %s %s %s %d" (float_text t.table.Statistical.alpha)
+    (float_text t.table.Statistical.beta)
+    (float_text t.table.Statistical.gamma)
+    (float_text t.table.Statistical.delta)
+    t.table.Statistical.n;
+  line "region %d %d" t.region_dim (List.length t.region);
+  List.iter
+    (fun (f : Polyhedron.halfspace) ->
+      line "face %s : %s"
+        (String.concat " "
+           (List.map
+              (fun (i, c) -> Printf.sprintf "%d %s" i (float_text c))
+              f.Polyhedron.direction))
+        (float_text f.Polyhedron.bound))
+    t.region;
+  line "head";
+  String.split_on_char '\n' (Serialize.to_string t.head)
+  |> List.iter (fun l -> if l <> "" then line "  %s" l);
+  line "end";
+  Buffer.contents buf
+
+exception Malformed of string
+
+let of_string s =
+  let lines = Array.of_list (String.split_on_char '\n' s) in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length lines then raise (Malformed "unexpected end");
+    let l = lines.(!pos) in
+    incr pos;
+    l
+  in
+  let next_nonempty () =
+    let rec go () =
+      let l = next () in
+      if String.trim l = "" then go () else l
+    in
+    go ()
+  in
+  let expect_key key =
+    let l = next_nonempty () in
+    if
+      String.length l < String.length key
+      || String.sub l 0 (String.length key) <> key
+    then raise (Malformed (Printf.sprintf "expected %S, got %S" key l));
+    String.trim (String.sub l (String.length key) (String.length l - String.length key))
+  in
+  try
+    if String.trim (next_nonempty ()) <> "dpv-certificate 1" then
+      raise (Malformed "bad magic");
+    let property_name = expect_key "property" in
+    let psi_text = expect_key "psi" in
+    let psi =
+      match Risk.of_string psi_text with
+      | Ok p -> p
+      | Error e -> raise (Malformed ("bad psi: " ^ e))
+    in
+    let strategy = expect_key "strategy" in
+    let cut = int_of_string (expect_key "cut") in
+    let verdict =
+      match String.split_on_char ' ' (expect_key "verdict") with
+      | [ "safe" ] -> Safe_unconditional
+      | [ "safe-conditional" ] -> Safe_conditional
+      | "unsafe" :: [ d ] ->
+          let dim = int_of_string d in
+          let parts =
+            String.split_on_char ' ' (String.trim (next_nonempty ()))
+            |> List.filter (( <> ) "")
+          in
+          if List.length parts <> dim then raise (Malformed "bad witness length");
+          Unsafe (Array.of_list (List.map float_of_string parts))
+      | "inconclusive" :: rest -> Inconclusive (String.concat " " rest)
+      | _ -> raise (Malformed "bad verdict")
+    in
+    let table =
+      match String.split_on_char ' ' (expect_key "table") with
+      | [ a; b; g; d; n ] ->
+          {
+            Statistical.alpha = float_of_string a;
+            beta = float_of_string b;
+            gamma = float_of_string g;
+            delta = float_of_string d;
+            n = int_of_string n;
+          }
+      | _ -> raise (Malformed "bad table")
+    in
+    let region_dim, n_faces =
+      match String.split_on_char ' ' (expect_key "region") with
+      | [ d; n ] -> (int_of_string d, int_of_string n)
+      | _ -> raise (Malformed "bad region header")
+    in
+    let region =
+      List.init n_faces (fun _ ->
+          match String.split_on_char ':' (expect_key "face") with
+          | [ dir_text; bound_text ] ->
+              let parts =
+                String.split_on_char ' ' (String.trim dir_text)
+                |> List.filter (( <> ) "")
+              in
+              let rec pairs = function
+                | [] -> []
+                | i :: c :: rest ->
+                    (int_of_string i, float_of_string c) :: pairs rest
+                | [ _ ] -> raise (Malformed "odd face direction")
+              in
+              {
+                Polyhedron.direction = pairs parts;
+                bound = float_of_string (String.trim bound_text);
+              }
+          | _ -> raise (Malformed "bad face"))
+    in
+    let (_ : string) = expect_key "head" in
+    let head_lines = ref [] in
+    let rec collect () =
+      let l = next_nonempty () in
+      if String.trim l = "end" then ()
+      else begin
+        head_lines := String.trim l :: !head_lines;
+        collect ()
+      end
+    in
+    collect ();
+    let head = Serialize.of_string (String.concat "\n" (List.rev !head_lines)) in
+    Ok
+      {
+        property_name;
+        psi;
+        strategy;
+        cut;
+        verdict;
+        region;
+        region_dim;
+        head;
+        table;
+      }
+  with
+  | Malformed m -> Error m
+  | Failure m -> Error m
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  end
+
+let pp fmt t =
+  let verdict_text =
+    match t.verdict with
+    | Safe_unconditional -> "SAFE"
+    | Safe_conditional -> "SAFE (conditional)"
+    | Unsafe _ -> "UNSAFE (witness embedded)"
+    | Inconclusive r -> "INCONCLUSIVE: " ^ r
+  in
+  Format.fprintf fmt
+    "@[<v>certificate: %s | %s | %s@,\
+     cut layer %d, %d monitoring faces, guarantee 1-gamma = %.4f@,\
+     verdict: %s@]"
+    t.property_name (Risk.to_string t.psi) t.strategy t.cut
+    (List.length t.region) (guarantee t) verdict_text

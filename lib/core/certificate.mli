@@ -1,0 +1,60 @@
+(** Verification certificates — the artifact a verified deployment ships.
+
+    A certificate packages everything needed to carry a verification
+    result into operation without rerunning the analysis:
+
+    - the property/psi pair and the cut layer;
+    - the verdict (with the witness for refutations);
+    - for conditional (assume-guarantee) proofs, the region [S~] as a
+      list of halfspaces, so the runtime monitor can be reconstructed;
+    - the characterizer head network, so witnesses can be re-validated
+      and the monitor's semantics audited;
+    - the statistical table behind the [1 - gamma] guarantee.
+
+    Certificates serialize to a line-oriented text format that
+    round-trips exactly. *)
+
+type verdict =
+  | Safe_unconditional
+  | Safe_conditional
+  | Unsafe of Dpv_tensor.Vec.t  (** witness cut-layer activation *)
+  | Inconclusive of string
+
+type t = {
+  property_name : string;
+  psi : Dpv_spec.Risk.t;
+  strategy : string;
+  cut : int;
+  verdict : verdict;
+  region : Dpv_monitor.Polyhedron.halfspace list;
+      (** monitoring region faces; empty for unconditional results *)
+  region_dim : int;
+  head : Dpv_nn.Network.t;
+  table : Statistical.table;
+}
+
+val of_case :
+  Workflow.case_report -> features:Dpv_tensor.Vec.t array -> t
+(** Build a certificate from a finished case.  [features] are the visited
+    cut-layer values that defined [S~] (used to store the monitoring
+    region for conditional proofs; ignored for static strategies). *)
+
+val guarantee : t -> float
+(** The [1 - gamma] statistical strength of the certificate. *)
+
+val monitor :
+  t -> network:Dpv_nn.Network.t -> Dpv_monitor.Runtime.t option
+(** Reconstruct the runtime monitor of a conditional proof;
+    [None] when the certificate needs no monitoring. *)
+
+val validate_witness : t -> perception:Dpv_nn.Network.t -> bool option
+(** For [Unsafe] certificates: replay the witness through the perception
+    suffix and the stored head; [Some true] when it still violates.
+    [None] for non-witness verdicts. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) Stdlib.result
+val save : t -> path:string -> unit
+val load : path:string -> (t, string) Stdlib.result
+
+val pp : Format.formatter -> t -> unit

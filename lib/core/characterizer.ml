@@ -1,0 +1,101 @@
+module Network = Dpv_nn.Network
+module Init = Dpv_nn.Init
+module Dataset = Dpv_train.Dataset
+module Trainer = Dpv_train.Trainer
+module Optimizer = Dpv_train.Optimizer
+module Loss = Dpv_train.Loss
+module Vec = Dpv_tensor.Vec
+
+type t = { head : Network.t; cut : int; property_name : string }
+
+type train_report = {
+  train_accuracy : float;
+  final_loss : float;
+  epochs_run : int;
+  perfect_on_train : bool;
+}
+
+type train_config = {
+  hidden : int list;
+  epochs : int;
+  learning_rate : float;
+  batch_size : int;
+  target_accuracy : float;
+}
+
+let default_train_config =
+  {
+    hidden = [ 16 ];
+    epochs = 600;
+    learning_rate = 5e-3;
+    batch_size = 32;
+    target_accuracy = 1.0;
+  }
+
+let features ~perception ~cut images =
+  Array.map (fun image -> Network.forward_upto perception ~cut image) images
+
+let train_on_features ?(config = default_train_config) ~rng ~cut ~property_name
+    ~features:feats ~labels () =
+  if Array.length feats <> Array.length labels then
+    invalid_arg "Characterizer.train_on_features: length mismatch";
+  if Array.length feats = 0 then
+    invalid_arg "Characterizer.train_on_features: empty";
+  let head =
+    Init.mlp rng ~input_dim:(Vec.dim feats.(0)) ~hidden:config.hidden
+      ~output_dim:1
+  in
+  let dataset =
+    Dataset.create ~inputs:feats ~targets:(Array.map (fun c -> [| c |]) labels)
+  in
+  let optimizer = Optimizer.adam ~lr:config.learning_rate head in
+  let trainer_config =
+    {
+      Trainer.default_config with
+      epochs = 1;
+      batch_size = config.batch_size;
+      loss = Loss.Bce_with_logits;
+    }
+  in
+  (* One Trainer epoch per outer step, so the target-accuracy early stop
+     can check between epochs. *)
+  let rec run epoch last_loss =
+    if epoch >= config.epochs then (epoch, last_loss)
+    else begin
+      let history = Trainer.fit ~rng trainer_config optimizer head dataset in
+      let loss = history.Trainer.epoch_losses.(0) in
+      let acc = Trainer.binary_accuracy head dataset in
+      if acc >= config.target_accuracy then (epoch + 1, loss)
+      else run (epoch + 1) loss
+    end
+  in
+  let epochs_run, final_loss = run 0 infinity in
+  let train_accuracy = Trainer.binary_accuracy head dataset in
+  ( { head; cut; property_name },
+    {
+      train_accuracy;
+      final_loss;
+      epochs_run;
+      perfect_on_train = train_accuracy >= 1.0;
+    } )
+
+let train ?config ~rng ~perception ~cut ~property_name ~images ~labels () =
+  let feats = features ~perception ~cut images in
+  train_on_features ?config ~rng ~cut ~property_name ~features:feats ~labels ()
+
+let logit t feature = (Network.forward t.head feature).(0)
+let decide t feature = logit t feature >= 0.0
+
+let decide_image t ~perception image =
+  decide t (Network.forward_upto perception ~cut:t.cut image)
+
+let accuracy t ~perception ~images ~labels =
+  if Array.length images <> Array.length labels then
+    invalid_arg "Characterizer.accuracy: length mismatch";
+  let correct = ref 0 in
+  Array.iteri
+    (fun i image ->
+      let predicted = if decide_image t ~perception image then 1.0 else 0.0 in
+      if predicted = labels.(i) then incr correct)
+    images;
+  float_of_int !correct /. float_of_int (Array.length images)

@@ -1,0 +1,73 @@
+(** Input property characterizer [h_l^phi] (Section 2.1).
+
+    A small binary classifier whose input is the perception network's
+    activation at the cut layer [l], trained from oracle labels to decide
+    whether the input property [phi] held for the frame.  The head is a
+    ReLU MLP with a single logit output (decision threshold at logit 0),
+    which keeps it piecewise-linear and hence exactly MILP-encodable
+    together with the perception suffix. *)
+
+type t = { head : Dpv_nn.Network.t; cut : int; property_name : string }
+
+type train_report = {
+  train_accuracy : float;
+  final_loss : float;
+  epochs_run : int;
+  perfect_on_train : bool;
+      (** Whether the classifier reached 100% on the training data — the
+          paper's "perfect training" premise. *)
+}
+
+type train_config = {
+  hidden : int list;
+  epochs : int;
+  learning_rate : float;
+  batch_size : int;
+  target_accuracy : float;  (** stop early once reached on training data *)
+}
+
+val default_train_config : train_config
+(** hidden [16], 600 epochs, Adam lr 5e-3, batch 32, target accuracy 1.0 *)
+
+val features :
+  perception:Dpv_nn.Network.t ->
+  cut:int ->
+  Dpv_tensor.Vec.t array ->
+  Dpv_tensor.Vec.t array
+(** [f^(cut)] applied to every image. *)
+
+val train :
+  ?config:train_config ->
+  rng:Dpv_tensor.Rng.t ->
+  perception:Dpv_nn.Network.t ->
+  cut:int ->
+  property_name:string ->
+  images:Dpv_tensor.Vec.t array ->
+  labels:float array ->
+  unit ->
+  t * train_report
+
+val train_on_features :
+  ?config:train_config ->
+  rng:Dpv_tensor.Rng.t ->
+  cut:int ->
+  property_name:string ->
+  features:Dpv_tensor.Vec.t array ->
+  labels:float array ->
+  unit ->
+  t * train_report
+
+val logit : t -> Dpv_tensor.Vec.t -> float
+(** Raw logit on a feature vector. *)
+
+val decide : t -> Dpv_tensor.Vec.t -> bool
+(** [logit >= 0]. *)
+
+val decide_image : t -> perception:Dpv_nn.Network.t -> Dpv_tensor.Vec.t -> bool
+
+val accuracy :
+  t ->
+  perception:Dpv_nn.Network.t ->
+  images:Dpv_tensor.Vec.t array ->
+  labels:float array ->
+  float

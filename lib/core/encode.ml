@@ -1,0 +1,282 @@
+module Lp = Dpv_linprog.Lp
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+module Box_domain = Dpv_absint.Box_domain
+module Interval = Dpv_absint.Interval
+module Mat = Dpv_tensor.Mat
+module Linexpr = Dpv_spec.Linexpr
+module Risk = Dpv_spec.Risk
+module Polyhedron = Dpv_monitor.Polyhedron
+
+type t = {
+  model : Lp.t;
+  feature_vars : Lp.var array;
+  output_vars : Lp.var array;
+  logit_var : Lp.var;
+  num_binaries : int;
+  num_fixed_relus : int;
+}
+
+let lp_bound x = if Float.is_finite x then Some x else None
+
+(* Fresh continuous variable for a neuron with interval bounds; infinite
+   sides become absent LP bounds. *)
+let neuron_var_opt model ~name (iv : Interval.t) =
+  let m, v =
+    match (lp_bound iv.lo, lp_bound iv.hi) with
+    | Some lo, Some up -> Lp.add_var ~name ~lo ~up model
+    | Some lo, None -> Lp.add_var ~name ~lo model
+    | None, Some up -> Lp.add_var ~name ~up model
+    | None, None -> Lp.add_var ~name model
+  in
+  (m, v)
+
+let encode_dense model ~name ~weights ~bias ~in_vars ~out_bounds =
+  let rows = Mat.rows weights in
+  let model = ref model in
+  let out_vars =
+    Array.init rows (fun i ->
+        let m, v =
+          neuron_var_opt !model ~name:(Printf.sprintf "%s_y%d" name i)
+            out_bounds.(i)
+        in
+        model := m;
+        v)
+  in
+  for i = 0 to rows - 1 do
+    let terms =
+      (1.0, out_vars.(i))
+      :: List.filter_map
+           (fun j ->
+             let w = Mat.get weights i j in
+             if w = 0.0 then None else Some (-.w, in_vars.(j)))
+           (List.init (Mat.cols weights) (fun j -> j))
+    in
+    model :=
+      Lp.add_constraint ~name:(Printf.sprintf "%s_eq%d" name i) !model terms
+        Lp.Eq bias.(i)
+  done;
+  (!model, out_vars)
+
+let encode_batch_norm model ~name ~scale ~shift ~in_vars ~out_bounds =
+  let d = Array.length in_vars in
+  let model = ref model in
+  let out_vars =
+    Array.init d (fun i ->
+        let m, v =
+          neuron_var_opt !model ~name:(Printf.sprintf "%s_y%d" name i)
+            out_bounds.(i)
+        in
+        model := m;
+        v)
+  in
+  for i = 0 to d - 1 do
+    model :=
+      Lp.add_constraint ~name:(Printf.sprintf "%s_eq%d" name i) !model
+        [ (1.0, out_vars.(i)); (-.scale.(i), in_vars.(i)) ]
+        Lp.Eq shift.(i)
+  done;
+  (!model, out_vars)
+
+(* Big-M ReLU on one neuron with pre-activation bounds [l0, h0]:
+     stable active   (l0 >= 0): y = x
+     stable inactive (h0 <= 0): y = 0
+     crossing: binary d with
+       y >= x, y >= 0, y <= x - l0*(1 - d), y <= h0*d.               *)
+let encode_relu model ~name ~in_vars ~in_bounds =
+  let d = Array.length in_vars in
+  let model = ref model in
+  let binaries = ref 0 in
+  let fixed = ref 0 in
+  let out_vars =
+    Array.init d (fun i ->
+        let { Interval.lo = l0; hi = h0 } = in_bounds.(i) in
+        if l0 >= 0.0 then begin
+          incr fixed;
+          in_vars.(i)
+        end
+        else if h0 <= 0.0 then begin
+          incr fixed;
+          let m, v =
+            Lp.add_var ~name:(Printf.sprintf "%s_y%d" name i) ~lo:0.0 ~up:0.0
+              !model
+          in
+          model := m;
+          v
+        end
+        else begin
+          if not (Float.is_finite l0 && Float.is_finite h0) then
+            invalid_arg
+              (Printf.sprintf
+                 "Encode: ReLU %s_%d crosses zero with unbounded \
+                  pre-activation [%g, %g]; a bounded region S is required"
+                 name i l0 h0);
+          incr binaries;
+          let m, y =
+            Lp.add_var ~name:(Printf.sprintf "%s_y%d" name i) ~lo:0.0 ~up:h0
+              !model
+          in
+          let m, delta =
+            Lp.add_var ~name:(Printf.sprintf "%s_d%d" name i) ~kind:Lp.Binary m
+          in
+          let x = in_vars.(i) in
+          let m =
+            Lp.add_constraint ~name:(Printf.sprintf "%s_ge%d" name i) m
+              [ (1.0, y); (-1.0, x) ]
+              Lp.Ge 0.0
+          in
+          (* y <= x - l0 + l0*d  <=>  y - x - l0*d <= -l0 *)
+          let m =
+            Lp.add_constraint ~name:(Printf.sprintf "%s_ub1_%d" name i) m
+              [ (1.0, y); (-1.0, x); (-.l0, delta) ]
+              Lp.Le (-.l0)
+          in
+          let m =
+            Lp.add_constraint ~name:(Printf.sprintf "%s_ub2_%d" name i) m
+              [ (1.0, y); (-.h0, delta) ]
+              Lp.Le 0.0
+          in
+          model := m;
+          y
+        end)
+  in
+  (!model, out_vars, !binaries, !fixed)
+
+let encode_network model ~net ~input_vars ~input_box ~name =
+  if Array.length input_vars <> Network.input_dim net then
+    invalid_arg "Encode.encode_network: input variable count mismatch";
+  let bounds = Box_domain.propagate_all net input_box in
+  let model = ref model in
+  let vars = ref input_vars in
+  let binaries = ref 0 in
+  let fixed = ref 0 in
+  List.iteri
+    (fun idx layer ->
+      let lname = Printf.sprintf "%s_l%d" name (idx + 1) in
+      let layer =
+        (* Convolutions are affine: encode their dense materialization. *)
+        match layer with Layer.Conv2d _ -> Layer.lower_to_dense layer | _ -> layer
+      in
+      match layer with
+      | Layer.Conv2d _ -> assert false
+      | Layer.Dense { weights; bias } ->
+          let m, out =
+            encode_dense !model ~name:lname ~weights ~bias ~in_vars:!vars
+              ~out_bounds:bounds.(idx + 1)
+          in
+          model := m;
+          vars := out
+      | Layer.Batch_norm _ ->
+          let scale, shift =
+            match Layer.batch_norm_scale_shift layer with
+            | Some p -> p
+            | None -> assert false
+          in
+          let m, out =
+            encode_batch_norm !model ~name:lname ~scale ~shift ~in_vars:!vars
+              ~out_bounds:bounds.(idx + 1)
+          in
+          model := m;
+          vars := out
+      | Layer.Relu ->
+          let m, out, b, f =
+            encode_relu !model ~name:lname ~in_vars:!vars
+              ~in_bounds:bounds.(idx)
+          in
+          model := m;
+          vars := out;
+          binaries := !binaries + b;
+          fixed := !fixed + f
+      | Layer.Sigmoid | Layer.Tanh ->
+          invalid_arg
+            (Printf.sprintf
+               "Encode: layer %s is not piecewise-linear; cannot encode"
+               (Layer.name layer)))
+    (Network.layers net);
+  (!model, !vars, !binaries, !fixed)
+
+let risk_constraints model ~psi ~output_vars =
+  List.fold_left
+    (fun model (ineq : Risk.inequality) ->
+      let terms =
+        List.map
+          (fun (c, i) ->
+            if i >= Array.length output_vars then
+              invalid_arg "Encode: psi mentions an output index out of range";
+            (c, output_vars.(i)))
+          (Linexpr.normalized_terms ineq.Risk.expr)
+      in
+      let const = ineq.Risk.expr.Linexpr.const in
+      let rel = match ineq.Risk.rel with `Le -> Lp.Le | `Ge -> Lp.Ge in
+      Lp.add_constraint ~name:"psi" model terms rel (ineq.Risk.bound -. const))
+    model psi.Risk.inequalities
+
+let build ~suffix ~head ~feature_box ?(extra_faces = [])
+    ?(characterizer_margin = 0.0) ?psi () =
+  if Network.input_dim suffix <> Network.input_dim head then
+    invalid_arg "Encode.build: suffix/head input dimensions differ";
+  if Array.length feature_box <> Network.input_dim suffix then
+    invalid_arg "Encode.build: feature box dimension mismatch";
+  if Network.output_dim head <> 1 then
+    invalid_arg "Encode.build: characterizer head must output a single logit";
+  let model = ref (Lp.create ()) in
+  let feature_vars =
+    Array.init (Array.length feature_box) (fun i ->
+        let m, v =
+          neuron_var_opt !model ~name:(Printf.sprintf "n_%d" i) feature_box.(i)
+        in
+        model := m;
+        v)
+  in
+  (* Octagon faces over the shared feature variables. *)
+  List.iter
+    (fun (f : Polyhedron.halfspace) ->
+      let terms =
+        List.map (fun (i, c) -> (c, feature_vars.(i))) f.Polyhedron.direction
+      in
+      model := Lp.add_constraint ~name:"face" !model terms Lp.Le f.Polyhedron.bound)
+    extra_faces;
+  let m, output_vars, b1, f1 =
+    encode_network !model ~net:suffix ~input_vars:feature_vars
+      ~input_box:feature_box ~name:"g"
+  in
+  let m, head_out, b2, f2 =
+    encode_network m ~net:head ~input_vars:feature_vars
+      ~input_box:feature_box ~name:"h"
+  in
+  let logit_var = head_out.(0) in
+  let m =
+    match psi with
+    | Some psi -> risk_constraints m ~psi ~output_vars
+    | None -> m
+  in
+  let m =
+    Lp.add_constraint ~name:"phi_holds" m
+      [ (1.0, logit_var) ]
+      Lp.Ge characterizer_margin
+  in
+  {
+    model = m;
+    feature_vars;
+    output_vars;
+    logit_var;
+    num_binaries = b1 + b2;
+    num_fixed_relus = f1 + f2;
+  }
+
+let set_output_objective t ~sense expr =
+  let terms =
+    List.map
+      (fun (c, i) ->
+        if i >= Array.length t.output_vars then
+          invalid_arg "Encode.set_output_objective: output index out of range";
+        (c, t.output_vars.(i)))
+      (Linexpr.normalized_terms expr)
+  in
+  { t with model = Lp.set_objective t.model sense terms }
+
+let size_description t =
+  Printf.sprintf "%d vars (%d binary), %d constraints, %d relus fixed by bounds"
+    (Lp.num_vars t.model) t.num_binaries
+    (Lp.num_constraints t.model)
+    t.num_fixed_relus

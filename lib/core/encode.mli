@@ -1,0 +1,55 @@
+(** MILP encoding of the verification query (Lemma 1/2 + Definition 1).
+
+    The query: does there exist a cut-layer activation [n_l] in the
+    region [S] such that the perception suffix maps it into the risk
+    condition [psi] while the characterizer head reports [phi]
+    (logit >= margin)?  The encoding is the big-M formulation of ref [3]
+    (Cheng et al., ATVA'17): affine layers become equalities, each
+    ReLU whose pre-activation interval crosses zero gets one binary
+    phase variable, with the per-neuron interval bounds — propagated
+    from [S] with the box domain — serving as big-M constants.
+
+    Only piecewise-linear layers (Dense, BatchNorm, ReLU) are encodable;
+    sigmoid/tanh layers raise [Invalid_argument]. *)
+
+type t = {
+  model : Dpv_linprog.Lp.t;
+  feature_vars : Dpv_linprog.Lp.var array;  (** the [n_l] variables *)
+  output_vars : Dpv_linprog.Lp.var array;   (** perception suffix outputs *)
+  logit_var : Dpv_linprog.Lp.var;           (** characterizer logit *)
+  num_binaries : int;                       (** ReLU phase indicators *)
+  num_fixed_relus : int;                    (** ReLUs resolved by bounds *)
+}
+
+val encode_network :
+  Dpv_linprog.Lp.t ->
+  net:Dpv_nn.Network.t ->
+  input_vars:Dpv_linprog.Lp.var array ->
+  input_box:Dpv_absint.Box_domain.t ->
+  name:string ->
+  Dpv_linprog.Lp.t * Dpv_linprog.Lp.var array * int * int
+(** Lower-level piece: encode one network on existing input variables.
+    Returns (model, output vars, binaries added, fixed relus). *)
+
+val build :
+  suffix:Dpv_nn.Network.t ->
+  head:Dpv_nn.Network.t ->
+  feature_box:Dpv_absint.Box_domain.t ->
+  ?extra_faces:Dpv_monitor.Polyhedron.halfspace list ->
+  ?characterizer_margin:float ->
+  ?psi:Dpv_spec.Risk.t ->
+  unit ->
+  t
+(** [suffix] and [head] must share their input dimension (the cut layer);
+    [feature_box] bounds that shared input.  [extra_faces] adds the
+    octagon polyhedron faces over the feature variables.
+    [characterizer_margin] (default 0) is the logit threshold for
+    "characterizer says [phi] holds".  Omitting [psi] leaves the output
+    unconstrained (useful for optimizing over the phi region). *)
+
+val set_output_objective :
+  t -> sense:Dpv_linprog.Lp.objective_sense -> Dpv_spec.Linexpr.t -> t
+(** Replace the (empty) objective with a linear expression over the
+    suffix outputs — e.g. "maximize the suggested waypoint". *)
+
+val size_description : t -> string

@@ -1,0 +1,46 @@
+type step = { cut : int; case : Workflow.case_report }
+
+type outcome = Proved of step list | Refuted of step list | Exhausted of step list
+
+let steps = function Proved s | Refuted s | Exhausted s -> s
+
+let run ?milp_options ?characterizer_config ?max_steps prepared ~property ~psi
+    ~strategy =
+  let cuts =
+    let all = Workflow.cut_options prepared.Workflow.setup in
+    match max_steps with
+    | Some n -> List.filteri (fun i _ -> i < n) all
+    | None -> all
+  in
+  if cuts = [] then invalid_arg "Refine.run: no cut candidates";
+  let rec go acc = function
+    | [] -> Refuted (List.rev acc)
+    | cut :: rest -> (
+        let case =
+          Workflow.run_case ?characterizer_config ?milp_options ~cut prepared
+            ~property ~psi ~strategy
+        in
+        let acc = { cut; case } :: acc in
+        match case.Workflow.result.Verify.verdict with
+        | Verify.Safe _ -> Proved (List.rev acc)
+        | Verify.Unknown _ -> Exhausted (List.rev acc)
+        | Verify.Unsafe _ -> go acc rest)
+  in
+  go [] cuts
+
+let pp_outcome fmt outcome =
+  let label, trace =
+    match outcome with
+    | Proved s -> ("PROVED", s)
+    | Refuted s -> ("REFUTED (finest abstraction still has a witness)", s)
+    | Exhausted s -> ("EXHAUSTED (inconclusive)", s)
+  in
+  Format.fprintf fmt "@[<v>%s after %d refinement step(s)@," label
+    (List.length trace);
+  List.iter
+    (fun { cut; case } ->
+      Format.fprintf fmt "  cut %d: %a (%.2fs)@," cut Verify.pp_verdict
+        case.Workflow.result.Verify.verdict
+        case.Workflow.result.Verify.wall_time_s)
+    trace;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** Layer-wise incremental abstraction refinement.
+
+    The paper's concluding remark: "our approach of looking at
+    close-to-output layers can be viewed as an abstraction which can, in
+    future work, lead to layer-wise incremental abstraction-refinement
+    techniques".  This module implements that loop:
+
+    - start at the deepest cut (coarsest abstraction — everything before
+      it is replaced by the region S);
+    - if verification returns a witness, the witness may be *spurious*
+      (a feature vector no real input can produce), so move the cut one
+      activation layer toward the input — a strictly finer abstraction —
+      retrain the characterizer there and re-verify;
+    - stop on a proof, on exhaustion of the cut candidates, or on a
+      node-limit blowup (the scalability wall). *)
+
+type step = {
+  cut : int;
+  case : Workflow.case_report;
+}
+
+type outcome =
+  | Proved of step list
+      (** the last step is a [Safe] verdict; earlier steps are the failed
+          coarser attempts *)
+  | Refuted of step list
+      (** every refinement level produced a (feature-level) witness; the
+          last step carries the finest one *)
+  | Exhausted of step list
+      (** ended on an [Unknown] (node limit / numerical) verdict *)
+
+val steps : outcome -> step list
+
+val run :
+  ?milp_options:Dpv_linprog.Milp.options ->
+  ?characterizer_config:Characterizer.train_config ->
+  ?max_steps:int ->
+  Workflow.prepared ->
+  property:Dpv_scenario.Scene.t Dpv_spec.Property.t ->
+  psi:Dpv_spec.Risk.t ->
+  strategy:Workflow.strategy ->
+  outcome
+(** Walks [Workflow.cut_options] from the deepest cut toward the input,
+    at most [max_steps] levels (default: all of them). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

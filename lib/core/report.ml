@@ -1,0 +1,32 @@
+let pp_verdict_line fmt (case : Workflow.case_report) =
+  Format.fprintf fmt "[%s | %s | %s] %a (%.2fs, %s)" case.property_name
+    case.psi.Dpv_spec.Risk.name
+    (Workflow.strategy_name case.strategy)
+    Verify.pp_verdict case.result.Verify.verdict case.result.Verify.wall_time_s
+    case.result.Verify.encoding
+
+let pp_case fmt (case : Workflow.case_report) =
+  Format.fprintf fmt
+    "@[<v>%a@,\
+     characterizer: train acc %.3f (perfect=%b, %d epochs), val acc %.3f@,\
+     statistical table:@,%a@,\
+     omitted-and-unsafe points (footnote 4): %d@,\
+     milp: %d nodes, %d LPs@]"
+    pp_verdict_line case case.characterizer_report.Characterizer.train_accuracy
+    case.characterizer_report.Characterizer.perfect_on_train
+    case.characterizer_report.Characterizer.epochs_run
+    case.characterizer_val_accuracy Statistical.pp case.table
+    case.omitted_unsafe case.result.Verify.milp_stats.Dpv_linprog.Milp.nodes_explored
+    case.result.Verify.milp_stats.Dpv_linprog.Milp.lp_solved
+
+let case_to_string case = Format.asprintf "%a" pp_case case
+
+let column_width = 16
+
+let pad s =
+  if String.length s >= column_width then s
+  else s ^ String.make (column_width - String.length s) ' '
+
+let table_row cells = String.concat "| " (List.map pad cells)
+
+let rule () = String.make 78 '-'

@@ -1,0 +1,13 @@
+(** Human-readable reporting for workflow results. *)
+
+val pp_case : Format.formatter -> Workflow.case_report -> unit
+val case_to_string : Workflow.case_report -> string
+
+val pp_verdict_line : Format.formatter -> Workflow.case_report -> unit
+(** One-line summary: property, psi, strategy, verdict, time. *)
+
+val table_row : string list -> string
+(** Fixed-width table row helper used by the bench harness. *)
+
+val rule : unit -> string
+(** Horizontal rule matching {!table_row} width conventions. *)

@@ -1,0 +1,59 @@
+module Network = Dpv_nn.Network
+module Risk = Dpv_spec.Risk
+
+type table = {
+  alpha : float;
+  beta : float;
+  gamma : float;
+  delta : float;
+  n : int;
+}
+
+let estimate ~characterizer ~perception ~images ~ground_truth =
+  let n = Array.length images in
+  if n = 0 then invalid_arg "Statistical.estimate: empty";
+  if Array.length ground_truth <> n then
+    invalid_arg "Statistical.estimate: length mismatch";
+  let counts = [| 0; 0; 0; 0 |] in
+  Array.iteri
+    (fun i image ->
+      let fired = Characterizer.decide_image characterizer ~perception image in
+      let truth = ground_truth.(i) > 0.5 in
+      let cell =
+        match (fired, truth) with
+        | true, true -> 0 (* alpha *)
+        | true, false -> 1 (* beta *)
+        | false, true -> 2 (* gamma *)
+        | false, false -> 3 (* delta *)
+      in
+      counts.(cell) <- counts.(cell) + 1)
+    images;
+  let p k = float_of_int counts.(k) /. float_of_int n in
+  { alpha = p 0; beta = p 1; gamma = p 2; delta = p 3; n }
+
+let guarantee t = 1.0 -. t.gamma
+
+let gamma_confidence t ~z =
+  let successes = int_of_float (Float.round (t.gamma *. float_of_int t.n)) in
+  Dpv_tensor.Stats.binomial_confidence ~successes ~trials:t.n ~z
+
+let omitted_unsafe_count ~characterizer ~perception ~psi ~images ~ground_truth =
+  let count = ref 0 in
+  Array.iteri
+    (fun i image ->
+      let fired = Characterizer.decide_image characterizer ~perception image in
+      let truth = ground_truth.(i) > 0.5 in
+      if truth && not fired then begin
+        let output = Network.forward perception image in
+        if Risk.holds psi output then incr count
+      end)
+    images;
+  !count
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>              | phi holds | phi fails@,\
+     h = 1 (fires) |   %.4f  |  %.4f@,\
+     h = 0 (quiet) |   %.4f  |  %.4f@,\
+     (n = %d; statistical guarantee 1 - gamma = %.4f)@]"
+    t.alpha t.beta t.gamma t.delta t.n (guarantee t)

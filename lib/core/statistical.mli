@@ -1,0 +1,54 @@
+(** Statistical reasoning when the characterizer is imperfect (Section 3,
+    Table 1).
+
+    The four cells partition the input distribution by the ground truth
+    (does [phi] hold?) and the characterizer decision:
+
+    {v
+                        in In_phi        in not in In_phi
+      h(f^l(in)) = 1      alpha              beta
+      h(f^l(in)) = 0      gamma       1 - alpha - beta - gamma
+    v}
+
+    A safety proof over the region where the characterizer fires covers
+    the [alpha] and [beta] cells; the [gamma] cell — inputs where [phi]
+    truly holds but the characterizer says it does not — escapes the
+    proof, so the correctness claim only holds with probability
+    [1 - gamma] (provided the omitted training points are themselves
+    safe, footnote 4). *)
+
+type table = {
+  alpha : float;   (** P(h = 1 and phi) *)
+  beta : float;    (** P(h = 1 and not phi) *)
+  gamma : float;   (** P(h = 0 and phi) — the risk mass *)
+  delta : float;   (** P(h = 0 and not phi) *)
+  n : int;         (** sample size behind the estimate *)
+}
+
+val estimate :
+  characterizer:Characterizer.t ->
+  perception:Dpv_nn.Network.t ->
+  images:Dpv_tensor.Vec.t array ->
+  ground_truth:float array ->
+  table
+(** Empirical cell probabilities on labelled data (labels 0/1). *)
+
+val guarantee : table -> float
+(** [1 - gamma]. *)
+
+val gamma_confidence : table -> z:float -> float * float
+(** Wilson interval for [gamma] at the given z-score. *)
+
+val omitted_unsafe_count :
+  characterizer:Characterizer.t ->
+  perception:Dpv_nn.Network.t ->
+  psi:Dpv_spec.Risk.t ->
+  images:Dpv_tensor.Vec.t array ->
+  ground_truth:float array ->
+  int
+(** Footnote-4 side condition: among the gamma-cell data points (omitted
+    from the proof), how many actually reach the risk condition [psi]?
+    The statistical guarantee requires this count to be zero on the
+    training data. *)
+
+val pp : Format.formatter -> table -> unit

@@ -1,0 +1,54 @@
+module Lp = Dpv_linprog.Lp
+module Simplex = Dpv_linprog.Simplex
+module Box_domain = Dpv_absint.Box_domain
+module Interval = Dpv_absint.Interval
+
+type stats = {
+  lps_solved : int;
+  dims_tightened : int;
+  width_before : float;
+  width_after : float;
+}
+
+let feature_box ~suffix ~head ~feature_box ?(extra_faces = [])
+    ?(characterizer_margin = 0.0) () =
+  let encoding =
+    Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
+      ()
+  in
+  let relaxed = Lp.relax_integrality encoding.Encode.model in
+  let lps = ref 0 in
+  let tightened = ref 0 in
+  let out =
+    Array.mapi
+      (fun i (orig : Interval.t) ->
+        let v = encoding.Encode.feature_vars.(i) in
+        let solve sense =
+          incr lps;
+          Simplex.solve (Lp.set_objective relaxed sense [ (1.0, v) ])
+        in
+        let lo =
+          match solve Lp.Minimize with
+          | Simplex.Optimal { objective; _ } -> Float.max orig.Interval.lo objective
+          | Simplex.Infeasible | Simplex.Unbounded -> orig.Interval.lo
+        in
+        let hi =
+          match solve Lp.Maximize with
+          | Simplex.Optimal { objective; _ } -> Float.min orig.Interval.hi objective
+          | Simplex.Infeasible | Simplex.Unbounded -> orig.Interval.hi
+        in
+        (* Guard against float noise producing an inverted interval. *)
+        let lo, hi = if lo <= hi then (lo, hi) else (orig.Interval.lo, orig.Interval.hi) in
+        if hi -. lo < Interval.width orig -. 1e-12 then incr tightened;
+        Interval.make ~lo ~hi)
+      feature_box
+  in
+  let stats =
+    {
+      lps_solved = !lps;
+      dims_tightened = !tightened;
+      width_before = Box_domain.mean_width feature_box;
+      width_after = Box_domain.mean_width out;
+    }
+  in
+  (out, stats)

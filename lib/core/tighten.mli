@@ -1,0 +1,28 @@
+(** Optimization-based bound tightening (OBBT).
+
+    The big-M encoding's strength depends on how tight the per-neuron
+    bounds are: tighter feature bounds fix more ReLU phases outright and
+    shrink the big-M constants of the rest.  OBBT solves, for each
+    feature coordinate, a pair of LPs over the *relaxed* encoding
+    (binaries in [0,1]) — including the octagon faces and the
+    "characterizer fires" constraint — and intersects the results with
+    the incoming box.  This is the standard preprocessing step of
+    MILP-based verifiers in the style of the paper's reference [3]. *)
+
+type stats = {
+  lps_solved : int;
+  dims_tightened : int;
+  width_before : float;  (** mean width of the incoming box *)
+  width_after : float;
+}
+
+val feature_box :
+  suffix:Dpv_nn.Network.t ->
+  head:Dpv_nn.Network.t ->
+  feature_box:Dpv_absint.Box_domain.t ->
+  ?extra_faces:Dpv_monitor.Polyhedron.halfspace list ->
+  ?characterizer_margin:float ->
+  unit ->
+  Dpv_absint.Box_domain.t * stats
+(** Tightened feature box (sound: every point of the original region that
+    satisfies the side constraints stays inside). *)

@@ -1,0 +1,230 @@
+module Lp = Dpv_linprog.Lp
+module Milp = Dpv_linprog.Milp
+module Network = Dpv_nn.Network
+module Layer = Dpv_nn.Layer
+module Box_domain = Dpv_absint.Box_domain
+module Propagate = Dpv_absint.Propagate
+module Box_monitor = Dpv_monitor.Box_monitor
+module Polyhedron = Dpv_monitor.Polyhedron
+module Risk = Dpv_spec.Risk
+module Vec = Dpv_tensor.Vec
+module Mat = Dpv_tensor.Mat
+
+type bounds_spec =
+  | Static_bounds of Propagate.domain * Box_domain.t
+  | Data_box of Vec.t array
+  | Data_octagon of Vec.t array
+  | Feature_box of Box_domain.t
+
+type verdict =
+  | Safe of { conditional : bool }
+  | Unsafe of { features : Vec.t; output : Vec.t; logit : float }
+  | Unknown of string
+
+type result = {
+  verdict : verdict;
+  milp_stats : Milp.stats;
+  encoding : string;
+  num_binaries : int;
+  wall_time_s : float;
+}
+
+let is_conditional = function
+  | Data_box _ | Data_octagon _ -> true
+  | Static_bounds _ | Feature_box _ -> false
+
+(* Resolve the bounds specification into a feature box plus optional
+   extra polyhedron faces over the feature variables. *)
+let resolve_bounds ~perception ~cut = function
+  | Static_bounds (domain, input_box) ->
+      (Propagate.layer_bounds domain perception ~input_box ~cut, [])
+  | Data_box points -> (Box_monitor.to_box (Box_monitor.fit points), [])
+  | Data_octagon points ->
+      (* Pruning box-implied faces keeps the LP rows proportional to the
+         genuinely correlated coordinate pairs. *)
+      let poly = Polyhedron.prune_redundant (Polyhedron.fit_octagon points) in
+      (Polyhedron.bounding_box poly, Polyhedron.halfspaces poly)
+  | Feature_box box -> (box, [])
+
+let default_milp_options = { Milp.default_options with find_first = true }
+
+let concrete_tol = 1e-5
+
+let run_query ?(milp_options = default_milp_options) ~characterizer_margin
+    ~suffix ~head ~feature_box ~extra_faces ~psi ~conditional () =
+  let started = Sys.time () in
+  let encoding =
+    Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
+      ~psi ()
+  in
+  let milp_result, milp_stats =
+    Milp.solve_with_stats ~options:milp_options encoding.Encode.model
+  in
+  let wall_time_s = Sys.time () -. started in
+  let verdict =
+    match milp_result with
+    | Milp.Infeasible -> Safe { conditional }
+    | Milp.Node_limit -> Unknown "branch-and-bound node limit reached"
+    | Milp.Unbounded -> Unknown "LP relaxation unbounded (missing bounds)"
+    | Milp.Optimal { solution; _ } ->
+        let features =
+          Array.map (fun v -> solution.(v)) encoding.Encode.feature_vars
+        in
+        (* Re-validate the witness with concrete execution: the MILP works
+           over the encoded constraints, the report must hold on the real
+           network. *)
+        let output = Network.forward suffix features in
+        let logit = (Network.forward head features).(0) in
+        if
+          Risk.holds ~tol:concrete_tol psi output
+          && logit >= characterizer_margin -. concrete_tol
+        then Unsafe { features; output; logit }
+        else
+          Unknown
+            (Printf.sprintf
+               "MILP witness failed concrete validation (logit %g, psi %s)"
+               logit
+               (if Risk.holds ~tol:concrete_tol psi output then "holds"
+                else "violated"))
+  in
+  {
+    verdict;
+    milp_stats;
+    encoding = Encode.size_description encoding;
+    num_binaries = encoding.Encode.num_binaries;
+    wall_time_s;
+  }
+
+let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
+    ~perception ~characterizer ~psi ~bounds () =
+  let cut = characterizer.Characterizer.cut in
+  let suffix = Network.suffix perception ~cut in
+  let head = characterizer.Characterizer.head in
+  let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
+  let feature_box =
+    if tighten then
+      fst
+        (Tighten.feature_box ~suffix ~head ~feature_box ~extra_faces
+           ~characterizer_margin ())
+    else feature_box
+  in
+  run_query ?milp_options ~characterizer_margin ~suffix ~head ~feature_box
+    ~extra_faces ~psi ~conditional:(is_conditional bounds) ()
+
+(* Interval of a linear expression over an output box. *)
+let expr_bounds expr box =
+  let open Dpv_absint.Interval in
+  List.fold_left
+    (fun acc (c, i) -> add acc (scale c box.(i)))
+    (point expr.Dpv_spec.Linexpr.const)
+    (Dpv_spec.Linexpr.normalized_terms expr)
+
+let verify_incomplete ?(domain = Propagate.Deeppoly)
+    ?(characterizer_margin = 0.0) ~perception ~characterizer ~psi ~bounds () =
+  let started = Sys.time () in
+  let cut = characterizer.Characterizer.cut in
+  let suffix = Network.suffix perception ~cut in
+  let head = characterizer.Characterizer.head in
+  let feature_box, _faces = resolve_bounds ~perception ~cut bounds in
+  let conditional = is_conditional bounds in
+  let output_box = Propagate.output_bounds domain suffix ~input_box:feature_box in
+  let logit_box =
+    (Propagate.output_bounds domain head ~input_box:feature_box).(0)
+  in
+  let characterizer_mute =
+    logit_box.Dpv_absint.Interval.hi < characterizer_margin
+  in
+  let some_inequality_unreachable =
+    List.exists
+      (fun (ineq : Risk.inequality) ->
+        let iv = expr_bounds ineq.Risk.expr output_box in
+        match ineq.Risk.rel with
+        | `Le -> iv.Dpv_absint.Interval.lo > ineq.Risk.bound
+        | `Ge -> iv.Dpv_absint.Interval.hi < ineq.Risk.bound)
+      psi.Risk.inequalities
+  in
+  let verdict =
+    if characterizer_mute then Safe { conditional }
+    else if some_inequality_unreachable then Safe { conditional }
+    else
+      Unknown
+        (Printf.sprintf
+           "bound propagation (%s) cannot separate psi from the reachable \
+            outputs"
+           (Propagate.domain_name domain))
+  in
+  {
+    verdict;
+    milp_stats = { Milp.nodes_explored = 0; lp_solved = 0; incumbent_updates = 0 };
+    encoding =
+      Printf.sprintf "bound propagation over %d suffix + %d head layers"
+        (Network.num_layers suffix) (Network.num_layers head);
+    num_binaries = 0;
+    wall_time_s = Sys.time () -. started;
+  }
+
+(* A head whose logit is the constant 1: "phi always holds". *)
+let trivial_head ~dim =
+  Network.create ~input_dim:dim
+    [
+      Layer.dense
+        ~weights:(Mat.zeros ~rows:1 ~cols:dim)
+        ~bias:[| 1.0 |];
+    ]
+
+let verify_without_characterizer ?milp_options ~perception ~cut ~psi ~bounds () =
+  let suffix = Network.suffix perception ~cut in
+  let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
+  run_query ?milp_options ~characterizer_margin:0.0 ~suffix
+    ~head:(trivial_head ~dim:(Network.input_dim suffix))
+    ~feature_box ~extra_faces ~psi ~conditional:(is_conditional bounds) ()
+
+type optimum = {
+  value : float;
+  opt_features : Vec.t;
+  opt_output : Vec.t;
+  opt_logit : float;
+}
+
+let optimize_output ?(milp_options = { Milp.default_options with find_first = false })
+    ?(characterizer_margin = 0.0) ~perception ~characterizer ~objective ~sense
+    ~bounds () =
+  let cut = characterizer.Characterizer.cut in
+  let suffix = Network.suffix perception ~cut in
+  let head = characterizer.Characterizer.head in
+  let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
+  let encoding =
+    Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin ()
+  in
+  let lp_sense =
+    match sense with `Maximize -> Lp.Maximize | `Minimize -> Lp.Minimize
+  in
+  let encoding = Encode.set_output_objective encoding ~sense:lp_sense objective in
+  match Milp.solve ~options:milp_options encoding.Encode.model with
+  | Milp.Infeasible ->
+      Error "characterizer never fires inside S (query infeasible)"
+  | Milp.Unbounded -> Error "objective unbounded over S"
+  | Milp.Node_limit -> Error "node limit reached"
+  | Milp.Optimal { objective = value; solution } ->
+      let opt_features =
+        Array.map (fun v -> solution.(v)) encoding.Encode.feature_vars
+      in
+      let opt_output = Network.forward suffix opt_features in
+      let opt_logit = (Network.forward head opt_features).(0) in
+      (* The Lp objective drops the expression's constant term. *)
+      Ok
+        {
+          value = value +. objective.Dpv_spec.Linexpr.const;
+          opt_features;
+          opt_output;
+          opt_logit;
+        }
+
+let pp_verdict fmt = function
+  | Safe { conditional } ->
+      Format.fprintf fmt "SAFE%s"
+        (if conditional then " (conditional: monitor S~ at runtime)" else "")
+  | Unsafe { logit; output; _ } ->
+      Format.fprintf fmt "UNSAFE (witness: output %a, logit %.4f)"
+        Vec.pp output logit
+  | Unknown reason -> Format.fprintf fmt "UNKNOWN (%s)" reason

@@ -1,0 +1,112 @@
+(** Safety verification entry points (Lemmas 1 and 2, assume-guarantee).
+
+    Given a perception network, a trained characterizer at cut layer [l],
+    and a risk condition [psi], decide whether some cut-layer activation
+    inside the region [S] can simultaneously satisfy the characterizer
+    (phi holds) and drive the output into [psi]. *)
+
+type bounds_spec =
+  | Static_bounds of Dpv_absint.Propagate.domain * Dpv_absint.Box_domain.t
+      (** Sound [S] from abstract interpretation of the prefix over the
+          given *input image* box (Lemma 2).  Unconditional. *)
+  | Data_box of Dpv_tensor.Vec.t array
+      (** [S~] = min/max box over visited feature vectors
+          (assume-guarantee; requires runtime monitoring). *)
+  | Data_octagon of Dpv_tensor.Vec.t array
+      (** [S~] = octagon-template outer polyhedron over visited feature
+          vectors (assume-guarantee, tighter than the box). *)
+  | Feature_box of Dpv_absint.Box_domain.t
+      (** Explicit box over cut-layer values (Lemma 1 with caller-chosen
+          bounds).  Treated as unconditional. *)
+
+type verdict =
+  | Safe of { conditional : bool }
+      (** No violating activation exists in [S].  [conditional] marks
+          assume-guarantee proofs that need a runtime monitor. *)
+  | Unsafe of {
+      features : Dpv_tensor.Vec.t;  (** violating cut-layer activation *)
+      output : Dpv_tensor.Vec.t;    (** suffix output at that activation *)
+      logit : float;                (** characterizer logit there *)
+    }
+  | Unknown of string
+
+type result = {
+  verdict : verdict;
+  milp_stats : Dpv_linprog.Milp.stats;
+  encoding : string;   (** human-readable size of the MILP *)
+  num_binaries : int;
+  wall_time_s : float;
+}
+
+val verify :
+  ?milp_options:Dpv_linprog.Milp.options ->
+  ?characterizer_margin:float ->
+  ?tighten:bool ->
+  perception:Dpv_nn.Network.t ->
+  characterizer:Characterizer.t ->
+  psi:Dpv_spec.Risk.t ->
+  bounds:bounds_spec ->
+  unit ->
+  result
+(** [tighten] (default false) runs {!Tighten.feature_box} over the
+    resolved region before encoding, trading a few LPs for fewer
+    branch-and-bound binaries. *)
+
+val verify_incomplete :
+  ?domain:Dpv_absint.Propagate.domain ->
+  ?characterizer_margin:float ->
+  perception:Dpv_nn.Network.t ->
+  characterizer:Characterizer.t ->
+  psi:Dpv_spec.Risk.t ->
+  bounds:bounds_spec ->
+  unit ->
+  result
+(** The incomplete baseline in the style of the paper's references
+    [6]/[20]: pure bound propagation, no MILP.  The region [S] is pushed
+    through the suffix and the characterizer head with the given abstract
+    [domain] (default [Deeppoly]); the verdict is [Safe] when either the
+    characterizer's logit upper bound stays below the margin (phi can
+    never fire in S) or some inequality of [psi] is unsatisfiable within
+    the propagated output bounds.  Otherwise [Unknown] — bound
+    propagation alone cannot exploit the conjunction of "phi fires" with
+    [psi], which is exactly why the paper reaches for MILP.  Orders of
+    magnitude faster than the complete query. *)
+
+val verify_without_characterizer :
+  ?milp_options:Dpv_linprog.Milp.options ->
+  perception:Dpv_nn.Network.t ->
+  cut:int ->
+  psi:Dpv_spec.Risk.t ->
+  bounds:bounds_spec ->
+  unit ->
+  result
+(** Plain output-range safety over [S] with no input condition — the
+    baseline that shows why characterizers matter: without [phi] the
+    query usually finds spurious violations. *)
+
+type optimum = {
+  value : float;            (** optimal objective value *)
+  opt_features : Dpv_tensor.Vec.t;
+  opt_output : Dpv_tensor.Vec.t;
+  opt_logit : float;
+}
+
+val optimize_output :
+  ?milp_options:Dpv_linprog.Milp.options ->
+  ?characterizer_margin:float ->
+  perception:Dpv_nn.Network.t ->
+  characterizer:Characterizer.t ->
+  objective:Dpv_spec.Linexpr.t ->
+  sense:[ `Maximize | `Minimize ] ->
+  bounds:bounds_spec ->
+  unit ->
+  (optimum, string) Stdlib.result
+(** Extremize a linear output expression over the region where the
+    characterizer fires and the activation lies in [S] — e.g. "what is
+    the largest waypoint the network can suggest while the characterizer
+    reports a right bend?".  Locates the provable frontier of psi
+    thresholds: any threshold beyond the optimum is (conditionally)
+    safe. *)
+
+val is_conditional : bounds_spec -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,177 @@
+type var = int
+type kind = Continuous | Integer | Binary
+type relation = Le | Ge | Eq
+type term = float * var
+type objective_sense = Minimize | Maximize
+
+type var_info = {
+  name : string;
+  lo : float option;
+  up : float option;
+  kind : kind;
+}
+
+type constr = { cname : string; terms : term list; rel : relation; rhs : float }
+
+module Imap = Map.Make (Int)
+
+type t = {
+  nvars : int;
+  vars : var_info Imap.t;
+  (* Constraints kept in reverse insertion order. *)
+  constrs : constr list;
+  nconstrs : int;
+  sense : objective_sense;
+  obj : term list;
+}
+
+let create () =
+  {
+    nvars = 0;
+    vars = Imap.empty;
+    constrs = [];
+    nconstrs = 0;
+    sense = Minimize;
+    obj = [];
+  }
+
+let add_var ?name ?lo ?up ?(kind = Continuous) m =
+  let v = m.nvars in
+  let name = match name with Some n -> n | None -> Printf.sprintf "x%d" v in
+  let lo, up =
+    match kind with
+    | Binary ->
+        let lo' = match lo with Some l -> Float.max l 0.0 | None -> 0.0 in
+        let up' = match up with Some u -> Float.min u 1.0 | None -> 1.0 in
+        (Some lo', Some up')
+    | Continuous | Integer -> (lo, up)
+  in
+  let info = { name; lo; up; kind } in
+  ({ m with nvars = v + 1; vars = Imap.add v info m.vars }, v)
+
+(* Merge duplicate variables inside a term list. *)
+let normalize_terms terms =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c, v) ->
+      let cur = try Hashtbl.find tbl v with Not_found -> 0.0 in
+      Hashtbl.replace tbl v (cur +. c))
+    terms;
+  Hashtbl.fold (fun v c acc -> (c, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let add_constraint ?name m terms rel rhs =
+  let cname =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" m.nconstrs
+  in
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= m.nvars then invalid_arg "Lp.add_constraint: bad var")
+    terms;
+  let c = { cname; terms = normalize_terms terms; rel; rhs } in
+  { m with constrs = c :: m.constrs; nconstrs = m.nconstrs + 1 }
+
+let set_objective m sense obj =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= m.nvars then invalid_arg "Lp.set_objective: bad var")
+    obj;
+  { m with sense; obj = normalize_terms obj }
+
+let num_vars m = m.nvars
+let num_constraints m = m.nconstrs
+
+let find_var m v =
+  match Imap.find_opt v m.vars with
+  | Some info -> info
+  | None -> invalid_arg "Lp: unknown variable"
+
+let var_name m v = (find_var m v).name
+let var_bounds m v =
+  let i = find_var m v in
+  (i.lo, i.up)
+
+let var_kind m v = (find_var m v).kind
+
+let integer_vars m =
+  Imap.fold
+    (fun v info acc ->
+      match info.kind with
+      | Integer | Binary -> v :: acc
+      | Continuous -> acc)
+    m.vars []
+  |> List.rev
+
+let set_var_bounds m v ~lo ~up =
+  let info = find_var m v in
+  { m with vars = Imap.add v { info with lo; up } m.vars }
+
+let relax_integrality m =
+  {
+    m with
+    vars = Imap.map (fun info -> { info with kind = Continuous }) m.vars;
+  }
+
+let constraints m =
+  List.rev_map (fun c -> (c.cname, c.terms, c.rel, c.rhs)) m.constrs
+
+let objective m = (m.sense, m.obj)
+
+let eval_term_list terms x =
+  List.fold_left (fun acc (c, v) -> acc +. (c *. x.(v))) 0.0 terms
+
+let check_feasible ?(tol = 1e-6) m x =
+  if Array.length x <> m.nvars then false
+  else
+    let bounds_ok =
+      Imap.for_all
+        (fun v info ->
+          (match info.lo with None -> true | Some l -> x.(v) >= l -. tol)
+          && match info.up with None -> true | Some u -> x.(v) <= u +. tol)
+        m.vars
+    in
+    bounds_ok
+    && List.for_all
+         (fun c ->
+           let lhs = eval_term_list c.terms x in
+           match c.rel with
+           | Le -> lhs <= c.rhs +. tol
+           | Ge -> lhs >= c.rhs -. tol
+           | Eq -> Float.abs (lhs -. c.rhs) <= tol)
+         m.constrs
+
+let pp_rel fmt = function
+  | Le -> Format.fprintf fmt "<="
+  | Ge -> Format.fprintf fmt ">="
+  | Eq -> Format.fprintf fmt "="
+
+let pp fmt m =
+  let pp_terms fmt terms =
+    match terms with
+    | [] -> Format.fprintf fmt "0"
+    | _ ->
+        List.iteri
+          (fun i (c, v) ->
+            if i > 0 then Format.fprintf fmt " + ";
+            Format.fprintf fmt "%g*%s" c (var_name m v))
+          terms
+  in
+  let sense = match m.sense with Minimize -> "min" | Maximize -> "max" in
+  Format.fprintf fmt "@[<v>%s %a@," sense pp_terms m.obj;
+  List.iter
+    (fun (name, terms, rel, rhs) ->
+      Format.fprintf fmt "%s: %a %a %g@," name pp_terms terms pp_rel rel rhs)
+    (constraints m);
+  Imap.iter
+    (fun _ info ->
+      let l = match info.lo with None -> "-inf" | Some x -> string_of_float x in
+      let u = match info.up with None -> "+inf" | Some x -> string_of_float x in
+      let k =
+        match info.kind with
+        | Continuous -> ""
+        | Integer -> " int"
+        | Binary -> " bin"
+      in
+      Format.fprintf fmt "%s in [%s, %s]%s@," info.name l u k)
+    m.vars;
+  Format.fprintf fmt "@]"

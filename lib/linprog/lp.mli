@@ -1,0 +1,61 @@
+(** Linear / mixed-integer program model builder.
+
+    A model is a bag of variables (with optional bounds and an integrality
+    kind), linear constraints, and a linear objective.  The structure is
+    persistent: every operation returns a new model, which lets
+    branch-and-bound branch by tightening bounds without undo logic.
+    It is solver-agnostic; {!Simplex} consumes pure LPs and {!Milp}
+    handles integrality. *)
+
+type var = int
+(** Variable index, valid for the model family that created it. *)
+
+type kind = Continuous | Integer | Binary
+
+type relation = Le | Ge | Eq
+
+type term = float * var
+(** Coefficient-variable pair. *)
+
+type objective_sense = Minimize | Maximize
+
+type t
+
+val create : unit -> t
+
+val add_var : ?name:string -> ?lo:float -> ?up:float -> ?kind:kind -> t -> t * var
+(** Fresh variable.  Missing [lo]/[up] mean unbounded on that side.
+    [Binary] intersects the given bounds with [0,1]. *)
+
+val add_constraint : ?name:string -> t -> term list -> relation -> float -> t
+(** [add_constraint m terms rel rhs] posts [sum terms REL rhs].  Repeated
+    variables inside [terms] are accumulated. *)
+
+val set_objective : t -> objective_sense -> term list -> t
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_name : t -> var -> string
+val var_bounds : t -> var -> float option * float option
+val var_kind : t -> var -> kind
+val integer_vars : t -> var list
+(** Variables of kind [Integer] or [Binary], ascending. *)
+
+val set_var_bounds : t -> var -> lo:float option -> up:float option -> t
+
+val relax_integrality : t -> t
+(** Every [Integer]/[Binary] variable becomes [Continuous] (bounds kept):
+    the LP relaxation used by bound tightening. *)
+
+val constraints : t -> (string * term list * relation * float) list
+(** In insertion order. *)
+
+val objective : t -> objective_sense * term list
+
+val eval_term_list : term list -> float array -> float
+
+val check_feasible : ?tol:float -> t -> float array -> bool
+(** True when the point satisfies every constraint and bound (ignoring
+    integrality) within absolute tolerance [tol] (default [1e-6]). *)
+
+val pp : Format.formatter -> t -> unit

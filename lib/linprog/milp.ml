@@ -1,0 +1,119 @@
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Node_limit
+
+type stats = {
+  nodes_explored : int;
+  lp_solved : int;
+  incumbent_updates : int;
+}
+
+type options = { max_nodes : int; int_tol : float; find_first : bool }
+
+let default_options = { max_nodes = 200_000; int_tol = 1e-6; find_first = false }
+
+let is_integral ~tol x = Float.abs (x -. Float.round x) <= tol
+
+(* Most fractional integer variable, if any. *)
+let find_branch_var ~tol model solution =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let x = solution.(v) in
+      if not (is_integral ~tol x) then begin
+        let frac = Float.abs (x -. Float.round x) in
+        match !best with
+        | Some (_, f) when f >= frac -> ()
+        | _ -> best := Some (v, frac)
+      end)
+    (Lp.integer_vars model);
+  Option.map fst !best
+
+let round_integral ~tol model solution =
+  let out = Array.copy solution in
+  List.iter
+    (fun v -> if is_integral ~tol out.(v) then out.(v) <- Float.round out.(v))
+    (Lp.integer_vars model);
+  out
+
+let solve_with_stats ?(options = default_options) model =
+  let sense, _ = Lp.objective model in
+  (* Internally we always minimize; [better a b] says [a] improves on [b]. *)
+  let better a b =
+    match sense with Lp.Minimize -> a < b -. 1e-12 | Lp.Maximize -> a > b +. 1e-12
+  in
+  let nodes = ref 0 and lps = ref 0 and updates = ref 0 in
+  let incumbent = ref None in
+  let hit_limit = ref false in
+  let relaxation_unbounded = ref false in
+  (* DFS over persistent models; bound tightening produces child nodes. *)
+  let rec explore stack =
+    match stack with
+    | [] -> ()
+    | node :: rest ->
+        if !nodes >= options.max_nodes then hit_limit := true
+        else if
+          (* Early exit once an incumbent exists in find_first mode. *)
+          options.find_first && !incumbent <> None
+        then ()
+        else begin
+          incr nodes;
+          incr lps;
+          match Simplex.solve node with
+          | Simplex.Infeasible -> explore rest
+          | Simplex.Unbounded ->
+              (* Without a finite relaxation bound we cannot prune; report. *)
+              relaxation_unbounded := true
+          | Simplex.Optimal { objective; solution } ->
+              let prune =
+                match !incumbent with
+                | Some (obj, _) -> not (better objective obj)
+                | None -> false
+              in
+              if prune then explore rest
+              else begin
+                match find_branch_var ~tol:options.int_tol node solution with
+                | None ->
+                    let sol = round_integral ~tol:options.int_tol node solution in
+                    (match !incumbent with
+                    | Some (obj, _) when not (better objective obj) -> ()
+                    | _ ->
+                        incumbent := Some (objective, sol);
+                        incr updates);
+                    explore rest
+                | Some v ->
+                    let x = solution.(v) in
+                    let lo, up = Lp.var_bounds node v in
+                    let floor_v = Float.floor x and ceil_v = Float.ceil x in
+                    let down =
+                      Lp.set_var_bounds node v ~lo ~up:(Some floor_v)
+                    in
+                    let up_node =
+                      Lp.set_var_bounds node v ~lo:(Some ceil_v) ~up
+                    in
+                    (* Explore the branch nearer the fractional value first:
+                       finds integer-feasible points faster in practice. *)
+                    let first, second =
+                      if x -. floor_v <= ceil_v -. x then (down, up_node)
+                      else (up_node, down)
+                    in
+                    explore (first :: second :: rest)
+              end
+        end
+  in
+  explore [ model ];
+  let stats =
+    { nodes_explored = !nodes; lp_solved = !lps; incumbent_updates = !updates }
+  in
+  let result =
+    if !relaxation_unbounded && !incumbent = None then Unbounded
+    else
+      match !incumbent with
+      | Some (objective, solution) -> Optimal { objective; solution }
+      | None -> if !hit_limit then Node_limit else Infeasible
+  in
+  (result, stats)
+
+let solve ?options model = fst (solve_with_stats ?options model)

@@ -1,0 +1,32 @@
+(** Mixed-integer linear programming by branch-and-bound on {!Simplex}.
+
+    Designed for the verification workload: feasibility queries over
+    big-M ReLU encodings where the integer variables are the binary
+    phase indicators.  Also solves general small MILPs. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+      (** The LP relaxation is unbounded (the MILP may be too). *)
+  | Node_limit
+      (** Search stopped at [max_nodes] without a conclusive answer. *)
+
+type stats = {
+  nodes_explored : int;
+  lp_solved : int;
+  incumbent_updates : int;
+}
+
+type options = {
+  max_nodes : int;      (** branch-and-bound node budget *)
+  int_tol : float;      (** integrality tolerance *)
+  find_first : bool;    (** stop at the first integer-feasible solution;
+                            the natural mode for feasibility queries *)
+}
+
+val default_options : options
+(** [{ max_nodes = 200_000; int_tol = 1e-6; find_first = false }] *)
+
+val solve : ?options:options -> Lp.t -> result
+val solve_with_stats : ?options:options -> Lp.t -> result * stats

@@ -1,0 +1,311 @@
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(* Standard-form translation: every original variable is expressed as an
+   affine combination of fresh non-negative variables.
+     [lo, up]   -> lo + y,  with extra row  y <= up - lo
+     [lo, +inf) -> lo + y
+     (-inf, up] -> up - y
+     free       -> y+ - y-                                            *)
+type var_map = { offset : float; parts : (int * float) list }
+
+type std_form = {
+  n_std : int;                          (* number of non-negative vars *)
+  rows : (float array * Lp.relation * float) list; (* dense rows over std vars *)
+  cost : float array;                   (* minimization costs over std vars *)
+  cost_const : float;                   (* constant offset of the objective *)
+  maps : var_map array;                 (* orig var -> std combination *)
+  negate_objective : bool;              (* original sense was Maximize *)
+}
+
+let build_std_form model =
+  let nv = Lp.num_vars model in
+  let next = ref 0 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let extra_rows = ref [] in
+  let maps =
+    Array.init nv (fun v ->
+        match Lp.var_bounds model v with
+        | Some lo, Some up ->
+            let y = fresh () in
+            (* y <= up - lo, recorded as a sparse pair resolved below *)
+            extra_rows := (y, up -. lo) :: !extra_rows;
+            { offset = lo; parts = [ (y, 1.0) ] }
+        | Some lo, None ->
+            let y = fresh () in
+            { offset = lo; parts = [ (y, 1.0) ] }
+        | None, Some up ->
+            let y = fresh () in
+            { offset = up; parts = [ (y, -1.0) ] }
+        | None, None ->
+            let yp = fresh () in
+            let yn = fresh () in
+            { offset = 0.0; parts = [ (yp, 1.0); (yn, -1.0) ] })
+  in
+  let n_std = !next in
+  let dense_of_terms terms =
+    let row = Array.make n_std 0.0 in
+    let const = ref 0.0 in
+    List.iter
+      (fun (c, v) ->
+        let m = maps.(v) in
+        const := !const +. (c *. m.offset);
+        List.iter
+          (fun (sv, coeff) -> row.(sv) <- row.(sv) +. (c *. coeff))
+          m.parts)
+      terms;
+    (row, !const)
+  in
+  let rows =
+    List.map
+      (fun (_, terms, rel, rhs) ->
+        let row, const = dense_of_terms terms in
+        (row, rel, rhs -. const))
+      (Lp.constraints model)
+  in
+  let bound_rows =
+    List.map
+      (fun (y, ub) ->
+        let row = Array.make n_std 0.0 in
+        row.(y) <- 1.0;
+        (row, Lp.Le, ub))
+      !extra_rows
+  in
+  let sense, obj_terms = Lp.objective model in
+  let negate_objective = sense = Lp.Maximize in
+  let cost_row, cost_const = dense_of_terms obj_terms in
+  let cost = if negate_objective then Array.map (fun c -> -.c) cost_row else cost_row in
+  {
+    n_std;
+    rows = rows @ bound_rows;
+    cost;
+    cost_const;
+    maps;
+    negate_objective;
+  }
+
+(* Dense tableau: [m] rows over columns [0 .. ncols-1] plus an rhs column.
+   [basis.(i)] is the column basic in row [i].  The objective row holds
+   reduced costs; its rhs entry is the negated objective value. *)
+type tableau = {
+  a : float array array;       (* m x (ncols + 1) *)
+  obj : float array;           (* ncols + 1 *)
+  basis : int array;
+  m : int;
+  ncols : int;
+}
+
+let pivot t ~row ~col =
+  let piv = t.a.(row).(col) in
+  let r = t.a.(row) in
+  for j = 0 to t.ncols do
+    r.(j) <- r.(j) /. piv
+  done;
+  let eliminate target =
+    let f = target.(col) in
+    if f <> 0.0 then
+      for j = 0 to t.ncols do
+        target.(j) <- target.(j) -. (f *. r.(j))
+      done
+  in
+  for i = 0 to t.m - 1 do
+    if i <> row then eliminate t.a.(i)
+  done;
+  eliminate t.obj;
+  t.basis.(row) <- col
+
+(* One simplex phase: minimize the current objective row.  [allowed col]
+   filters candidate entering columns (used to exclude artificials in
+   phase 2).  Returns [`Optimal] or [`Unbounded]. *)
+let run_phase ~tol ~allowed t =
+  let bland_after = 20 * (t.m + t.ncols + 10) in
+  let rec loop iter =
+    if iter > 200 * (t.m + t.ncols + 100) then
+      failwith "Simplex: iteration limit exceeded (numerical trouble)";
+    let use_bland = iter > bland_after in
+    (* Entering column: most negative reduced cost (Dantzig), or the first
+       negative one (Bland) once cycling is suspected. *)
+    let entering = ref (-1) in
+    let best = ref (-.tol) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed j && t.obj.(j) < !best then begin
+           entering := j;
+           best := t.obj.(j);
+           if use_bland then raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test; ties broken by smallest basis index (Bland-safe). *)
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > tol then begin
+          let ratio = t.a.(i).(t.ncols) /. aij in
+          if
+            ratio < !best_ratio -. tol
+            || (ratio < !best_ratio +. tol
+               && (!leave < 0 || t.basis.(i) < t.basis.(!leave)))
+          then begin
+            best_ratio := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve ?(tol = 1e-9) model =
+  let sf = build_std_form model in
+  let rows = Array.of_list sf.rows in
+  let m = Array.length rows in
+  (* Flip rows so every rhs is non-negative, then count slack/artificial
+     columns.  Le -> slack; Ge -> surplus + artificial; Eq -> artificial. *)
+  let rows =
+    Array.map
+      (fun (row, rel, rhs) ->
+        if rhs < 0.0 then
+          ( Array.map (fun c -> -.c) row,
+            (match rel with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq),
+            -.rhs )
+        else (row, rel, rhs))
+      rows
+  in
+  let n_slack =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+      0 rows
+  in
+  let n_art =
+    Array.fold_left
+      (fun acc (_, rel, _) -> match rel with Lp.Ge | Lp.Eq -> acc + 1 | Lp.Le -> acc)
+      0 rows
+  in
+  let ncols = sf.n_std + n_slack + n_art in
+  let art_start = sf.n_std + n_slack in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  let slack_idx = ref sf.n_std in
+  let art_idx = ref art_start in
+  Array.iteri
+    (fun i (row, rel, rhs) ->
+      Array.blit row 0 a.(i) 0 sf.n_std;
+      a.(i).(ncols) <- rhs;
+      (match rel with
+      | Lp.Le ->
+          a.(i).(!slack_idx) <- 1.0;
+          basis.(i) <- !slack_idx;
+          incr slack_idx
+      | Lp.Ge ->
+          a.(i).(!slack_idx) <- -1.0;
+          incr slack_idx;
+          a.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Lp.Eq ->
+          a.(i).(!art_idx) <- 1.0;
+          basis.(i) <- !art_idx;
+          incr art_idx))
+    rows;
+  let t = { a; obj = Array.make (ncols + 1) 0.0; basis; m; ncols } in
+  (* ---- Phase 1: minimize the sum of artificials. ---- *)
+  let phase2_needed = n_art > 0 in
+  if phase2_needed then begin
+    for j = art_start to ncols - 1 do
+      t.obj.(j) <- 1.0
+    done;
+    (* Price out the basic artificials. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= art_start then
+        for j = 0 to ncols do
+          t.obj.(j) <- t.obj.(j) -. t.a.(i).(j)
+        done
+    done;
+    match run_phase ~tol ~allowed:(fun _ -> true) t with
+    | `Unbounded ->
+        (* Phase-1 objective is bounded below by 0; cannot happen. *)
+        failwith "Simplex: phase 1 unbounded"
+    | `Optimal ->
+        ();
+  end;
+  let phase1_value = -.t.obj.(ncols) in
+  if phase2_needed && phase1_value > 1e-7 then Infeasible
+  else begin
+    (* Drive any leftover basic artificial out of the basis (its value is
+       ~0).  If its row has no usable pivot the row is redundant; zero it. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= art_start then begin
+        let found = ref false in
+        let j = ref 0 in
+        while (not !found) && !j < art_start do
+          if Float.abs t.a.(i).(!j) > sqrt tol then begin
+            pivot t ~row:i ~col:!j;
+            found := true
+          end;
+          incr j
+        done;
+        if not !found then begin
+          Array.fill t.a.(i) 0 (ncols + 1) 0.0;
+          (* keep the artificial basic in a null row; it can never pivot *)
+        end
+      end
+    done;
+    (* ---- Phase 2: original objective over non-artificial columns. ---- *)
+    Array.fill t.obj 0 (ncols + 1) 0.0;
+    Array.blit sf.cost 0 t.obj 0 sf.n_std;
+    for i = 0 to m - 1 do
+      let b = t.basis.(i) in
+      if b < art_start && t.obj.(b) <> 0.0 then begin
+        let cb = t.obj.(b) in
+        for j = 0 to ncols do
+          t.obj.(j) <- t.obj.(j) -. (cb *. t.a.(i).(j))
+        done
+      end
+    done;
+    let allowed j = j < art_start in
+    match run_phase ~tol ~allowed t with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let std_solution = Array.make sf.n_std 0.0 in
+        for i = 0 to m - 1 do
+          if t.basis.(i) < sf.n_std then
+            std_solution.(t.basis.(i)) <- t.a.(i).(ncols)
+        done;
+        let solution =
+          Array.map
+            (fun vm ->
+              List.fold_left
+                (fun acc (sv, coeff) -> acc +. (coeff *. std_solution.(sv)))
+                vm.offset vm.parts)
+            sf.maps
+        in
+        let minimized = -.t.obj.(ncols) +. if sf.negate_objective then 0.0 else sf.cost_const in
+        let objective =
+          if sf.negate_objective then -.(-.t.obj.(ncols)) +. sf.cost_const
+          else minimized
+        in
+        Optimal { objective; solution }
+  end
+
+let pp_status fmt = function
+  | Optimal { objective; solution } ->
+      Format.fprintf fmt "optimal obj=%g at %a" objective Dpv_tensor.Vec.pp
+        solution
+  | Infeasible -> Format.fprintf fmt "infeasible"
+  | Unbounded -> Format.fprintf fmt "unbounded"

@@ -1,0 +1,19 @@
+(** Two-phase primal simplex over dense tableaus.
+
+    Accepts any {!Lp.t} (integrality kinds are ignored here — the LP
+    relaxation is solved).  Variables with general bounds are shifted /
+    split into non-negative standard-form variables internally; the
+    reported solution is in the original variable space.
+
+    Termination: Dantzig pricing with an automatic switch to Bland's rule,
+    which rules out cycling. *)
+
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?tol:float -> Lp.t -> status
+(** [tol] is the feasibility/pivot tolerance (default [1e-9]). *)
+
+val pp_status : Format.formatter -> status -> unit

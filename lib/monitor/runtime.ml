@@ -1,0 +1,81 @@
+module Network = Dpv_nn.Network
+
+type region = Box of Box_monitor.t | Poly of Polyhedron.t
+
+type verdict = In_region | Warning of float
+
+type stats = {
+  frames : int;
+  warnings : int;
+  warning_rate : float;
+  worst_margin : float;
+}
+
+type t = {
+  network : Network.t;
+  cut : int;
+  region : region;
+  mutable seen_frames : int;
+  mutable seen_warnings : int;
+  mutable seen_worst : float;
+}
+
+let region_dim_of = function
+  | Box b -> Box_monitor.dim b
+  | Poly p -> Polyhedron.dim p
+
+let create ~network ~cut ~region =
+  if cut < 0 || cut > Network.num_layers network then
+    invalid_arg "Runtime.create: cut out of range";
+  let expected = (Network.dims network).(cut) in
+  if region_dim_of region <> expected then
+    invalid_arg
+      (Printf.sprintf "Runtime.create: region dim %d, cut layer dim %d"
+         (region_dim_of region) expected);
+  { network; cut; region; seen_frames = 0; seen_warnings = 0; seen_worst = 0.0 }
+
+let check_region region features =
+  let margin =
+    match region with
+    | Box b -> Box_monitor.violation_margin b features
+    | Poly p -> Polyhedron.violation_margin p features
+  in
+  if margin <= 0.0 then In_region else Warning margin
+
+let check_only t input =
+  let features = Network.forward_upto t.network ~cut:t.cut input in
+  check_region t.region features
+
+let infer t input =
+  let activations = Network.activations t.network input in
+  let features = activations.(t.cut) in
+  let output = activations.(Network.num_layers t.network) in
+  let verdict = check_region t.region features in
+  t.seen_frames <- t.seen_frames + 1;
+  (match verdict with
+  | In_region -> ()
+  | Warning m ->
+      t.seen_warnings <- t.seen_warnings + 1;
+      if m > t.seen_worst then t.seen_worst <- m);
+  (output, verdict)
+
+let stats t =
+  {
+    frames = t.seen_frames;
+    warnings = t.seen_warnings;
+    warning_rate =
+      (if t.seen_frames = 0 then 0.0
+       else float_of_int t.seen_warnings /. float_of_int t.seen_frames);
+    worst_margin = t.seen_worst;
+  }
+
+let reset t =
+  t.seen_frames <- 0;
+  t.seen_warnings <- 0;
+  t.seen_worst <- 0.0
+
+let region_dim t = region_dim_of t.region
+
+let pp_stats fmt s =
+  Format.fprintf fmt "frames=%d warnings=%d rate=%.4f worst-margin=%.4f"
+    s.frames s.warnings s.warning_rate s.worst_margin

@@ -1,0 +1,37 @@
+(** Runtime assume-guarantee monitor.
+
+    When safety was proved only over a data-derived set [S~], the proof is
+    conditional: it holds for executions whose cut-layer activations stay
+    in [S~].  The monitor wraps the perception network, checks every
+    inference against [S~], and keeps warning statistics — exactly the
+    deployment scheme of Section 2.2. *)
+
+type region =
+  | Box of Box_monitor.t
+  | Poly of Polyhedron.t
+
+type verdict = In_region | Warning of float
+(** [Warning m] carries the violation margin. *)
+
+type t
+
+val create : network:Dpv_nn.Network.t -> cut:int -> region:region -> t
+
+val infer : t -> Dpv_tensor.Vec.t -> Dpv_tensor.Vec.t * verdict
+(** Runs the network and checks the cut-layer activation; updates the
+    monitor's counters. *)
+
+val check_only : t -> Dpv_tensor.Vec.t -> verdict
+(** Checks without counting (e.g. for offline analysis). *)
+
+type stats = {
+  frames : int;
+  warnings : int;
+  warning_rate : float;
+  worst_margin : float;
+}
+
+val stats : t -> stats
+val reset : t -> unit
+val region_dim : t -> int
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,75 @@
+module Mat = Dpv_tensor.Mat
+module Vec = Dpv_tensor.Vec
+module Rng = Dpv_tensor.Rng
+
+let he_dense rng ~in_dim ~out_dim =
+  let std = sqrt (2.0 /. float_of_int in_dim) in
+  let weights =
+    Mat.init ~rows:out_dim ~cols:in_dim (fun _ _ ->
+        Rng.gaussian_scaled rng ~mean:0.0 ~std)
+  in
+  Layer.dense ~weights ~bias:(Vec.zeros out_dim)
+
+let xavier_dense rng ~in_dim ~out_dim =
+  let bound = sqrt (6.0 /. float_of_int (in_dim + out_dim)) in
+  let weights =
+    Mat.init ~rows:out_dim ~cols:in_dim (fun _ _ ->
+        Rng.uniform rng ~lo:(-.bound) ~hi:bound)
+  in
+  Layer.dense ~weights ~bias:(Vec.zeros out_dim)
+
+let build_mlp rng ~input_dim ~hidden ~output_dim ~with_bn =
+  let rec go in_dim = function
+    | [] -> [ xavier_dense rng ~in_dim ~out_dim:output_dim ]
+    | h :: rest ->
+        let dense = he_dense rng ~in_dim ~out_dim:h in
+        let tail = go h rest in
+        if with_bn then dense :: Layer.batch_norm_identity h :: Layer.Relu :: tail
+        else dense :: Layer.Relu :: tail
+  in
+  Network.create ~input_dim (go input_dim hidden)
+
+let mlp rng ~input_dim ~hidden ~output_dim =
+  build_mlp rng ~input_dim ~hidden ~output_dim ~with_bn:false
+
+let mlp_batch_norm rng ~input_dim ~hidden ~output_dim =
+  build_mlp rng ~input_dim ~hidden ~output_dim ~with_bn:true
+
+let he_conv rng ~(shape : Layer.conv_shape) =
+  let fan_in =
+    shape.Layer.in_channels * shape.Layer.kernel_h * shape.Layer.kernel_w
+  in
+  let std = sqrt (2.0 /. float_of_int fan_in) in
+  let weights =
+    Mat.init ~rows:shape.Layer.out_channels ~cols:fan_in (fun _ _ ->
+        Rng.gaussian_scaled rng ~mean:0.0 ~std)
+  in
+  Layer.conv2d ~shape ~weights ~bias:(Vec.zeros shape.Layer.out_channels)
+
+let conv_net rng ~in_height ~in_width ~channels ~hidden ~output_dim =
+  let rec conv_blocks in_channels h w = function
+    | [] -> ([], in_channels * h * w)
+    | out_channels :: rest ->
+        let shape =
+          {
+            Layer.in_channels;
+            in_height = h;
+            in_width = w;
+            out_channels;
+            kernel_h = 3;
+            kernel_w = 3;
+            stride = 2;
+            padding = 1;
+          }
+        in
+        let conv = he_conv rng ~shape in
+        let oh = Layer.conv_out_height shape and ow = Layer.conv_out_width shape in
+        let tail, flat_dim = conv_blocks out_channels oh ow rest in
+        (conv :: Layer.Relu :: tail, flat_dim)
+  in
+  let blocks, flat_dim = conv_blocks 1 in_height in_width channels in
+  let rec mlp_head in_dim = function
+    | [] -> [ xavier_dense rng ~in_dim ~out_dim:output_dim ]
+    | h :: rest -> he_dense rng ~in_dim ~out_dim:h :: Layer.Relu :: mlp_head h rest
+  in
+  Network.create ~input_dim:(in_height * in_width) (blocks @ mlp_head flat_dim hidden)

@@ -1,0 +1,44 @@
+(** Weight initialization and common network shapes. *)
+
+val he_dense : Dpv_tensor.Rng.t -> in_dim:int -> out_dim:int -> Layer.t
+(** Dense layer with He-normal weights (std [sqrt(2/in_dim)]), zero bias —
+    the standard choice before ReLU. *)
+
+val xavier_dense : Dpv_tensor.Rng.t -> in_dim:int -> out_dim:int -> Layer.t
+(** Dense layer with Xavier/Glorot-uniform weights — the standard choice
+    before tanh/sigmoid or as output layer. *)
+
+val mlp :
+  Dpv_tensor.Rng.t ->
+  input_dim:int ->
+  hidden:int list ->
+  output_dim:int ->
+  Network.t
+(** ReLU multi-layer perceptron with a linear output layer. *)
+
+val mlp_batch_norm :
+  Dpv_tensor.Rng.t ->
+  input_dim:int ->
+  hidden:int list ->
+  output_dim:int ->
+  Network.t
+(** Like {!mlp} but with a batch-norm layer after each hidden dense layer
+    (Dense -> BatchNorm -> ReLU), matching the paper's close-to-output
+    layer structure. *)
+
+val he_conv :
+  Dpv_tensor.Rng.t -> shape:Layer.conv_shape -> Layer.t
+(** Conv2d layer with He-normal kernel weights and zero bias. *)
+
+val conv_net :
+  Dpv_tensor.Rng.t ->
+  in_height:int ->
+  in_width:int ->
+  channels:int list ->
+  hidden:int list ->
+  output_dim:int ->
+  Network.t
+(** Small CNN for single-channel images: a stride-2 3x3 Conv + ReLU block
+    per entry of [channels] (padding 1), then a ReLU MLP head over the
+    flattened feature map — the structural shape of a direct perception
+    network. *)

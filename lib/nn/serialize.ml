@@ -1,0 +1,152 @@
+module Mat = Dpv_tensor.Mat
+module Vec = Dpv_tensor.Vec
+
+(* Format:
+     dpv-network 1
+     input_dim <d>
+     layers <n>
+     dense <out> <in>
+       <out> lines of <in> hex floats      (weight rows)
+       1 line of <out> hex floats          (bias)
+     relu | sigmoid | tanh
+     batchnorm <d> <eps-hex>
+       4 lines of <d> hex floats           (gamma beta mean var)       *)
+
+let float_to_text = Printf.sprintf "%h"
+
+let vec_to_line v =
+  String.concat " " (List.map float_to_text (Vec.to_list v))
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "dpv-network 1";
+  line "input_dim %d" (Network.input_dim net);
+  line "layers %d" (Network.num_layers net);
+  List.iter
+    (fun l ->
+      match l with
+      | Layer.Dense { weights; bias } ->
+          line "dense %d %d" (Mat.rows weights) (Mat.cols weights);
+          for i = 0 to Mat.rows weights - 1 do
+            line "%s" (vec_to_line (Mat.row weights i))
+          done;
+          line "%s" (vec_to_line bias)
+      | Layer.Conv2d { shape; weights; bias } ->
+          line "conv2d %d %d %d %d %d %d %d %d" shape.Layer.in_channels
+            shape.Layer.in_height shape.Layer.in_width shape.Layer.out_channels
+            shape.Layer.kernel_h shape.Layer.kernel_w shape.Layer.stride
+            shape.Layer.padding;
+          for i = 0 to Mat.rows weights - 1 do
+            line "%s" (vec_to_line (Mat.row weights i))
+          done;
+          line "%s" (vec_to_line bias)
+      | Layer.Relu -> line "relu"
+      | Layer.Sigmoid -> line "sigmoid"
+      | Layer.Tanh -> line "tanh"
+      | Layer.Batch_norm { gamma; beta; mean; var; eps } ->
+          line "batchnorm %d %s" (Vec.dim gamma) (float_to_text eps);
+          line "%s" (vec_to_line gamma);
+          line "%s" (vec_to_line beta);
+          line "%s" (vec_to_line mean);
+          line "%s" (vec_to_line var))
+    (Network.layers net);
+  Buffer.contents buf
+
+type cursor = { lines : string array; mutable pos : int }
+
+let next_line cur =
+  let rec go () =
+    if cur.pos >= Array.length cur.lines then
+      failwith "Serialize: unexpected end of input";
+    let l = String.trim cur.lines.(cur.pos) in
+    cur.pos <- cur.pos + 1;
+    if l = "" then go () else l
+  in
+  go ()
+
+let parse_floats line expected =
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  if List.length parts <> expected then
+    failwith
+      (Printf.sprintf "Serialize: expected %d floats, got %d" expected
+         (List.length parts));
+  Array.of_list (List.map float_of_string parts)
+
+let of_string s =
+  let cur = { lines = Array.of_list (String.split_on_char '\n' s); pos = 0 } in
+  (match String.split_on_char ' ' (next_line cur) with
+  | [ "dpv-network"; "1" ] -> ()
+  | _ -> failwith "Serialize: bad magic line");
+  let input_dim =
+    match String.split_on_char ' ' (next_line cur) with
+    | [ "input_dim"; d ] -> int_of_string d
+    | _ -> failwith "Serialize: expected input_dim"
+  in
+  let n_layers =
+    match String.split_on_char ' ' (next_line cur) with
+    | [ "layers"; n ] -> int_of_string n
+    | _ -> failwith "Serialize: expected layers count"
+  in
+  let read_layer () =
+    let header = next_line cur in
+    match String.split_on_char ' ' header with
+    | [ "dense"; rows; cols ] ->
+        let rows = int_of_string rows and cols = int_of_string cols in
+        let weight_rows =
+          Array.init rows (fun _ -> parse_floats (next_line cur) cols)
+        in
+        let bias = parse_floats (next_line cur) rows in
+        Layer.dense ~weights:(Mat.of_rows weight_rows) ~bias
+    | [ "conv2d"; ic; ih; iw; oc; kh; kw; st; pad ] ->
+        let shape =
+          {
+            Layer.in_channels = int_of_string ic;
+            in_height = int_of_string ih;
+            in_width = int_of_string iw;
+            out_channels = int_of_string oc;
+            kernel_h = int_of_string kh;
+            kernel_w = int_of_string kw;
+            stride = int_of_string st;
+            padding = int_of_string pad;
+          }
+        in
+        let cols =
+          shape.Layer.in_channels * shape.Layer.kernel_h * shape.Layer.kernel_w
+        in
+        let weight_rows =
+          Array.init shape.Layer.out_channels (fun _ ->
+              parse_floats (next_line cur) cols)
+        in
+        let bias = parse_floats (next_line cur) shape.Layer.out_channels in
+        Layer.conv2d ~shape ~weights:(Mat.of_rows weight_rows) ~bias
+    | [ "relu" ] -> Layer.Relu
+    | [ "sigmoid" ] -> Layer.Sigmoid
+    | [ "tanh" ] -> Layer.Tanh
+    | [ "batchnorm"; d; eps ] ->
+        let d = int_of_string d and eps = float_of_string eps in
+        let gamma = parse_floats (next_line cur) d in
+        let beta = parse_floats (next_line cur) d in
+        let mean = parse_floats (next_line cur) d in
+        let var = parse_floats (next_line cur) d in
+        Layer.Batch_norm { gamma; beta; mean; var; eps }
+    | _ -> failwith (Printf.sprintf "Serialize: unknown layer %S" header)
+  in
+  let layers = List.init n_layers (fun _ -> read_layer ()) in
+  Network.create ~input_dim layers
+
+let save net ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

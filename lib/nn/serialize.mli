@@ -1,0 +1,13 @@
+(** Text (de)serialization of networks.
+
+    Replaces the TensorFlow model reader of the paper's tool: trained
+    models move between the training side and the verification side
+    through this format.  The format is line-oriented, human-inspectable
+    and round-trips exactly ([%h] hex floats). *)
+
+val to_string : Network.t -> string
+val of_string : string -> Network.t
+(** Raises [Failure] with a descriptive message on malformed input. *)
+
+val save : Network.t -> path:string -> unit
+val load : path:string -> Network.t

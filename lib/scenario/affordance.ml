@@ -1,0 +1,11 @@
+let lookahead = 25.0
+let dim = 2
+let waypoint_index = 0
+let orientation_index = 1
+
+let waypoint scene = Scene.lane_center_at scene lookahead
+
+let orientation scene =
+  Road.heading scene.Scene.road lookahead -. scene.Scene.heading_error
+
+let ground_truth scene = [| waypoint scene; orientation scene |]

@@ -1,0 +1,21 @@
+(** Ground-truth affordances: the low-dimensional outputs the direct
+    perception network is trained to produce (next waypoint + orientation,
+    as in the paper's Audi network).
+
+    Output vector layout: index {!waypoint_index} is the lateral position
+    (m, left-positive) of the point the vehicle should steer toward,
+    taken on the ego lane center at the lookahead distance; index
+    {!orientation_index} is the road heading there relative to the ego
+    heading (rad).  Positive values mean "steer left". *)
+
+val lookahead : float
+(** Lookahead distance (m). *)
+
+val dim : int
+val waypoint_index : int
+val orientation_index : int
+
+val ground_truth : Scene.t -> Dpv_tensor.Vec.t
+
+val waypoint : Scene.t -> float
+val orientation : Scene.t -> float

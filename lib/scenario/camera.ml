@@ -1,0 +1,132 @@
+module Rng = Dpv_tensor.Rng
+
+type config = {
+  width : int;
+  height : int;
+  d_near : float;
+  d_far : float;
+  focal : float;
+  noise_std : float;
+}
+
+let default_config =
+  {
+    width = 16;
+    height = 12;
+    d_near = 5.0;
+    d_far = 60.0;
+    focal = 16.0;
+    noise_std = 0.01;
+  }
+
+let input_dim cfg = cfg.width * cfg.height
+
+(* Row 0 is the top of the image (far); the bottom row is d_near.  Rows
+   are spaced exponentially in distance, which mimics perspective
+   foreshortening of the ground plane. *)
+let row_distance cfg r =
+  let frac = float_of_int (cfg.height - 1 - r) /. float_of_int (cfg.height - 1) in
+  cfg.d_near *. ((cfg.d_far /. cfg.d_near) ** frac)
+
+let pixel_lateral cfg ~row ~col =
+  let d = row_distance cfg row in
+  let c = float_of_int col -. ((float_of_int cfg.width -. 1.0) /. 2.0) in
+  c *. d /. cfg.focal
+
+(* Ground-truth intensities. *)
+let off_road_intensity = 0.55
+let road_intensity = 0.2
+let marking_intensity = 0.9
+let vehicle_intensity = 0.95
+
+let render ?rng cfg scene =
+  let road = scene.Scene.road in
+  let w = road.Road.lane_width in
+  let lanes_left = road.Road.num_lanes - 1 - scene.Scene.ego_lane in
+  let lanes_right = scene.Scene.ego_lane in
+  let out = Array.make (input_dim cfg) 0.0 in
+  for r = 0 to cfg.height - 1 do
+    let d = row_distance cfg r in
+    let center = Scene.lane_center_at scene d in
+    let left_edge = center +. (w /. 2.0) +. (float_of_int lanes_left *. w) in
+    let right_edge = center -. (w /. 2.0) -. (float_of_int lanes_right *. w) in
+    (* Lane markings sit on every lane boundary including road edges. *)
+    let boundaries =
+      List.init (road.Road.num_lanes + 1) (fun k ->
+          right_edge +. (float_of_int k *. w))
+    in
+    (* Markings must stay visible at low resolution: at least ~60% of the
+       pixel footprint at that distance. *)
+    let pixel_halfwidth = 0.5 *. d /. cfg.focal in
+    let marking_halfwidth = Float.max 0.25 (0.6 *. pixel_halfwidth) in
+    for c = 0 to cfg.width - 1 do
+      let x = pixel_lateral cfg ~row:r ~col:c in
+      let base =
+        if x >= right_edge && x <= left_edge then
+          if
+            List.exists
+              (fun b -> Float.abs (x -. b) <= marking_halfwidth)
+              boundaries
+          then marking_intensity
+          else road_intensity
+        else off_road_intensity
+      in
+      (* Vehicles overwrite the ground; a car is ~1.8m wide, ~4m long. *)
+      let with_vehicle =
+        List.fold_left
+          (fun acc (v : Scene.vehicle) ->
+            let dv = v.Scene.distance in
+            if Float.abs (d -. dv) <= 2.5 then begin
+              let v_lat =
+                Scene.lane_center_at scene dv
+                +. (float_of_int (Scene.lane_offset_of scene v) *. w)
+              in
+              if Float.abs (x -. v_lat) <= 0.9 +. pixel_halfwidth then
+                vehicle_intensity
+              else acc
+            end
+            else acc)
+          base scene.Scene.traffic
+      in
+      (* Weather model: fog mixes toward gray with distance; rain darkens
+         slightly and is noisier. *)
+      let weathered =
+        match scene.Scene.weather with
+        | Scene.Clear -> with_vehicle
+        | Scene.Fog ->
+            let fog = 1.0 -. exp (-.d /. 25.0) in
+            ((1.0 -. fog) *. with_vehicle) +. (fog *. 0.7)
+        | Scene.Rain -> (with_vehicle *. 0.85) +. 0.02
+      in
+      let noisy =
+        match rng with
+        | None -> weathered
+        | Some rng ->
+            let std =
+              match scene.Scene.weather with
+              | Scene.Clear -> cfg.noise_std
+              | Scene.Fog -> cfg.noise_std *. 2.0
+              | Scene.Rain -> cfg.noise_std *. 5.0
+            in
+            weathered +. Rng.gaussian_scaled rng ~mean:0.0 ~std
+      in
+      out.((r * cfg.width) + c) <- Float.max 0.0 (Float.min 1.0 noisy)
+    done
+  done;
+  out
+
+let to_ascii cfg image =
+  let ramp = " .:-=+*#%@" in
+  let buf = Buffer.create ((cfg.width + 1) * cfg.height) in
+  for r = 0 to cfg.height - 1 do
+    for c = 0 to cfg.width - 1 do
+      let v = image.((r * cfg.width) + c) in
+      let idx =
+        Stdlib.min (String.length ramp - 1)
+          (int_of_float (v *. float_of_int (String.length ramp)))
+      in
+      Buffer.add_char buf ramp.[idx]
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

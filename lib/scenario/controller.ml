@@ -1,0 +1,90 @@
+module Vec = Dpv_tensor.Vec
+module Rng = Dpv_tensor.Rng
+
+type command = { curvature : float }
+
+(* Pure pursuit: steer along the circle through the ego position and the
+   waypoint at the lookahead distance; for small angles its curvature is
+   2 * lateral / distance^2. *)
+let pure_pursuit ~waypoint ~lookahead =
+  { curvature = 2.0 *. waypoint /. (lookahead *. lookahead) }
+
+type sim_config = { step : float; distance : float }
+
+let default_sim_config = { step = 2.5; distance = 250.0 }
+
+type trace = {
+  offsets : float array;
+  heading_errors : float array;
+  commands : float array;
+  max_abs_offset : float;
+  rms_offset : float;
+  departures : int;
+}
+
+let simulate_with_state ?rng ~camera ~road ~ego_lane ?(initial_offset = 0.0)
+    ?(initial_heading_error = 0.0) ~state_ref ~policy ~sim () =
+  if sim.step <= 0.0 || sim.distance <= 0.0 then
+    invalid_arg "Controller.simulate: non-positive step or distance";
+  let n_steps = int_of_float (Float.ceil (sim.distance /. sim.step)) in
+  let offsets = Array.make n_steps 0.0 in
+  let heading_errors = Array.make n_steps 0.0 in
+  let commands = Array.make n_steps 0.0 in
+  let offset = ref initial_offset and heading = ref initial_heading_error in
+  let departures = ref 0 in
+  let half_lane = road.Road.lane_width /. 2.0 in
+  for i = 0 to n_steps - 1 do
+    let s = float_of_int i *. sim.step in
+    (* The road as seen from the current position: its local curvature
+       advances along the clothoid. *)
+    let road_here =
+      { road with Road.curvature = Road.curvature_at road s }
+    in
+    state_ref := (s, !offset, !heading);
+    let scene =
+      Scene.make ~lateral_offset:!offset ~heading_error:!heading
+        ~road:road_here ~ego_lane ()
+    in
+    let image = Camera.render ?rng camera scene in
+    let affordance = policy image in
+    let cmd =
+      pure_pursuit ~waypoint:affordance.(Affordance.waypoint_index)
+        ~lookahead:Affordance.lookahead
+    in
+    offsets.(i) <- !offset;
+    heading_errors.(i) <- !heading;
+    commands.(i) <- cmd.curvature;
+    if Float.abs !offset > half_lane then incr departures;
+    (* Kinematics in the lane frame: commanding more curvature than the
+       road has rotates the ego toward the lane center. *)
+    heading := !heading +. ((cmd.curvature -. road_here.Road.curvature) *. sim.step);
+    offset := !offset +. (!heading *. sim.step)
+  done;
+  let max_abs_offset = Vec.norm_inf offsets in
+  let rms_offset =
+    sqrt (Array.fold_left (fun a v -> a +. (v *. v)) 0.0 offsets
+          /. float_of_int n_steps)
+  in
+  {
+    offsets;
+    heading_errors;
+    commands;
+    max_abs_offset;
+    rms_offset;
+    departures = !departures;
+  }
+
+let simulate ?rng ~camera ~road ~ego_lane ?initial_offset
+    ?initial_heading_error ~policy ~sim () =
+  let state_ref = ref (0.0, 0.0, 0.0) in
+  simulate_with_state ?rng ~camera ~road ~ego_lane ?initial_offset
+    ?initial_heading_error ~state_ref ~policy ~sim ()
+
+let ground_truth_policy ~road ~ego_lane state_ref _image =
+  let s, offset, heading = !state_ref in
+  let road_here = { road with Road.curvature = Road.curvature_at road s } in
+  let scene =
+    Scene.make ~lateral_offset:offset ~heading_error:heading ~road:road_here
+      ~ego_lane ()
+  in
+  Affordance.ground_truth scene

@@ -1,0 +1,73 @@
+(** Waypoint-following controller and closed-loop simulation.
+
+    Direct perception exists to feed a controller (the paper's
+    introduction); this module closes that loop.  A pure-pursuit law
+    turns the predicted waypoint into a curvature command, and a simple
+    kinematic simulation advances the ego vehicle along a road while the
+    policy (ground truth, or the trained network) supplies affordances
+    frame by frame. *)
+
+type command = { curvature : float  (** commanded path curvature, 1/m *) }
+
+val pure_pursuit : waypoint:float -> lookahead:float -> command
+(** Classic pure pursuit: [k = 2 * waypoint / lookahead^2]. *)
+
+type sim_config = {
+  step : float;      (** integration step along the road, m *)
+  distance : float;  (** total distance to drive, m *)
+}
+
+val default_sim_config : sim_config
+(** 2.5 m steps over 250 m. *)
+
+type trace = {
+  offsets : float array;        (** lateral offset from lane center, per step *)
+  heading_errors : float array;
+  commands : float array;       (** curvature commands issued *)
+  max_abs_offset : float;
+  rms_offset : float;
+  departures : int;             (** steps with |offset| > half a lane width *)
+}
+
+val simulate :
+  ?rng:Dpv_tensor.Rng.t ->
+  camera:Camera.config ->
+  road:Road.t ->
+  ego_lane:int ->
+  ?initial_offset:float ->
+  ?initial_heading_error:float ->
+  policy:(Dpv_tensor.Vec.t -> Dpv_tensor.Vec.t) ->
+  sim:sim_config ->
+  unit ->
+  trace
+(** Drives the ego vehicle: at each step the current scene is rendered
+    through [camera], [policy] maps the image to an affordance vector
+    (waypoint, orientation), pure pursuit issues a command, and the
+    kinematic state integrates
+    [heading' += (cmd - road curvature) * ds], [offset' += heading * ds]. *)
+
+val ground_truth_policy :
+  road:Road.t ->
+  ego_lane:int ->
+  (float * float * float) ref ->
+  Dpv_tensor.Vec.t ->
+  Dpv_tensor.Vec.t
+(** Oracle policy for baselines: ignores the image and answers from the
+    simulation state (distance driven, offset, heading — exposed through
+    the shared state ref used by {!simulate_with_state}). *)
+
+val simulate_with_state :
+  ?rng:Dpv_tensor.Rng.t ->
+  camera:Camera.config ->
+  road:Road.t ->
+  ego_lane:int ->
+  ?initial_offset:float ->
+  ?initial_heading_error:float ->
+  state_ref:(float * float * float) ref ->
+  policy:(Dpv_tensor.Vec.t -> Dpv_tensor.Vec.t) ->
+  sim:sim_config ->
+  unit ->
+  trace
+(** Like {!simulate} but also publishes the (distance, offset, heading)
+    state into [state_ref] before each policy call, so oracle policies
+    can read it. *)

@@ -1,0 +1,114 @@
+module Rng = Dpv_tensor.Rng
+module Dataset = Dpv_train.Dataset
+module Property = Dpv_spec.Property
+
+type config = {
+  camera : Camera.config;
+  curvature_range : float * float;
+  curvature_rate_range : float * float;
+  max_lanes : int;
+  lateral_offset_std : float;
+  heading_error_std : float;
+  rain_probability : float;
+  fog_probability : float;
+  traffic_probability : float;
+  max_vehicles : int;
+}
+
+let default_config =
+  {
+    camera = Camera.default_config;
+    curvature_range = (-0.025, 0.025);
+    curvature_rate_range = (-0.0003, 0.0003);
+    max_lanes = 3;
+    lateral_offset_std = 0.3;
+    heading_error_std = 0.015;
+    rain_probability = 0.2;
+    fog_probability = 0.15;
+    traffic_probability = 0.5;
+    max_vehicles = 2;
+  }
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let sample_scene cfg rng =
+  let lo_k, hi_k = cfg.curvature_range in
+  let lo_r, hi_r = cfg.curvature_rate_range in
+  let curvature = Rng.uniform rng ~lo:lo_k ~hi:hi_k in
+  let curvature_rate = Rng.uniform rng ~lo:lo_r ~hi:hi_r in
+  let num_lanes = 2 + Rng.int rng (Stdlib.max 1 (cfg.max_lanes - 1)) in
+  let road = Road.make ~curvature ~curvature_rate ~num_lanes () in
+  let ego_lane = Rng.int rng num_lanes in
+  let lateral_offset =
+    clamp (-1.0) 1.0 (Rng.gaussian_scaled rng ~mean:0.0 ~std:cfg.lateral_offset_std)
+  in
+  let heading_error =
+    clamp (-0.05) 0.05 (Rng.gaussian_scaled rng ~mean:0.0 ~std:cfg.heading_error_std)
+  in
+  let weather =
+    let u = Rng.float rng 1.0 in
+    if u < cfg.rain_probability then Scene.Rain
+    else if u < cfg.rain_probability +. cfg.fog_probability then Scene.Fog
+    else Scene.Clear
+  in
+  let traffic =
+    List.filter_map
+      (fun _ ->
+        if Rng.bernoulli rng ~p:cfg.traffic_probability then
+          Some
+            {
+              Scene.lane = Rng.int rng num_lanes;
+              distance = Rng.uniform rng ~lo:10.0 ~hi:55.0;
+            }
+        else None)
+      (List.init cfg.max_vehicles (fun i -> i))
+  in
+  Scene.make ~lateral_offset ~heading_error ~weather ~traffic ~road ~ego_lane ()
+
+let sample_scenes cfg rng ~n = Array.init n (fun _ -> sample_scene cfg rng)
+
+let render_scene cfg rng scene = Camera.render ~rng cfg.camera scene
+
+let scenes_and_images cfg rng ~n =
+  Array.map
+    (fun scene -> (scene, render_scene cfg rng scene))
+    (sample_scenes cfg rng ~n)
+
+let affordance_dataset cfg rng ~n =
+  let pairs = scenes_and_images cfg rng ~n in
+  Dataset.create
+    ~inputs:(Array.map snd pairs)
+    ~targets:(Array.map (fun (s, _) -> Affordance.ground_truth s) pairs)
+
+(* Rejection-sample scenes until each class holds ~half of [n] (give up on
+   exact balance after a generous attempt budget so rare properties still
+   terminate). *)
+let property_dataset cfg rng ~n ~property =
+  let want_each = Stdlib.max 1 (n / 2) in
+  let pos = ref [] and neg = ref [] in
+  let n_pos = ref 0 and n_neg = ref 0 in
+  let attempts = ref 0 in
+  let budget = 100 * n in
+  while (!n_pos < want_each || !n_neg < want_each) && !attempts < budget do
+    incr attempts;
+    let scene = sample_scene cfg rng in
+    let is_pos = Property.holds property scene in
+    if Property.is_ambiguous property scene then ()
+    else if is_pos && !n_pos < want_each then begin
+      pos := scene :: !pos;
+      incr n_pos
+    end
+    else if (not is_pos) && !n_neg < want_each then begin
+      neg := scene :: !neg;
+      incr n_neg
+    end
+  done;
+  let scenes = Array.of_list (!pos @ !neg) in
+  if Array.length scenes < 2 then
+    failwith
+      (Printf.sprintf "Generator.property_dataset: property %S too rare"
+         property.Property.name);
+  Rng.shuffle_in_place rng scenes;
+  let inputs = Array.map (render_scene cfg rng) scenes in
+  let targets = Array.map (fun s -> [| Property.label property s |]) scenes in
+  (Dataset.create ~inputs ~targets, scenes)

@@ -1,0 +1,44 @@
+(** Scenario sampling and dataset construction.
+
+    Models the data-collection campaign of the paper's evaluation: frames
+    from a highway segment with weather and lane variations (footnote 7).
+    All sampling is driven by an explicit {!Dpv_tensor.Rng.t}. *)
+
+type config = {
+  camera : Camera.config;
+  curvature_range : float * float;       (** 1/m *)
+  curvature_rate_range : float * float;  (** 1/m^2 *)
+  max_lanes : int;
+  lateral_offset_std : float;            (** m *)
+  heading_error_std : float;             (** rad *)
+  rain_probability : float;
+  fog_probability : float;
+  traffic_probability : float;           (** chance of each potential vehicle *)
+  max_vehicles : int;
+}
+
+val default_config : config
+
+val sample_scene : config -> Dpv_tensor.Rng.t -> Scene.t
+
+val sample_scenes : config -> Dpv_tensor.Rng.t -> n:int -> Scene.t array
+
+val render_scene : config -> Dpv_tensor.Rng.t -> Scene.t -> Dpv_tensor.Vec.t
+
+val affordance_dataset :
+  config -> Dpv_tensor.Rng.t -> n:int -> Dpv_train.Dataset.t
+(** (image, ground-truth affordance) pairs for training the direct
+    perception network. *)
+
+val property_dataset :
+  config ->
+  Dpv_tensor.Rng.t ->
+  n:int ->
+  property:Scene.t Dpv_spec.Property.t ->
+  Dpv_train.Dataset.t * Scene.t array
+(** (image, 0/1 label) pairs for training a characterizer, along with the
+    scenes behind each row.  Rejection-sampled to roughly balance the two
+    classes when the property is rare. *)
+
+val scenes_and_images :
+  config -> Dpv_tensor.Rng.t -> n:int -> (Scene.t * Dpv_tensor.Vec.t) array

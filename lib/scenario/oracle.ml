@@ -1,0 +1,75 @@
+module Property = Dpv_spec.Property
+
+let bend_threshold = 0.008
+
+(* Curvature evaluated mid-way to the lookahead point, so curvature_rate
+   contributes the way it does to the rendered image. *)
+let effective_curvature scene =
+  Road.curvature_at scene.Scene.road (Affordance.lookahead /. 2.0)
+
+(* A labelling oracle declines frames whose curvature sits within 30% of
+   the bend threshold — borderline bends that a human would not call. *)
+let near_bend_boundary ~sign scene =
+  let k = sign *. effective_curvature scene in
+  Float.abs (k -. bend_threshold) <= 0.3 *. bend_threshold
+
+let bends_right =
+  Property.make ~name:"bends-right"
+    ~description:"the road bends to the right (curvature below threshold)"
+    ~oracle:(fun s -> effective_curvature s <= -.bend_threshold)
+    ~ambiguous:(near_bend_boundary ~sign:(-1.0))
+    ()
+
+let bends_left =
+  Property.make ~name:"bends-left"
+    ~description:"the road bends to the left (curvature above threshold)"
+    ~oracle:(fun s -> effective_curvature s >= bend_threshold)
+    ~ambiguous:(near_bend_boundary ~sign:1.0)
+    ()
+
+let straight =
+  Property.make ~name:"straight"
+    ~description:"the road is straight (curvature magnitude small)"
+    ~oracle:(fun s ->
+      Float.abs (effective_curvature s) <= bend_threshold /. 2.0)
+    ~ambiguous:(fun s ->
+      let k = Float.abs (effective_curvature s) in
+      Float.abs (k -. (bend_threshold /. 2.0)) <= 0.15 *. bend_threshold)
+    ()
+
+let traffic_adjacent =
+  Property.make ~name:"traffic-adjacent"
+    ~description:"a traffic participant occupies an adjacent lane within 40 m"
+    ~oracle:(fun s ->
+      List.exists
+        (fun (v : Scene.vehicle) ->
+          abs (Scene.lane_offset_of s v) = 1 && v.Scene.distance <= 40.0)
+        s.Scene.traffic)
+    ~ambiguous:(fun s ->
+      (* Vehicles right at the 40 m cutoff are hard to call from a frame. *)
+      List.exists
+        (fun (v : Scene.vehicle) ->
+          abs (Scene.lane_offset_of s v) = 1
+          && Float.abs (v.Scene.distance -. 40.0) <= 5.0)
+        s.Scene.traffic)
+    ()
+
+let weather_degraded =
+  Property.make ~name:"weather-degraded"
+    ~description:"the frame was captured in rain or fog"
+    ~oracle:(fun s ->
+      match s.Scene.weather with
+      | Scene.Rain | Scene.Fog -> true
+      | Scene.Clear -> false)
+    ()
+
+let all =
+  [
+    ("bends-right", bends_right);
+    ("bends-left", bends_left);
+    ("straight", straight);
+    ("traffic-adjacent", traffic_adjacent);
+    ("weather-degraded", weather_degraded);
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,22 @@
+type t = {
+  curvature : float;
+  curvature_rate : float;
+  num_lanes : int;
+  lane_width : float;
+}
+
+let make ?(lane_width = 3.5) ~curvature ~curvature_rate ~num_lanes () =
+  if num_lanes < 1 then invalid_arg "Road.make: num_lanes < 1";
+  if lane_width <= 0.0 then invalid_arg "Road.make: lane_width <= 0";
+  { curvature; curvature_rate; num_lanes; lane_width }
+
+let centerline_offset road d =
+  (0.5 *. road.curvature *. d *. d)
+  +. (road.curvature_rate *. d *. d *. d /. 6.0)
+
+let heading road d =
+  (road.curvature *. d) +. (0.5 *. road.curvature_rate *. d *. d)
+
+let curvature_at road d = road.curvature +. (road.curvature_rate *. d)
+
+let half_width road = 0.5 *. float_of_int road.num_lanes *. road.lane_width

@@ -1,0 +1,29 @@
+(** Road geometry.
+
+    A road segment is a clothoid-like arc described by its curvature and
+    curvature rate at the ego position.  Lateral positions use a
+    left-positive convention: positive curvature bends the road to the
+    left, negative to the right. *)
+
+type t = {
+  curvature : float;       (** 1/m at the ego position *)
+  curvature_rate : float;  (** 1/m^2, change of curvature per meter *)
+  num_lanes : int;
+  lane_width : float;      (** m *)
+}
+
+val make :
+  ?lane_width:float -> curvature:float -> curvature_rate:float -> num_lanes:int -> unit -> t
+
+val centerline_offset : t -> float -> float
+(** Lateral offset (m) of the road at longitudinal distance [d] (m),
+    relative to a straight-ahead path: [0.5*k*d^2 + k'*d^3/6]. *)
+
+val heading : t -> float -> float
+(** Road heading (rad) at distance [d]: [k*d + 0.5*k'*d^2]. *)
+
+val curvature_at : t -> float -> float
+(** [k + k'*d]. *)
+
+val half_width : t -> float
+(** Distance from road centerline to either road edge. *)

@@ -1,0 +1,37 @@
+type 'scene t = {
+  name : string;
+  description : string;
+  oracle : 'scene -> bool;
+  ambiguous : ('scene -> bool) option;
+}
+
+let make ?ambiguous ~name ~description ~oracle () =
+  { name; description; oracle; ambiguous }
+
+let holds p scene = p.oracle scene
+let label p scene = if p.oracle scene then 1.0 else 0.0
+
+let is_ambiguous p scene =
+  match p.ambiguous with None -> false | Some f -> f scene
+
+let combine_ambiguous a b =
+  match (a.ambiguous, b.ambiguous) with
+  | None, None -> None
+  | Some f, None | None, Some f -> Some f
+  | Some f, Some g -> Some (fun s -> f s || g s)
+
+let negate p =
+  {
+    name = "not-" ^ p.name;
+    description = "negation of: " ^ p.description;
+    oracle = (fun s -> not (p.oracle s));
+    ambiguous = p.ambiguous;
+  }
+
+let conj ~name a b =
+  {
+    name;
+    description = a.description ^ " and " ^ b.description;
+    oracle = (fun s -> a.oracle s && b.oracle s);
+    ambiguous = combine_ambiguous a b;
+  }

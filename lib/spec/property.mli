@@ -1,0 +1,36 @@
+(** Input property descriptors [phi].
+
+    The property itself is *not* expressible over network inputs — that is
+    the paper's specification problem.  What exists is an oracle over the
+    world state (here: the simulator's scene description) that says
+    whether the property holds for the scene an image was rendered from.
+    The learned input property characterizer approximates this oracle
+    from network features. *)
+
+type 'scene t = {
+  name : string;
+  description : string;
+  oracle : 'scene -> bool;
+  ambiguous : ('scene -> bool) option;
+      (** Scenes a labelling oracle would decline to call — e.g. road
+          curvature within a whisker of the bend threshold.  Dataset
+          builders skip them, mirroring how human-labelled data avoids
+          borderline frames; the oracle itself still answers on them. *)
+}
+
+val make :
+  ?ambiguous:('scene -> bool) ->
+  name:string ->
+  description:string ->
+  oracle:('scene -> bool) ->
+  unit ->
+  'scene t
+val holds : 'scene t -> 'scene -> bool
+val label : 'scene t -> 'scene -> float
+(** 1.0 / 0.0 training label. *)
+
+val is_ambiguous : 'scene t -> 'scene -> bool
+(** False when no ambiguity predicate was given. *)
+
+val negate : 'scene t -> 'scene t
+val conj : name:string -> 'scene t -> 'scene t -> 'scene t

@@ -1,0 +1,157 @@
+module Mat = Dpv_tensor.Mat
+module Vec = Dpv_tensor.Vec
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+
+type layer_grad =
+  | Dense_grad of { d_weights : Mat.t; d_bias : Vec.t }
+  | Bn_grad of { d_gamma : Vec.t; d_beta : Vec.t }
+  | No_grad
+
+type t = layer_grad array
+
+let zeros net =
+  Array.of_list
+    (List.map
+       (fun l ->
+         match l with
+         | Layer.Dense { weights; bias } | Layer.Conv2d { weights; bias; _ } ->
+             Dense_grad
+               {
+                 d_weights =
+                   Mat.zeros ~rows:(Mat.rows weights) ~cols:(Mat.cols weights);
+                 d_bias = Vec.zeros (Vec.dim bias);
+               }
+         | Layer.Batch_norm { gamma; _ } ->
+             Bn_grad
+               {
+                 d_gamma = Vec.zeros (Vec.dim gamma);
+                 d_beta = Vec.zeros (Vec.dim gamma);
+               }
+         | Layer.Relu | Layer.Sigmoid | Layer.Tanh -> No_grad)
+       (Network.layers net))
+
+(* Direct convolution backward: scatter the upstream gradient to kernel
+   weights (dW), per-channel bias (db) and the input (dx). *)
+let conv_backward (shape : Layer.conv_shape) weights ~x ~g =
+  let oh = Layer.conv_out_height shape and ow = Layer.conv_out_width shape in
+  let ih = shape.Layer.in_height and iw = shape.Layer.in_width in
+  let kh = shape.Layer.kernel_h and kw = shape.Layer.kernel_w in
+  let d_weights = Mat.zeros ~rows:(Mat.rows weights) ~cols:(Mat.cols weights) in
+  let d_bias = Vec.zeros shape.Layer.out_channels in
+  let dx = Vec.zeros (Vec.dim x) in
+  for oc = 0 to shape.Layer.out_channels - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let gout = g.((oc * oh * ow) + (oy * ow) + ox) in
+        if gout <> 0.0 then begin
+          d_bias.(oc) <- d_bias.(oc) +. gout;
+          for ic = 0 to shape.Layer.in_channels - 1 do
+            for ky = 0 to kh - 1 do
+              let y = (oy * shape.Layer.stride) + ky - shape.Layer.padding in
+              if y >= 0 && y < ih then
+                for kx = 0 to kw - 1 do
+                  let xpos = (ox * shape.Layer.stride) + kx - shape.Layer.padding in
+                  if xpos >= 0 && xpos < iw then begin
+                    let col = (ic * kh * kw) + (ky * kw) + kx in
+                    let xin = (ic * ih * iw) + (y * iw) + xpos in
+                    Mat.set d_weights oc col
+                      (Mat.get d_weights oc col +. (gout *. x.(xin)));
+                    dx.(xin) <- dx.(xin) +. (gout *. Mat.get weights oc col)
+                  end
+                done
+            done
+          done
+        end
+      done
+    done
+  done;
+  (Dense_grad { d_weights; d_bias }, dx)
+
+(* Backward rule per layer.  [x] is the layer input, [y] its output and
+   [g] the upstream gradient dL/dy; returns (parameter grad, dL/dx). *)
+let backward_layer layer ~x ~y ~g =
+  match layer with
+  | Layer.Conv2d { shape; weights; _ } -> conv_backward shape weights ~x ~g
+  | Layer.Dense { weights; _ } ->
+      let d_weights = Mat.outer g x in
+      let d_bias = Vec.copy g in
+      let dx = Mat.matvec_t weights g in
+      (Dense_grad { d_weights; d_bias }, dx)
+  | Layer.Relu ->
+      (No_grad, Vec.init (Vec.dim x) (fun i -> if x.(i) > 0.0 then g.(i) else 0.0))
+  | Layer.Sigmoid ->
+      (No_grad, Vec.init (Vec.dim y) (fun i -> g.(i) *. y.(i) *. (1.0 -. y.(i))))
+  | Layer.Tanh ->
+      (No_grad, Vec.init (Vec.dim y) (fun i -> g.(i) *. (1.0 -. (y.(i) *. y.(i)))))
+  | Layer.Batch_norm { gamma; mean; var; eps; _ } ->
+      let d = Vec.dim gamma in
+      let inv_std = Vec.init d (fun i -> 1.0 /. sqrt (var.(i) +. eps)) in
+      let d_gamma =
+        Vec.init d (fun i -> g.(i) *. (x.(i) -. mean.(i)) *. inv_std.(i))
+      in
+      let d_beta = Vec.copy g in
+      let dx = Vec.init d (fun i -> g.(i) *. gamma.(i) *. inv_std.(i)) in
+      (Bn_grad { d_gamma; d_beta }, dx)
+
+let backward net ~activations ~d_output =
+  let n = Network.num_layers net in
+  if Array.length activations <> n + 1 then
+    invalid_arg "Grad.backward: wrong activations length";
+  let grads = Array.make n No_grad in
+  let g = ref d_output in
+  for l = n downto 1 do
+    let layer = Network.layer net l in
+    let pg, dx =
+      backward_layer layer ~x:activations.(l - 1) ~y:activations.(l) ~g:!g
+    in
+    grads.(l - 1) <- pg;
+    g := dx
+  done;
+  (grads, !g)
+
+let accumulate ~into g =
+  if Array.length into <> Array.length g then
+    invalid_arg "Grad.accumulate: length mismatch";
+  Array.iteri
+    (fun i gi ->
+      match (into.(i), gi) with
+      | Dense_grad a, Dense_grad b ->
+          into.(i) <-
+            Dense_grad
+              {
+                d_weights = Mat.add a.d_weights b.d_weights;
+                d_bias = Vec.add a.d_bias b.d_bias;
+              }
+      | Bn_grad a, Bn_grad b ->
+          into.(i) <-
+            Bn_grad
+              {
+                d_gamma = Vec.add a.d_gamma b.d_gamma;
+                d_beta = Vec.add a.d_beta b.d_beta;
+              }
+      | No_grad, No_grad -> ()
+      | _ -> invalid_arg "Grad.accumulate: structure mismatch")
+    g
+
+let scale g c =
+  Array.iteri
+    (fun i gi ->
+      match gi with
+      | Dense_grad a ->
+          g.(i) <-
+            Dense_grad
+              { d_weights = Mat.scale c a.d_weights; d_bias = Vec.scale c a.d_bias }
+      | Bn_grad a ->
+          g.(i) <-
+            Bn_grad { d_gamma = Vec.scale c a.d_gamma; d_beta = Vec.scale c a.d_beta }
+      | No_grad -> ())
+    g
+
+let sample_gradient net loss ~input ~target =
+  let activations = Network.activations net input in
+  let output = activations.(Network.num_layers net) in
+  let value = Loss.value loss ~output ~target in
+  let d_output = Loss.gradient loss ~output ~target in
+  let grads, _ = backward net ~activations ~d_output in
+  (value, grads)

@@ -1,0 +1,132 @@
+module Mat = Dpv_tensor.Mat
+module Vec = Dpv_tensor.Vec
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+
+type algo =
+  | Sgd
+  | Momentum of float
+  | Adam of { beta1 : float; beta2 : float; eps : float }
+
+(* First and second moment buffers per parameter tensor; SGD leaves them
+   unused, momentum uses only the first. *)
+type layer_state =
+  | Dense_state of { m_w : Mat.t; v_w : Mat.t; m_b : Vec.t; v_b : Vec.t }
+  | Bn_state of { m_g : Vec.t; v_g : Vec.t; m_be : Vec.t; v_be : Vec.t }
+  | No_state
+
+type t = {
+  mutable lr : float;
+  algo : algo;
+  state : layer_state array;
+  mutable steps : int;
+}
+
+let make_state net =
+  Array.of_list
+    (List.map
+       (fun l ->
+         match l with
+         | Layer.Dense { weights; bias } | Layer.Conv2d { weights; bias; _ } ->
+             let rows = Mat.rows weights and cols = Mat.cols weights in
+             Dense_state
+               {
+                 m_w = Mat.zeros ~rows ~cols;
+                 v_w = Mat.zeros ~rows ~cols;
+                 m_b = Vec.zeros (Vec.dim bias);
+                 v_b = Vec.zeros (Vec.dim bias);
+               }
+         | Layer.Batch_norm { gamma; _ } ->
+             let d = Vec.dim gamma in
+             Bn_state
+               {
+                 m_g = Vec.zeros d;
+                 v_g = Vec.zeros d;
+                 m_be = Vec.zeros d;
+                 v_be = Vec.zeros d;
+               }
+         | Layer.Relu | Layer.Sigmoid | Layer.Tanh -> No_state)
+       (Network.layers net))
+
+let sgd ~lr net = { lr; algo = Sgd; state = make_state net; steps = 0 }
+
+let momentum ~lr ~mu net =
+  { lr; algo = Momentum mu; state = make_state net; steps = 0 }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr net =
+  { lr; algo = Adam { beta1; beta2; eps }; state = make_state net; steps = 0 }
+
+(* Scalar update on one coordinate given its moment accessors. *)
+let scalar_update t ~get_p ~set_p ~g ~get_m ~set_m ~get_v ~set_v =
+  match t.algo with
+  | Sgd -> set_p (get_p () -. (t.lr *. g))
+  | Momentum mu ->
+      let m = (mu *. get_m ()) +. g in
+      set_m m;
+      set_p (get_p () -. (t.lr *. m))
+  | Adam { beta1; beta2; eps } ->
+      let m = (beta1 *. get_m ()) +. ((1.0 -. beta1) *. g) in
+      let v = (beta2 *. get_v ()) +. ((1.0 -. beta2) *. g *. g) in
+      set_m m;
+      set_v v;
+      let tstep = float_of_int t.steps in
+      let m_hat = m /. (1.0 -. (beta1 ** tstep)) in
+      let v_hat = v /. (1.0 -. (beta2 ** tstep)) in
+      set_p (get_p () -. (t.lr *. m_hat /. (sqrt v_hat +. eps)))
+
+let update_vec t ~param ~grad ~m ~v =
+  for i = 0 to Vec.dim param - 1 do
+    scalar_update t
+      ~get_p:(fun () -> param.(i))
+      ~set_p:(fun x -> param.(i) <- x)
+      ~g:grad.(i)
+      ~get_m:(fun () -> m.(i))
+      ~set_m:(fun x -> m.(i) <- x)
+      ~get_v:(fun () -> v.(i))
+      ~set_v:(fun x -> v.(i) <- x)
+  done
+
+let update_mat t ~param ~grad ~m ~v =
+  for i = 0 to Mat.rows param - 1 do
+    for j = 0 to Mat.cols param - 1 do
+      scalar_update t
+        ~get_p:(fun () -> Mat.get param i j)
+        ~set_p:(fun x -> Mat.set param i j x)
+        ~g:(Mat.get grad i j)
+        ~get_m:(fun () -> Mat.get m i j)
+        ~set_m:(fun x -> Mat.set m i j x)
+        ~get_v:(fun () -> Mat.get v i j)
+        ~set_v:(fun x -> Mat.set v i j x)
+    done
+  done
+
+let step t net grads =
+  t.steps <- t.steps + 1;
+  let layers = Array.of_list (Network.layers net) in
+  if Array.length layers <> Array.length grads then
+    invalid_arg "Optimizer.step: grad length mismatch";
+  Array.iteri
+    (fun i layer ->
+      match (layer, grads.(i), t.state.(i)) with
+      | ( (Layer.Dense { weights; bias } | Layer.Conv2d { weights; bias; _ }),
+          Grad.Dense_grad { d_weights; d_bias },
+          Dense_state s ) ->
+          update_mat t ~param:weights ~grad:d_weights ~m:s.m_w ~v:s.v_w;
+          update_vec t ~param:bias ~grad:d_bias ~m:s.m_b ~v:s.v_b
+      | ( Layer.Batch_norm { gamma; beta; _ },
+          Grad.Bn_grad { d_gamma; d_beta },
+          Bn_state s ) ->
+          update_vec t ~param:gamma ~grad:d_gamma ~m:s.m_g ~v:s.v_g;
+          update_vec t ~param:beta ~grad:d_beta ~m:s.m_be ~v:s.v_be
+      | (Layer.Relu | Layer.Sigmoid | Layer.Tanh), Grad.No_grad, No_state -> ()
+      | _ -> invalid_arg "Optimizer.step: structure mismatch")
+    layers
+
+let set_lr t lr = t.lr <- lr
+let lr t = t.lr
+
+let name t =
+  match t.algo with
+  | Sgd -> "sgd"
+  | Momentum _ -> "momentum"
+  | Adam _ -> "adam"

@@ -1,0 +1,172 @@
+module Vec = Dpv_tensor.Vec
+module Rng = Dpv_tensor.Rng
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  loss : Loss.t;
+  bn_momentum : float;
+  shuffle_each_epoch : bool;
+}
+
+let default_config =
+  {
+    epochs = 50;
+    batch_size = 32;
+    loss = Loss.Mse;
+    bn_momentum = 0.1;
+    shuffle_each_epoch = true;
+  }
+
+type history = { epoch_losses : float array }
+
+(* Refresh batch-norm running statistics: for every BN layer, the inputs
+   it saw in this batch update its stored mean/var by EMA.  The first
+   batch sets the statistics outright (momentum 1), otherwise the stats
+   start at (0, 1) and lag the real activation distribution long enough
+   to stall training.  The parameter vectors live inside the layer and
+   are mutated in place. *)
+let update_bn_stats net ~momentum batch_activations =
+  let n = Network.num_layers net in
+  for l = 1 to n do
+    match Network.layer net l with
+    | Layer.Batch_norm { mean; var; _ } ->
+        let inputs = List.map (fun acts -> acts.(l - 1)) batch_activations in
+        let rows = Array.of_list inputs in
+        let batch_mean = Dpv_tensor.Stats.columnwise_mean rows in
+        let batch_std = Dpv_tensor.Stats.columnwise_std rows in
+        for i = 0 to Vec.dim mean - 1 do
+          mean.(i) <- ((1.0 -. momentum) *. mean.(i)) +. (momentum *. batch_mean.(i));
+          let bv = batch_std.(i) *. batch_std.(i) in
+          var.(i) <- ((1.0 -. momentum) *. var.(i)) +. (momentum *. bv)
+        done
+    | Layer.Dense _ | Layer.Conv2d _ | Layer.Relu | Layer.Sigmoid
+    | Layer.Tanh ->
+        ()
+  done
+
+let has_batch_norm net =
+  List.exists
+    (fun l ->
+      match l with
+      | Layer.Batch_norm _ -> true
+      | Layer.Dense _ | Layer.Conv2d _ | Layer.Relu | Layer.Sigmoid
+      | Layer.Tanh ->
+          false)
+    (Network.layers net)
+
+let train_batch config optimizer net ~first_batch batch =
+  (* Batch-norm layers normalize with statistics refreshed from the
+     *current* batch before the gradient pass (a standard approximation:
+     gradients do not flow through the statistics themselves).  The first
+     batch sets the statistics outright. *)
+  if has_batch_norm net then begin
+    let momentum = if first_batch then 1.0 else config.bn_momentum in
+    let warm =
+      List.map (fun (x, _) -> Network.activations net x) (Array.to_list batch)
+    in
+    update_bn_stats net ~momentum warm
+  end;
+  let total = Grad.zeros net in
+  let loss_sum = ref 0.0 in
+  Array.iter
+    (fun (input, target) ->
+      let activations = Network.activations net input in
+      let output = activations.(Network.num_layers net) in
+      loss_sum := !loss_sum +. Loss.value config.loss ~output ~target;
+      let d_output = Loss.gradient config.loss ~output ~target in
+      let grads, _ = Grad.backward net ~activations ~d_output in
+      Grad.accumulate ~into:total grads)
+    batch;
+  let n = float_of_int (Array.length batch) in
+  Grad.scale total (1.0 /. n);
+  Optimizer.step optimizer net total;
+  !loss_sum /. n
+
+let fit ?on_epoch ?rng config optimizer net dataset =
+  let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  let epoch_losses = Array.make config.epochs 0.0 in
+  for epoch = 0 to config.epochs - 1 do
+    let data =
+      if config.shuffle_each_epoch then Dataset.shuffle rng dataset else dataset
+    in
+    let batches = Dataset.batches data ~batch_size:config.batch_size in
+    let loss_acc = ref 0.0 in
+    Array.iteri
+      (fun b batch ->
+        let first_batch = epoch = 0 && b = 0 in
+        loss_acc := !loss_acc +. train_batch config optimizer net ~first_batch batch)
+      batches;
+    let mean_loss = !loss_acc /. float_of_int (Array.length batches) in
+    epoch_losses.(epoch) <- mean_loss;
+    match on_epoch with
+    | Some f -> f ~epoch ~loss:mean_loss
+    | None -> ()
+  done;
+  { epoch_losses }
+
+let evaluate loss net dataset =
+  let total = ref 0.0 in
+  for i = 0 to Dataset.size dataset - 1 do
+    let output = Network.forward net dataset.Dataset.inputs.(i) in
+    total := !total +. Loss.value loss ~output ~target:dataset.Dataset.targets.(i)
+  done;
+  !total /. float_of_int (Dataset.size dataset)
+
+let binary_accuracy net dataset =
+  if Dataset.target_dim dataset <> 1 then
+    invalid_arg "Trainer.binary_accuracy: 1-dim targets required";
+  let correct = ref 0 in
+  for i = 0 to Dataset.size dataset - 1 do
+    let logit = (Network.forward net dataset.Dataset.inputs.(i)).(0) in
+    let predicted = if logit >= 0.0 then 1.0 else 0.0 in
+    if predicted = dataset.Dataset.targets.(i).(0) then incr correct
+  done;
+  float_of_int !correct /. float_of_int (Dataset.size dataset)
+
+let insert_identity_batch_norm net ~inputs =
+  if Array.length inputs = 0 then
+    invalid_arg "Trainer.insert_identity_batch_norm: no inputs";
+  let n = Network.num_layers net in
+  (* Hidden Dense layers are all Dense layers except the last layer of
+     the network (the regression / logit head). *)
+  let is_hidden_dense l =
+    l < n
+    &&
+    match Network.layer net l with
+    | Layer.Dense _ -> true
+    | Layer.Conv2d _ | Layer.Batch_norm _ | Layer.Relu | Layer.Sigmoid
+    | Layer.Tanh ->
+        false
+  in
+  let all_activations = Array.map (Network.activations net) inputs in
+  (* Insert from the deepest layer backwards so indices stay valid. *)
+  let rec go net l =
+    if l = 0 then net
+    else if is_hidden_dense l then begin
+      let rows = Array.map (fun acts -> acts.(l)) all_activations in
+      let mean = Dpv_tensor.Stats.columnwise_mean rows in
+      let std = Dpv_tensor.Stats.columnwise_std rows in
+      let eps = 1e-5 in
+      let var = Array.map (fun s -> s *. s) std in
+      let gamma = Array.map (fun v -> sqrt (v +. eps)) var in
+      let beta = Array.copy mean in
+      let bn = Layer.Batch_norm { gamma; beta; mean; var; eps } in
+      go (Network.insert_layer net ~after:l bn) (l - 1)
+    end
+    else go net (l - 1)
+  in
+  go net n
+
+let regression_mae net dataset =
+  let d = Dataset.target_dim dataset in
+  let acc = Array.make d 0.0 in
+  for i = 0 to Dataset.size dataset - 1 do
+    let output = Network.forward net dataset.Dataset.inputs.(i) in
+    for j = 0 to d - 1 do
+      acc.(j) <- acc.(j) +. Float.abs (output.(j) -. dataset.Dataset.targets.(i).(j))
+    done
+  done;
+  Array.map (fun s -> s /. float_of_int (Dataset.size dataset)) acc

@@ -1,0 +1,341 @@
+(* Tests for the abstract interpretation domains.  The load-bearing
+   properties are *soundness*: for any concrete input inside the input
+   region, every concrete activation must lie inside the propagated
+   abstract bounds. *)
+
+module Interval = Dpv_absint.Interval
+module Box_domain = Dpv_absint.Box_domain
+module Zonotope = Dpv_absint.Zonotope
+module Propagate = Dpv_absint.Propagate
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+module Init = Dpv_nn.Init
+module Mat = Dpv_tensor.Mat
+module Rng = Dpv_tensor.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- intervals -- *)
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let test_interval_basics () =
+  let a = iv (-1.0) 2.0 in
+  check_float "width" 3.0 (Interval.width a);
+  check_float "center" 0.5 (Interval.center a);
+  check_float "radius" 1.5 (Interval.radius a);
+  Alcotest.(check bool) "contains" true (Interval.contains a 0.0);
+  Alcotest.(check bool) "not contains" false (Interval.contains a 2.1)
+
+let test_interval_make_rejects () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Interval.make: lo 1 > hi 0") (fun () ->
+      ignore (iv 1.0 0.0))
+
+let test_interval_arith () =
+  let a = iv 1.0 2.0 and b = iv (-1.0) 3.0 in
+  Alcotest.(check bool) "add" true
+    (Interval.approx_equal (Interval.add a b) (iv 0.0 5.0));
+  Alcotest.(check bool) "sub" true
+    (Interval.approx_equal (Interval.sub a b) (iv (-2.0) 3.0));
+  Alcotest.(check bool) "neg" true
+    (Interval.approx_equal (Interval.neg a) (iv (-2.0) (-1.0)));
+  Alcotest.(check bool) "scale pos" true
+    (Interval.approx_equal (Interval.scale 2.0 a) (iv 2.0 4.0));
+  Alcotest.(check bool) "scale neg flips" true
+    (Interval.approx_equal (Interval.scale (-1.0) a) (iv (-2.0) (-1.0)))
+
+let test_interval_mul () =
+  let a = iv (-2.0) 3.0 and b = iv (-1.0) 4.0 in
+  (* extremes: -2*4 = -8, 3*4 = 12 *)
+  Alcotest.(check bool) "mul" true
+    (Interval.approx_equal (Interval.mul a b) (iv (-8.0) 12.0))
+
+let test_interval_relu () =
+  Alcotest.(check bool) "crossing" true
+    (Interval.approx_equal (Interval.relu (iv (-1.0) 2.0)) (iv 0.0 2.0));
+  Alcotest.(check bool) "negative" true
+    (Interval.approx_equal (Interval.relu (iv (-3.0) (-1.0))) (iv 0.0 0.0));
+  Alcotest.(check bool) "positive unchanged" true
+    (Interval.approx_equal (Interval.relu (iv 1.0 2.0)) (iv 1.0 2.0))
+
+let test_interval_join_meet () =
+  let a = iv 0.0 2.0 and b = iv 1.0 3.0 in
+  Alcotest.(check bool) "join" true
+    (Interval.approx_equal (Interval.join a b) (iv 0.0 3.0));
+  (match Interval.meet a b with
+  | Some m -> Alcotest.(check bool) "meet" true (Interval.approx_equal m (iv 1.0 2.0))
+  | None -> Alcotest.fail "expected non-empty meet");
+  Alcotest.(check bool) "empty meet" true
+    (Interval.meet (iv 0.0 1.0) (iv 2.0 3.0) = None)
+
+let test_interval_dot () =
+  let d = Interval.dot [| 1.0; -2.0 |] [| iv 0.0 1.0; iv 0.0 1.0 |] in
+  Alcotest.(check bool) "dot" true (Interval.approx_equal d (iv (-2.0) 1.0))
+
+let test_interval_monotone () =
+  let s = Interval.sigmoid (iv 0.0 0.0) in
+  check_float "sigmoid point" 0.5 (Interval.center s);
+  let t = Interval.tanh_interval (iv (-1.0) 1.0) in
+  Alcotest.(check bool) "tanh symmetric" true
+    (Interval.approx_equal t (iv (-.tanh 1.0) (tanh 1.0)))
+
+(* -- box domain -- *)
+
+let test_box_of_points () =
+  let box = Box_domain.of_points [| [| 0.0; 5.0 |]; [| -1.0; 3.0 |] |] in
+  Alcotest.(check bool) "dim0" true (Interval.approx_equal box.(0) (iv (-1.0) 0.0));
+  Alcotest.(check bool) "dim1" true (Interval.approx_equal box.(1) (iv 3.0 5.0))
+
+let test_box_dense_transfer () =
+  (* y = x0 - x1 with x in [0,1]^2 -> y in [-1,1] *)
+  let layer =
+    Layer.dense ~weights:(Mat.of_rows [| [| 1.0; -1.0 |] |]) ~bias:[| 0.0 |]
+  in
+  let box = Box_domain.uniform ~dim:2 ~lo:0.0 ~hi:1.0 in
+  let out = Box_domain.transfer_layer layer box in
+  Alcotest.(check bool) "interval dot" true
+    (Interval.approx_equal out.(0) (iv (-1.0) 1.0))
+
+let test_box_bn_transfer () =
+  let bn =
+    Layer.Batch_norm
+      { gamma = [| -2.0 |]; beta = [| 0.0 |]; mean = [| 0.0 |]; var = [| 1.0 |]; eps = 0.0 }
+  in
+  (* scale = -2: [0,1] -> [-2,0] *)
+  let out = Box_domain.transfer_layer bn (Box_domain.uniform ~dim:1 ~lo:0.0 ~hi:1.0) in
+  Alcotest.(check bool) "negative scale flips" true
+    (Interval.approx_equal out.(0) (iv (-2.0) 0.0))
+
+let test_box_contains_sample () =
+  let box = Box_domain.uniform ~dim:3 ~lo:(-2.0) ~hi:2.0 in
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "sample inside" true
+      (Box_domain.contains box (Box_domain.sample rng box))
+  done
+
+(* -- zonotope -- *)
+
+let test_zonotope_of_box_roundtrip () =
+  let box = [| iv (-1.0) 3.0; iv 0.0 2.0 |] in
+  let z = Zonotope.of_box box in
+  let back = Zonotope.to_box z in
+  Alcotest.(check bool) "roundtrip dim0" true (Interval.approx_equal back.(0) box.(0));
+  Alcotest.(check bool) "roundtrip dim1" true (Interval.approx_equal back.(1) box.(1))
+
+let test_zonotope_tracks_correlation () =
+  (* y0 = x, y1 = -x: box loses the correlation, zonotope keeps it, so
+     y0 + y1 concentrates at 0 for the zonotope. *)
+  let layer =
+    Layer.dense ~weights:(Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |]) ~bias:[| 0.0; 0.0 |]
+  in
+  let z = Zonotope.of_box [| iv (-1.0) 1.0 |] in
+  let z' = Zonotope.transfer_layer layer z in
+  let sum_layer =
+    Layer.dense ~weights:(Mat.of_rows [| [| 1.0; 1.0 |] |]) ~bias:[| 0.0 |]
+  in
+  let z'' = Zonotope.transfer_layer sum_layer z' in
+  let b = Zonotope.to_box z'' in
+  Alcotest.(check bool) "sum is exactly 0" true
+    (Interval.approx_equal b.(0) (iv 0.0 0.0));
+  (* the box domain gives [-2, 2] for the same computation *)
+  let box_out =
+    Box_domain.transfer_layer sum_layer
+      (Box_domain.transfer_layer layer [| iv (-1.0) 1.0 |])
+  in
+  Alcotest.(check bool) "box is [-2,2]" true
+    (Interval.approx_equal box_out.(0) (iv (-2.0) 2.0))
+
+let test_zonotope_relu_cases () =
+  (* stable positive: identity; stable negative: zero; crossing: sound. *)
+  let z = Zonotope.of_box [| iv 1.0 2.0; iv (-2.0) (-1.0); iv (-1.0) 1.0 |] in
+  let z' = Zonotope.transfer_layer Layer.Relu z in
+  let b = Zonotope.to_box z' in
+  Alcotest.(check bool) "positive unchanged" true
+    (Interval.approx_equal b.(0) (iv 1.0 2.0));
+  Alcotest.(check bool) "negative zeroed" true
+    (Interval.approx_equal b.(1) (iv 0.0 0.0));
+  Alcotest.(check bool) "crossing sound" true
+    (b.(2).Interval.lo <= 0.0 && b.(2).Interval.hi >= 1.0)
+
+(* -- soundness property tests -- *)
+
+let random_pwl_net rng =
+  let hidden = 2 + Rng.int rng 4 in
+  Init.mlp rng ~input_dim:3 ~hidden:[ hidden ] ~output_dim:2
+
+let soundness_of_domain domain =
+  QCheck.Test.make ~count:100
+    ~name:
+      (Printf.sprintf "%s propagation encloses concrete activations"
+         (Propagate.domain_name domain))
+    QCheck.(pair small_int small_int)
+    (fun (net_seed, sample_seed) ->
+      let rng = Rng.create (net_seed + 1) in
+      let net = random_pwl_net rng in
+      let input_box = Box_domain.uniform ~dim:3 ~lo:(-1.0) ~hi:1.0 in
+      let all_bounds = Propagate.all_layer_bounds domain net ~input_box in
+      let sample_rng = Rng.create (sample_seed + 1000) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let x = Box_domain.sample sample_rng input_box in
+        let acts = Network.activations net x in
+        Array.iteri
+          (fun l act ->
+            (* tiny tolerance for float noise in the abstract transfer *)
+            Array.iteri
+              (fun i v ->
+                let b = all_bounds.(l).(i) in
+                if v < b.Interval.lo -. 1e-9 || v > b.Interval.hi +. 1e-9 then
+                  ok := false)
+              act)
+          acts
+      done;
+      !ok)
+
+let qcheck_box_sound = soundness_of_domain Propagate.Box
+let qcheck_zonotope_sound = soundness_of_domain Propagate.Zonotope
+let qcheck_deeppoly_sound = soundness_of_domain Propagate.Deeppoly
+
+let qcheck_deeppoly_never_looser_than_box =
+  QCheck.Test.make ~count:100
+    ~name:"deeppoly bounds are within box bounds at every layer"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 23) in
+      let net = random_pwl_net rng in
+      let input_box = Box_domain.uniform ~dim:3 ~lo:(-1.0) ~hi:1.0 in
+      let box_all = Propagate.all_layer_bounds Propagate.Box net ~input_box in
+      let dp_all = Propagate.all_layer_bounds Propagate.Deeppoly net ~input_box in
+      let ok = ref true in
+      Array.iteri
+        (fun l layer_bounds ->
+          Array.iteri
+            (fun i (dp : Interval.t) ->
+              let b : Interval.t = box_all.(l).(i) in
+              if
+                dp.Interval.lo < b.Interval.lo -. 1e-9
+                || dp.Interval.hi > b.Interval.hi +. 1e-9
+              then ok := false)
+            layer_bounds)
+        dp_all;
+      !ok)
+
+(* Case where symbolic bounds pay: y = relu(x+2) - relu(x+2) with
+   x in [-1,1].  The ReLUs are stably active, so DeepPoly keeps the exact
+   expressions and the difference collapses to 0; the box domain forgets
+   the correlation and reports [-2, 2]. *)
+let test_deeppoly_relational_precision () =
+  let w1 = Mat.of_rows [| [| 1.0 |]; [| 1.0 |] |] in
+  let w2 = Mat.of_rows [| [| 1.0; -1.0 |] |] in
+  let net =
+    Network.create ~input_dim:1
+      [
+        Layer.dense ~weights:w1 ~bias:[| 2.0; 2.0 |];
+        Layer.Relu;
+        Layer.dense ~weights:w2 ~bias:[| 0.0 |];
+      ]
+  in
+  let input_box = [| Interval.make ~lo:(-1.0) ~hi:1.0 |] in
+  let box_out = Propagate.output_bounds Propagate.Box net ~input_box in
+  let dp_out = Propagate.output_bounds Propagate.Deeppoly net ~input_box in
+  Alcotest.(check bool) "box spread is [-2,2]" true
+    (Interval.approx_equal box_out.(0) (iv (-2.0) 2.0));
+  Alcotest.(check bool) "deeppoly collapses to a point" true
+    (Interval.width dp_out.(0) < 1e-9)
+
+let qcheck_zonotope_tighter_on_affine =
+  QCheck.Test.make ~count:100
+    ~name:"zonotope output bounds within box bounds (affine nets)"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      (* purely affine network: zonotope is exact, box may be loose *)
+      let net =
+        Network.create ~input_dim:3
+          [
+            Init.xavier_dense rng ~in_dim:3 ~out_dim:4;
+            Init.xavier_dense rng ~in_dim:4 ~out_dim:2;
+          ]
+      in
+      let input_box = Box_domain.uniform ~dim:3 ~lo:(-1.0) ~hi:1.0 in
+      let box_out = Propagate.output_bounds Propagate.Box net ~input_box in
+      let zono_out = Propagate.output_bounds Propagate.Zonotope net ~input_box in
+      Array.for_all2
+        (fun (z : Interval.t) (b : Interval.t) ->
+          z.Interval.lo >= b.Interval.lo -. 1e-9
+          && z.Interval.hi <= b.Interval.hi +. 1e-9)
+        zono_out box_out)
+
+let qcheck_sigmoid_tanh_sound =
+  QCheck.Test.make ~count:50
+    ~name:"box propagation sound through sigmoid/tanh"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 13) in
+      let net =
+        Network.create ~input_dim:2
+          [
+            Init.xavier_dense rng ~in_dim:2 ~out_dim:3;
+            Layer.Tanh;
+            Init.xavier_dense rng ~in_dim:3 ~out_dim:2;
+            Layer.Sigmoid;
+          ]
+      in
+      let input_box = Box_domain.uniform ~dim:2 ~lo:(-2.0) ~hi:2.0 in
+      let out_bounds = Propagate.output_bounds Propagate.Box net ~input_box in
+      let sample_rng = Rng.create (seed + 14) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let x = Box_domain.sample sample_rng input_box in
+        let y = Network.forward net x in
+        Array.iteri
+          (fun i v -> if not (Interval.contains out_bounds.(i) v) then ok := false)
+          y
+      done;
+      !ok)
+
+let test_propagate_layer_bounds_cut () =
+  let rng = Rng.create 41 in
+  let net = Init.mlp rng ~input_dim:2 ~hidden:[ 3 ] ~output_dim:1 in
+  let input_box = Box_domain.uniform ~dim:2 ~lo:0.0 ~hi:1.0 in
+  let at_cut1 = Propagate.layer_bounds Propagate.Box net ~input_box ~cut:1 in
+  Alcotest.(check int) "dim at cut 1" 3 (Array.length at_cut1);
+  let at_cut0 = Propagate.layer_bounds Propagate.Box net ~input_box ~cut:0 in
+  Alcotest.(check bool) "cut 0 is input box" true
+    (Array.for_all2 Interval.approx_equal at_cut0 input_box)
+
+let test_domain_names () =
+  Alcotest.(check (option string)) "box" (Some "box")
+    (Option.map Propagate.domain_name (Propagate.domain_of_string "box"));
+  Alcotest.(check bool) "unknown" true (Propagate.domain_of_string "pentagon" = None)
+
+let tests =
+  [
+    Alcotest.test_case "interval basics" `Quick test_interval_basics;
+    Alcotest.test_case "interval make rejects" `Quick test_interval_make_rejects;
+    Alcotest.test_case "interval arithmetic" `Quick test_interval_arith;
+    Alcotest.test_case "interval multiplication" `Quick test_interval_mul;
+    Alcotest.test_case "interval relu" `Quick test_interval_relu;
+    Alcotest.test_case "interval join/meet" `Quick test_interval_join_meet;
+    Alcotest.test_case "interval dot" `Quick test_interval_dot;
+    Alcotest.test_case "interval monotone maps" `Quick test_interval_monotone;
+    Alcotest.test_case "box of points" `Quick test_box_of_points;
+    Alcotest.test_case "box dense transfer" `Quick test_box_dense_transfer;
+    Alcotest.test_case "box bn transfer" `Quick test_box_bn_transfer;
+    Alcotest.test_case "box sample containment" `Quick test_box_contains_sample;
+    Alcotest.test_case "zonotope box roundtrip" `Quick test_zonotope_of_box_roundtrip;
+    Alcotest.test_case "zonotope correlation" `Quick test_zonotope_tracks_correlation;
+    Alcotest.test_case "zonotope relu cases" `Quick test_zonotope_relu_cases;
+    Alcotest.test_case "propagate cut bounds" `Quick test_propagate_layer_bounds_cut;
+    Alcotest.test_case "domain names" `Quick test_domain_names;
+    Alcotest.test_case "deeppoly relational precision" `Quick
+      test_deeppoly_relational_precision;
+    QCheck_alcotest.to_alcotest qcheck_box_sound;
+    QCheck_alcotest.to_alcotest qcheck_zonotope_sound;
+    QCheck_alcotest.to_alcotest qcheck_deeppoly_sound;
+    QCheck_alcotest.to_alcotest qcheck_deeppoly_never_looser_than_box;
+    QCheck_alcotest.to_alcotest qcheck_zonotope_tighter_on_affine;
+    QCheck_alcotest.to_alcotest qcheck_sigmoid_tanh_sound;
+  ]

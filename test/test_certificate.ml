@@ -1,0 +1,210 @@
+(* Tests for verification certificates: round-trips, monitor
+   reconstruction and witness replay. *)
+
+module Certificate = Dpv_core.Certificate
+module Characterizer = Dpv_core.Characterizer
+module Statistical = Dpv_core.Statistical
+module Verify = Dpv_core.Verify
+module Workflow = Dpv_core.Workflow
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+module Polyhedron = Dpv_monitor.Polyhedron
+module Runtime = Dpv_monitor.Runtime
+module Risk = Dpv_spec.Risk
+module Mat = Dpv_tensor.Mat
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Hand-built model shared with Test_core. *)
+let perception =
+  Network.create ~input_dim:1
+    [
+      Layer.dense ~weights:(Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |]) ~bias:[| 0.0; 0.0 |];
+      Layer.Relu;
+      Layer.dense ~weights:(Mat.of_rows [| [| 1.0; -1.0 |] |]) ~bias:[| 0.0 |];
+    ]
+
+let head =
+  Network.create ~input_dim:2
+    [ Layer.dense ~weights:(Mat.of_rows [| [| 1.0; 0.0 |] |]) ~bias:[| -0.5 |] ]
+
+let table =
+  { Statistical.alpha = 0.4; beta = 0.05; gamma = 0.03; delta = 0.52; n = 200 }
+
+let psi = Risk.make ~name:"y0 >= 2.5" [ Risk.output_ge 0 2.5 ]
+
+let region_points =
+  Array.init 21 (fun i ->
+      let x = -1.0 +. (float_of_int i /. 10.0) in
+      Network.forward_upto perception ~cut:2 [| x |])
+
+let conditional_cert =
+  let poly = Polyhedron.fit_octagon region_points in
+  {
+    Certificate.property_name = "bends-right";
+    psi;
+    strategy = "data-octagon";
+    cut = 2;
+    verdict = Certificate.Safe_conditional;
+    region = Polyhedron.halfspaces poly;
+    region_dim = 2;
+    head;
+    table;
+  }
+
+let unsafe_cert =
+  {
+    conditional_cert with
+    Certificate.verdict = Certificate.Unsafe [| 0.95; 0.0 |];
+    psi = Risk.make ~name:"y0 >= 0.9" [ Risk.output_ge 0 0.9 ];
+    region = [];
+    region_dim = 0;
+  }
+
+let certs_equal a b =
+  a.Certificate.property_name = b.Certificate.property_name
+  && a.Certificate.strategy = b.Certificate.strategy
+  && a.Certificate.cut = b.Certificate.cut
+  && a.Certificate.region = b.Certificate.region
+  && a.Certificate.region_dim = b.Certificate.region_dim
+  && a.Certificate.table = b.Certificate.table
+  && (match (a.Certificate.verdict, b.Certificate.verdict) with
+     | Certificate.Safe_unconditional, Certificate.Safe_unconditional
+     | Certificate.Safe_conditional, Certificate.Safe_conditional ->
+         true
+     | Certificate.Unsafe x, Certificate.Unsafe y -> x = y
+     | Certificate.Inconclusive x, Certificate.Inconclusive y -> x = y
+     | _ -> false)
+
+let test_roundtrip_conditional () =
+  match Certificate.of_string (Certificate.to_string conditional_cert) with
+  | Ok c ->
+      Alcotest.(check bool) "fields equal" true (certs_equal c conditional_cert);
+      (* embedded head is functionally identical (exact floats) *)
+      Alcotest.(check bool) "head equal" true
+        (Network.forward c.Certificate.head [| 0.7; 0.1 |]
+        = Network.forward head [| 0.7; 0.1 |])
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_roundtrip_unsafe () =
+  match Certificate.of_string (Certificate.to_string unsafe_cert) with
+  | Ok c -> Alcotest.(check bool) "fields equal" true (certs_equal c unsafe_cert)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_roundtrip_inconclusive () =
+  let cert =
+    { unsafe_cert with Certificate.verdict = Certificate.Inconclusive "node limit" }
+  in
+  match Certificate.of_string (Certificate.to_string cert) with
+  | Ok c -> Alcotest.(check bool) "fields equal" true (certs_equal c cert)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "dpv" ".cert" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Certificate.save conditional_cert ~path;
+      match Certificate.load ~path with
+      | Ok c -> Alcotest.(check bool) "equal" true (certs_equal c conditional_cert)
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_rejects_garbage () =
+  (match Certificate.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match Certificate.load ~path:"/nonexistent/cert" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded nonexistent file"
+
+let test_guarantee () = check_float "1 - gamma" 0.97 (Certificate.guarantee conditional_cert)
+
+let test_monitor_reconstruction () =
+  match Certificate.monitor conditional_cert ~network:perception with
+  | Some monitor ->
+      (* inside: features of a real input; outside: a far-away point *)
+      let _, v_in = Runtime.infer monitor [| 0.5 |] in
+      Alcotest.(check bool) "real input inside" true (v_in = Runtime.In_region);
+      Alcotest.(check int) "region dim" 2 (Runtime.region_dim monitor)
+  | None -> Alcotest.fail "expected a monitor"
+
+let test_monitor_absent_for_unconditional () =
+  let cert =
+    { conditional_cert with Certificate.verdict = Certificate.Safe_unconditional }
+  in
+  Alcotest.(check bool) "no monitor" true
+    (Certificate.monitor cert ~network:perception = None)
+
+let test_validate_witness () =
+  (* witness (0.95, 0) -> out 0.95 >= 0.9, logit 0.45 >= 0: confirmed *)
+  Alcotest.(check (option bool)) "valid witness" (Some true)
+    (Certificate.validate_witness unsafe_cert ~perception);
+  (* a corrupted witness fails replay *)
+  let corrupted =
+    { unsafe_cert with Certificate.verdict = Certificate.Unsafe [| 0.1; 0.0 |] }
+  in
+  Alcotest.(check (option bool)) "corrupted witness" (Some false)
+    (Certificate.validate_witness corrupted ~perception);
+  Alcotest.(check (option bool)) "nothing to check" None
+    (Certificate.validate_witness conditional_cert ~perception)
+
+let test_of_case_end_to_end () =
+  (* Run a real (tiny) workflow case and certify it. *)
+  let tiny_setup =
+    {
+      Workflow.default_setup with
+      seed = 13;
+      hidden = [ 8; 4 ];
+      cut = 6;
+      train_size = 120;
+      val_size = 40;
+      perception_epochs = 6;
+      characterizer_samples = 80;
+      bounds_samples = 80;
+      scenario =
+        {
+          Dpv_scenario.Generator.default_config with
+          camera =
+            { Dpv_scenario.Camera.default_config with width = 8; height = 6 };
+        };
+    }
+  in
+  let prepared = Workflow.prepare tiny_setup in
+  let case =
+    Workflow.run_case prepared ~property:Dpv_scenario.Oracle.bends_right
+      ~psi:(Workflow.psi_steer_far_left ~threshold:30.0 ())
+      ~strategy:Workflow.Data_octagon
+  in
+  let cert =
+    Certificate.of_case case ~features:prepared.Workflow.bounds_features
+  in
+  Alcotest.(check bool) "conditional safe" true
+    (cert.Certificate.verdict = Certificate.Safe_conditional);
+  Alcotest.(check bool) "has monitoring faces" true
+    (List.length cert.Certificate.region > 0);
+  (* serialize, reload, rebuild the monitor, stream a frame *)
+  match Certificate.of_string (Certificate.to_string cert) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok cert' -> (
+      match Certificate.monitor cert' ~network:prepared.Workflow.perception with
+      | None -> Alcotest.fail "expected monitor"
+      | Some monitor ->
+          let _, verdict =
+            Runtime.infer monitor prepared.Workflow.bounds_images.(0)
+          in
+          Alcotest.(check bool) "training frame inside region" true
+            (verdict = Runtime.In_region))
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip conditional" `Quick test_roundtrip_conditional;
+    Alcotest.test_case "roundtrip unsafe" `Quick test_roundtrip_unsafe;
+    Alcotest.test_case "roundtrip inconclusive" `Quick test_roundtrip_inconclusive;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "guarantee" `Quick test_guarantee;
+    Alcotest.test_case "monitor reconstruction" `Quick test_monitor_reconstruction;
+    Alcotest.test_case "no monitor when unconditional" `Quick test_monitor_absent_for_unconditional;
+    Alcotest.test_case "validate witness" `Quick test_validate_witness;
+    Alcotest.test_case "of_case end-to-end" `Slow test_of_case_end_to_end;
+  ]

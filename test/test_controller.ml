@@ -1,0 +1,93 @@
+(* Tests for the pure-pursuit controller and the closed-loop simulation. *)
+
+module Controller = Dpv_scenario.Controller
+module Road = Dpv_scenario.Road
+module Camera = Dpv_scenario.Camera
+module Affordance = Dpv_scenario.Affordance
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let cam = Camera.default_config
+
+let test_pure_pursuit_formula () =
+  let cmd = Controller.pure_pursuit ~waypoint:2.0 ~lookahead:20.0 in
+  check_float "2w/L^2" 0.01 cmd.Controller.curvature;
+  let straight = Controller.pure_pursuit ~waypoint:0.0 ~lookahead:25.0 in
+  check_float "zero" 0.0 straight.Controller.curvature
+
+let test_pure_pursuit_steady_state () =
+  (* Perfect tracking on a constant curve: the ground-truth waypoint is
+     0.5*k*L^2, so the command equals the road curvature. *)
+  let k = -0.015 in
+  let w = 0.5 *. k *. Affordance.lookahead *. Affordance.lookahead in
+  let cmd = Controller.pure_pursuit ~waypoint:w ~lookahead:Affordance.lookahead in
+  check_float "cmd = road curvature" k cmd.Controller.curvature
+
+let oracle_trace ?(initial_offset = 0.0) ?(initial_heading_error = 0.0) road =
+  let state_ref = ref (0.0, 0.0, 0.0) in
+  Controller.simulate_with_state ~camera:cam ~road ~ego_lane:1 ~initial_offset
+    ~initial_heading_error ~state_ref
+    ~policy:(Controller.ground_truth_policy ~road ~ego_lane:1 state_ref)
+    ~sim:Controller.default_sim_config ()
+
+let test_oracle_tracks_straight_road () =
+  let road = Road.make ~curvature:0.0 ~curvature_rate:0.0 ~num_lanes:3 () in
+  let trace = oracle_trace road in
+  check_float "stays centered" 0.0 trace.Controller.max_abs_offset;
+  Alcotest.(check int) "no departures" 0 trace.Controller.departures
+
+let test_oracle_tracks_curved_road () =
+  let road = Road.make ~curvature:(-0.012) ~curvature_rate:0.0 ~num_lanes:3 () in
+  let trace = oracle_trace road in
+  Alcotest.(check bool) "small offset on curve" true
+    (trace.Controller.max_abs_offset < 0.8);
+  Alcotest.(check int) "no departures" 0 trace.Controller.departures
+
+let test_oracle_recovers_from_offset () =
+  let road = Road.make ~curvature:0.0 ~curvature_rate:0.0 ~num_lanes:3 () in
+  let trace = oracle_trace ~initial_offset:1.0 road in
+  let n = Array.length trace.Controller.offsets in
+  Alcotest.(check bool) "converges to center" true
+    (Float.abs trace.Controller.offsets.(n - 1) < 0.1)
+
+let test_dumb_policy_departs () =
+  (* A policy that always says "go straight" must leave the lane on a
+     bend — this is exactly the behaviour the safety property forbids. *)
+  let road = Road.make ~curvature:(-0.02) ~curvature_rate:0.0 ~num_lanes:3 () in
+  let trace =
+    Controller.simulate ~camera:cam ~road ~ego_lane:1
+      ~policy:(fun _ -> [| 0.0; 0.0 |])
+      ~sim:Controller.default_sim_config ()
+  in
+  Alcotest.(check bool) "departs the lane" true (trace.Controller.departures > 0)
+
+let test_trace_statistics_consistent () =
+  let road = Road.make ~curvature:0.005 ~curvature_rate:0.0 ~num_lanes:2 () in
+  let trace = oracle_trace ~initial_offset:0.5 road in
+  let recomputed_max = Dpv_tensor.Vec.norm_inf trace.Controller.offsets in
+  check_float "max matches trace" recomputed_max trace.Controller.max_abs_offset;
+  Alcotest.(check bool) "rms <= max" true
+    (trace.Controller.rms_offset <= trace.Controller.max_abs_offset +. 1e-12)
+
+let test_sim_validation () =
+  let road = Road.make ~curvature:0.0 ~curvature_rate:0.0 ~num_lanes:2 () in
+  Alcotest.check_raises "bad step"
+    (Invalid_argument "Controller.simulate: non-positive step or distance")
+    (fun () ->
+      ignore
+        (Controller.simulate ~camera:cam ~road ~ego_lane:0
+           ~policy:(fun _ -> [| 0.0; 0.0 |])
+           ~sim:{ Controller.step = 0.0; distance = 10.0 }
+           ()))
+
+let tests =
+  [
+    Alcotest.test_case "pure pursuit formula" `Quick test_pure_pursuit_formula;
+    Alcotest.test_case "pure pursuit steady state" `Quick test_pure_pursuit_steady_state;
+    Alcotest.test_case "oracle tracks straight road" `Quick test_oracle_tracks_straight_road;
+    Alcotest.test_case "oracle tracks curved road" `Quick test_oracle_tracks_curved_road;
+    Alcotest.test_case "oracle recovers from offset" `Quick test_oracle_recovers_from_offset;
+    Alcotest.test_case "dumb policy departs lane" `Quick test_dumb_policy_departs;
+    Alcotest.test_case "trace statistics" `Quick test_trace_statistics_consistent;
+    Alcotest.test_case "sim validation" `Quick test_sim_validation;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "dpv"
+    [
+      ("tensor", Test_tensor.tests);
+      ("linprog", Test_linprog.tests);
+      ("solver-properties", Test_solver_properties.tests);
+      ("nn", Test_nn.tests);
+      ("conv", Test_conv.tests);
+      ("train", Test_train.tests);
+      ("absint", Test_absint.tests);
+      ("spec", Test_spec.tests);
+      ("scenario", Test_scenario.tests);
+      ("monitor", Test_monitor.tests);
+      ("controller", Test_controller.tests);
+      ("core", Test_core.tests);
+      ("extensions", Test_extensions.tests);
+      ("certificate", Test_certificate.tests);
+      ("determinism", Test_workflow_determinism.tests);
+    ]

@@ -1,0 +1,268 @@
+(* Tests for the data-driven outer sets and the runtime monitor. *)
+
+module Box_monitor = Dpv_monitor.Box_monitor
+module Polyhedron = Dpv_monitor.Polyhedron
+module Runtime = Dpv_monitor.Runtime
+module Interval = Dpv_absint.Interval
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+module Mat = Dpv_tensor.Mat
+module Rng = Dpv_tensor.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let points = [| [| 0.0; 0.0 |]; [| 1.0; 2.0 |]; [| -1.0; 1.0 |] |]
+
+(* -- box monitor -- *)
+
+let test_box_fit_contains_data () =
+  let b = Box_monitor.fit points in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "contains" true (Box_monitor.contains b p))
+    points
+
+let test_box_fit_is_tight () =
+  let b = Box_monitor.fit points in
+  let box = Box_monitor.to_box b in
+  Alcotest.(check bool) "dim0" true
+    (Interval.approx_equal box.(0) (Interval.make ~lo:(-1.0) ~hi:1.0));
+  Alcotest.(check bool) "dim1" true
+    (Interval.approx_equal box.(1) (Interval.make ~lo:0.0 ~hi:2.0))
+
+let test_box_margin () =
+  let b = Box_monitor.fit ~margin:0.1 points in
+  (* dim0 width 2 -> pad 0.2 *)
+  let box = Box_monitor.to_box b in
+  check_float "padded lo" (-1.2) box.(0).Interval.lo;
+  check_float "padded hi" 1.2 box.(0).Interval.hi
+
+let test_box_violation_margin () =
+  let b = Box_monitor.fit points in
+  check_float "inside" 0.0 (Box_monitor.violation_margin b [| 0.5; 1.0 |]);
+  check_float "outside by 0.5" 0.5 (Box_monitor.violation_margin b [| 1.5; 1.0 |]);
+  check_float "worst coordinate" 2.0 (Box_monitor.violation_margin b [| 3.0; 1.5 |])
+
+let test_box_widen () =
+  let b = Box_monitor.fit points in
+  let b' = Box_monitor.widen b [| 5.0; -3.0 |] in
+  Alcotest.(check bool) "new point inside" true (Box_monitor.contains b' [| 5.0; -3.0 |]);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "old points still inside" true (Box_monitor.contains b' p))
+    points
+
+(* -- polyhedron -- *)
+
+let test_octagon_contains_data () =
+  let p = Polyhedron.fit_octagon points in
+  Array.iter
+    (fun x -> Alcotest.(check bool) "contains" true (Polyhedron.contains ~tol:1e-9 p x))
+    points
+
+let test_octagon_face_count () =
+  let p = Polyhedron.fit_octagon points in
+  (* 2 dims: 4 axis faces + 4 pair faces = 8 *)
+  Alcotest.(check int) "faces" 8 (Polyhedron.num_faces p)
+
+let test_octagon_tighter_than_box () =
+  (* points on the diagonal: box allows the off-diagonal corner, the
+     octagon (x0 - x1 faces) forbids it *)
+  let diag = [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |] in
+  let box = Box_monitor.fit diag in
+  let oct = Polyhedron.fit_octagon diag in
+  let corner = [| 2.0; 0.0 |] in
+  Alcotest.(check bool) "box admits corner" true (Box_monitor.contains box corner);
+  Alcotest.(check bool) "octagon rejects corner" false
+    (Polyhedron.contains oct corner)
+
+let test_octagon_bounding_box () =
+  let p = Polyhedron.fit_octagon points in
+  let box = Polyhedron.bounding_box p in
+  Alcotest.(check bool) "matches box monitor" true
+    (Interval.approx_equal box.(0) (Interval.make ~lo:(-1.0) ~hi:1.0)
+    && Interval.approx_equal box.(1) (Interval.make ~lo:0.0 ~hi:2.0))
+
+let test_polyhedron_margin_faces () =
+  let p = Polyhedron.fit_octagon ~margin:0.5 points in
+  (* formerly-boundary points are now strictly inside *)
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "strictly inside" true
+        (Polyhedron.violation_margin p x < -0.4 +. 1e-9
+        || Polyhedron.violation_margin p x = 0.0))
+    points
+
+let test_prune_drops_uncorrelated_pairs () =
+  (* Independent coordinates: every pairwise face is box-implied. *)
+  let rng = Rng.create 97 in
+  let pts =
+    Array.init 200 (fun _ -> [| Rng.float rng 1.0; Rng.float rng 1.0 |])
+  in
+  let poly = Polyhedron.fit_octagon pts in
+  let pruned = Polyhedron.prune_redundant ~slack:0.2 poly in
+  (* only the 4 axis faces survive a generous slack *)
+  Alcotest.(check int) "axis faces only" 4 (Polyhedron.num_faces pruned)
+
+let test_prune_keeps_correlated_pairs () =
+  let diag = [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |] in
+  let pruned = Polyhedron.prune_redundant (Polyhedron.fit_octagon diag) in
+  (* x0 - x1 and x1 - x0 faces are informative and must survive *)
+  Alcotest.(check bool) "still rejects the off-diagonal corner" false
+    (Polyhedron.contains pruned [| 2.0; 0.0 |]);
+  Alcotest.(check bool) "fewer faces than the full octagon" true
+    (Polyhedron.num_faces pruned < 8)
+
+let qcheck_prune_preserves_membership_of_data =
+  QCheck.Test.make ~count:100 ~name:"pruned polyhedron still contains the data"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 131) in
+      let pts =
+        Array.init 30 (fun _ ->
+            [| Rng.gaussian rng; Rng.gaussian rng; Rng.gaussian rng |])
+      in
+      let pruned = Polyhedron.prune_redundant (Polyhedron.fit_octagon pts) in
+      Array.for_all (Polyhedron.contains ~tol:1e-9 pruned) pts)
+
+let qcheck_prune_only_grows_the_set =
+  QCheck.Test.make ~count:100 ~name:"pruning never removes points from the set"
+    QCheck.(pair small_int small_int)
+    (fun (seed, probe_seed) ->
+      let rng = Rng.create (seed + 151) in
+      let pts = Array.init 15 (fun _ -> [| Rng.gaussian rng; Rng.gaussian rng |]) in
+      let poly = Polyhedron.fit_octagon pts in
+      let pruned = Polyhedron.prune_redundant poly in
+      let probe = Rng.create (probe_seed + 152) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let x = [| 3.0 *. Rng.gaussian probe; 3.0 *. Rng.gaussian probe |] in
+        if Polyhedron.contains ~tol:0.0 poly x
+           && not (Polyhedron.contains ~tol:1e-6 pruned x)
+        then ok := false
+      done;
+      !ok)
+
+let test_fit_box_equals_box_monitor () =
+  let pb = Polyhedron.fit_box points in
+  let bm = Box_monitor.fit points in
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let x = [| Rng.uniform rng ~lo:(-2.0) ~hi:2.0; Rng.uniform rng ~lo:(-1.0) ~hi:3.0 |] in
+    Alcotest.(check bool) "same membership" (Box_monitor.contains bm x)
+      (Polyhedron.contains ~tol:0.0 pb x)
+  done
+
+(* -- runtime monitor -- *)
+
+let identity_net dim =
+  Network.create ~input_dim:dim
+    [ Layer.dense ~weights:(Mat.identity dim) ~bias:(Dpv_tensor.Vec.zeros dim) ]
+
+let test_runtime_counts () =
+  let net = identity_net 2 in
+  let region = Runtime.Box (Box_monitor.fit points) in
+  let monitor = Runtime.create ~network:net ~cut:1 ~region in
+  let _, v1 = Runtime.infer monitor [| 0.0; 1.0 |] in
+  let _, v2 = Runtime.infer monitor [| 9.0; 9.0 |] in
+  Alcotest.(check bool) "inside" true (v1 = Runtime.In_region);
+  (match v2 with
+  | Runtime.Warning m -> Alcotest.(check bool) "margin positive" true (m > 0.0)
+  | Runtime.In_region -> Alcotest.fail "expected warning");
+  let stats = Runtime.stats monitor in
+  Alcotest.(check int) "frames" 2 stats.Runtime.frames;
+  Alcotest.(check int) "warnings" 1 stats.Runtime.warnings;
+  check_float "rate" 0.5 stats.Runtime.warning_rate
+
+let test_runtime_reset () =
+  let net = identity_net 2 in
+  let monitor =
+    Runtime.create ~network:net ~cut:1 ~region:(Runtime.Box (Box_monitor.fit points))
+  in
+  ignore (Runtime.infer monitor [| 9.0; 9.0 |]);
+  Runtime.reset monitor;
+  let stats = Runtime.stats monitor in
+  Alcotest.(check int) "frames reset" 0 stats.Runtime.frames;
+  check_float "rate on empty" 0.0 stats.Runtime.warning_rate
+
+let test_runtime_check_only_does_not_count () =
+  let net = identity_net 2 in
+  let monitor =
+    Runtime.create ~network:net ~cut:1 ~region:(Runtime.Box (Box_monitor.fit points))
+  in
+  ignore (Runtime.check_only monitor [| 9.0; 9.0 |]);
+  Alcotest.(check int) "not counted" 0 (Runtime.stats monitor).Runtime.frames
+
+let test_runtime_dimension_check () =
+  let net = identity_net 3 in
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Runtime.create: region dim 2, cut layer dim 3")
+    (fun () ->
+      ignore
+        (Runtime.create ~network:net ~cut:1
+           ~region:(Runtime.Box (Box_monitor.fit points))))
+
+let test_runtime_cut_zero_monitors_input () =
+  let net = identity_net 2 in
+  let monitor =
+    Runtime.create ~network:net ~cut:0 ~region:(Runtime.Box (Box_monitor.fit points))
+  in
+  let _, v = Runtime.infer monitor [| 0.5; 1.0 |] in
+  Alcotest.(check bool) "input monitored" true (v = Runtime.In_region)
+
+(* -- property tests -- *)
+
+let qcheck_fit_contains_all_points =
+  QCheck.Test.make ~count:100 ~name:"fitted regions contain every data point"
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 31) in
+      let pts =
+        Array.init n (fun _ ->
+            [| Rng.gaussian rng; Rng.gaussian rng; Rng.gaussian rng |])
+      in
+      let box = Box_monitor.fit pts in
+      let oct = Polyhedron.fit_octagon pts in
+      Array.for_all (Box_monitor.contains box) pts
+      && Array.for_all (Polyhedron.contains ~tol:1e-9 oct) pts)
+
+let qcheck_octagon_subset_of_box =
+  QCheck.Test.make ~count:100 ~name:"octagon region is a subset of the box"
+    QCheck.(pair small_int small_int)
+    (fun (seed, probe_seed) ->
+      let rng = Rng.create (seed + 61) in
+      let pts = Array.init 10 (fun _ -> [| Rng.gaussian rng; Rng.gaussian rng |]) in
+      let box = Box_monitor.fit pts in
+      let oct = Polyhedron.fit_octagon pts in
+      let probe = Rng.create (probe_seed + 62) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let x = [| Rng.gaussian probe *. 2.0; Rng.gaussian probe *. 2.0 |] in
+        if Polyhedron.contains ~tol:0.0 oct x && not (Box_monitor.contains box x)
+        then ok := false
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "box fit contains data" `Quick test_box_fit_contains_data;
+    Alcotest.test_case "box fit is tight" `Quick test_box_fit_is_tight;
+    Alcotest.test_case "box margin" `Quick test_box_margin;
+    Alcotest.test_case "box violation margin" `Quick test_box_violation_margin;
+    Alcotest.test_case "box widen" `Quick test_box_widen;
+    Alcotest.test_case "octagon contains data" `Quick test_octagon_contains_data;
+    Alcotest.test_case "octagon face count" `Quick test_octagon_face_count;
+    Alcotest.test_case "octagon tighter than box" `Quick test_octagon_tighter_than_box;
+    Alcotest.test_case "octagon bounding box" `Quick test_octagon_bounding_box;
+    Alcotest.test_case "polyhedron margin" `Quick test_polyhedron_margin_faces;
+    Alcotest.test_case "prune drops uncorrelated" `Quick test_prune_drops_uncorrelated_pairs;
+    Alcotest.test_case "prune keeps correlated" `Quick test_prune_keeps_correlated_pairs;
+    QCheck_alcotest.to_alcotest qcheck_prune_preserves_membership_of_data;
+    QCheck_alcotest.to_alcotest qcheck_prune_only_grows_the_set;
+    Alcotest.test_case "fit_box = box monitor" `Quick test_fit_box_equals_box_monitor;
+    Alcotest.test_case "runtime counts" `Quick test_runtime_counts;
+    Alcotest.test_case "runtime reset" `Quick test_runtime_reset;
+    Alcotest.test_case "runtime check_only" `Quick test_runtime_check_only_does_not_count;
+    Alcotest.test_case "runtime dimension check" `Quick test_runtime_dimension_check;
+    Alcotest.test_case "runtime cut 0" `Quick test_runtime_cut_zero_monitors_input;
+    QCheck_alcotest.to_alcotest qcheck_fit_contains_all_points;
+    QCheck_alcotest.to_alcotest qcheck_octagon_subset_of_box;
+  ]

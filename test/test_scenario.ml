@@ -1,0 +1,339 @@
+(* Tests for the driving scenario simulator: road geometry, scene
+   construction, camera rendering, oracles and dataset generation. *)
+
+module Road = Dpv_scenario.Road
+module Scene = Dpv_scenario.Scene
+module Camera = Dpv_scenario.Camera
+module Affordance = Dpv_scenario.Affordance
+module Oracle = Dpv_scenario.Oracle
+module Generator = Dpv_scenario.Generator
+module Property = Dpv_spec.Property
+module Dataset = Dpv_train.Dataset
+module Rng = Dpv_tensor.Rng
+module Vec = Dpv_tensor.Vec
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let straight_road = Road.make ~curvature:0.0 ~curvature_rate:0.0 ~num_lanes:3 ()
+let right_road = Road.make ~curvature:(-0.02) ~curvature_rate:0.0 ~num_lanes:3 ()
+let left_road = Road.make ~curvature:0.02 ~curvature_rate:0.0 ~num_lanes:3 ()
+
+(* -- road geometry -- *)
+
+let test_straight_road_geometry () =
+  check_float "no offset" 0.0 (Road.centerline_offset straight_road 50.0);
+  check_float "no heading" 0.0 (Road.heading straight_road 50.0)
+
+let test_curved_road_offset () =
+  (* x(d) = 0.5 k d^2 *)
+  check_float "quadratic" (0.5 *. -0.02 *. 100.0)
+    (Road.centerline_offset right_road 10.0);
+  Alcotest.(check bool) "right bend goes right (negative)" true
+    (Road.centerline_offset right_road 25.0 < 0.0);
+  Alcotest.(check bool) "left bend goes left" true
+    (Road.centerline_offset left_road 25.0 > 0.0)
+
+let test_curvature_rate_contribution () =
+  let road = Road.make ~curvature:0.0 ~curvature_rate:0.001 ~num_lanes:2 () in
+  check_float "cubic term" (0.001 *. 1000.0 /. 6.0) (Road.centerline_offset road 10.0);
+  check_float "curvature at d" 0.01 (Road.curvature_at road 10.0)
+
+let test_road_validation () =
+  Alcotest.check_raises "lanes" (Invalid_argument "Road.make: num_lanes < 1")
+    (fun () ->
+      ignore (Road.make ~curvature:0.0 ~curvature_rate:0.0 ~num_lanes:0 ()))
+
+let test_half_width () =
+  check_float "3 lanes x 3.5m" 5.25 (Road.half_width straight_road)
+
+(* -- scenes -- *)
+
+let test_scene_lane_center () =
+  let scene =
+    Scene.make ~lateral_offset:0.5 ~heading_error:0.01 ~road:straight_road
+      ~ego_lane:1 ()
+  in
+  (* straight road: lane center at d is -offset - d*heading *)
+  check_float "at 10m" (-0.5 -. 0.1) (Scene.lane_center_at scene 10.0)
+
+let test_scene_validation () =
+  Alcotest.check_raises "ego lane" (Invalid_argument "Scene.make: ego_lane out of range")
+    (fun () -> ignore (Scene.make ~road:straight_road ~ego_lane:5 ()));
+  Alcotest.check_raises "traffic behind"
+    (Invalid_argument "Scene.make: traffic behind ego") (fun () ->
+      ignore
+        (Scene.make ~road:straight_road ~ego_lane:0
+           ~traffic:[ { Scene.lane = 0; distance = -5.0 } ]
+           ()))
+
+let test_lane_offset_of () =
+  let scene = Scene.make ~road:straight_road ~ego_lane:1 () in
+  Alcotest.(check int) "same lane" 0
+    (Scene.lane_offset_of scene { Scene.lane = 1; distance = 10.0 });
+  Alcotest.(check int) "left lane" 1
+    (Scene.lane_offset_of scene { Scene.lane = 2; distance = 10.0 })
+
+(* -- affordances -- *)
+
+let test_affordance_straight_centered () =
+  let scene = Scene.make ~road:straight_road ~ego_lane:1 () in
+  let gt = Affordance.ground_truth scene in
+  check_float "waypoint centered" 0.0 gt.(Affordance.waypoint_index);
+  check_float "orientation zero" 0.0 gt.(Affordance.orientation_index)
+
+let test_affordance_right_bend () =
+  let scene = Scene.make ~road:right_road ~ego_lane:1 () in
+  Alcotest.(check bool) "waypoint to the right" true (Affordance.waypoint scene < -2.0);
+  Alcotest.(check bool) "orientation to the right" true
+    (Affordance.orientation scene < -0.1)
+
+let test_affordance_offset_compensation () =
+  (* Ego displaced left of the lane center: the waypoint steers it back
+     right (negative). *)
+  let scene =
+    Scene.make ~lateral_offset:1.0 ~road:straight_road ~ego_lane:1 ()
+  in
+  check_float "steer back" (-1.0) (Affordance.waypoint scene)
+
+(* -- camera -- *)
+
+let cfg = Camera.default_config
+
+let test_camera_dimensions () =
+  Alcotest.(check int) "input dim" 192 (Camera.input_dim cfg);
+  let img = Camera.render cfg (Scene.make ~road:straight_road ~ego_lane:1 ()) in
+  Alcotest.(check int) "vector length" 192 (Vec.dim img)
+
+let test_camera_row_distances_monotone () =
+  check_float "bottom row is near" cfg.Camera.d_near
+    (Camera.row_distance cfg (cfg.Camera.height - 1));
+  check_float "top row is far" cfg.Camera.d_far (Camera.row_distance cfg 0);
+  for r = 0 to cfg.Camera.height - 2 do
+    Alcotest.(check bool) "monotone" true
+      (Camera.row_distance cfg r > Camera.row_distance cfg (r + 1))
+  done
+
+let test_camera_intensities_in_range () =
+  let rng = Rng.create 5 in
+  let scene =
+    Scene.make ~weather:Scene.Rain ~road:right_road ~ego_lane:0
+      ~traffic:[ { Scene.lane = 1; distance = 20.0 } ]
+      ()
+  in
+  let img = Camera.render ~rng cfg scene in
+  Alcotest.(check bool) "all in [0,1]" true
+    (Array.for_all (fun v -> v >= 0.0 && v <= 1.0) img)
+
+let test_camera_deterministic_without_rng () =
+  let scene = Scene.make ~road:right_road ~ego_lane:1 () in
+  Alcotest.(check bool) "identical" true
+    (Camera.render cfg scene = Camera.render cfg scene)
+
+let test_camera_curvature_visible () =
+  (* In the far rows, a right bend shifts road pixels toward lower column
+     indices relative to a straight road.  Compare the centroid of
+     road-surface (dark) pixels in the top third of the image. *)
+  let dark_centroid img rows =
+    let acc = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun r ->
+        for c = 0 to cfg.Camera.width - 1 do
+          if img.((r * cfg.Camera.width) + c) < 0.3 then begin
+            acc := !acc +. float_of_int c;
+            incr n
+          end
+        done)
+      rows;
+    if !n = 0 then nan else !acc /. float_of_int !n
+  in
+  let far_rows = [ 0; 1; 2; 3 ] in
+  let straight_img = Camera.render cfg (Scene.make ~road:straight_road ~ego_lane:1 ()) in
+  let right_img = Camera.render cfg (Scene.make ~road:right_road ~ego_lane:1 ()) in
+  let left_img = Camera.render cfg (Scene.make ~road:left_road ~ego_lane:1 ()) in
+  let s = dark_centroid straight_img far_rows in
+  let r = dark_centroid right_img far_rows in
+  let l = dark_centroid left_img far_rows in
+  Alcotest.(check bool) "right bend shifts left-of-straight in image" true (r < s);
+  Alcotest.(check bool) "left bend shifts right-of-straight in image" true (l > s)
+
+let test_camera_vehicle_visible () =
+  let without = Camera.render cfg (Scene.make ~road:straight_road ~ego_lane:1 ()) in
+  let with_vehicle =
+    Camera.render cfg
+      (Scene.make ~road:straight_road ~ego_lane:1
+         ~traffic:[ { Scene.lane = 1; distance = 20.0 } ]
+         ())
+  in
+  let diff = ref 0 in
+  Array.iteri
+    (fun i v -> if Float.abs (v -. without.(i)) > 0.1 then incr diff)
+    with_vehicle;
+  Alcotest.(check bool) "vehicle changes pixels" true (!diff > 0)
+
+let test_camera_fog_reduces_far_contrast () =
+  let contrast img rows =
+    let values = ref [] in
+    List.iter
+      (fun r ->
+        for c = 0 to cfg.Camera.width - 1 do
+          values := img.((r * cfg.Camera.width) + c) :: !values
+        done)
+      rows;
+    let arr = Array.of_list !values in
+    let lo, hi = Dpv_tensor.Stats.min_max arr in
+    hi -. lo
+  in
+  let clear = Camera.render cfg (Scene.make ~road:straight_road ~ego_lane:1 ()) in
+  let fog =
+    Camera.render cfg
+      (Scene.make ~weather:Scene.Fog ~road:straight_road ~ego_lane:1 ())
+  in
+  let far = [ 0; 1; 2 ] in
+  Alcotest.(check bool) "fog washes out far rows" true
+    (contrast fog far < contrast clear far)
+
+let test_ascii_rendering () =
+  let img = Camera.render cfg (Scene.make ~road:straight_road ~ego_lane:1 ()) in
+  let ascii = Camera.to_ascii cfg img in
+  Alcotest.(check int) "lines" cfg.Camera.height
+    (List.length (String.split_on_char '\n' (String.trim ascii)))
+
+(* -- oracles -- *)
+
+let test_oracle_bend_properties () =
+  let right = Scene.make ~road:right_road ~ego_lane:1 () in
+  let left = Scene.make ~road:left_road ~ego_lane:1 () in
+  let straight = Scene.make ~road:straight_road ~ego_lane:1 () in
+  Alcotest.(check bool) "right is right" true (Property.holds Oracle.bends_right right);
+  Alcotest.(check bool) "right is not left" false (Property.holds Oracle.bends_left right);
+  Alcotest.(check bool) "left is left" true (Property.holds Oracle.bends_left left);
+  Alcotest.(check bool) "straight is straight" true (Property.holds Oracle.straight straight);
+  Alcotest.(check bool) "straight is not right" false
+    (Property.holds Oracle.bends_right straight)
+
+let test_oracle_traffic () =
+  let mk traffic = Scene.make ~road:straight_road ~ego_lane:1 ~traffic () in
+  Alcotest.(check bool) "adjacent near" true
+    (Property.holds Oracle.traffic_adjacent
+       (mk [ { Scene.lane = 0; distance = 20.0 } ]));
+  Alcotest.(check bool) "same lane doesn't count" false
+    (Property.holds Oracle.traffic_adjacent
+       (mk [ { Scene.lane = 1; distance = 20.0 } ]));
+  Alcotest.(check bool) "too far doesn't count" false
+    (Property.holds Oracle.traffic_adjacent
+       (mk [ { Scene.lane = 0; distance = 50.0 } ]))
+
+let test_oracle_ambiguity_band () =
+  let at_threshold =
+    Scene.make
+      ~road:(Road.make ~curvature:(-.Oracle.bend_threshold) ~curvature_rate:0.0 ~num_lanes:2 ())
+      ~ego_lane:0 ()
+  in
+  Alcotest.(check bool) "threshold scene is ambiguous" true
+    (Property.is_ambiguous Oracle.bends_right at_threshold);
+  let clear_bend =
+    Scene.make
+      ~road:(Road.make ~curvature:(-0.02) ~curvature_rate:0.0 ~num_lanes:2 ())
+      ~ego_lane:0 ()
+  in
+  Alcotest.(check bool) "clear bend is not" false
+    (Property.is_ambiguous Oracle.bends_right clear_bend)
+
+let test_oracle_find () =
+  Alcotest.(check bool) "find known" true (Oracle.find "bends-right" <> None);
+  Alcotest.(check bool) "find unknown" true (Oracle.find "nonsense" = None)
+
+(* -- generator -- *)
+
+let gen_cfg = Generator.default_config
+
+let test_generator_scene_validity () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 200 do
+    let s = Generator.sample_scene gen_cfg rng in
+    let lo_k, hi_k = gen_cfg.Generator.curvature_range in
+    Alcotest.(check bool) "curvature in range" true
+      (s.Scene.road.Road.curvature >= lo_k && s.Scene.road.Road.curvature <= hi_k);
+    Alcotest.(check bool) "ego lane valid" true
+      (s.Scene.ego_lane >= 0 && s.Scene.ego_lane < s.Scene.road.Road.num_lanes)
+  done
+
+let test_generator_determinism () =
+  let a = Generator.sample_scenes gen_cfg (Rng.create 11) ~n:5 in
+  let b = Generator.sample_scenes gen_cfg (Rng.create 11) ~n:5 in
+  Alcotest.(check bool) "same seeds same scenes" true (a = b)
+
+let test_affordance_dataset_shape () =
+  let d = Generator.affordance_dataset gen_cfg (Rng.create 13) ~n:50 in
+  Alcotest.(check int) "size" 50 (Dataset.size d);
+  Alcotest.(check int) "input dim" 192 (Dataset.input_dim d);
+  Alcotest.(check int) "target dim" 2 (Dataset.target_dim d)
+
+let test_property_dataset_balanced () =
+  let d, scenes =
+    Generator.property_dataset gen_cfg (Rng.create 17) ~n:100
+      ~property:Oracle.bends_right
+  in
+  let balance = Dataset.class_balance d in
+  Alcotest.(check bool) "roughly balanced" true (balance > 0.4 && balance < 0.6);
+  Alcotest.(check int) "scenes align" (Dataset.size d) (Array.length scenes);
+  (* labels match oracle on the aligned scenes *)
+  Array.iteri
+    (fun i scene ->
+      Alcotest.(check (float 0.0)) "label matches oracle"
+        (Property.label Oracle.bends_right scene)
+        d.Dataset.targets.(i).(0))
+    scenes
+
+let test_property_dataset_skips_ambiguous () =
+  let _, scenes =
+    Generator.property_dataset gen_cfg (Rng.create 19) ~n:60
+      ~property:Oracle.bends_right
+  in
+  Array.iter
+    (fun scene ->
+      Alcotest.(check bool) "no ambiguous scenes" false
+        (Property.is_ambiguous Oracle.bends_right scene))
+    scenes
+
+let qcheck_render_bounded =
+  QCheck.Test.make ~count:50 ~name:"rendered pixels always in [0,1]"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 211) in
+      let scene = Generator.sample_scene gen_cfg rng in
+      let img = Generator.render_scene gen_cfg rng scene in
+      Array.for_all (fun v -> v >= 0.0 && v <= 1.0) img)
+
+let tests =
+  [
+    Alcotest.test_case "straight road geometry" `Quick test_straight_road_geometry;
+    Alcotest.test_case "curved road offset" `Quick test_curved_road_offset;
+    Alcotest.test_case "curvature rate" `Quick test_curvature_rate_contribution;
+    Alcotest.test_case "road validation" `Quick test_road_validation;
+    Alcotest.test_case "half width" `Quick test_half_width;
+    Alcotest.test_case "scene lane center" `Quick test_scene_lane_center;
+    Alcotest.test_case "scene validation" `Quick test_scene_validation;
+    Alcotest.test_case "lane offset" `Quick test_lane_offset_of;
+    Alcotest.test_case "affordance straight" `Quick test_affordance_straight_centered;
+    Alcotest.test_case "affordance right bend" `Quick test_affordance_right_bend;
+    Alcotest.test_case "affordance offset compensation" `Quick test_affordance_offset_compensation;
+    Alcotest.test_case "camera dimensions" `Quick test_camera_dimensions;
+    Alcotest.test_case "camera row distances" `Quick test_camera_row_distances_monotone;
+    Alcotest.test_case "camera intensity range" `Quick test_camera_intensities_in_range;
+    Alcotest.test_case "camera deterministic" `Quick test_camera_deterministic_without_rng;
+    Alcotest.test_case "camera curvature visible" `Quick test_camera_curvature_visible;
+    Alcotest.test_case "camera vehicle visible" `Quick test_camera_vehicle_visible;
+    Alcotest.test_case "camera fog contrast" `Quick test_camera_fog_reduces_far_contrast;
+    Alcotest.test_case "ascii rendering" `Quick test_ascii_rendering;
+    Alcotest.test_case "oracle bends" `Quick test_oracle_bend_properties;
+    Alcotest.test_case "oracle traffic" `Quick test_oracle_traffic;
+    Alcotest.test_case "oracle ambiguity band" `Quick test_oracle_ambiguity_band;
+    Alcotest.test_case "oracle find" `Quick test_oracle_find;
+    Alcotest.test_case "generator scene validity" `Quick test_generator_scene_validity;
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "affordance dataset shape" `Quick test_affordance_dataset_shape;
+    Alcotest.test_case "property dataset balance" `Quick test_property_dataset_balanced;
+    Alcotest.test_case "property dataset skips ambiguous" `Quick test_property_dataset_skips_ambiguous;
+    QCheck_alcotest.to_alcotest qcheck_render_bounded;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for risk conditions, linear expressions and property descriptors. *)
+
+module Linexpr = Dpv_spec.Linexpr
+module Risk = Dpv_spec.Risk
+module Property = Dpv_spec.Property
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_linexpr_eval () =
+  let e = Linexpr.(add (scale 2.0 (output 0)) (const 1.0)) in
+  check_float "2*y0 + 1" 7.0 (Linexpr.eval e [| 3.0 |])
+
+let test_linexpr_operators () =
+  let open Linexpr in
+  let e = (2.0 * output 0) + output 1 - const 3.0 in
+  check_float "operators" 1.0 (eval e [| 1.0; 2.0 |])
+
+let test_linexpr_normalize_merges () =
+  let e = Linexpr.(add (output 0) (output 0)) in
+  match Linexpr.normalized_terms e with
+  | [ (c, 0) ] -> check_float "merged" 2.0 c
+  | _ -> Alcotest.fail "expected single merged term"
+
+let test_linexpr_normalize_drops_zero () =
+  let e = Linexpr.(sub (output 1) (output 1)) in
+  Alcotest.(check int) "zero dropped" 0 (List.length (Linexpr.normalized_terms e))
+
+let test_linexpr_max_index () =
+  Alcotest.(check int) "const" (-1) (Linexpr.max_output_index (Linexpr.const 5.0));
+  Alcotest.(check int) "output 3" 3
+    (Linexpr.max_output_index Linexpr.(add (output 3) (output 1)))
+
+let test_risk_holds () =
+  let psi = Risk.make ~name:"t" [ Risk.output_ge 0 1.0; Risk.output_le 1 0.0 ] in
+  Alcotest.(check bool) "both hold" true (Risk.holds psi [| 1.5; -1.0 |]);
+  Alcotest.(check bool) "first fails" false (Risk.holds psi [| 0.5; -1.0 |]);
+  Alcotest.(check bool) "second fails" false (Risk.holds psi [| 1.5; 1.0 |])
+
+let test_risk_band () =
+  let psi = Risk.make ~name:"band" (Risk.output_in_band 0 ~lo:(-0.5) ~hi:0.5) in
+  Alcotest.(check bool) "inside" true (Risk.holds psi [| 0.0 |]);
+  Alcotest.(check bool) "boundary" true (Risk.holds psi [| 0.5 |]);
+  Alcotest.(check bool) "outside" false (Risk.holds psi [| 0.6 |])
+
+let test_risk_tolerance () =
+  let psi = Risk.make ~name:"t" [ Risk.output_ge 0 1.0 ] in
+  Alcotest.(check bool) "just below without tol" false (Risk.holds psi [| 0.999 |]);
+  Alcotest.(check bool) "just below with tol" true
+    (Risk.holds ~tol:0.01 psi [| 0.999 |])
+
+let test_risk_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Risk.make: empty conjunction")
+    (fun () -> ignore (Risk.make ~name:"e" []))
+
+let test_risk_max_index () =
+  let psi = Risk.make ~name:"t" [ Risk.output_le 4 0.0 ] in
+  Alcotest.(check int) "index" 4 (Risk.max_output_index psi)
+
+let test_property_basics () =
+  let p =
+    Property.make ~name:"pos" ~description:"positive" ~oracle:(fun x -> x > 0) ()
+  in
+  Alcotest.(check bool) "holds" true (Property.holds p 1);
+  check_float "label 1" 1.0 (Property.label p 1);
+  check_float "label 0" 0.0 (Property.label p (-1));
+  Alcotest.(check bool) "no ambiguity by default" false (Property.is_ambiguous p 0)
+
+let test_property_negate () =
+  let p =
+    Property.make ~name:"pos" ~description:"positive" ~oracle:(fun x -> x > 0) ()
+  in
+  let n = Property.negate p in
+  Alcotest.(check bool) "negated" true (Property.holds n (-1));
+  Alcotest.(check string) "name" "not-pos" n.Property.name
+
+let test_property_conj () =
+  let pos = Property.make ~name:"pos" ~description:"p" ~oracle:(fun x -> x > 0) () in
+  let small = Property.make ~name:"small" ~description:"s" ~oracle:(fun x -> x < 10) () in
+  let both = Property.conj ~name:"both" pos small in
+  Alcotest.(check bool) "5" true (Property.holds both 5);
+  Alcotest.(check bool) "15" false (Property.holds both 15);
+  Alcotest.(check bool) "-1" false (Property.holds both (-1))
+
+let test_property_ambiguous_propagates () =
+  let p =
+    Property.make ~name:"p" ~description:"p" ~oracle:(fun x -> x > 0)
+      ~ambiguous:(fun x -> x = 0) ()
+  in
+  let q = Property.make ~name:"q" ~description:"q" ~oracle:(fun x -> x < 5) () in
+  Alcotest.(check bool) "negate keeps ambiguity" true
+    (Property.is_ambiguous (Property.negate p) 0);
+  Alcotest.(check bool) "conj merges ambiguity" true
+    (Property.is_ambiguous (Property.conj ~name:"c" p q) 0)
+
+let expect_parse s =
+  match Risk.of_string s with
+  | Ok psi -> psi
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_parse_simple () =
+  let psi = expect_parse "y0 >= 2.5" in
+  Alcotest.(check bool) "holds" true (Risk.holds psi [| 3.0 |]);
+  Alcotest.(check bool) "fails" false (Risk.holds psi [| 2.0 |])
+
+let test_parse_conjunction () =
+  let psi = expect_parse "y0 >= 1 && y1 <= 0.5" in
+  Alcotest.(check bool) "both" true (Risk.holds psi [| 1.5; 0.0 |]);
+  Alcotest.(check bool) "second fails" false (Risk.holds psi [| 1.5; 1.0 |])
+
+let test_parse_coefficients () =
+  let psi = expect_parse "2*y0 - y1 <= 0.3" in
+  Alcotest.(check bool) "holds" true (Risk.holds psi [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "fails" false (Risk.holds psi [| 1.0; 0.0 |])
+
+let test_parse_leading_minus_and_constants () =
+  let psi = expect_parse "-y0 + 1 >= 0.5" in
+  (* -y0 >= -0.5 i.e. y0 <= 0.5 *)
+  Alcotest.(check bool) "holds" true (Risk.holds psi [| 0.4 |]);
+  Alcotest.(check bool) "fails" false (Risk.holds psi [| 0.6 |])
+
+let test_parse_scientific () =
+  let psi = expect_parse "y0 >= 1.5e-1" in
+  Alcotest.(check bool) "holds" true (Risk.holds psi [| 0.2 |]);
+  Alcotest.(check bool) "fails" false (Risk.holds psi [| 0.1 |])
+
+let test_parse_errors () =
+  let bad s =
+    match Risk.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+  in
+  bad "";
+  bad "y0 > 2";           (* strict comparisons unsupported *)
+  bad "y0 >= y1";          (* rhs must be constant *)
+  bad "y >= 1";            (* missing index *)
+  bad "y0 >= 1 &&";        (* dangling conjunction *)
+  bad "frobnicate"
+
+let test_parse_roundtrip () =
+  let psi = expect_parse "2*y0 - 1.5*y1 <= 0.25 && y1 >= -3" in
+  let psi' = expect_parse (Risk.to_string psi) in
+  let rng = Dpv_tensor.Rng.create 9 in
+  for _ = 1 to 50 do
+    let p = [| Dpv_tensor.Rng.gaussian rng; Dpv_tensor.Rng.gaussian rng |] in
+    Alcotest.(check bool) "same semantics" (Risk.holds psi p) (Risk.holds psi' p)
+  done
+
+let qcheck_risk_conjunction_monotone =
+  (* Adding an inequality can only shrink the satisfying set. *)
+  QCheck.Test.make ~count:200 ~name:"conjunction is monotone"
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+    (fun (y, bound) ->
+      let base = Risk.make ~name:"b" [ Risk.output_ge 0 (-100.0) ] in
+      let stronger =
+        Risk.make ~name:"s" [ Risk.output_ge 0 (-100.0); Risk.output_le 0 bound ]
+      in
+      (not (Risk.holds stronger [| y |])) || Risk.holds base [| y |])
+
+let qcheck_linexpr_linear =
+  QCheck.Test.make ~count:200 ~name:"eval is linear in the point"
+    QCheck.(triple (float_range (-5.) 5.) (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, x, y) ->
+      let e = Linexpr.(add (scale 2.0 (output 0)) (const 1.0)) in
+      let lhs = Linexpr.eval e [| (a *. x) +. y |] in
+      let rhs = (a *. (Linexpr.eval e [| x |] -. 1.0)) +. Linexpr.eval e [| y |] in
+      Float.abs (lhs -. rhs) < 1e-6)
+
+let tests =
+  [
+    Alcotest.test_case "linexpr eval" `Quick test_linexpr_eval;
+    Alcotest.test_case "linexpr operators" `Quick test_linexpr_operators;
+    Alcotest.test_case "linexpr merge" `Quick test_linexpr_normalize_merges;
+    Alcotest.test_case "linexpr drop zero" `Quick test_linexpr_normalize_drops_zero;
+    Alcotest.test_case "linexpr max index" `Quick test_linexpr_max_index;
+    Alcotest.test_case "risk holds" `Quick test_risk_holds;
+    Alcotest.test_case "risk band" `Quick test_risk_band;
+    Alcotest.test_case "risk tolerance" `Quick test_risk_tolerance;
+    Alcotest.test_case "risk empty rejected" `Quick test_risk_empty_rejected;
+    Alcotest.test_case "risk max index" `Quick test_risk_max_index;
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse conjunction" `Quick test_parse_conjunction;
+    Alcotest.test_case "parse coefficients" `Quick test_parse_coefficients;
+    Alcotest.test_case "parse leading minus" `Quick test_parse_leading_minus_and_constants;
+    Alcotest.test_case "parse scientific" `Quick test_parse_scientific;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "property basics" `Quick test_property_basics;
+    Alcotest.test_case "property negate" `Quick test_property_negate;
+    Alcotest.test_case "property conj" `Quick test_property_conj;
+    Alcotest.test_case "property ambiguity" `Quick test_property_ambiguous_propagates;
+    QCheck_alcotest.to_alcotest qcheck_risk_conjunction_monotone;
+    QCheck_alcotest.to_alcotest qcheck_linexpr_linear;
+  ]

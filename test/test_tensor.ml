@@ -1,0 +1,181 @@
+(* Tests for the tensor substrate: Vec, Mat, Stats, Rng. *)
+
+module Vec = Dpv_tensor.Vec
+module Mat = Dpv_tensor.Mat
+module Stats = Dpv_tensor.Stats
+module Rng = Dpv_tensor.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_vec_arith () =
+  let x = [| 1.0; 2.0; 3.0 |] and y = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check bool) "add" true (Vec.approx_equal (Vec.add x y) [| 5.0; 7.0; 9.0 |]);
+  Alcotest.(check bool) "sub" true (Vec.approx_equal (Vec.sub y x) [| 3.0; 3.0; 3.0 |]);
+  check_float "dot" 32.0 (Vec.dot x y);
+  check_float "norm2" 5.0 (Vec.norm2 [| 3.0; 4.0 |]);
+  check_float "norm_inf" 3.0 (Vec.norm_inf [| -3.0; 2.0 |])
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy 2.0 [| 3.0; 4.0 |] y;
+  Alcotest.(check bool) "axpy" true (Vec.approx_equal y [| 7.0; 9.0 |])
+
+let test_vec_argmax () =
+  Alcotest.(check int) "argmax" 2 (Vec.argmax [| 0.0; 1.0; 5.0; 2.0 |]);
+  Alcotest.(check int) "argmin" 0 (Vec.argmin [| -1.0; 1.0; 5.0 |])
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.add [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_vec_slice_concat () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check bool) "slice" true
+    (Vec.approx_equal (Vec.slice x ~pos:1 ~len:2) [| 2.0; 3.0 |]);
+  Alcotest.(check bool) "concat" true
+    (Vec.approx_equal (Vec.concat [| 1.0 |] [| 2.0 |]) [| 1.0; 2.0 |])
+
+let test_mat_matvec () =
+  let m = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "matvec" true
+    (Vec.approx_equal (Mat.matvec m [| 1.0; 1.0 |]) [| 3.0; 7.0 |]);
+  Alcotest.(check bool) "matvec_t" true
+    (Vec.approx_equal (Mat.matvec_t m [| 1.0; 1.0 |]) [| 4.0; 6.0 |])
+
+let test_mat_matmul () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Mat.identity 2 in
+  Alcotest.(check bool) "a * I = a" true (Mat.approx_equal (Mat.matmul a i) a);
+  let b = Mat.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let ab = Mat.matmul a b in
+  Alcotest.(check bool) "swap columns" true
+    (Mat.approx_equal ab (Mat.of_rows [| [| 2.0; 1.0 |]; [| 4.0; 3.0 |] |]))
+
+let test_mat_transpose () =
+  let a = Mat.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let at = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows at);
+  Alcotest.(check int) "cols" 2 (Mat.cols at);
+  check_float "entry" 6.0 (Mat.get at 2 1)
+
+let test_mat_outer () =
+  let o = Mat.outer [| 1.0; 2.0 |] [| 3.0; 4.0 |] in
+  Alcotest.(check bool) "outer" true
+    (Mat.approx_equal o (Mat.of_rows [| [| 3.0; 4.0 |]; [| 6.0; 8.0 |] |]))
+
+let test_mat_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Mat.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_stats_basic () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Stats.mean xs);
+  check_float "std" 2.0 (Stats.std xs);
+  let lo, hi = Stats.min_max xs in
+  check_float "min" 2.0 lo;
+  check_float "max" 9.0 hi;
+  check_float "median" 4.5 (Stats.median xs)
+
+let test_stats_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "q0" 1.0 (Stats.quantile xs ~q:0.0);
+  check_float "q1" 5.0 (Stats.quantile xs ~q:1.0);
+  check_float "q05" 3.0 (Stats.quantile xs ~q:0.5);
+  check_float "q025" 2.0 (Stats.quantile xs ~q:0.25)
+
+let test_stats_columnwise () =
+  let rows = [| [| 0.0; 10.0 |]; [| 2.0; 20.0 |]; [| 4.0; 30.0 |] |] in
+  let mu = Stats.columnwise_mean rows in
+  check_float "mu0" 2.0 mu.(0);
+  check_float "mu1" 20.0 mu.(1);
+  let mm = Stats.columnwise_min_max rows in
+  check_float "min0" 0.0 (fst mm.(0));
+  check_float "max1" 30.0 (snd mm.(1))
+
+let test_stats_wilson () =
+  let lo, hi = Stats.binomial_confidence ~successes:50 ~trials:100 ~z:1.96 in
+  Alcotest.(check bool) "contains p" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check bool) "in unit interval" true (lo >= 0.0 && hi <= 1.0)
+
+let test_stats_histogram () =
+  let h = Stats.histogram [| 0.1; 0.2; 0.9 |] ~bins:2 ~lo:0.0 ~hi:1.0 in
+  Alcotest.(check (array int)) "bins" [| 2; 1 |] h
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a 1.0) (Rng.float b 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.float a 1.0 and xb = Rng.float b 1.0 in
+  Alcotest.(check bool) "streams differ" true (Float.abs (xa -. xb) > 1e-12)
+
+let test_rng_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Stats.mean xs) < 0.05);
+  Alcotest.(check bool) "std near 1" true (Float.abs (Stats.std xs -. 1.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+let qcheck_uniform_bounds =
+  QCheck.Test.make ~count:200 ~name:"uniform stays in [lo,hi)"
+    QCheck.(pair small_int (pair (float_bound_exclusive 100.0) float))
+    (fun (seed, (a, b)) ->
+      let lo = Float.min a b and hi = Float.max a b +. 1.0 in
+      let rng = Rng.create seed in
+      let x = Rng.uniform rng ~lo ~hi in
+      x >= lo && x < hi)
+
+let qcheck_dot_cauchy_schwarz =
+  QCheck.Test.make ~count:200 ~name:"|<x,y>| <= |x||y| (Cauchy-Schwarz)"
+    QCheck.(pair (list_of_size Gen.(1 -- 10) (float_range (-100.) 100.))
+              (list_of_size Gen.(1 -- 10) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let n = min (List.length xs) (List.length ys) in
+      let x = Array.of_list (List.filteri (fun i _ -> i < n) xs) in
+      let y = Array.of_list (List.filteri (fun i _ -> i < n) ys) in
+      Float.abs (Vec.dot x y) <= (Vec.norm2 x *. Vec.norm2 y) +. 1e-6)
+
+let tests =
+  [
+    Alcotest.test_case "vec arithmetic" `Quick test_vec_arith;
+    Alcotest.test_case "vec axpy" `Quick test_vec_axpy;
+    Alcotest.test_case "vec argmax/argmin" `Quick test_vec_argmax;
+    Alcotest.test_case "vec dim mismatch raises" `Quick test_vec_dim_mismatch;
+    Alcotest.test_case "vec slice/concat" `Quick test_vec_slice_concat;
+    Alcotest.test_case "mat matvec" `Quick test_mat_matvec;
+    Alcotest.test_case "mat matmul" `Quick test_mat_matmul;
+    Alcotest.test_case "mat transpose" `Quick test_mat_transpose;
+    Alcotest.test_case "mat outer" `Quick test_mat_outer;
+    Alcotest.test_case "mat ragged raises" `Quick test_mat_ragged;
+    Alcotest.test_case "stats basics" `Quick test_stats_basic;
+    Alcotest.test_case "stats quantile" `Quick test_stats_quantile;
+    Alcotest.test_case "stats columnwise" `Quick test_stats_columnwise;
+    Alcotest.test_case "stats wilson interval" `Quick test_stats_wilson;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
+    QCheck_alcotest.to_alcotest qcheck_uniform_bounds;
+    QCheck_alcotest.to_alcotest qcheck_dot_cauchy_schwarz;
+  ]

@@ -1,0 +1,82 @@
+(* Reproducibility guarantees: the entire pipeline is a deterministic
+   function of the setup seed — the property DESIGN.md commits to. *)
+
+module Workflow = Dpv_core.Workflow
+module Verify = Dpv_core.Verify
+module Report = Dpv_core.Report
+module Network = Dpv_nn.Network
+
+let tiny seed =
+  {
+    Workflow.default_setup with
+    seed;
+    hidden = [ 8; 4 ];
+    cut = 6;
+    train_size = 100;
+    val_size = 30;
+    perception_epochs = 4;
+    characterizer_samples = 60;
+    bounds_samples = 60;
+    scenario =
+      {
+        Dpv_scenario.Generator.default_config with
+        camera = { Dpv_scenario.Camera.default_config with width = 8; height = 6 };
+      };
+  }
+
+let test_prepare_deterministic () =
+  let p1 = Workflow.prepare (tiny 21) in
+  let p2 = Workflow.prepare (tiny 21) in
+  let x = p1.Workflow.bounds_images.(0) in
+  Alcotest.(check bool) "identical networks" true
+    (Network.forward p1.Workflow.perception x
+    = Network.forward p2.Workflow.perception x);
+  Alcotest.(check (float 0.0)) "identical loss" p1.Workflow.final_train_loss
+    p2.Workflow.final_train_loss;
+  Alcotest.(check bool) "identical bounds features" true
+    (p1.Workflow.bounds_features = p2.Workflow.bounds_features)
+
+let test_different_seeds_differ () =
+  let p1 = Workflow.prepare (tiny 21) in
+  let p2 = Workflow.prepare (tiny 22) in
+  let x = p1.Workflow.bounds_images.(0) in
+  Alcotest.(check bool) "networks differ" true
+    (Network.forward p1.Workflow.perception x
+    <> Network.forward p2.Workflow.perception x)
+
+let test_run_case_deterministic () =
+  let p = Workflow.prepare (tiny 23) in
+  let run () =
+    let case =
+      Workflow.run_case p ~property:Dpv_scenario.Oracle.bends_right
+        ~psi:(Workflow.psi_steer_far_left ~threshold:30.0 ())
+        ~strategy:Workflow.Data_box
+    in
+    ( Format.asprintf "%a" Verify.pp_verdict case.Workflow.result.Verify.verdict,
+      case.Workflow.characterizer_report.Dpv_core.Characterizer.train_accuracy,
+      case.Workflow.table )
+  in
+  let v1, a1, t1 = run () in
+  let v2, a2, t2 = run () in
+  Alcotest.(check string) "same verdict" v1 v2;
+  Alcotest.(check (float 0.0)) "same characterizer accuracy" a1 a2;
+  Alcotest.(check bool) "same statistical table" true (t1 = t2)
+
+let test_report_table_row () =
+  let row = Report.table_row [ "a"; "bb" ] in
+  Alcotest.(check bool) "padded and joined" true
+    (String.length row > 4 && String.sub row 0 1 = "a");
+  Alcotest.(check bool) "contains separator" true (String.contains row '|')
+
+let test_report_rule () =
+  Alcotest.(check bool) "dashes" true
+    (String.for_all (fun c -> c = '-') (Report.rule ()))
+
+let tests =
+  [
+    Alcotest.test_case "prepare is deterministic" `Slow test_prepare_deterministic;
+    Alcotest.test_case "seeds matter" `Slow test_different_seeds_differ;
+    Alcotest.test_case "run_case is deterministic" `Slow test_run_case_deterministic;
+    Alcotest.test_case "report table row" `Quick test_report_table_row;
+    Alcotest.test_case "report rule" `Quick test_report_rule;
+  ]
