@@ -592,6 +592,181 @@ let ext4 mlp_prepared =
   results
 
 (* ------------------------------------------------------------------ *)
+(* EXT5: parallel branch-and-bound — sequential vs work-stealing search
+   on the same queries, plus the deadline degradation path.  Also emits
+   the machine-readable BENCH_milp.json so later changes can be checked
+   against this baseline.                                              *)
+
+module Milp_par = Dpv_linprog.Milp_par
+module Clock = Dpv_linprog.Clock
+
+let bench_json_path = "BENCH_milp.json"
+
+(* Subset-sum of even weights against an odd target: every deep LP
+   relaxation stays fractional-feasible while no integer point exists,
+   so branch-and-bound faces an astronomically large proof tree — the
+   deliberately hard instance for the deadline row. *)
+let hard_milp n =
+  let m = ref (Dpv_linprog.Lp.create ()) in
+  let vars =
+    Array.init n (fun _ ->
+        let model, v = Dpv_linprog.Lp.add_var ~kind:Dpv_linprog.Lp.Binary !m in
+        m := model;
+        v)
+  in
+  let terms = Array.to_list (Array.map (fun v -> (2.0, v)) vars) in
+  m :=
+    Dpv_linprog.Lp.add_constraint !m terms Dpv_linprog.Lp.Eq
+      (float_of_int (n + 1));
+  !m
+
+let verdict_word r =
+  match r.Verify.verdict with
+  | Verify.Safe _ -> "SAFE"
+  | Verify.Unsafe _ -> "unsafe"
+  | Verify.Unknown _ -> "unknown"
+
+let milp_result_word = function
+  | Dpv_linprog.Milp.Optimal _ -> "optimal"
+  | Dpv_linprog.Milp.Infeasible -> "infeasible"
+  | Dpv_linprog.Milp.Unbounded -> "unbounded"
+  | Dpv_linprog.Milp.Node_limit -> "node-limit"
+  | Dpv_linprog.Milp.Timeout -> "timeout"
+
+let ext5 prepared =
+  section "EXT5: parallel branch-and-bound (work stealing) + deadlines";
+  let par_workers = 4 in
+  Format.printf "host: %d core(s) recommended by the runtime@."
+    (Domain.recommended_domain_count ());
+  Format.printf "%s@."
+    (row [ "query"; "workers"; "verdict"; "nodes"; "steals"; "time (s)" ]);
+  Format.printf "%s@." (Report.rule ());
+  (* Non-trivial verify_without_characterizer queries: cut 3 leaves 32
+     features and dozens of crossing ReLUs, so the witness search
+     genuinely branches (hundreds of nodes) instead of closing at the
+     root — the regime where parallel tree search pays.  *)
+  let queries =
+    [
+      ("no-char/cut3/far-left:6", 3, Workflow.psi_steer_far_left ~threshold:6.0 ());
+      ("no-char/cut3/far-left:10", 3, Workflow.psi_steer_far_left ~threshold:10.0 ());
+    ]
+  in
+  let measurements =
+    List.concat_map
+      (fun (name, cut, psi) ->
+        let bounds = Verify.Data_box (Workflow.features_at prepared ~cut) in
+        List.map
+          (fun workers ->
+            let milp_options =
+              {
+                Milp.default_options with
+                find_first = true;
+                workers;
+              }
+            in
+            let result =
+              Verify.verify_without_characterizer ~milp_options
+                ~perception:prepared.Workflow.perception ~cut ~psi ~bounds ()
+            in
+            Format.printf "%s@."
+              (row
+                 [
+                   name;
+                   string_of_int workers;
+                   verdict_word result;
+                   string_of_int result.Verify.milp_stats.Milp.nodes_explored;
+                   string_of_int result.Verify.milp_stats.Milp.steals;
+                   Printf.sprintf "%.3f" result.Verify.wall_time_s;
+                 ]);
+            (name, workers, result))
+          [ 1; par_workers ])
+      queries
+  in
+  (* Deadline degradation: a 1-second budget on the hard instance must
+     come back Timeout instead of spinning to the node cap. *)
+  let deadline_s = 1.0 in
+  let hard = hard_milp 30 in
+  let hard_options =
+    {
+      Milp.default_options with
+      max_nodes = max_int;
+      workers = par_workers;
+      time_limit_s = Some deadline_s;
+    }
+  in
+  let hard_started = Clock.now_s () in
+  let hard_result, hard_stats =
+    Milp_par.solve_with_stats ~options:hard_options hard
+  in
+  let hard_wall = Clock.now_s () -. hard_started in
+  Format.printf "%s@."
+    (row
+       [
+         "hard-subset-sum/1s";
+         string_of_int par_workers;
+         milp_result_word hard_result;
+         string_of_int hard_stats.Milp.nodes_explored;
+         string_of_int hard_stats.Milp.steals;
+         Printf.sprintf "%.3f" hard_wall;
+       ]);
+  (* Speedup per query and the JSON baseline. *)
+  let speedups =
+    List.filter_map
+      (fun (name, _, _) ->
+        let find w =
+          List.find_opt (fun (n, ws, _) -> n = name && ws = w) measurements
+        in
+        match (find 1, find par_workers) with
+        | Some (_, _, seq), Some (_, _, par) when par.Verify.wall_time_s > 0.0
+          ->
+            Some (name, seq.Verify.wall_time_s /. par.Verify.wall_time_s)
+        | _ -> None)
+      queries
+  in
+  List.iter
+    (fun (name, factor) ->
+      Format.printf "speedup %s: %.2fx with %d workers@." name factor
+        par_workers)
+    speedups;
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let query_json (name, workers, (result : Verify.result)) =
+        Printf.sprintf
+          "    {\"name\": %S, \"workers\": %d, \"verdict\": %S, \
+           \"wall_s\": %.6f, \"nodes\": %d, \"lps\": %d, \"steals\": %d, \
+           \"max_queue_depth\": %d, \"lp_time_s\": %.6f}"
+          name workers (verdict_word result) result.Verify.wall_time_s
+          result.Verify.milp_stats.Milp.nodes_explored
+          result.Verify.milp_stats.Milp.lp_solved
+          result.Verify.milp_stats.Milp.steals
+          result.Verify.milp_stats.Milp.max_queue_depth
+          result.Verify.milp_stats.Milp.lp_time_s
+      in
+      let speedup_json (name, factor) =
+        Printf.sprintf "    {\"query\": %S, \"factor\": %.4f}" name factor
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"dpv-bench-milp/1\",\n\
+        \  \"host_recommended_domains\": %d,\n\
+        \  \"parallel_workers\": %d,\n\
+        \  \"queries\": [\n%s\n  ],\n\
+        \  \"speedups\": [\n%s\n  ],\n\
+        \  \"deadline\": {\"time_limit_s\": %.3f, \"result\": %S, \
+         \"wall_s\": %.6f, \"nodes\": %d}\n\
+         }\n"
+        (Domain.recommended_domain_count ())
+        par_workers
+        (String.concat ",\n" (List.map query_json measurements))
+        (String.concat ",\n" (List.map speedup_json speedups))
+        deadline_s (milp_result_word hard_result) hard_wall
+        hard_stats.Milp.nodes_explored);
+  Format.printf "@.baseline written to %s@." bench_json_path;
+  (measurements, hard_result)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per experiment kernel.       *)
 
 let bechamel_suite prepared =
@@ -721,5 +896,6 @@ let () =
   ignore (ext2 prepared);
   ignore (ext3 prepared);
   ignore (ext4 prepared);
+  ignore (ext5 prepared);
   run_bechamel prepared;
   Format.printf "@.done.@."

@@ -37,6 +37,31 @@ let seed =
 
 let setup_of ~seed = { Workflow.default_setup with Workflow.seed }
 
+let workers =
+  let doc =
+    "Branch-and-bound worker domains (0 = one per available core, \
+     leaving one for the rest of the process)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "workers" ] ~doc)
+
+let timeout_s =
+  let doc =
+    "Wall-clock solver deadline in seconds; an expired query reports \
+     UNKNOWN (deadline exceeded) instead of searching to the node cap."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout-s" ] ~doc)
+
+let milp_options_of ~workers ~timeout_s =
+  let workers =
+    if workers <= 0 then Dpv_linprog.Milp_par.default_workers () else workers
+  in
+  {
+    Dpv_linprog.Milp.default_options with
+    find_first = true;
+    workers;
+    time_limit_s = timeout_s;
+  }
+
 let property_conv =
   let parse s =
     match Oracle.find s with
@@ -139,9 +164,12 @@ let train_cmd =
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run seed cache_dir property psi strategy cut =
+  let run seed cache_dir property psi strategy cut workers timeout_s =
     let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
-    let case = Workflow.run_case ?cut prepared ~property ~psi ~strategy in
+    let milp_options = milp_options_of ~workers ~timeout_s in
+    let case =
+      Workflow.run_case ~milp_options ?cut prepared ~property ~psi ~strategy
+    in
     Format.printf "%a@." Report.pp_case case;
     match case.Workflow.result.Verify.verdict with
     | Verify.Safe _ -> 0
@@ -155,7 +183,9 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify a (phi, psi) safety property of the cached network")
-    Term.(const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg $ cut)
+    Term.(
+      const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
+      $ cut $ workers $ timeout_s)
 
 (* ---- monitor ---- *)
 
@@ -235,9 +265,10 @@ let render_cmd =
 (* ---- certify ---- *)
 
 let certify_cmd =
-  let run seed cache_dir property psi strategy output =
+  let run seed cache_dir property psi strategy output workers timeout_s =
     let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
-    let case = Workflow.run_case prepared ~property ~psi ~strategy in
+    let milp_options = milp_options_of ~workers ~timeout_s in
+    let case = Workflow.run_case ~milp_options prepared ~property ~psi ~strategy in
     let cert =
       Dpv_core.Certificate.of_case case
         ~features:prepared.Workflow.bounds_features
@@ -260,7 +291,7 @@ let certify_cmd =
              region, characterizer head, statistical table)")
     Term.(
       const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
-      $ output)
+      $ output $ workers $ timeout_s)
 
 (* ---- check-cert ---- *)
 
@@ -297,10 +328,12 @@ let check_cert_cmd =
 (* ---- refine ---- *)
 
 let refine_cmd =
-  let run seed cache_dir property psi strategy max_steps =
+  let run seed cache_dir property psi strategy max_steps workers timeout_s =
     let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
+    let milp_options = milp_options_of ~workers ~timeout_s in
     let outcome =
-      Dpv_core.Refine.run ?max_steps prepared ~property ~psi ~strategy
+      Dpv_core.Refine.run ~milp_options ?max_steps prepared ~property ~psi
+        ~strategy
     in
     Format.printf "%a@." Dpv_core.Refine.pp_outcome outcome;
     match outcome with
@@ -319,7 +352,7 @@ let refine_cmd =
        ~doc:"Verify with layer-wise incremental abstraction refinement")
     Term.(
       const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
-      $ max_steps)
+      $ max_steps $ workers $ timeout_s)
 
 (* ---- attack ---- *)
 

@@ -5,19 +5,32 @@ let pp_verdict_line fmt (case : Workflow.case_report) =
     Verify.pp_verdict case.result.Verify.verdict case.result.Verify.wall_time_s
     case.result.Verify.encoding
 
+let pp_milp_stats fmt (stats : Dpv_linprog.Milp.stats) =
+  let workers = Array.length stats.Dpv_linprog.Milp.per_worker_nodes in
+  Format.fprintf fmt "milp: %d nodes, %d LPs (%.3fs in LP)"
+    stats.Dpv_linprog.Milp.nodes_explored stats.Dpv_linprog.Milp.lp_solved
+    stats.Dpv_linprog.Milp.lp_time_s;
+  if workers > 1 then
+    Format.fprintf fmt
+      "@,solver: %d workers, nodes/worker [%s], %d steals, max queue depth %d"
+      workers
+      (String.concat "; "
+         (Array.to_list
+            (Array.map string_of_int stats.Dpv_linprog.Milp.per_worker_nodes)))
+      stats.Dpv_linprog.Milp.steals stats.Dpv_linprog.Milp.max_queue_depth
+
 let pp_case fmt (case : Workflow.case_report) =
   Format.fprintf fmt
     "@[<v>%a@,\
      characterizer: train acc %.3f (perfect=%b, %d epochs), val acc %.3f@,\
      statistical table:@,%a@,\
      omitted-and-unsafe points (footnote 4): %d@,\
-     milp: %d nodes, %d LPs@]"
+     %a@]"
     pp_verdict_line case case.characterizer_report.Characterizer.train_accuracy
     case.characterizer_report.Characterizer.perfect_on_train
     case.characterizer_report.Characterizer.epochs_run
     case.characterizer_val_accuracy Statistical.pp case.table
-    case.omitted_unsafe case.result.Verify.milp_stats.Dpv_linprog.Milp.nodes_explored
-    case.result.Verify.milp_stats.Dpv_linprog.Milp.lp_solved
+    case.omitted_unsafe pp_milp_stats case.result.Verify.milp_stats
 
 let case_to_string case = Format.asprintf "%a" pp_case case
 

@@ -6,6 +6,11 @@ val case_to_string : Workflow.case_report -> string
 val pp_verdict_line : Format.formatter -> Workflow.case_report -> unit
 (** One-line summary: property, psi, strategy, verdict, time. *)
 
+val pp_milp_stats : Format.formatter -> Dpv_linprog.Milp.stats -> unit
+(** Solver telemetry block: nodes and LPs, LP wall time, and — under
+    parallel search — per-worker node counts, steal count and the
+    deepest any subproblem queue got. *)
+
 val table_row : string list -> string
 (** Fixed-width table row helper used by the bench harness. *)
 

@@ -1,17 +1,20 @@
 module Lp = Dpv_linprog.Lp
 module Simplex = Dpv_linprog.Simplex
+module Clock = Dpv_linprog.Clock
 module Box_domain = Dpv_absint.Box_domain
 module Interval = Dpv_absint.Interval
 
 type stats = {
   lps_solved : int;
   dims_tightened : int;
+  dims_skipped : int;
   width_before : float;
   width_after : float;
 }
 
-let feature_box ~suffix ~head ~feature_box ?(extra_faces = [])
+let feature_box ?time_limit_s ~suffix ~head ~feature_box ?(extra_faces = [])
     ?(characterizer_margin = 0.0) () =
+  let deadline = Clock.deadline_after time_limit_s in
   let encoding =
     Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
       ()
@@ -19,9 +22,15 @@ let feature_box ~suffix ~head ~feature_box ?(extra_faces = [])
   let relaxed = Lp.relax_integrality encoding.Encode.model in
   let lps = ref 0 in
   let tightened = ref 0 in
+  let skipped = ref 0 in
   let out =
     Array.mapi
       (fun i (orig : Interval.t) ->
+        if Clock.expired deadline then begin
+          incr skipped;
+          orig
+        end
+        else
         let v = encoding.Encode.feature_vars.(i) in
         let solve sense =
           incr lps;
@@ -47,6 +56,7 @@ let feature_box ~suffix ~head ~feature_box ?(extra_faces = [])
     {
       lps_solved = !lps;
       dims_tightened = !tightened;
+      dims_skipped = !skipped;
       width_before = Box_domain.mean_width feature_box;
       width_after = Box_domain.mean_width out;
     }

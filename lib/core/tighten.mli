@@ -12,11 +12,13 @@
 type stats = {
   lps_solved : int;
   dims_tightened : int;
+  dims_skipped : int;    (** coordinates left untouched by the deadline *)
   width_before : float;  (** mean width of the incoming box *)
   width_after : float;
 }
 
 val feature_box :
+  ?time_limit_s:float ->
   suffix:Dpv_nn.Network.t ->
   head:Dpv_nn.Network.t ->
   feature_box:Dpv_absint.Box_domain.t ->
@@ -25,4 +27,9 @@ val feature_box :
   unit ->
   Dpv_absint.Box_domain.t * stats
 (** Tightened feature box (sound: every point of the original region that
-    satisfies the side constraints stays inside). *)
+    satisfies the side constraints stays inside).
+
+    [time_limit_s] bounds the preprocessing on the wall clock: once the
+    deadline passes, remaining coordinates keep their incoming bounds
+    (still sound — OBBT only ever shrinks) and are counted in
+    [dims_skipped]. *)

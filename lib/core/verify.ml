@@ -1,5 +1,7 @@
 module Lp = Dpv_linprog.Lp
 module Milp = Dpv_linprog.Milp
+module Milp_par = Dpv_linprog.Milp_par
+module Clock = Dpv_linprog.Clock
 module Network = Dpv_nn.Network
 module Layer = Dpv_nn.Layer
 module Box_domain = Dpv_absint.Box_domain
@@ -52,19 +54,20 @@ let concrete_tol = 1e-5
 
 let run_query ?(milp_options = default_milp_options) ~characterizer_margin
     ~suffix ~head ~feature_box ~extra_faces ~psi ~conditional () =
-  let started = Sys.time () in
+  let started = Clock.now_s () in
   let encoding =
     Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
       ~psi ()
   in
   let milp_result, milp_stats =
-    Milp.solve_with_stats ~options:milp_options encoding.Encode.model
+    Milp_par.solve_with_stats ~options:milp_options encoding.Encode.model
   in
-  let wall_time_s = Sys.time () -. started in
+  let wall_time_s = Clock.now_s () -. started in
   let verdict =
     match milp_result with
     | Milp.Infeasible -> Safe { conditional }
     | Milp.Node_limit -> Unknown "branch-and-bound node limit reached"
+    | Milp.Timeout -> Unknown "deadline exceeded"
     | Milp.Unbounded -> Unknown "LP relaxation unbounded (missing bounds)"
     | Milp.Optimal { solution; _ } ->
         let features =
@@ -103,9 +106,12 @@ let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
   let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
   let feature_box =
     if tighten then
+      let time_limit_s =
+        Option.bind milp_options (fun o -> o.Milp.time_limit_s)
+      in
       fst
-        (Tighten.feature_box ~suffix ~head ~feature_box ~extra_faces
-           ~characterizer_margin ())
+        (Tighten.feature_box ?time_limit_s ~suffix ~head ~feature_box
+           ~extra_faces ~characterizer_margin ())
     else feature_box
   in
   run_query ?milp_options ~characterizer_margin ~suffix ~head ~feature_box
@@ -121,7 +127,7 @@ let expr_bounds expr box =
 
 let verify_incomplete ?(domain = Propagate.Deeppoly)
     ?(characterizer_margin = 0.0) ~perception ~characterizer ~psi ~bounds () =
-  let started = Sys.time () in
+  let started = Clock.now_s () in
   let cut = characterizer.Characterizer.cut in
   let suffix = Network.suffix perception ~cut in
   let head = characterizer.Characterizer.head in
@@ -155,12 +161,12 @@ let verify_incomplete ?(domain = Propagate.Deeppoly)
   in
   {
     verdict;
-    milp_stats = { Milp.nodes_explored = 0; lp_solved = 0; incumbent_updates = 0 };
+    milp_stats = Milp.empty_stats;
     encoding =
       Printf.sprintf "bound propagation over %d suffix + %d head layers"
         (Network.num_layers suffix) (Network.num_layers head);
     num_binaries = 0;
-    wall_time_s = Sys.time () -. started;
+    wall_time_s = Clock.now_s () -. started;
   }
 
 (* A head whose logit is the constant 1: "phi always holds". *)
@@ -200,11 +206,12 @@ let optimize_output ?(milp_options = { Milp.default_options with find_first = fa
     match sense with `Maximize -> Lp.Maximize | `Minimize -> Lp.Minimize
   in
   let encoding = Encode.set_output_objective encoding ~sense:lp_sense objective in
-  match Milp.solve ~options:milp_options encoding.Encode.model with
+  match Milp_par.solve ~options:milp_options encoding.Encode.model with
   | Milp.Infeasible ->
       Error "characterizer never fires inside S (query infeasible)"
   | Milp.Unbounded -> Error "objective unbounded over S"
   | Milp.Node_limit -> Error "node limit reached"
+  | Milp.Timeout -> Error "deadline exceeded"
   | Milp.Optimal { objective = value; solution } ->
       let opt_features =
         Array.map (fun v -> solution.(v)) encoding.Encode.feature_vars

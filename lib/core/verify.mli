@@ -50,7 +50,14 @@ val verify :
   result
 (** [tighten] (default false) runs {!Tighten.feature_box} over the
     resolved region before encoding, trading a few LPs for fewer
-    branch-and-bound binaries. *)
+    branch-and-bound binaries.
+
+    [milp_options] controls the solver: [workers > 1] searches the
+    branch-and-bound tree across that many domains
+    ({!Dpv_linprog.Milp_par}), and [time_limit_s] imposes a wall-clock
+    deadline — an expired query returns [Unknown "deadline exceeded"]
+    (the paper's UNKNOWN verdict) instead of spinning to the node cap.
+    Both limits also apply to the optional tightening pass. *)
 
 val verify_incomplete :
   ?domain:Dpv_absint.Propagate.domain ->

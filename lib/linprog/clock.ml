@@ -1,0 +1,13 @@
+let now_s () = Unix.gettimeofday ()
+
+type deadline = float option
+
+let deadline_after = function
+  | None -> None
+  | Some budget_s -> Some (now_s () +. budget_s)
+
+let expired = function None -> false | Some t -> now_s () > t
+
+let remaining_s = function
+  | None -> None
+  | Some t -> Some (Float.max 0.0 (t -. now_s ()))

@@ -1,0 +1,21 @@
+(** Wall-clock timing for solver deadlines and telemetry.
+
+    [Sys.time] measures CPU time summed over every running domain, which
+    both over-counts under parallel search and under-counts while a
+    domain sleeps.  All solver timing goes through this module instead,
+    so a deadline of one second means one second on the wall. *)
+
+val now_s : unit -> float
+(** Seconds since an arbitrary epoch.  Only differences are meaningful. *)
+
+type deadline
+(** An absolute point in time against which work can be checked. *)
+
+val deadline_after : float option -> deadline
+(** [deadline_after (Some s)] is the instant [s] seconds from now;
+    [deadline_after None] never expires. *)
+
+val expired : deadline -> bool
+
+val remaining_s : deadline -> float option
+(** Seconds left, clamped at [0.]; [None] for a never-expiring deadline. *)

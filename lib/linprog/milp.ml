@@ -3,20 +3,53 @@ type result =
   | Infeasible
   | Unbounded
   | Node_limit
+  | Timeout
 
 type stats = {
   nodes_explored : int;
   lp_solved : int;
   incumbent_updates : int;
+  lp_time_s : float;
+  per_worker_nodes : int array;
+  steals : int;
+  max_queue_depth : int;
 }
 
-type options = { max_nodes : int; int_tol : float; find_first : bool }
+let empty_stats =
+  {
+    nodes_explored = 0;
+    lp_solved = 0;
+    incumbent_updates = 0;
+    lp_time_s = 0.0;
+    per_worker_nodes = [||];
+    steals = 0;
+    max_queue_depth = 0;
+  }
 
-let default_options = { max_nodes = 200_000; int_tol = 1e-6; find_first = false }
+type options = {
+  max_nodes : int;
+  int_tol : float;
+  find_first : bool;
+  workers : int;
+  time_limit_s : float option;
+}
+
+let default_options =
+  {
+    max_nodes = 200_000;
+    int_tol = 1e-6;
+    find_first = false;
+    workers = 1;
+    time_limit_s = None;
+  }
 
 let is_integral ~tol x = Float.abs (x -. Float.round x) <= tol
 
-(* Most fractional integer variable, if any. *)
+(* Most fractional integer variable, if any.  Ties (within an epsilon
+   well below any meaningful fractionality difference) go to the lowest
+   variable index: [Lp.integer_vars] is ascending and a candidate must
+   beat the best strictly, so parallel and sequential runs branch on the
+   same variable and report stable witnesses. *)
 let find_branch_var ~tol model solution =
   let best = ref None in
   List.iter
@@ -25,7 +58,7 @@ let find_branch_var ~tol model solution =
       if not (is_integral ~tol x) then begin
         let frac = Float.abs (x -. Float.round x) in
         match !best with
-        | Some (_, f) when f >= frac -> ()
+        | Some (_, f) when frac <= f +. 1e-12 -> ()
         | _ -> best := Some (v, frac)
       end)
     (Lp.integer_vars model);
@@ -38,22 +71,36 @@ let round_integral ~tol model solution =
     (Lp.integer_vars model);
   out
 
+(* Child order for DFS: explore the branch nearer the fractional value
+   first — it finds integer-feasible points faster in practice. *)
+let branch_children node v x =
+  let lo, up = Lp.var_bounds node v in
+  let floor_v = Float.floor x and ceil_v = Float.ceil x in
+  let down = Lp.set_var_bounds node v ~lo ~up:(Some floor_v) in
+  let up_node = Lp.set_var_bounds node v ~lo:(Some ceil_v) ~up in
+  if x -. floor_v <= ceil_v -. x then (down, up_node) else (up_node, down)
+
 let solve_with_stats ?(options = default_options) model =
   let sense, _ = Lp.objective model in
   (* Internally we always minimize; [better a b] says [a] improves on [b]. *)
   let better a b =
     match sense with Lp.Minimize -> a < b -. 1e-12 | Lp.Maximize -> a > b +. 1e-12
   in
+  let deadline = Clock.deadline_after options.time_limit_s in
   let nodes = ref 0 and lps = ref 0 and updates = ref 0 in
+  let lp_time = ref 0.0 in
   let incumbent = ref None in
   let hit_limit = ref false in
+  let hit_deadline = ref false in
   let relaxation_unbounded = ref false in
+  let max_depth = ref 0 in
   (* DFS over persistent models; bound tightening produces child nodes. *)
   let rec explore stack =
     match stack with
     | [] -> ()
     | node :: rest ->
         if !nodes >= options.max_nodes then hit_limit := true
+        else if Clock.expired deadline then hit_deadline := true
         else if
           (* Early exit once an incumbent exists in find_first mode. *)
           options.find_first && !incumbent <> None
@@ -61,7 +108,10 @@ let solve_with_stats ?(options = default_options) model =
         else begin
           incr nodes;
           incr lps;
-          match Simplex.solve node with
+          let lp_started = Clock.now_s () in
+          let status = Simplex.solve node in
+          lp_time := !lp_time +. (Clock.now_s () -. lp_started);
+          match status with
           | Simplex.Infeasible -> explore rest
           | Simplex.Unbounded ->
               (* Without a finite relaxation bound we cannot prune; report. *)
@@ -84,35 +134,34 @@ let solve_with_stats ?(options = default_options) model =
                         incr updates);
                     explore rest
                 | Some v ->
-                    let x = solution.(v) in
-                    let lo, up = Lp.var_bounds node v in
-                    let floor_v = Float.floor x and ceil_v = Float.ceil x in
-                    let down =
-                      Lp.set_var_bounds node v ~lo ~up:(Some floor_v)
-                    in
-                    let up_node =
-                      Lp.set_var_bounds node v ~lo:(Some ceil_v) ~up
-                    in
-                    (* Explore the branch nearer the fractional value first:
-                       finds integer-feasible points faster in practice. *)
-                    let first, second =
-                      if x -. floor_v <= ceil_v -. x then (down, up_node)
-                      else (up_node, down)
-                    in
-                    explore (first :: second :: rest)
+                    let first, second = branch_children node v solution.(v) in
+                    let stack' = first :: second :: rest in
+                    max_depth := Stdlib.max !max_depth (List.length stack');
+                    explore stack'
               end
         end
   in
   explore [ model ];
   let stats =
-    { nodes_explored = !nodes; lp_solved = !lps; incumbent_updates = !updates }
+    {
+      nodes_explored = !nodes;
+      lp_solved = !lps;
+      incumbent_updates = !updates;
+      lp_time_s = !lp_time;
+      per_worker_nodes = [| !nodes |];
+      steals = 0;
+      max_queue_depth = !max_depth;
+    }
   in
   let result =
     if !relaxation_unbounded && !incumbent = None then Unbounded
     else
       match !incumbent with
       | Some (objective, solution) -> Optimal { objective; solution }
-      | None -> if !hit_limit then Node_limit else Infeasible
+      | None ->
+          if !hit_deadline then Timeout
+          else if !hit_limit then Node_limit
+          else Infeasible
   in
   (result, stats)
 

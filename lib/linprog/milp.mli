@@ -2,7 +2,11 @@
 
     Designed for the verification workload: feasibility queries over
     big-M ReLU encodings where the integer variables are the binary
-    phase indicators.  Also solves general small MILPs. *)
+    phase indicators.  Also solves general small MILPs.
+
+    This module is the sequential solver; {!Milp_par} runs the same
+    search across several domains and falls back to this code when a
+    single worker is requested. *)
 
 type result =
   | Optimal of { objective : float; solution : float array }
@@ -11,22 +15,57 @@ type result =
       (** The LP relaxation is unbounded (the MILP may be too). *)
   | Node_limit
       (** Search stopped at [max_nodes] without a conclusive answer. *)
+  | Timeout
+      (** Search stopped at the wall-clock deadline without a
+          conclusive answer.  Queries should degrade to "unknown"
+          rather than spin to the node cap. *)
 
 type stats = {
   nodes_explored : int;
   lp_solved : int;
   incumbent_updates : int;
+  lp_time_s : float;            (** wall time spent inside {!Simplex} *)
+  per_worker_nodes : int array; (** node count by worker; [[|n|]] when
+                                    solved sequentially *)
+  steals : int;                 (** work-stealing events (0 sequential) *)
+  max_queue_depth : int;        (** deepest any subproblem queue got *)
 }
+
+val empty_stats : stats
+(** All-zero statistics; the baseline for non-MILP code paths that must
+    still report a [stats] record. *)
 
 type options = {
   max_nodes : int;      (** branch-and-bound node budget *)
   int_tol : float;      (** integrality tolerance *)
   find_first : bool;    (** stop at the first integer-feasible solution;
                             the natural mode for feasibility queries *)
+  workers : int;        (** domains for {!Milp_par}; this module ignores
+                            any value except to assert it is positive *)
+  time_limit_s : float option;
+      (** wall-clock budget; [None] never expires.  Measured on a
+          monotonic wall clock, not CPU time, so it stays meaningful
+          under multi-domain search. *)
 }
 
 val default_options : options
-(** [{ max_nodes = 200_000; int_tol = 1e-6; find_first = false }] *)
+(** [{ max_nodes = 200_000; int_tol = 1e-6; find_first = false;
+      workers = 1; time_limit_s = None }] *)
+
+val find_branch_var : tol:float -> Lp.t -> float array -> Lp.var option
+(** Most fractional integer variable, ties broken toward the lowest
+    variable index (deterministically, so sequential and parallel runs
+    branch identically on identical relaxations). *)
+
+val round_integral : tol:float -> Lp.t -> float array -> float array
+(** Snap near-integral integer variables of a relaxation solution to
+    exact integers before reporting it as an incumbent. *)
+
+val branch_children : Lp.t -> Lp.var -> float -> Lp.t * Lp.t
+(** [branch_children node v x] splits [node] at the fractional value
+    [x] of [v] into (preferred, other) child subproblems — preferred is
+    the branch nearer [x], which tends to reach integer-feasible points
+    sooner.  Shared by the sequential and parallel tree searches. *)
 
 val solve : ?options:options -> Lp.t -> result
 val solve_with_stats : ?options:options -> Lp.t -> result * stats

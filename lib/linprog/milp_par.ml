@@ -1,0 +1,141 @@
+let default_workers () =
+  Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+(* One shared search state, read and written by every worker.  The
+   incumbent needs a compound compare-and-publish, so it lives behind a
+   mutex; everything touched once per node at most rides on atomics.
+   Contention is negligible: each critical section is a few loads
+   against an LP solve per node. *)
+type shared = {
+  incumbent : (float * float array) option ref;
+  incumbent_lock : Mutex.t;
+  nodes : int Atomic.t;
+  lps : int Atomic.t;
+  updates : int Atomic.t;
+  found : bool Atomic.t;          (* an incumbent exists (find_first exit) *)
+  hit_limit : bool Atomic.t;
+  hit_deadline : bool Atomic.t;
+  relaxation_unbounded : bool Atomic.t;
+}
+
+let solve_parallel ~(options : Milp.options) model =
+  let sense, _ = Lp.objective model in
+  let better a b =
+    match sense with Lp.Minimize -> a < b -. 1e-12 | Lp.Maximize -> a > b +. 1e-12
+  in
+  let deadline = Clock.deadline_after options.Milp.time_limit_s in
+  let workers = options.Milp.workers in
+  let s =
+    {
+      incumbent = ref None;
+      incumbent_lock = Mutex.create ();
+      nodes = Atomic.make 0;
+      lps = Atomic.make 0;
+      updates = Atomic.make 0;
+      found = Atomic.make false;
+      hit_limit = Atomic.make false;
+      hit_deadline = Atomic.make false;
+      relaxation_unbounded = Atomic.make false;
+    }
+  in
+  let per_worker_nodes = Array.make workers 0 in
+  let lp_time = Array.make workers 0.0 in
+  let stop () =
+    (options.Milp.find_first && Atomic.get s.found)
+    || Atomic.get s.hit_limit || Atomic.get s.hit_deadline
+    || Atomic.get s.relaxation_unbounded
+  in
+  let try_publish objective sol =
+    Mutex.protect s.incumbent_lock (fun () ->
+        match !(s.incumbent) with
+        | Some (obj, _) when not (better objective obj) -> ()
+        | _ ->
+            s.incumbent := Some (objective, sol);
+            Atomic.incr s.updates;
+            Atomic.set s.found true)
+  in
+  let pruned_by_incumbent objective =
+    Mutex.protect s.incumbent_lock (fun () ->
+        match !(s.incumbent) with
+        | Some (obj, _) -> not (better objective obj)
+        | None -> false)
+  in
+  let process id node =
+    if Atomic.get s.nodes >= options.Milp.max_nodes then begin
+      Atomic.set s.hit_limit true;
+      []
+    end
+    else if Clock.expired deadline then begin
+      Atomic.set s.hit_deadline true;
+      []
+    end
+    else begin
+      Atomic.incr s.nodes;
+      per_worker_nodes.(id) <- per_worker_nodes.(id) + 1;
+      Atomic.incr s.lps;
+      let lp_started = Clock.now_s () in
+      let status = Simplex.solve node in
+      lp_time.(id) <- lp_time.(id) +. (Clock.now_s () -. lp_started);
+      match status with
+      | Simplex.Infeasible -> []
+      | Simplex.Unbounded ->
+          (* Without a finite relaxation bound we cannot prune; abandon
+             the search and report, as the sequential solver does. *)
+          Atomic.set s.relaxation_unbounded true;
+          []
+      | Simplex.Optimal { objective; solution } ->
+          if pruned_by_incumbent objective then []
+          else begin
+            match
+              Milp.find_branch_var ~tol:options.Milp.int_tol node solution
+            with
+            | None ->
+                let sol =
+                  Milp.round_integral ~tol:options.Milp.int_tol node solution
+                in
+                try_publish objective sol;
+                []
+            | Some v ->
+                let first, second =
+                  Milp.branch_children node v solution.(v)
+                in
+                (* The pool pops the *last* child next on this worker:
+                   keep the preferred branch last for DFS order. *)
+                [ second; first ]
+          end
+    end
+  in
+  let pool_stats =
+    Pool.run ~workers ~initial:[ model ] ~process ~stop
+  in
+  let stats =
+    {
+      Milp.nodes_explored = Atomic.get s.nodes;
+      lp_solved = Atomic.get s.lps;
+      incumbent_updates = Atomic.get s.updates;
+      lp_time_s = Array.fold_left ( +. ) 0.0 lp_time;
+      per_worker_nodes;
+      steals = pool_stats.Pool.steals;
+      max_queue_depth = pool_stats.Pool.max_queue_depth;
+    }
+  in
+  let result =
+    if Atomic.get s.relaxation_unbounded && !(s.incumbent) = None then
+      Milp.Unbounded
+    else
+      match !(s.incumbent) with
+      | Some (objective, solution) -> Milp.Optimal { objective; solution }
+      | None ->
+          if Atomic.get s.hit_deadline then Milp.Timeout
+          else if Atomic.get s.hit_limit then Milp.Node_limit
+          else Milp.Infeasible
+  in
+  (result, stats)
+
+let solve_with_stats ?(options = Milp.default_options) model =
+  if options.Milp.workers < 1 then
+    invalid_arg "Milp_par.solve_with_stats: workers must be >= 1"
+  else if options.Milp.workers = 1 then Milp.solve_with_stats ~options model
+  else solve_parallel ~options model
+
+let solve ?options model = fst (solve_with_stats ?options model)

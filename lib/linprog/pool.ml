@@ -1,0 +1,130 @@
+type stats = {
+  per_worker_tasks : int array;
+  steals : int;
+  max_queue_depth : int;
+}
+
+(* Growable ring-buffer deque, one lock each.  The owner works the back,
+   thieves take the front; contention is a single uncontended lock in
+   the common case, which is cheap next to the LP solve each task does. *)
+type 'a deque = {
+  mutable buf : 'a option array;
+  mutable front : int;          (* index of the first element *)
+  mutable len : int;
+  mutable high_water : int;     (* deepest this deque ever got *)
+  lock : Mutex.t;
+}
+
+let make_deque () =
+  { buf = Array.make 64 None; front = 0; len = 0; high_water = 0;
+    lock = Mutex.create () }
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to d.len - 1 do
+    buf.(i) <- d.buf.((d.front + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.front <- 0
+
+let with_lock d f =
+  Mutex.lock d.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+
+let push_back d x =
+  with_lock d (fun () ->
+      if d.len = Array.length d.buf then grow d;
+      d.buf.((d.front + d.len) mod Array.length d.buf) <- Some x;
+      d.len <- d.len + 1;
+      if d.len > d.high_water then d.high_water <- d.len)
+
+let pop_back d =
+  with_lock d (fun () ->
+      if d.len = 0 then None
+      else begin
+        let i = (d.front + d.len - 1) mod Array.length d.buf in
+        let x = d.buf.(i) in
+        d.buf.(i) <- None;
+        d.len <- d.len - 1;
+        x
+      end)
+
+let pop_front d =
+  with_lock d (fun () ->
+      if d.len = 0 then None
+      else begin
+        let x = d.buf.(d.front) in
+        d.buf.(d.front) <- None;
+        d.front <- (d.front + 1) mod Array.length d.buf;
+        d.len <- d.len - 1;
+        x
+      end)
+
+let run ~workers ~initial ~process ~stop =
+  if workers < 1 then invalid_arg "Pool.run: workers must be >= 1";
+  let deques = Array.init workers (fun _ -> make_deque ()) in
+  (* Tasks queued or currently being processed; 0 means the whole tree
+     is done.  A task stays counted until after its children are pushed,
+     so the counter can never dip to 0 with work still hidden inside a
+     running [process]. *)
+  let pending = Atomic.make 0 in
+  let steals = Atomic.make 0 in
+  let tasks_done = Array.make workers 0 in
+  List.iter
+    (fun task ->
+      Atomic.incr pending;
+      push_back deques.(0) task)
+    initial;
+  let execute id task =
+    let children = process id task in
+    List.iter
+      (fun child ->
+        Atomic.incr pending;
+        push_back deques.(id) child)
+      children;
+    tasks_done.(id) <- tasks_done.(id) + 1;
+    Atomic.decr pending
+  in
+  let steal id =
+    let n = workers in
+    let rec scan k =
+      if k >= n then None
+      else
+        match pop_front deques.((id + k) mod n) with
+        | Some _ as hit ->
+            Atomic.incr steals;
+            hit
+        | None -> scan (k + 1)
+    in
+    scan 1
+  in
+  let rec worker_loop id =
+    if Atomic.get pending = 0 || stop () then ()
+    else begin
+      (match pop_back deques.(id) with
+      | Some task -> execute id task
+      | None -> (
+          match steal id with
+          | Some task -> execute id task
+          | None -> Domain.cpu_relax ()));
+      worker_loop id
+    end
+  in
+  if workers = 1 then worker_loop 0
+  else begin
+    let domains =
+      Array.init (workers - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop (i + 1)))
+    in
+    worker_loop 0;
+    Array.iter Domain.join domains
+  end;
+  let max_queue_depth =
+    Array.fold_left (fun acc d -> Stdlib.max acc d.high_water) 0 deques
+  in
+  {
+    per_worker_tasks = tasks_done;
+    steals = Atomic.get steals;
+    max_queue_depth;
+  }

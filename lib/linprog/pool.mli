@@ -1,0 +1,39 @@
+(** Work-stealing domain pool for tree-shaped search.
+
+    A fixed crew of worker domains processes tasks from per-worker
+    deques.  Each worker pushes and pops at the *back* of its own deque
+    (LIFO, which keeps a depth-first search depth-first and cache-warm)
+    and, when empty, steals from the *front* of a victim's deque (FIFO,
+    which hands thieves the shallowest — largest — subtrees).
+
+    The pool is built per solve and torn down when the task graph is
+    exhausted or the caller's [stop] predicate fires, so worker domains
+    never outlive a query. *)
+
+type stats = {
+  per_worker_tasks : int array;  (** tasks processed, by worker index *)
+  steals : int;                  (** successful cross-deque steals *)
+  max_queue_depth : int;         (** deepest any single deque ever got *)
+}
+
+val run :
+  workers:int ->
+  initial:'a list ->
+  process:(int -> 'a -> 'a list) ->
+  stop:(unit -> bool) ->
+  stats
+(** [run ~workers ~initial ~process ~stop] seeds worker 0 with
+    [initial], then lets [workers] domains call [process worker_id task]
+    until every task (and transitively every child task it returned) has
+    been processed, or until [stop ()] becomes true — after which
+    remaining tasks are abandoned.
+
+    Children are pushed left-to-right, so the *last* element of the
+    returned list is processed next by the same worker: callers encoding
+    DFS should put the preferred branch last.
+
+    [process] and [stop] run concurrently on several domains; they must
+    synchronise any shared state themselves (atomics or mutexes).
+    [workers = 1] degenerates to a plain sequential loop on the calling
+    domain — no domain is spawned, so results are bit-for-bit those of a
+    sequential implementation. *)

@@ -116,7 +116,7 @@ let encoding_matches_concrete net head_net feature_box x =
       if Float.abs (solution.(e.Encode.logit_var) -. logit_concrete) > 1e-5 then
         ok := false;
       !ok
-  | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit -> false
+  | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false
 
 let test_encode_complete_on_concrete_points () =
   let suffix = Network.suffix perception ~cut in

@@ -16,6 +16,7 @@ let expect_milp_optimal = function
   | Milp.Infeasible -> Alcotest.fail "expected optimal, got infeasible"
   | Milp.Unbounded -> Alcotest.fail "expected optimal, got unbounded"
   | Milp.Node_limit -> Alcotest.fail "expected optimal, got node limit"
+  | Milp.Timeout -> Alcotest.fail "expected optimal, got timeout"
 
 (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
    Classic Dantzig example: optimum 36 at (2, 6). *)

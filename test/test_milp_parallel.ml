@@ -1,0 +1,217 @@
+(* Sequential/parallel branch-and-bound agreement, deadline handling,
+   and deterministic branching. *)
+
+module Lp = Dpv_linprog.Lp
+module Milp = Dpv_linprog.Milp
+module Milp_par = Dpv_linprog.Milp_par
+module Clock = Dpv_linprog.Clock
+module Pool = Dpv_linprog.Pool
+module Rng = Dpv_tensor.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let seq_options = { Milp.default_options with workers = 1 }
+let par_options = { Milp.default_options with workers = 4 }
+
+(* Random bounded MILP with a mix of integer and continuous variables.
+   rhs >= 0 keeps the origin feasible, so every instance has an optimum. *)
+let random_milp rng =
+  let nv = 2 + Rng.int rng 4 in
+  let nc = 1 + Rng.int rng 4 in
+  let m = ref (Lp.create ()) in
+  let vars =
+    Array.init nv (fun i ->
+        let kind = if i mod 2 = 0 then Lp.Integer else Lp.Continuous in
+        let model, v = Lp.add_var ~lo:0.0 ~up:6.0 ~kind !m in
+        m := model;
+        v)
+  in
+  for _ = 1 to nc do
+    let terms =
+      Array.to_list
+        (Array.map (fun v -> (Rng.uniform rng ~lo:(-2.0) ~hi:3.0, v)) vars)
+    in
+    m := Lp.add_constraint !m terms Lp.Le (Rng.uniform rng ~lo:0.0 ~hi:15.0)
+  done;
+  let obj =
+    Array.to_list
+      (Array.map (fun v -> (Rng.uniform rng ~lo:(-1.0) ~hi:1.0, v)) vars)
+  in
+  m := Lp.set_objective !m Lp.Maximize obj;
+  !m
+
+let classification = function
+  | Milp.Optimal _ -> "optimal"
+  | Milp.Infeasible -> "infeasible"
+  | Milp.Unbounded -> "unbounded"
+  | Milp.Node_limit -> "node-limit"
+  | Milp.Timeout -> "timeout"
+
+(* An instance whose tree is astronomically large: binary subset-sum of
+   even weights against an odd target.  Every LP relaxation deep into
+   the tree stays feasible (fractional), yet no integer point exists, so
+   the solver must either exhaust ~2^n nodes or hit a limit. *)
+let hard_infeasible_model n =
+  let m = ref (Lp.create ()) in
+  let vars =
+    Array.init n (fun _ ->
+        let model, v = Lp.add_var ~kind:Lp.Binary !m in
+        m := model;
+        v)
+  in
+  let terms = Array.to_list (Array.map (fun v -> (2.0, v)) vars) in
+  (* n even makes n + 1 odd, while the left side is always even. *)
+  m := Lp.add_constraint !m terms Lp.Eq (float_of_int (n + 1));
+  !m
+
+let hard_model () = hard_infeasible_model 30 (* 2*sum = 31: no solution *)
+
+let test_parallel_agrees_on_random_milps () =
+  let rng = Rng.create 20260807 in
+  for _ = 1 to 40 do
+    let model = random_milp rng in
+    let seq, _ = Milp_par.solve_with_stats ~options:seq_options model in
+    let par, _ = Milp_par.solve_with_stats ~options:par_options model in
+    Alcotest.(check string)
+      "classification agrees" (classification seq) (classification par);
+    match (seq, par) with
+    | Milp.Optimal { objective = o1; _ }, Milp.Optimal { objective = o2; solution } ->
+        check_float "objective agrees" o1 o2;
+        Alcotest.(check bool)
+          "parallel witness is feasible" true
+          (Lp.check_feasible ~tol:1e-5 model solution)
+    | _ -> ()
+  done
+
+let test_parallel_find_first_agrees () =
+  let rng = Rng.create 777 in
+  let options_seq = { seq_options with Milp.find_first = true } in
+  let options_par = { par_options with Milp.find_first = true } in
+  for _ = 1 to 25 do
+    let model = random_milp rng in
+    let seq = Milp_par.solve ~options:options_seq model in
+    let par = Milp_par.solve ~options:options_par model in
+    Alcotest.(check string)
+      "feasibility classification agrees"
+      (classification seq) (classification par)
+  done
+
+let test_parallel_infeasible () =
+  (* 2x = 1 with x binary: both solvers must prove infeasibility. *)
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~kind:Lp.Binary m in
+  let m = Lp.add_constraint m [ (2.0, x) ] Lp.Eq 1.0 in
+  (match Milp_par.solve ~options:par_options m with
+  | Milp.Infeasible -> ()
+  | r -> Alcotest.failf "expected infeasible, got %s" (classification r))
+
+let test_sequential_fallback_is_sequential () =
+  (* workers = 1 must produce the sequential solver's exact stats shape:
+     one worker slot, zero steals. *)
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~lo:0.0 ~up:10.0 ~kind:Lp.Integer m in
+  let m = Lp.set_objective m Lp.Maximize [ (1.0, x) ] in
+  let _, stats = Milp_par.solve_with_stats ~options:seq_options m in
+  Alcotest.(check int) "one worker slot" 1
+    (Array.length stats.Milp.per_worker_nodes);
+  Alcotest.(check int) "no steals" 0 stats.Milp.steals;
+  Alcotest.(check int) "per-worker sums to total" stats.Milp.nodes_explored
+    stats.Milp.per_worker_nodes.(0)
+
+let test_parallel_stats_accounting () =
+  let model = hard_infeasible_model 12 in (* finishes: 2^12 tree is fine *)
+  let result, stats = Milp_par.solve_with_stats ~options:par_options model in
+  Alcotest.(check string) "still infeasible" "infeasible"
+    (classification result);
+  Alcotest.(check int) "4 worker slots" 4
+    (Array.length stats.Milp.per_worker_nodes);
+  Alcotest.(check int) "per-worker node counts sum to the total"
+    stats.Milp.nodes_explored
+    (Array.fold_left ( + ) 0 stats.Milp.per_worker_nodes);
+  Alcotest.(check bool) "lp wall time measured" true
+    (stats.Milp.lp_time_s > 0.0);
+  Alcotest.(check bool) "queues were used" true (stats.Milp.max_queue_depth >= 1)
+
+let test_deadline_returns_timeout_sequential () =
+  let options =
+    { seq_options with Milp.max_nodes = max_int; time_limit_s = Some 0.25 }
+  in
+  let started = Clock.now_s () in
+  match Milp_par.solve ~options (hard_model ()) with
+  | Milp.Timeout ->
+      let elapsed = Clock.now_s () -. started in
+      Alcotest.(check bool) "stopped near the deadline" true (elapsed < 5.0)
+  | r -> Alcotest.failf "expected timeout, got %s" (classification r)
+
+let test_deadline_returns_timeout_parallel () =
+  let options =
+    { par_options with Milp.max_nodes = max_int; time_limit_s = Some 0.25 }
+  in
+  let started = Clock.now_s () in
+  match Milp_par.solve ~options (hard_model ()) with
+  | Milp.Timeout ->
+      let elapsed = Clock.now_s () -. started in
+      Alcotest.(check bool) "stopped near the deadline" true (elapsed < 5.0)
+  | r -> Alcotest.failf "expected timeout, got %s" (classification r)
+
+let test_node_limit_still_reported () =
+  let options = { par_options with Milp.max_nodes = 50 } in
+  match Milp_par.solve ~options (hard_model ()) with
+  | Milp.Node_limit -> ()
+  | r -> Alcotest.failf "expected node-limit, got %s" (classification r)
+
+let test_branch_var_lowest_index_tie () =
+  (* Two integer variables equally fractional at 0.5: branching must
+     pick the lower index deterministically. *)
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~lo:0.0 ~up:1.0 ~kind:Lp.Integer m in
+  let m, y = Lp.add_var ~lo:0.0 ~up:1.0 ~kind:Lp.Integer m in
+  (match Milp.find_branch_var ~tol:1e-6 m [| 0.5; 0.5 |] with
+  | Some v -> Alcotest.(check int) "lowest index wins" x v
+  | None -> Alcotest.fail "expected a fractional branch variable");
+  (* And strictly-more-fractional still beats index order. *)
+  match Milp.find_branch_var ~tol:1e-6 m [| 0.9; 0.5 |] with
+  | Some v -> Alcotest.(check int) "most fractional wins" y v
+  | None -> Alcotest.fail "expected a fractional branch variable"
+
+let test_pool_processes_whole_tree () =
+  (* Sanity check of the pool itself: expand a binary tree of depth 10
+     and count the leaves across 4 workers. *)
+  let leaves = Atomic.make 0 in
+  let process _id depth =
+    if depth = 0 then begin
+      Atomic.incr leaves;
+      []
+    end
+    else [ depth - 1; depth - 1 ]
+  in
+  let stats =
+    Pool.run ~workers:4 ~initial:[ 10 ] ~process ~stop:(fun () -> false)
+  in
+  Alcotest.(check int) "all leaves visited" 1024 (Atomic.get leaves);
+  Alcotest.(check int) "work accounted" 2047
+    (Array.fold_left ( + ) 0 stats.Pool.per_worker_tasks)
+
+let tests =
+  [
+    Alcotest.test_case "pool processes whole tree" `Quick
+      test_pool_processes_whole_tree;
+    Alcotest.test_case "parallel agrees on random MILPs" `Quick
+      test_parallel_agrees_on_random_milps;
+    Alcotest.test_case "parallel find-first agrees" `Quick
+      test_parallel_find_first_agrees;
+    Alcotest.test_case "parallel proves infeasibility" `Quick
+      test_parallel_infeasible;
+    Alcotest.test_case "workers=1 is the sequential solver" `Quick
+      test_sequential_fallback_is_sequential;
+    Alcotest.test_case "parallel stats accounting" `Quick
+      test_parallel_stats_accounting;
+    Alcotest.test_case "deadline -> Timeout (sequential)" `Quick
+      test_deadline_returns_timeout_sequential;
+    Alcotest.test_case "deadline -> Timeout (parallel)" `Quick
+      test_deadline_returns_timeout_parallel;
+    Alcotest.test_case "node limit still reported" `Quick
+      test_node_limit_still_reported;
+    Alcotest.test_case "branch-var tie-break by lowest index" `Quick
+      test_branch_var_lowest_index_tie;
+  ]

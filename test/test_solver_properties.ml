@@ -166,7 +166,7 @@ let qcheck_milp_vs_bruteforce =
       in
       match Milp.solve !m with
       | Milp.Optimal { objective; _ } -> Float.abs (objective -. brute) <= 1e-6
-      | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit -> false)
+      | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false)
 
 let qcheck_milp_equalities_vs_bruteforce =
   QCheck.Test.make ~count:60
@@ -208,7 +208,7 @@ let qcheck_milp_equalities_vs_bruteforce =
       in
       match Milp.solve !m with
       | Milp.Optimal { objective; _ } -> Float.abs (objective -. brute) <= 1e-6
-      | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit -> false)
+      | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false)
 
 let qcheck_milp_find_first_feasible =
   QCheck.Test.make ~count:60
@@ -247,7 +247,7 @@ let qcheck_milp_find_first_feasible =
       | Milp.Optimal { solution; _ } ->
           brute_feasible && Lp.check_feasible ~tol:1e-6 !m solution
       | Milp.Infeasible -> not brute_feasible
-      | Milp.Unbounded | Milp.Node_limit -> false)
+      | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false)
 
 let qcheck_solution_at_most_bounds =
   QCheck.Test.make ~count:100 ~name:"reported solutions respect variable bounds"
