@@ -30,6 +30,7 @@ module Box_monitor = Dpv_monitor.Box_monitor
 module Polyhedron = Dpv_monitor.Polyhedron
 module Runtime = Dpv_monitor.Runtime
 module Milp = Dpv_linprog.Milp
+module Campaign = Dpv_core.Campaign
 module Tighten = Dpv_core.Tighten
 module Refine = Dpv_core.Refine
 module Attack = Dpv_core.Attack
@@ -628,6 +629,7 @@ let verdict_word r =
 
 let milp_result_word = function
   | Dpv_linprog.Milp.Optimal _ -> "optimal"
+  | Dpv_linprog.Milp.Feasible _ -> "feasible"
   | Dpv_linprog.Milp.Infeasible -> "infeasible"
   | Dpv_linprog.Milp.Unbounded -> "unbounded"
   | Dpv_linprog.Milp.Node_limit -> "node-limit"
@@ -636,8 +638,17 @@ let milp_result_word = function
 let ext5 prepared =
   section "EXT5: parallel branch-and-bound (work stealing) + deadlines";
   let par_workers = 4 in
+  let degraded = Domain.recommended_domain_count () < par_workers in
   Format.printf "host: %d core(s) recommended by the runtime@."
     (Domain.recommended_domain_count ());
+  if degraded then
+    Format.printf
+      "WARNING: host recommends fewer domains (%d) than the %d parallel \
+       workers; parallel timings below are oversubscribed and speedups \
+       reflect search-order luck, not parallelism.  Re-baseline on a \
+       multicore host.@."
+      (Domain.recommended_domain_count ())
+      par_workers;
   Format.printf "%s@."
     (row [ "query"; "workers"; "verdict"; "nodes"; "steals"; "time (s)" ]);
   Format.printf "%s@." (Report.rule ());
@@ -752,19 +763,71 @@ let ext5 prepared =
         \  \"schema\": \"dpv-bench-milp/1\",\n\
         \  \"host_recommended_domains\": %d,\n\
         \  \"parallel_workers\": %d,\n\
+        \  \"degraded\": %b,\n\
         \  \"queries\": [\n%s\n  ],\n\
         \  \"speedups\": [\n%s\n  ],\n\
         \  \"deadline\": {\"time_limit_s\": %.3f, \"result\": %S, \
          \"wall_s\": %.6f, \"nodes\": %d}\n\
          }\n"
         (Domain.recommended_domain_count ())
-        par_workers
+        par_workers degraded
         (String.concat ",\n" (List.map query_json measurements))
         (String.concat ",\n" (List.map speedup_json speedups))
         deadline_s (milp_result_word hard_result) hard_wall
         hard_stats.Milp.nodes_explored);
   Format.printf "@.baseline written to %s@." bench_json_path;
   (measurements, hard_result)
+
+(* Campaign amortization: the four E1-style queries below share two
+   (cut, bounds) keys, so the campaign fits each region and encodes each
+   suffix once where the one-by-one loop does it four times. *)
+let ext6 prepared =
+  section "EXT6: verification campaign (shared-encoding cache)";
+  let characterizer, _, _ =
+    Workflow.train_characterizer prepared ~property:Oracle.bends_right
+  in
+  let box = Verify.Data_box prepared.Workflow.bounds_features in
+  let oct = Verify.Data_octagon prepared.Workflow.bounds_features in
+  let q label psi bounds = Campaign.query ~label ~characterizer ~psi ~bounds () in
+  let queries =
+    [
+      q "far-left:2.5/box" (Workflow.psi_steer_far_left ()) box;
+      q "far-right:2.5/box" (Workflow.psi_steer_far_right ()) box;
+      q "far-left:2.5/oct" (Workflow.psi_steer_far_left ()) oct;
+      q "far-right:2.5/oct" (Workflow.psi_steer_far_right ()) oct;
+    ]
+  in
+  (* One-by-one baseline: same solver options, fresh encoding per call. *)
+  let seq_started = Clock.now_s () in
+  let individual =
+    List.map
+      (fun (query : Campaign.query) ->
+        Verify.verify ~perception:prepared.Workflow.perception ~characterizer
+          ~psi:query.Campaign.psi ~bounds:query.Campaign.bounds ())
+      queries
+  in
+  let seq_wall = Clock.now_s () -. seq_started in
+  let report =
+    Campaign.run ~runners:2 ~perception:prepared.Workflow.perception queries
+  in
+  Format.printf "%a@." Report.pp_campaign report;
+  Format.printf "one-by-one: %.2fs;  campaign (2 runners): %.2fs@." seq_wall
+    report.Campaign.total_wall_s;
+  List.iter2
+    (fun (r : Verify.result) (qr : Campaign.query_report) ->
+      let agree =
+        match (r.Verify.verdict, qr.Campaign.result.Verify.verdict) with
+        | Verify.Safe _, Verify.Safe _
+        | Verify.Unsafe _, Verify.Unsafe _
+        | Verify.Unknown _, Verify.Unknown _ ->
+            true
+        | _ -> false
+      in
+      if not agree then
+        Format.printf "VERDICT MISMATCH on %s (campaign vs one-by-one)@."
+          qr.Campaign.query.Campaign.label)
+    individual report.Campaign.query_reports;
+  report
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per experiment kernel.       *)
@@ -897,5 +960,6 @@ let () =
   ignore (ext3 prepared);
   ignore (ext4 prepared);
   ignore (ext5 prepared);
+  ignore (ext6 prepared);
   run_bechamel prepared;
   Format.printf "@.done.@."

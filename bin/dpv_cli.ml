@@ -1,11 +1,12 @@
 (* dpv — command-line front end for the verification workflow.
 
    Subcommands:
-     train    train the direct perception network and cache/save it
-     verify   run one (property, psi, strategy) verification case
-     monitor  stream frames at the runtime monitor
-     render   print an ASCII rendering of a scene
-     info     show the model architecture and experiment defaults      *)
+     train     train the direct perception network and cache/save it
+     verify    run one (property, psi, strategy) verification case
+     campaign  run a JSON-specified batch of queries with a shared cache
+     monitor   stream frames at the runtime monitor
+     render    print an ASCII rendering of a scene
+     info      show the model architecture and experiment defaults     *)
 
 module Workflow = Dpv_core.Workflow
 module Verify = Dpv_core.Verify
@@ -82,31 +83,31 @@ let property_arg =
     & opt property_conv Oracle.bends_right
     & info [ "p"; "property" ] ~doc)
 
+let parse_psi s =
+  match String.split_on_char ':' s with
+  | [ "far-left" ] -> Ok (Workflow.psi_steer_far_left ())
+  | [ "far-left"; t ] ->
+      Ok (Workflow.psi_steer_far_left ~threshold:(float_of_string t) ())
+  | [ "far-right" ] -> Ok (Workflow.psi_steer_far_right ())
+  | [ "far-right"; t ] ->
+      Ok (Workflow.psi_steer_far_right ~threshold:(float_of_string t) ())
+  | [ "straight" ] -> Ok (Workflow.psi_steer_straight ())
+  | [ "straight"; h ] ->
+      Ok (Workflow.psi_steer_straight ~halfwidth:(float_of_string h) ())
+  | _ -> (
+      (* Fall back to the raw inequality language, e.g.
+         "y0 >= 2.5 && y1 <= 0.3". *)
+      match Dpv_spec.Risk.of_string s with
+      | Ok psi -> Ok psi
+      | Error e ->
+          Error
+            (Printf.sprintf
+               "not a named condition (far-left[:T], far-right[:T], \
+                straight[:H]) and not a valid inequality (%s)"
+               e))
+
 let psi_conv =
-  let parse s =
-    match String.split_on_char ':' s with
-    | [ "far-left" ] -> Ok (Workflow.psi_steer_far_left ())
-    | [ "far-left"; t ] ->
-        Ok (Workflow.psi_steer_far_left ~threshold:(float_of_string t) ())
-    | [ "far-right" ] -> Ok (Workflow.psi_steer_far_right ())
-    | [ "far-right"; t ] ->
-        Ok (Workflow.psi_steer_far_right ~threshold:(float_of_string t) ())
-    | [ "straight" ] -> Ok (Workflow.psi_steer_straight ())
-    | [ "straight"; h ] ->
-        Ok (Workflow.psi_steer_straight ~halfwidth:(float_of_string h) ())
-    | _ -> (
-        (* Fall back to the raw inequality language, e.g.
-           "y0 >= 2.5 && y1 <= 0.3". *)
-        match Dpv_spec.Risk.of_string s with
-        | Ok psi -> Ok psi
-        | Error e ->
-            Error
-              (`Msg
-                (Printf.sprintf
-                   "not a named condition (far-left[:T], far-right[:T], \
-                    straight[:H]) and not a valid inequality (%s)"
-                   e)))
-  in
+  let parse s = Result.map_error (fun e -> `Msg e) (parse_psi s) in
   let print fmt psi = Format.fprintf fmt "%s" psi.Dpv_spec.Risk.name in
   Arg.conv (parse, print)
 
@@ -116,21 +117,21 @@ let psi_arg =
   in
   Arg.(value & opt psi_conv (Workflow.psi_steer_far_left ()) & info [ "psi" ] ~doc)
 
+let parse_strategy = function
+  | "static-box" -> Ok (Workflow.Static Propagate.Box)
+  | "static-zonotope" -> Ok (Workflow.Static Propagate.Zonotope)
+  | "static-deeppoly" -> Ok (Workflow.Static Propagate.Deeppoly)
+  | "data-box" -> Ok Workflow.Data_box
+  | "data-octagon" -> Ok Workflow.Data_octagon
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown strategy %S (static-box, static-zonotope, \
+            static-deeppoly, data-box, data-octagon)"
+           s)
+
 let strategy_conv =
-  let parse = function
-    | "static-box" -> Ok (Workflow.Static Propagate.Box)
-    | "static-zonotope" -> Ok (Workflow.Static Propagate.Zonotope)
-    | "static-deeppoly" -> Ok (Workflow.Static Propagate.Deeppoly)
-    | "data-box" -> Ok Workflow.Data_box
-    | "data-octagon" -> Ok Workflow.Data_octagon
-    | s ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "unknown strategy %S (static-box, static-zonotope, \
-                static-deeppoly, data-box, data-octagon)"
-               s))
-  in
+  let parse s = Result.map_error (fun e -> `Msg e) (parse_strategy s) in
   let print fmt s = Format.fprintf fmt "%s" (Workflow.strategy_name s) in
   Arg.conv (parse, print)
 
@@ -186,6 +187,228 @@ let verify_cmd =
     Term.(
       const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
       $ cut $ workers $ timeout_s)
+
+(* ---- campaign ---- *)
+
+exception Spec_error of string
+
+let spec_error fmt = Printf.ksprintf (fun m -> raise (Spec_error m)) fmt
+
+(* Typed field accessors over the hand-rolled JSON reader; every
+   mistype names the offending key. *)
+let j_int v key =
+  match Dpv_core.Json.to_int v with
+  | Some i -> i
+  | None -> spec_error "%S must be an integer" key
+
+let j_float v key =
+  match Dpv_core.Json.to_float v with
+  | Some f -> f
+  | None -> spec_error "%S must be a number" key
+
+let j_string v key =
+  match Dpv_core.Json.to_string v with
+  | Some s -> s
+  | None -> spec_error "%S must be a string" key
+
+let field obj key = Dpv_core.Json.member key obj
+let int_field obj key ~default =
+  match field obj key with None -> default | Some v -> j_int v key
+let float_opt_field obj key =
+  Option.map (fun v -> j_float v key) (field obj key)
+
+(* The optional "setup" object shrinks the trained pipeline — CI smoke
+   campaigns train a tiny network in seconds instead of the full
+   default. *)
+let setup_of_spec spec ~seed =
+  let base = setup_of ~seed in
+  match field spec "setup" with
+  | None -> base
+  | Some s ->
+      let geti key default = int_field s key ~default in
+      let hidden =
+        match field s "hidden" with
+        | None -> base.Workflow.hidden
+        | Some v -> (
+            match Dpv_core.Json.to_list v with
+            | Some l -> List.map (fun x -> j_int x "hidden") l
+            | None -> spec_error "\"hidden\" must be an array of integers")
+      in
+      let camera = base.Workflow.scenario.Generator.camera in
+      let camera =
+        {
+          camera with
+          Camera.width = geti "camera_width" camera.Camera.width;
+          height = geti "camera_height" camera.Camera.height;
+        }
+      in
+      {
+        base with
+        Workflow.hidden;
+        cut = geti "cut" base.Workflow.cut;
+        train_size = geti "train_size" base.Workflow.train_size;
+        val_size = geti "val_size" base.Workflow.val_size;
+        perception_epochs = geti "perception_epochs" base.Workflow.perception_epochs;
+        characterizer_samples =
+          geti "characterizer_samples" base.Workflow.characterizer_samples;
+        bounds_samples = geti "bounds_samples" base.Workflow.bounds_samples;
+        scenario = { base.Workflow.scenario with Generator.camera };
+      }
+
+let campaign_cmd =
+  let run cache_dir spec_path output =
+    let read_file path =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    try
+      let text =
+        try read_file spec_path with Sys_error e -> spec_error "%s" e
+      in
+      let spec =
+        match Dpv_core.Json.of_string text with
+        | Ok v -> v
+        | Error e -> spec_error "cannot parse %s: %s" spec_path e
+      in
+      let seed = int_field spec "seed" ~default:Workflow.default_setup.Workflow.seed in
+      let runners = int_field spec "runners" ~default:1 in
+      let workers = int_field spec "workers" ~default:1 in
+      let budget_s = float_opt_field spec "budget_s" in
+      let setup = setup_of_spec spec ~seed in
+      let milp_options =
+        {
+          (milp_options_of ~workers ~timeout_s:(float_opt_field spec "timeout_s")) with
+          Dpv_linprog.Milp.max_nodes =
+            int_field spec "max_nodes"
+              ~default:Dpv_linprog.Milp.default_options.Dpv_linprog.Milp.max_nodes;
+        }
+      in
+      let query_specs =
+        match Option.bind (field spec "queries") Dpv_core.Json.to_list with
+        | Some (_ :: _ as l) -> l
+        | Some [] | None -> spec_error "\"queries\" must be a non-empty array"
+      in
+      let prepared = Workflow.prepare_cached ~cache_dir setup in
+      (* Characterizer training and bounds fitting are memoized across
+         the spec; both are deterministic in (setup.seed, property, cut),
+         so verdicts match individual `dpv verify` runs. *)
+      let characterizers = Hashtbl.create 8 in
+      let characterizer_for ~property ~cut =
+        let key = (property.Dpv_spec.Property.name, cut) in
+        match Hashtbl.find_opt characterizers key with
+        | Some c -> c
+        | None ->
+            let c, _, _ = Workflow.train_characterizer ~cut prepared ~property in
+            Hashtbl.add characterizers key c;
+            c
+      in
+      let bounds_cache = Hashtbl.create 8 in
+      let bounds_for ~strategy ~cut =
+        let key = (Workflow.strategy_name strategy, cut) in
+        match Hashtbl.find_opt bounds_cache key with
+        | Some b -> b
+        | None ->
+            let b = Workflow.bounds_spec_of prepared ~cut strategy in
+            Hashtbl.add bounds_cache key b;
+            b
+      in
+      let queries =
+        List.map
+          (fun q ->
+            let str key =
+              match field q key with
+              | Some v -> Some (j_string v key)
+              | None -> None
+            in
+            let property =
+              let name =
+                match str "property" with
+                | Some n -> n
+                | None -> spec_error "query is missing \"property\""
+              in
+              match Oracle.find name with
+              | Some p -> p
+              | None -> spec_error "unknown property %S" name
+            in
+            let psi =
+              match str "psi" with
+              | None -> spec_error "query is missing \"psi\""
+              | Some s -> (
+                  match parse_psi s with
+                  | Ok psi -> psi
+                  | Error e -> spec_error "bad psi %S: %s" s e)
+            in
+            let strategy =
+              match str "strategy" with
+              | None -> spec_error "query is missing \"strategy\""
+              | Some s -> (
+                  match parse_strategy s with
+                  | Ok st -> st
+                  | Error e -> spec_error "%s" e)
+            in
+            let cut = int_field q "cut" ~default:setup.Workflow.cut in
+            let characterizer_margin =
+              Option.value (float_opt_field q "margin") ~default:0.0
+            in
+            let label =
+              match str "name" with
+              | Some n -> n
+              | None ->
+                  Printf.sprintf "%s|%s|%s" property.Dpv_spec.Property.name
+                    psi.Dpv_spec.Risk.name
+                    (Workflow.strategy_name strategy)
+            in
+            Dpv_core.Campaign.query ~characterizer_margin ~label
+              ~characterizer:(characterizer_for ~property ~cut)
+              ~psi
+              ~bounds:(bounds_for ~strategy ~cut)
+              ())
+          query_specs
+      in
+      let report =
+        Dpv_core.Campaign.run ~milp_options ~runners ?budget_s
+          ~perception:prepared.Workflow.perception queries
+      in
+      Format.printf "%a@." Report.pp_campaign report;
+      Dpv_core.Campaign.save_json report ~path:output;
+      Format.printf "report written to %s@." output;
+      let verdicts =
+        List.map
+          (fun (qr : Dpv_core.Campaign.query_report) ->
+            qr.Dpv_core.Campaign.result.Verify.verdict)
+          report.Dpv_core.Campaign.query_reports
+      in
+      if List.exists (function Verify.Unsafe _ -> true | _ -> false) verdicts
+      then 1
+      else if
+        List.exists (function Verify.Unknown _ -> true | _ -> false) verdicts
+      then 2
+      else 0
+    with Spec_error msg ->
+      Format.eprintf "campaign: %s@." msg;
+      3
+  in
+  let spec_path =
+    let doc =
+      "Campaign specification (JSON): top-level keys seed, runners, \
+       workers, budget_s, timeout_s, max_nodes, setup and a queries \
+       array of {name, property, psi, strategy, cut, margin} objects."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let output =
+    Arg.(
+      value
+      & opt string "campaign_report.json"
+      & info [ "o"; "output" ] ~doc:"JSON report output path.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a batch of verification queries concurrently with a \
+             shared-encoding cache and write an aggregated JSON report")
+    Term.(const run $ cache_dir $ spec_path $ output)
 
 (* ---- monitor ---- *)
 
@@ -428,6 +651,7 @@ let () =
       [
         train_cmd;
         verify_cmd;
+        campaign_cmd;
         certify_cmd;
         check_cert_cmd;
         refine_cmd;

@@ -1,0 +1,159 @@
+module Milp = Dpv_linprog.Milp
+module Pool = Dpv_linprog.Pool
+module Clock = Dpv_linprog.Clock
+module Network = Dpv_nn.Network
+
+type query = {
+  label : string;
+  characterizer : Characterizer.t;
+  psi : Dpv_spec.Risk.t;
+  bounds : Verify.bounds_spec;
+  characterizer_margin : float;
+}
+
+let query ?(characterizer_margin = 0.0) ~label ~characterizer ~psi ~bounds () =
+  { label; characterizer; psi; bounds; characterizer_margin }
+
+type query_report = {
+  query : query;
+  result : Verify.result;
+  from_cache : bool;
+}
+
+type cache_stats = { entries : int; hits : int; misses : int }
+
+type report = {
+  query_reports : query_report list;
+  cache : cache_stats;
+  runners : int;
+  budget_s : float option;
+  total_wall_s : float;
+}
+
+let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
+    ~perception queries =
+  if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
+  let started = Clock.now_s () in
+  let deadline = Clock.deadline_after budget_s in
+  (* Phase 1 — resolve each distinct (cut, bounds) region once.  Keys
+     compare structurally, so two queries quoting equal visited-point
+     sets (or the same array) share one suffix encoding.  This phase is
+     sequential: it mutates the cache, and its cost is exactly what the
+     cache is amortizing, paid once per distinct key. *)
+  let table : (int * Verify.bounds_spec, Encode.shared) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let hits = ref 0 and misses = ref 0 in
+  let shared_for q =
+    let cut = q.characterizer.Characterizer.cut in
+    let key = (cut, q.bounds) in
+    match Hashtbl.find_opt table key with
+    | Some shared ->
+        incr hits;
+        (shared, true)
+    | None ->
+        incr misses;
+        let suffix = Network.suffix perception ~cut in
+        let feature_box, extra_faces =
+          Verify.resolve_bounds ~perception ~cut q.bounds
+        in
+        let shared = Encode.build_shared ~suffix ~feature_box ~extra_faces () in
+        Hashtbl.add table key shared;
+        (shared, false)
+  in
+  let prepared = List.map (fun q -> (q, shared_for q)) queries in
+  (* Phase 2 — the solves fan out on the work-stealing pool, one
+     coarse-grained task per query over the now read-only cache.  With
+     several runners each task keeps its inner MILP sequential: the
+     campaign already owns the domains, and nesting a domain pool per
+     query would oversubscribe the machine. *)
+  let inner_workers = if runners > 1 then 1 else milp_options.Milp.workers in
+  let run_one (q, (shared, from_cache)) =
+    (* Carved at task start, so early queries cannot spend the whole
+       campaign budget before later ones get their slice checked. *)
+    let options =
+      {
+        milp_options with
+        Milp.workers = inner_workers;
+        time_limit_s = Clock.carve deadline milp_options.Milp.time_limit_s;
+      }
+    in
+    let result =
+      Verify.run_query ~milp_options:options
+        ~characterizer_margin:q.characterizer_margin ~shared
+        ~head:q.characterizer.Characterizer.head ~psi:q.psi
+        ~conditional:(Verify.is_conditional q.bounds) ()
+    in
+    { query = q; result; from_cache }
+  in
+  let out = Pool.map_list ~workers:runners run_one prepared in
+  let query_reports =
+    Array.to_list out
+    |> List.map (function Some r -> r | None -> assert false)
+  in
+  {
+    query_reports;
+    cache = { entries = Hashtbl.length table; hits = !hits; misses = !misses };
+    runners;
+    budget_s;
+    total_wall_s = Clock.now_s () -. started;
+  }
+
+let verdict_word = function
+  | Verify.Safe _ -> "safe"
+  | Verify.Unsafe _ -> "unsafe"
+  | Verify.Unknown _ -> "unknown"
+
+let verdict_detail = function
+  | Verify.Safe { conditional } ->
+      if conditional then "conditional (monitor S~ at runtime)"
+      else "unconditional"
+  | Verify.Unsafe { logit; _ } -> Printf.sprintf "witness logit %.6g" logit
+  | Verify.Unknown reason -> reason
+
+(* BENCH_milp.json style: hand-rolled, schema-tagged, machine-readable.
+   %S escaping covers the strings we emit (ASCII labels and reasons). *)
+let to_json report =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": \"dpv-campaign/1\",\n";
+  Printf.bprintf b "  \"runners\": %d,\n" report.runners;
+  (match report.budget_s with
+  | None -> Printf.bprintf b "  \"budget_s\": null,\n"
+  | Some s -> Printf.bprintf b "  \"budget_s\": %.3f,\n" s);
+  Printf.bprintf b "  \"total_wall_s\": %.4f,\n" report.total_wall_s;
+  Printf.bprintf b
+    "  \"cache\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
+    report.cache.entries report.cache.hits report.cache.misses;
+  Printf.bprintf b "  \"queries\": [\n";
+  let n = List.length report.query_reports in
+  List.iteri
+    (fun i qr ->
+      let r = qr.result in
+      let s = r.Verify.milp_stats in
+      Printf.bprintf b "    {\n";
+      Printf.bprintf b "      \"label\": %S,\n" qr.query.label;
+      Printf.bprintf b "      \"verdict\": %S,\n" (verdict_word r.Verify.verdict);
+      Printf.bprintf b "      \"detail\": %S,\n"
+        (verdict_detail r.Verify.verdict);
+      Printf.bprintf b "      \"from_cache\": %b,\n" qr.from_cache;
+      Printf.bprintf b "      \"wall_s\": %.4f,\n" r.Verify.wall_time_s;
+      Printf.bprintf b "      \"encoding\": %S,\n" r.Verify.encoding;
+      Printf.bprintf b "      \"num_binaries\": %d,\n" r.Verify.num_binaries;
+      Printf.bprintf b
+        "      \"milp\": { \"nodes\": %d, \"lps\": %d, \
+         \"incumbent_updates\": %d, \"steals\": %d, \
+         \"max_queue_depth\": %d, \"lp_time_s\": %.4f }\n"
+        s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
+        s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s;
+      Printf.bprintf b "    }%s\n" (if i = n - 1 then "" else ",")
+    )
+    report.query_reports;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let save_json report ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json report))

@@ -1,0 +1,92 @@
+(** Batched verification campaigns with a shared-encoding cache.
+
+    The paper's evaluation (Section 5) answers {e families} of queries —
+    one per (input property phi, risk condition psi, bounds strategy)
+    combination — against one perception network.  Run one at a time,
+    every query re-slices the suffix, re-fits the data bounds, and
+    re-encodes the suffix big-M model, although those depend only on the
+    [(cut, bounds)] pair.  A campaign amortizes them: each distinct
+    [(cut, bounds)] key is resolved and encoded exactly once (the
+    {!Encode.shared} prefix is persistent, so completing it per query is
+    allocation-cheap), and the per-query MILP solves then fan out on the
+    {!Dpv_linprog.Pool} work-stealing domains.
+
+    A campaign-wide wall-clock budget is carved into per-task deadlines
+    at the moment each solve starts: a query never gets more than what
+    remains of the campaign budget, and queries past the budget degrade
+    to [Unknown "deadline exceeded"] rather than being dropped. *)
+
+type query = {
+  label : string;                    (** name used in reports *)
+  characterizer : Characterizer.t;   (** fixes the cut layer and head *)
+  psi : Dpv_spec.Risk.t;
+  bounds : Verify.bounds_spec;
+  characterizer_margin : float;
+}
+
+val query :
+  ?characterizer_margin:float ->
+  label:string ->
+  characterizer:Characterizer.t ->
+  psi:Dpv_spec.Risk.t ->
+  bounds:Verify.bounds_spec ->
+  unit ->
+  query
+(** [characterizer_margin] defaults to [0.0]. *)
+
+type query_report = {
+  query : query;
+  result : Verify.result;
+  from_cache : bool;
+      (** whether this query's [(cut, bounds)] prefix was already in the
+          cache when the campaign prepared it *)
+}
+
+type cache_stats = {
+  entries : int;  (** distinct [(cut, bounds)] keys built *)
+  hits : int;     (** queries served from an existing entry *)
+  misses : int;   (** queries that had to build their entry; [= entries] *)
+}
+
+type report = {
+  query_reports : query_report list;  (** in input query order *)
+  cache : cache_stats;
+  runners : int;
+  budget_s : float option;
+  total_wall_s : float;
+}
+
+val run :
+  ?milp_options:Dpv_linprog.Milp.options ->
+  ?runners:int ->
+  ?budget_s:float ->
+  perception:Dpv_nn.Network.t ->
+  query list ->
+  report
+(** Execute every query against [perception].
+
+    [runners] (default 1) is the number of pool domains answering
+    queries concurrently, one coarse-grained task per query with work
+    stealing to balance uneven query costs.  With [runners > 1] each
+    query's inner MILP search is forced sequential ([workers = 1]) so
+    query tasks do not nest domain pools; with [runners = 1] the
+    [milp_options.workers] setting applies unchanged and a single query
+    may still parallelize its tree search.  Verdicts never depend on
+    [runners]: each query solves the same model that a standalone
+    {!Verify.verify} call would (only solver scheduling differs).
+
+    [budget_s] is a wall-clock budget for the whole campaign; each
+    solve's [time_limit_s] is capped by the remaining budget when it
+    starts ({!Dpv_linprog.Clock.carve}).  [milp_options] applies to
+    every query (default {!Verify.default_milp_options}). *)
+
+val verdict_word : Verify.verdict -> string
+(** ["safe"], ["unsafe"] or ["unknown"] — the JSON verdict field. *)
+
+val to_json : report -> string
+(** The aggregated machine-readable report, [BENCH_milp.json]-style
+    (schema tag ["dpv-campaign/1"]): campaign totals, cache statistics,
+    and one record per query with verdict, wall time, encoding size and
+    the {!Dpv_linprog.Milp.stats} telemetry. *)
+
+val save_json : report -> path:string -> unit

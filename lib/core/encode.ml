@@ -211,14 +211,24 @@ let risk_constraints model ~psi ~output_vars =
       Lp.add_constraint ~name:"psi" model terms rel (ineq.Risk.bound -. const))
     model psi.Risk.inequalities
 
-let build ~suffix ~head ~feature_box ?(extra_faces = [])
-    ?(characterizer_margin = 0.0) ?psi () =
-  if Network.input_dim suffix <> Network.input_dim head then
-    invalid_arg "Encode.build: suffix/head input dimensions differ";
+(* The feature layer + suffix part of the encoding depends only on
+   (suffix, feature_box, extra_faces) — not on the characterizer head or
+   psi.  [Lp.t] is persistent, so this prefix can be built once and
+   completed into many per-query models without copying: a campaign
+   caches one [shared] per distinct (cut, bounds) key. *)
+type shared = {
+  suffix : Network.t;
+  feature_box : Box_domain.t;
+  base_model : Lp.t;
+  shared_feature_vars : Lp.var array;
+  shared_output_vars : Lp.var array;
+  suffix_binaries : int;
+  suffix_fixed_relus : int;
+}
+
+let build_shared ~suffix ~feature_box ?(extra_faces = []) () =
   if Array.length feature_box <> Network.input_dim suffix then
-    invalid_arg "Encode.build: feature box dimension mismatch";
-  if Network.output_dim head <> 1 then
-    invalid_arg "Encode.build: characterizer head must output a single logit";
+    invalid_arg "Encode.build_shared: feature box dimension mismatch";
   let model = ref (Lp.create ()) in
   let feature_vars =
     Array.init (Array.length feature_box) (fun i ->
@@ -240,14 +250,30 @@ let build ~suffix ~head ~feature_box ?(extra_faces = [])
     encode_network !model ~net:suffix ~input_vars:feature_vars
       ~input_box:feature_box ~name:"g"
   in
+  {
+    suffix;
+    feature_box;
+    base_model = m;
+    shared_feature_vars = feature_vars;
+    shared_output_vars = output_vars;
+    suffix_binaries = b1;
+    suffix_fixed_relus = f1;
+  }
+
+let complete shared ~head ?(characterizer_margin = 0.0) ?psi () =
+  if Network.input_dim shared.suffix <> Network.input_dim head then
+    invalid_arg "Encode.complete: suffix/head input dimensions differ";
+  if Network.output_dim head <> 1 then
+    invalid_arg "Encode.complete: characterizer head must output a single logit";
   let m, head_out, b2, f2 =
-    encode_network m ~net:head ~input_vars:feature_vars
-      ~input_box:feature_box ~name:"h"
+    encode_network shared.base_model ~net:head
+      ~input_vars:shared.shared_feature_vars ~input_box:shared.feature_box
+      ~name:"h"
   in
   let logit_var = head_out.(0) in
   let m =
     match psi with
-    | Some psi -> risk_constraints m ~psi ~output_vars
+    | Some psi -> risk_constraints m ~psi ~output_vars:shared.shared_output_vars
     | None -> m
   in
   let m =
@@ -257,12 +283,19 @@ let build ~suffix ~head ~feature_box ?(extra_faces = [])
   in
   {
     model = m;
-    feature_vars;
-    output_vars;
+    feature_vars = shared.shared_feature_vars;
+    output_vars = shared.shared_output_vars;
     logit_var;
-    num_binaries = b1 + b2;
-    num_fixed_relus = f1 + f2;
+    num_binaries = shared.suffix_binaries + b2;
+    num_fixed_relus = shared.suffix_fixed_relus + f2;
   }
+
+let build ~suffix ~head ~feature_box ?(extra_faces = [])
+    ?(characterizer_margin = 0.0) ?psi () =
+  let shared = build_shared ~suffix ~feature_box ~extra_faces () in
+  complete shared ~head ~characterizer_margin ?psi ()
+
+let suffix_of_shared shared = shared.suffix
 
 let set_output_objective t ~sense expr =
   let terms =

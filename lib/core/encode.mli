@@ -31,6 +31,41 @@ val encode_network :
 (** Lower-level piece: encode one network on existing input variables.
     Returns (model, output vars, binaries added, fixed relus). *)
 
+type shared
+(** The query-independent prefix of an encoding: the feature-layer
+    variables, the octagon faces, and the big-M encoding of the
+    perception {e suffix} — everything determined by the
+    [(cut, bounds)] pair alone.  Because {!Dpv_linprog.Lp.t} is a
+    persistent structure, one [shared] value can be {!complete}d into
+    any number of per-query models (different heads, margins, psi)
+    without rebuilding or copying the suffix encoding. *)
+
+val suffix_of_shared : shared -> Dpv_nn.Network.t
+(** The suffix network captured at {!build_shared} time — callers replay
+    witnesses through it without re-slicing the perception network. *)
+
+val build_shared :
+  suffix:Dpv_nn.Network.t ->
+  feature_box:Dpv_absint.Box_domain.t ->
+  ?extra_faces:Dpv_monitor.Polyhedron.halfspace list ->
+  unit ->
+  shared
+(** Build the reusable prefix: [feature_box] bounds the cut-layer input
+    of [suffix]; [extra_faces] adds octagon polyhedron faces over the
+    feature variables. *)
+
+val complete :
+  shared ->
+  head:Dpv_nn.Network.t ->
+  ?characterizer_margin:float ->
+  ?psi:Dpv_spec.Risk.t ->
+  unit ->
+  t
+(** Finish a query model on top of a prefix: encode the characterizer
+    [head] on the shared feature variables, add the [psi] output
+    constraints (omitting [psi] leaves the output unconstrained) and
+    the "characterizer says phi" constraint (logit >= margin). *)
+
 val build :
   suffix:Dpv_nn.Network.t ->
   head:Dpv_nn.Network.t ->
@@ -40,12 +75,11 @@ val build :
   ?psi:Dpv_spec.Risk.t ->
   unit ->
   t
-(** [suffix] and [head] must share their input dimension (the cut layer);
-    [feature_box] bounds that shared input.  [extra_faces] adds the
-    octagon polyhedron faces over the feature variables.
-    [characterizer_margin] (default 0) is the logit threshold for
-    "characterizer says [phi] holds".  Omitting [psi] leaves the output
-    unconstrained (useful for optimizing over the phi region). *)
+(** [build_shared] + [complete] in one step, for single queries.
+    [suffix] and [head] must share their input dimension (the cut layer);
+    [feature_box] bounds that shared input.  [characterizer_margin]
+    (default 0) is the logit threshold for "characterizer says [phi]
+    holds". *)
 
 val set_output_objective :
   t -> sense:Dpv_linprog.Lp.objective_sense -> Dpv_spec.Linexpr.t -> t

@@ -1,0 +1,201 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error s fmt =
+  Printf.ksprintf (fun msg ->
+      raise (Parse_error (Printf.sprintf "at offset %d: %s" s.pos msg)))
+    fmt
+
+let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let rec skip_ws s =
+  match peek s with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance s;
+      skip_ws s
+  | _ -> ()
+
+let expect s c =
+  match peek s with
+  | Some c' when c' = c -> advance s
+  | Some c' -> error s "expected '%c', found '%c'" c c'
+  | None -> error s "expected '%c', found end of input" c
+
+let parse_literal s lit value =
+  let n = String.length lit in
+  if s.pos + n <= String.length s.src && String.sub s.src s.pos n = lit then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else error s "invalid literal (expected %s)" lit
+
+(* Escapes cover what this project's emitters produce; \uXXXX is decoded
+   for the basic multilingual plane only (no surrogate pairs). *)
+let parse_string s =
+  expect s '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek s with
+    | None -> error s "unterminated string"
+    | Some '"' -> advance s
+    | Some '\\' -> (
+        advance s;
+        match peek s with
+        | Some '"' -> advance s; Buffer.add_char b '"'; loop ()
+        | Some '\\' -> advance s; Buffer.add_char b '\\'; loop ()
+        | Some '/' -> advance s; Buffer.add_char b '/'; loop ()
+        | Some 'n' -> advance s; Buffer.add_char b '\n'; loop ()
+        | Some 't' -> advance s; Buffer.add_char b '\t'; loop ()
+        | Some 'r' -> advance s; Buffer.add_char b '\r'; loop ()
+        | Some 'b' -> advance s; Buffer.add_char b '\b'; loop ()
+        | Some 'f' -> advance s; Buffer.add_char b '\012'; loop ()
+        | Some 'u' ->
+            advance s;
+            if s.pos + 4 > String.length s.src then
+              error s "truncated \\u escape";
+            let hex = String.sub s.src s.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error s "invalid \\u escape %s" hex
+            in
+            s.pos <- s.pos + 4;
+            (* UTF-8 encode the code point. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            loop ()
+        | Some c -> error s "invalid escape '\\%c'" c
+        | None -> error s "unterminated escape")
+    | Some c ->
+        advance s;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number s =
+  let start = s.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek s with Some c -> is_num_char c | None -> false) do
+    advance s
+  done;
+  let text = String.sub s.src start (s.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> error s "invalid number %S" text
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> error s "unexpected end of input"
+  | Some '{' -> parse_obj s
+  | Some '[' -> parse_arr s
+  | Some '"' -> Str (parse_string s)
+  | Some 't' -> parse_literal s "true" (Bool true)
+  | Some 'f' -> parse_literal s "false" (Bool false)
+  | Some 'n' -> parse_literal s "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number s)
+  | Some c -> error s "unexpected character '%c'" c
+
+and parse_obj s =
+  expect s '{';
+  skip_ws s;
+  if peek s = Some '}' then begin
+    advance s;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws s;
+      let key = parse_string s in
+      skip_ws s;
+      expect s ':';
+      let v = parse_value s in
+      skip_ws s;
+      match peek s with
+      | Some ',' ->
+          advance s;
+          members ((key, v) :: acc)
+      | Some '}' ->
+          advance s;
+          List.rev ((key, v) :: acc)
+      | _ -> error s "expected ',' or '}' in object"
+    in
+    Obj (members [])
+  end
+
+and parse_arr s =
+  expect s '[';
+  skip_ws s;
+  if peek s = Some ']' then begin
+    advance s;
+    Arr []
+  end
+  else begin
+    let rec elements acc =
+      let v = parse_value s in
+      skip_ws s;
+      match peek s with
+      | Some ',' ->
+          advance s;
+          elements (v :: acc)
+      | Some ']' ->
+          advance s;
+          List.rev (v :: acc)
+      | _ -> error s "expected ',' or ']' in array"
+    in
+    Arr (elements [])
+  end
+
+let of_string src =
+  let s = { src; pos = 0 } in
+  try
+    let v = parse_value s in
+    skip_ws s;
+    (match peek s with
+    | Some c -> error s "trailing content starting with '%c'" c
+    | None -> ());
+    Ok v
+  with Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string = function
+  | Str s -> Some s
+  | _ -> None
+
+let to_list = function
+  | Arr l -> Some l
+  | _ -> None

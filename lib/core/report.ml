@@ -34,6 +34,33 @@ let pp_case fmt (case : Workflow.case_report) =
 
 let case_to_string case = Format.asprintf "%a" pp_case case
 
+let pp_campaign fmt (report : Campaign.report) =
+  Format.fprintf fmt "@[<v>campaign: %d queries, %d runner%s%s@,"
+    (List.length report.Campaign.query_reports)
+    report.Campaign.runners
+    (if report.Campaign.runners = 1 then "" else "s")
+    (match report.Campaign.budget_s with
+    | None -> ""
+    | Some s -> Printf.sprintf ", budget %.1fs" s);
+  List.iter
+    (fun (qr : Campaign.query_report) ->
+      let r = qr.Campaign.result in
+      Format.fprintf fmt "  [%s] %a (%.2fs%s, %d nodes)@,"
+        qr.Campaign.query.Campaign.label Verify.pp_verdict r.Verify.verdict
+        r.Verify.wall_time_s
+        (if qr.Campaign.from_cache then ", cached encoding" else "")
+        r.Verify.milp_stats.Dpv_linprog.Milp.nodes_explored)
+    report.Campaign.query_reports;
+  Format.fprintf fmt
+    "encoding cache: %d entr%s, %d hit%s, %d miss%s@,total wall %.2fs@]"
+    report.Campaign.cache.Campaign.entries
+    (if report.Campaign.cache.Campaign.entries = 1 then "y" else "ies")
+    report.Campaign.cache.Campaign.hits
+    (if report.Campaign.cache.Campaign.hits = 1 then "" else "s")
+    report.Campaign.cache.Campaign.misses
+    (if report.Campaign.cache.Campaign.misses = 1 then "" else "es")
+    report.Campaign.total_wall_s
+
 let column_width = 16
 
 let pad s =

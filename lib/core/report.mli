@@ -11,6 +11,11 @@ val pp_milp_stats : Format.formatter -> Dpv_linprog.Milp.stats -> unit
     parallel search — per-worker node counts, steal count and the
     deepest any subproblem queue got. *)
 
+val pp_campaign : Format.formatter -> Campaign.report -> unit
+(** Campaign summary table: one line per query (label, verdict, wall
+    time, cache reuse, node count) plus the cache statistics and the
+    total wall time. *)
+
 val table_row : string list -> string
 (** Fixed-width table row helper used by the bench harness. *)
 

@@ -12,9 +12,13 @@ type stats = {
   width_after : float;
 }
 
-let feature_box ?time_limit_s ~suffix ~head ~feature_box ?(extra_faces = [])
-    ?(characterizer_margin = 0.0) () =
-  let deadline = Clock.deadline_after time_limit_s in
+let feature_box ?time_limit_s ?deadline ~suffix ~head ~feature_box
+    ?(extra_faces = []) ?(characterizer_margin = 0.0) () =
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> Clock.deadline_after time_limit_s
+  in
   let encoding =
     Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
       ()
@@ -32,19 +36,30 @@ let feature_box ?time_limit_s ~suffix ~head ~feature_box ?(extra_faces = [])
         end
         else
         let v = encoding.Encode.feature_vars.(i) in
+        (* Re-check the deadline per LP, not per coordinate: each solve
+           on a large relaxation can be a sizable fraction of the whole
+           budget, and the overshoot past the deadline should be at most
+           one straddling LP. *)
         let solve sense =
-          incr lps;
-          Simplex.solve (Lp.set_objective relaxed sense [ (1.0, v) ])
+          if Clock.expired deadline then None
+          else begin
+            incr lps;
+            Some (Simplex.solve (Lp.set_objective relaxed sense [ (1.0, v) ]))
+          end
         in
         let lo =
           match solve Lp.Minimize with
-          | Simplex.Optimal { objective; _ } -> Float.max orig.Interval.lo objective
-          | Simplex.Infeasible | Simplex.Unbounded -> orig.Interval.lo
+          | Some (Simplex.Optimal { objective; _ }) ->
+              Float.max orig.Interval.lo objective
+          | Some (Simplex.Infeasible | Simplex.Unbounded) | None ->
+              orig.Interval.lo
         in
         let hi =
           match solve Lp.Maximize with
-          | Simplex.Optimal { objective; _ } -> Float.min orig.Interval.hi objective
-          | Simplex.Infeasible | Simplex.Unbounded -> orig.Interval.hi
+          | Some (Simplex.Optimal { objective; _ }) ->
+              Float.min orig.Interval.hi objective
+          | Some (Simplex.Infeasible | Simplex.Unbounded) | None ->
+              orig.Interval.hi
         in
         (* Guard against float noise producing an inverted interval. *)
         let lo, hi = if lo <= hi then (lo, hi) else (orig.Interval.lo, orig.Interval.hi) in

@@ -19,6 +19,7 @@ type stats = {
 
 val feature_box :
   ?time_limit_s:float ->
+  ?deadline:Dpv_linprog.Clock.deadline ->
   suffix:Dpv_nn.Network.t ->
   head:Dpv_nn.Network.t ->
   feature_box:Dpv_absint.Box_domain.t ->
@@ -32,4 +33,7 @@ val feature_box :
     [time_limit_s] bounds the preprocessing on the wall clock: once the
     deadline passes, remaining coordinates keep their incoming bounds
     (still sound — OBBT only ever shrinks) and are counted in
-    [dims_skipped]. *)
+    [dims_skipped].  [deadline], when given, takes precedence over
+    [time_limit_s]: it lets a caller thread one already-running deadline
+    through tightening and the subsequent MILP so a single budget covers
+    both phases ({!Verify.verify}). *)

@@ -53,12 +53,10 @@ let default_milp_options = { Milp.default_options with find_first = true }
 let concrete_tol = 1e-5
 
 let run_query ?(milp_options = default_milp_options) ~characterizer_margin
-    ~suffix ~head ~feature_box ~extra_faces ~psi ~conditional () =
+    ~shared ~head ~psi ~conditional () =
   let started = Clock.now_s () in
-  let encoding =
-    Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
-      ~psi ()
-  in
+  let suffix = Encode.suffix_of_shared shared in
+  let encoding = Encode.complete shared ~head ~characterizer_margin ~psi () in
   let milp_result, milp_stats =
     Milp_par.solve_with_stats ~options:milp_options encoding.Encode.model
   in
@@ -69,7 +67,11 @@ let run_query ?(milp_options = default_milp_options) ~characterizer_margin
     | Milp.Node_limit -> Unknown "branch-and-bound node limit reached"
     | Milp.Timeout -> Unknown "deadline exceeded"
     | Milp.Unbounded -> Unknown "LP relaxation unbounded (missing bounds)"
-    | Milp.Optimal { solution; _ } ->
+    | Milp.Optimal { solution; _ } | Milp.Feasible { solution; _ } ->
+        (* A [Feasible] incumbent (find_first, or a truncated search that
+           still found a point) is as good as [Optimal] here: any
+           integer-feasible point is a violation candidate, and it is
+           re-validated concretely below before being reported. *)
         let features =
           Array.map (fun v -> solution.(v)) encoding.Encode.feature_vars
         in
@@ -104,18 +106,25 @@ let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
   let suffix = Network.suffix perception ~cut in
   let head = characterizer.Characterizer.head in
   let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
+  (* One deadline covers tightening *and* the MILP: [time_limit_s] is
+     the budget for the whole call, not per phase. *)
+  let time_limit_s = Option.bind milp_options (fun o -> o.Milp.time_limit_s) in
+  let deadline = Clock.deadline_after time_limit_s in
   let feature_box =
     if tighten then
-      let time_limit_s =
-        Option.bind milp_options (fun o -> o.Milp.time_limit_s)
-      in
       fst
-        (Tighten.feature_box ?time_limit_s ~suffix ~head ~feature_box
-           ~extra_faces ~characterizer_margin ())
+        (Tighten.feature_box ~deadline ~suffix ~head ~feature_box ~extra_faces
+           ~characterizer_margin ())
     else feature_box
   in
-  run_query ?milp_options ~characterizer_margin ~suffix ~head ~feature_box
-    ~extra_faces ~psi ~conditional:(is_conditional bounds) ()
+  let milp_options =
+    Option.map
+      (fun o -> { o with Milp.time_limit_s = Clock.carve deadline o.Milp.time_limit_s })
+      milp_options
+  in
+  let shared = Encode.build_shared ~suffix ~feature_box ~extra_faces () in
+  run_query ?milp_options ~characterizer_margin ~shared ~head ~psi
+    ~conditional:(is_conditional bounds) ()
 
 (* Interval of a linear expression over an output box. *)
 let expr_bounds expr box =
@@ -181,9 +190,10 @@ let trivial_head ~dim =
 let verify_without_characterizer ?milp_options ~perception ~cut ~psi ~bounds () =
   let suffix = Network.suffix perception ~cut in
   let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
-  run_query ?milp_options ~characterizer_margin:0.0 ~suffix
+  let shared = Encode.build_shared ~suffix ~feature_box ~extra_faces () in
+  run_query ?milp_options ~characterizer_margin:0.0 ~shared
     ~head:(trivial_head ~dim:(Network.input_dim suffix))
-    ~feature_box ~extra_faces ~psi ~conditional:(is_conditional bounds) ()
+    ~psi ~conditional:(is_conditional bounds) ()
 
 type optimum = {
   value : float;
@@ -212,6 +222,15 @@ let optimize_output ?(milp_options = { Milp.default_options with find_first = fa
   | Milp.Unbounded -> Error "objective unbounded over S"
   | Milp.Node_limit -> Error "node limit reached"
   | Milp.Timeout -> Error "deadline exceeded"
+  | Milp.Feasible { objective = value; _ } ->
+      (* An incumbent from a truncated search bounds the frontier but
+         does not locate it; claiming it as the optimum would overstate
+         the proof. *)
+      Error
+        (Printf.sprintf
+           "search truncated with incumbent %g: value is a bound on the \
+            optimum, not the optimum (raise max_nodes or time_limit_s)"
+           (value +. objective.Dpv_spec.Linexpr.const))
   | Milp.Optimal { objective = value; solution } ->
       let opt_features =
         Array.map (fun v -> solution.(v)) encoding.Encode.feature_vars

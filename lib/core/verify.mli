@@ -38,6 +38,35 @@ type result = {
   wall_time_s : float;
 }
 
+val default_milp_options : Dpv_linprog.Milp.options
+(** {!Dpv_linprog.Milp.default_options} with [find_first = true] — the
+    natural solver mode for a feasibility query. *)
+
+val resolve_bounds :
+  perception:Dpv_nn.Network.t ->
+  cut:int ->
+  bounds_spec ->
+  Dpv_absint.Box_domain.t * Dpv_monitor.Polyhedron.halfspace list
+(** Resolve a bounds specification into the concrete feature box plus
+    any octagon faces over the feature variables.  This is the
+    per-region fitting work ({!Data_box}/{!Data_octagon} hulls, static
+    propagation) that {!Campaign} caches per [(cut, bounds)] key. *)
+
+val run_query :
+  ?milp_options:Dpv_linprog.Milp.options ->
+  characterizer_margin:float ->
+  shared:Encode.shared ->
+  head:Dpv_nn.Network.t ->
+  psi:Dpv_spec.Risk.t ->
+  conditional:bool ->
+  unit ->
+  result
+(** Run one MILP query on a pre-built {!Encode.shared} prefix: complete
+    the encoding with [head]/[psi]/[characterizer_margin], solve, and
+    map the solver result to a verdict (re-validating any witness by
+    concrete execution).  Callers that answer many queries over the same
+    [(cut, bounds)] region build the prefix once — see {!Campaign}. *)
+
 val verify :
   ?milp_options:Dpv_linprog.Milp.options ->
   ?characterizer_margin:float ->
@@ -57,7 +86,9 @@ val verify :
     ({!Dpv_linprog.Milp_par}), and [time_limit_s] imposes a wall-clock
     deadline — an expired query returns [Unknown "deadline exceeded"]
     (the paper's UNKNOWN verdict) instead of spinning to the node cap.
-    Both limits also apply to the optional tightening pass. *)
+    [time_limit_s] is a budget for the {e whole} call: one deadline is
+    started up front and shared by the optional tightening pass and the
+    MILP search, so [tighten:true] cannot double the wall clock. *)
 
 val verify_incomplete :
   ?domain:Dpv_absint.Propagate.domain ->

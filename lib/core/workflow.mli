@@ -123,3 +123,10 @@ val train_characterizer :
 
 val image_box : prepared -> Dpv_absint.Box_domain.t
 (** The input region for static analysis: all pixels in [0,1]. *)
+
+val bounds_spec_of : prepared -> cut:int -> strategy -> Verify.bounds_spec
+(** The {!Verify.bounds_spec} a strategy denotes for this prepared
+    network at [cut]: the image box for [Static], the visited features
+    at [cut] for the data-driven strategies.  This is exactly the value
+    {!run_case} verifies over, so campaign queries built from it get
+    the same regions (and the same verdicts) as one-by-one runs. *)

@@ -6,8 +6,16 @@ let deadline_after = function
   | None -> None
   | Some budget_s -> Some (now_s () +. budget_s)
 
-let expired = function None -> false | Some t -> now_s () > t
+(* Inclusive, so a zero-second budget is expired from the start even
+   when the clock has not ticked since the deadline was minted. *)
+let expired = function None -> false | Some t -> now_s () >= t
 
 let remaining_s = function
   | None -> None
   | Some t -> Some (Float.max 0.0 (t -. now_s ()))
+
+let carve deadline budget_s =
+  match (remaining_s deadline, budget_s) with
+  | None, b -> b
+  | (Some _ as r), None -> r
+  | Some r, Some b -> Some (Float.min r b)

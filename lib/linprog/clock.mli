@@ -16,6 +16,17 @@ val deadline_after : float option -> deadline
     [deadline_after None] never expires. *)
 
 val expired : deadline -> bool
+(** Inclusive: a zero-second budget is expired from the moment it is
+    minted, so carved-to-nothing sub-task deadlines deterministically
+    skip work instead of racing the clock's resolution. *)
 
 val remaining_s : deadline -> float option
 (** Seconds left, clamped at [0.]; [None] for a never-expiring deadline. *)
+
+val carve : deadline -> float option -> float option
+(** [carve deadline budget_s] is the wall-clock budget a sub-task may
+    spend: the smaller of its own [budget_s] and whatever remains before
+    [deadline].  [None] only when both are unbounded.  This is how one
+    shared deadline (a campaign budget, or a verify call covering both
+    tightening and the MILP) is threaded through phases that each take a
+    [time_limit_s]: carve at the moment the phase starts. *)

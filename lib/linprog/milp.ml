@@ -1,5 +1,6 @@
 type result =
   | Optimal of { objective : float; solution : float array }
+  | Feasible of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
   | Node_limit
@@ -94,8 +95,13 @@ let solve_with_stats ?(options = default_options) model =
   let hit_deadline = ref false in
   let relaxation_unbounded = ref false in
   let max_depth = ref 0 in
-  (* DFS over persistent models; bound tightening produces child nodes. *)
-  let rec explore stack =
+  (* DFS over persistent models; bound tightening produces child nodes.
+     [depth] tracks the stack length incrementally (a branch pops one
+     node and pushes two, everything else pops one) so the high-water
+     mark costs O(1) per node instead of an O(depth) [List.length] —
+     and, like the parallel solver's per-deque high-water mark, it
+     counts the seeded root as depth 1. *)
+  let rec explore stack depth =
     match stack with
     | [] -> ()
     | node :: rest ->
@@ -112,7 +118,7 @@ let solve_with_stats ?(options = default_options) model =
           let status = Simplex.solve node in
           lp_time := !lp_time +. (Clock.now_s () -. lp_started);
           match status with
-          | Simplex.Infeasible -> explore rest
+          | Simplex.Infeasible -> explore rest (depth - 1)
           | Simplex.Unbounded ->
               (* Without a finite relaxation bound we cannot prune; report. *)
               relaxation_unbounded := true
@@ -122,7 +128,7 @@ let solve_with_stats ?(options = default_options) model =
                 | Some (obj, _) -> not (better objective obj)
                 | None -> false
               in
-              if prune then explore rest
+              if prune then explore rest (depth - 1)
               else begin
                 match find_branch_var ~tol:options.int_tol node solution with
                 | None ->
@@ -132,16 +138,17 @@ let solve_with_stats ?(options = default_options) model =
                     | _ ->
                         incumbent := Some (objective, sol);
                         incr updates);
-                    explore rest
+                    explore rest (depth - 1)
                 | Some v ->
                     let first, second = branch_children node v solution.(v) in
-                    let stack' = first :: second :: rest in
-                    max_depth := Stdlib.max !max_depth (List.length stack');
-                    explore stack'
+                    let depth' = depth + 1 in
+                    if depth' > !max_depth then max_depth := depth';
+                    explore (first :: second :: rest) depth'
               end
         end
   in
-  explore [ model ];
+  max_depth := 1;
+  explore [ model ] 1;
   let stats =
     {
       nodes_explored = !nodes;
@@ -154,14 +161,25 @@ let solve_with_stats ?(options = default_options) model =
     }
   in
   let result =
-    if !relaxation_unbounded && !incumbent = None then Unbounded
-    else
-      match !incumbent with
-      | Some (objective, solution) -> Optimal { objective; solution }
-      | None ->
-          if !hit_deadline then Timeout
-          else if !hit_limit then Node_limit
-          else Infeasible
+    match !incumbent with
+    | Some (objective, solution) ->
+        (* [Optimal] is an optimality *proof*: the whole tree was pruned
+           or exhausted.  Any truncation — node cap, deadline, find_first
+           early exit, or an unbounded relaxation somewhere — leaves the
+           incumbent a witness only. *)
+        let proven =
+          (not options.find_first)
+          && (not !hit_limit)
+          && (not !hit_deadline)
+          && not !relaxation_unbounded
+        in
+        if proven then Optimal { objective; solution }
+        else Feasible { objective; solution }
+    | None ->
+        if !relaxation_unbounded then Unbounded
+        else if !hit_deadline then Timeout
+        else if !hit_limit then Node_limit
+        else Infeasible
   in
   (result, stats)
 

@@ -10,6 +10,15 @@
 
 type result =
   | Optimal of { objective : float; solution : float array }
+      (** Best integer-feasible point, with an optimality proof: the
+          branch-and-bound tree was exhausted (or pruned) in full. *)
+  | Feasible of { objective : float; solution : float array }
+      (** An integer-feasible incumbent {e without} an optimality
+          proof: the search was truncated by the node cap, the
+          wall-clock deadline, a [find_first] early exit, or an
+          unbounded relaxation on some open branch.  The solution is a
+          genuine feasible point and may serve as a witness, but the
+          objective is only a bound on the true optimum. *)
   | Infeasible
   | Unbounded
       (** The LP relaxation is unbounded (the MILP may be too). *)
@@ -28,7 +37,10 @@ type stats = {
   per_worker_nodes : int array; (** node count by worker; [[|n|]] when
                                     solved sequentially *)
   steals : int;                 (** work-stealing events (0 sequential) *)
-  max_queue_depth : int;        (** deepest any subproblem queue got *)
+  max_queue_depth : int;        (** deepest any subproblem queue got,
+                                    counting the seeded root — so it is
+                                    at least 1 whenever a node was
+                                    explored, sequentially or not *)
 }
 
 val empty_stats : stats
@@ -39,7 +51,9 @@ type options = {
   max_nodes : int;      (** branch-and-bound node budget *)
   int_tol : float;      (** integrality tolerance *)
   find_first : bool;    (** stop at the first integer-feasible solution;
-                            the natural mode for feasibility queries *)
+                            the natural mode for feasibility queries.
+                            Incumbents are reported as {!Feasible}
+                            (never {!Optimal}) in this mode *)
   workers : int;        (** domains for {!Milp_par}; this module ignores
                             any value except to assert it is positive *)
   time_limit_s : float option;

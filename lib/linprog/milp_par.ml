@@ -120,15 +120,24 @@ let solve_parallel ~(options : Milp.options) model =
     }
   in
   let result =
-    if Atomic.get s.relaxation_unbounded && !(s.incumbent) = None then
-      Milp.Unbounded
-    else
-      match !(s.incumbent) with
-      | Some (objective, solution) -> Milp.Optimal { objective; solution }
-      | None ->
-          if Atomic.get s.hit_deadline then Milp.Timeout
-          else if Atomic.get s.hit_limit then Milp.Node_limit
-          else Milp.Infeasible
+    match !(s.incumbent) with
+    | Some (objective, solution) ->
+        (* Same classification as the sequential solver: an incumbent is
+           [Optimal] only when the search ran to exhaustion without any
+           truncation — otherwise it is a witness, not a proof. *)
+        let proven =
+          (not options.Milp.find_first)
+          && (not (Atomic.get s.hit_limit))
+          && (not (Atomic.get s.hit_deadline))
+          && not (Atomic.get s.relaxation_unbounded)
+        in
+        if proven then Milp.Optimal { objective; solution }
+        else Milp.Feasible { objective; solution }
+    | None ->
+        if Atomic.get s.relaxation_unbounded then Milp.Unbounded
+        else if Atomic.get s.hit_deadline then Milp.Timeout
+        else if Atomic.get s.hit_limit then Milp.Node_limit
+        else Milp.Infeasible
   in
   (result, stats)
 

@@ -128,3 +128,18 @@ let run ~workers ~initial ~process ~stop =
     steals = Atomic.get steals;
     max_queue_depth;
   }
+
+(* Coarse-grained fan-out over a fixed item list: each item is one leaf
+   task (no children), results land at the item's index.  Distinct
+   indices are written from distinct domains, which is safe; the join in
+   [run] publishes them to the caller. *)
+let map_list ~workers ?(stop = fun () -> false) f items =
+  let n = List.length items in
+  let out = Array.make n None in
+  let tasks = List.mapi (fun i x -> (i, x)) items in
+  let process _id (i, x) =
+    out.(i) <- Some (f x);
+    []
+  in
+  let (_ : stats) = run ~workers ~initial:tasks ~process ~stop in
+  out

@@ -37,3 +37,14 @@ val run :
     [workers = 1] degenerates to a plain sequential loop on the calling
     domain — no domain is spawned, so results are bit-for-bit those of a
     sequential implementation. *)
+
+val map_list :
+  workers:int -> ?stop:(unit -> bool) -> ('a -> 'b) -> 'a list -> 'b option array
+(** [map_list ~workers f items] runs [f] on every item as one
+    coarse-grained pool task each and returns the results in item order.
+    An entry is [None] only when [stop] fired before its item started —
+    with the default [stop] every entry is [Some].  This is the reuse
+    path for schedulers above the MILP (verification campaigns): one
+    pool, one task per query, stealing balances uneven query costs.
+    [f] runs concurrently on several domains and must not itself spawn
+    domains per call beyond what the host machine can carry. *)

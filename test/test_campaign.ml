@@ -1,0 +1,147 @@
+(* Campaign runner: verdict equivalence against standalone verify,
+   shared-encoding cache accounting, budget degradation, and the JSON
+   report round-tripping through the in-tree JSON reader.
+
+   Uses the same hand-built perception network as test_core:
+     perception: x -> Dense [[1];[-1]] -> ReLU -> Dense [1,-1]
+   with cut 2 exposing features (relu(x), relu(-x)). *)
+
+module Campaign = Dpv_core.Campaign
+module Characterizer = Dpv_core.Characterizer
+module Verify = Dpv_core.Verify
+module Json = Dpv_core.Json
+module Network = Dpv_nn.Network
+module Layer = Dpv_nn.Layer
+module Risk = Dpv_spec.Risk
+module Mat = Dpv_tensor.Mat
+
+let perception =
+  Network.create ~input_dim:1
+    [
+      Layer.dense
+        ~weights:(Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |])
+        ~bias:[| 0.0; 0.0 |];
+      Layer.Relu;
+      Layer.dense ~weights:(Mat.of_rows [| [| 1.0; -1.0 |] |]) ~bias:[| 0.0 |];
+    ]
+
+let cut = 2
+
+let head =
+  Network.create ~input_dim:2
+    [ Layer.dense ~weights:(Mat.of_rows [| [| 1.0; 0.0 |] |]) ~bias:[| -0.5 |] ]
+
+let characterizer =
+  { Characterizer.head; cut; property_name = "x-at-least-half" }
+
+let visited_features =
+  Array.init 41 (fun i ->
+      let x = -1.0 +. (float_of_int i /. 20.0) in
+      Network.forward_upto perception ~cut [| x |])
+
+let risk_ge threshold =
+  Risk.make
+    ~name:(Printf.sprintf "out>=%g" threshold)
+    [ Risk.output_ge 0 threshold ]
+
+let risk_le threshold =
+  Risk.make
+    ~name:(Printf.sprintf "out<=%g" threshold)
+    [ Risk.output_le 0 threshold ]
+
+(* Four queries over two distinct (cut, bounds) keys: the box pair and
+   the octagon pair each share one cache entry. *)
+let queries () =
+  [
+    Campaign.query ~label:"reach-box" ~characterizer ~psi:(risk_ge 0.9)
+      ~bounds:(Verify.Data_box visited_features) ();
+    Campaign.query ~label:"unreach-box" ~characterizer ~psi:(risk_ge 1.5)
+      ~bounds:(Verify.Data_box visited_features) ();
+    Campaign.query ~label:"neg-oct" ~characterizer ~psi:(risk_le (-0.2))
+      ~bounds:(Verify.Data_octagon visited_features) ();
+    Campaign.query ~label:"neg-oct-deep" ~characterizer ~psi:(risk_le (-0.8))
+      ~bounds:(Verify.Data_octagon visited_features) ();
+  ]
+
+let test_campaign_matches_individual_verify () =
+  let qs = queries () in
+  let report = Campaign.run ~runners:2 ~perception qs in
+  Alcotest.(check int) "one report per query" (List.length qs)
+    (List.length report.Campaign.query_reports);
+  List.iter2
+    (fun (q : Campaign.query) (qr : Campaign.query_report) ->
+      Alcotest.(check string) "reports keep input order" q.Campaign.label
+        qr.Campaign.query.Campaign.label;
+      let standalone =
+        Verify.verify ~perception ~characterizer:q.Campaign.characterizer
+          ~psi:q.Campaign.psi ~bounds:q.Campaign.bounds ()
+      in
+      Alcotest.(check string)
+        (q.Campaign.label ^ ": verdict matches standalone verify")
+        (Campaign.verdict_word standalone.Verify.verdict)
+        (Campaign.verdict_word qr.Campaign.result.Verify.verdict))
+    qs report.Campaign.query_reports
+
+let test_campaign_cache_accounting () =
+  let report = Campaign.run ~runners:1 ~perception (queries ()) in
+  let cache = report.Campaign.cache in
+  Alcotest.(check int) "two distinct (cut, bounds) keys" 2 cache.Campaign.entries;
+  Alcotest.(check int) "misses = entries" 2 cache.Campaign.misses;
+  Alcotest.(check int) "second query of each pair hits" 2 cache.Campaign.hits;
+  let flags =
+    List.map
+      (fun (qr : Campaign.query_report) -> qr.Campaign.from_cache)
+      report.Campaign.query_reports
+  in
+  Alcotest.(check (list bool)) "first of each key misses, second hits"
+    [ false; true; false; true ] flags
+
+let test_campaign_zero_budget_degrades_to_unknown () =
+  let report = Campaign.run ~runners:1 ~budget_s:0.0 ~perception (queries ()) in
+  List.iter
+    (fun (qr : Campaign.query_report) ->
+      match qr.Campaign.result.Verify.verdict with
+      | Verify.Unknown _ -> ()
+      | v ->
+          Alcotest.failf "%s: expected unknown under zero budget, got %a"
+            qr.Campaign.query.Campaign.label Verify.pp_verdict v)
+    report.Campaign.query_reports
+
+let jget label = function
+  | Some v -> v
+  | None -> Alcotest.failf "json: missing or mistyped %s" label
+
+let mem key j = jget key (Json.member key j)
+
+let test_campaign_json_report () =
+  let report = Campaign.run ~runners:2 ~perception (queries ()) in
+  let json = Campaign.to_json report in
+  match Json.of_string json with
+  | Error e -> Alcotest.failf "report is not valid JSON: %s" e
+  | Ok j ->
+      Alcotest.(check string) "schema tag" "dpv-campaign/1"
+        (jget "schema" (Json.to_string (mem "schema" j)));
+      Alcotest.(check int) "runners recorded" 2
+        (jget "runners" (Json.to_int (mem "runners" j)));
+      let cache = mem "cache" j in
+      Alcotest.(check int) "cache hits serialized" 2
+        (jget "hits" (Json.to_int (mem "hits" cache)));
+      let qs = jget "queries" (Json.to_list (mem "queries" j)) in
+      Alcotest.(check int) "four query records" 4 (List.length qs);
+      List.iter
+        (fun q ->
+          let verdict = jget "verdict" (Json.to_string (mem "verdict" q)) in
+          Alcotest.(check bool) "verdict is a known word" true
+            (List.mem verdict [ "safe"; "unsafe"; "unknown" ]);
+          ignore (jget "nodes" (Json.to_int (mem "nodes" (mem "milp" q)))))
+        qs
+
+let tests =
+  [
+    Alcotest.test_case "campaign matches individual verify" `Quick
+      test_campaign_matches_individual_verify;
+    Alcotest.test_case "cache accounting" `Quick test_campaign_cache_accounting;
+    Alcotest.test_case "zero budget degrades to unknown" `Quick
+      test_campaign_zero_budget_degrades_to_unknown;
+    Alcotest.test_case "json report" `Quick test_campaign_json_report;
+  ]

@@ -85,7 +85,8 @@ let test_encode_rejects_sigmoid () =
 let test_encode_rejects_dim_mismatch () =
   let suffix = Network.suffix perception ~cut in
   Alcotest.check_raises "box dim"
-    (Invalid_argument "Encode.build: feature box dimension mismatch") (fun () ->
+    (Invalid_argument "Encode.build_shared: feature box dimension mismatch")
+    (fun () ->
       ignore
         (Encode.build ~suffix ~head
            ~feature_box:(Box_domain.uniform ~dim:3 ~lo:0.0 ~hi:1.0)
@@ -105,7 +106,7 @@ let encoding_matches_concrete net head_net feature_box x =
       model := Lp.add_constraint !model [ (1.0, e.Encode.feature_vars.(i)) ] Lp.Eq v)
     x;
   match Milp.solve ~options:{ Milp.default_options with find_first = true } !model with
-  | Milp.Optimal { solution; _ } ->
+  | Milp.Optimal { solution; _ } | Milp.Feasible { solution; _ } ->
       let out_concrete = Network.forward net x in
       let logit_concrete = (Network.forward head_net x).(0) in
       let ok = ref true in
@@ -300,6 +301,36 @@ let test_milp_node_limit_reported () =
   match result.Verify.verdict with
   | Verify.Unknown _ -> ()
   | v -> Alcotest.failf "expected unknown at node limit, got %a" Verify.pp_verdict v
+
+let test_verify_tighten_shares_budget () =
+  (* One deadline must cover OBBT *and* the MILP: a [time_limit_s] of
+     [T] may not burn ~2T (tightening exhausting its own T, then the
+     search getting a fresh T).  The suffix below is large enough that
+     untruncated OBBT alone (2 LPs per feature coordinate on a dense
+     relaxation) far exceeds the budget. *)
+  let rng = Rng.create 424242 in
+  let p = Init.mlp rng ~input_dim:6 ~hidden:[ 24; 24; 24 ] ~output_dim:2 in
+  let h = Init.mlp rng ~input_dim:24 ~hidden:[ 12 ] ~output_dim:1 in
+  let chr = { Characterizer.head = h; cut = 2; property_name = "big" } in
+  let bounds =
+    Verify.Feature_box (Box_domain.uniform ~dim:24 ~lo:(-1.0) ~hi:1.0)
+  in
+  let options =
+    { Verify.default_milp_options with Milp.time_limit_s = Some 1.0 }
+  in
+  let started = Dpv_linprog.Clock.now_s () in
+  let r =
+    Verify.verify ~milp_options:options ~tighten:true ~perception:p
+      ~characterizer:chr ~psi:(risk_ge 1e6) ~bounds ()
+  in
+  let elapsed = Dpv_linprog.Clock.now_s () -. started in
+  (* 1.1x the budget plus slack for the straddling LP / encoding work. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "tighten + solve fit one budget (took %.2fs)" elapsed)
+    true (elapsed < 1.8);
+  match r.Verify.verdict with
+  | Verify.Safe _ | Verify.Unknown _ -> ()
+  | Verify.Unsafe _ -> Alcotest.fail "out >= 1e6 cannot be reachable"
 
 (* -- characterizer training -- *)
 
@@ -505,6 +536,8 @@ let tests =
     Alcotest.test_case "optimize maximize" `Quick test_optimize_output;
     Alcotest.test_case "optimize minimize" `Quick test_optimize_minimize;
     Alcotest.test_case "node limit -> unknown" `Quick test_milp_node_limit_reported;
+    Alcotest.test_case "tighten shares the time budget" `Slow
+      test_verify_tighten_shares_budget;
     Alcotest.test_case "incomplete proves unreachable" `Quick test_incomplete_proves_unreachable;
     Alcotest.test_case "incomplete vs characterizer" `Quick test_incomplete_cannot_use_characterizer;
     Alcotest.test_case "incomplete mute characterizer" `Quick test_incomplete_mute_characterizer;

@@ -13,10 +13,24 @@ let expect_optimal = function
 
 let expect_milp_optimal = function
   | Milp.Optimal { objective; solution } -> (objective, solution)
+  | Milp.Feasible _ ->
+      Alcotest.fail "expected optimal, got feasible (truncated search)"
   | Milp.Infeasible -> Alcotest.fail "expected optimal, got infeasible"
   | Milp.Unbounded -> Alcotest.fail "expected optimal, got unbounded"
   | Milp.Node_limit -> Alcotest.fail "expected optimal, got node limit"
   | Milp.Timeout -> Alcotest.fail "expected optimal, got timeout"
+
+(* find_first mode never proves optimality, so its incumbents come back
+   [Feasible] by contract. *)
+let expect_milp_feasible = function
+  | Milp.Feasible { objective; solution } -> (objective, solution)
+  | Milp.Optimal _ ->
+      Alcotest.fail "expected feasible, got optimal (find_first must not \
+                     claim proofs)"
+  | Milp.Infeasible -> Alcotest.fail "expected feasible, got infeasible"
+  | Milp.Unbounded -> Alcotest.fail "expected feasible, got unbounded"
+  | Milp.Node_limit -> Alcotest.fail "expected feasible, got node limit"
+  | Milp.Timeout -> Alcotest.fail "expected feasible, got timeout"
 
 (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
    Classic Dantzig example: optimum 36 at (2, 6). *)
@@ -187,7 +201,7 @@ let test_milp_find_first () =
   let m, b = Lp.add_var ~kind:Lp.Binary m in
   let m = Lp.add_constraint m [ (1.0, a); (1.0, b) ] Lp.Eq 1.0 in
   let options = { Milp.default_options with find_first = true } in
-  let _, sol = expect_milp_optimal (Milp.solve ~options m) in
+  let _, sol = expect_milp_feasible (Milp.solve ~options m) in
   check_float "sum" 1.0 (sol.(a) +. sol.(b))
 
 let test_milp_stats () =

@@ -14,6 +14,7 @@ let () =
       ("monitor", Test_monitor.tests);
       ("controller", Test_controller.tests);
       ("core", Test_core.tests);
+      ("campaign", Test_campaign.tests);
       ("extensions", Test_extensions.tests);
       ("certificate", Test_certificate.tests);
       ("determinism", Test_workflow_determinism.tests);

@@ -42,6 +42,7 @@ let random_milp rng =
 
 let classification = function
   | Milp.Optimal _ -> "optimal"
+  | Milp.Feasible _ -> "feasible"
   | Milp.Infeasible -> "infeasible"
   | Milp.Unbounded -> "unbounded"
   | Milp.Node_limit -> "node-limit"
@@ -160,6 +161,72 @@ let test_node_limit_still_reported () =
   | Milp.Node_limit -> ()
   | r -> Alcotest.failf "expected node-limit, got %s" (classification r)
 
+(* Easy to find an incumbent, astronomically hard to prove optimality:
+   maximize sum x_i over n binaries subject to sum 2 x_i <= n - 1.  The
+   LP relaxation is 11.5 (for n = 24) at essentially every node while
+   the integer optimum is 11, so bound pruning never fires and the full
+   proof tree has ~2^n nodes.  A depth-first dive reaches an integral
+   relaxation of value 11 after fixing 13 variables to zero (~14 nodes),
+   so any truncated run holds an incumbent it cannot have proven. *)
+let hard_incumbent_model n =
+  let m = ref (Lp.create ()) in
+  let vars =
+    Array.init n (fun _ ->
+        let model, v = Lp.add_var ~kind:Lp.Binary !m in
+        m := model;
+        v)
+  in
+  let terms = Array.to_list (Array.map (fun v -> (2.0, v)) vars) in
+  m := Lp.add_constraint !m terms Lp.Le (float_of_int (n - 1));
+  m :=
+    Lp.set_objective !m Lp.Maximize
+      (Array.to_list (Array.map (fun v -> (1.0, v)) vars));
+  !m
+
+let expect_feasible_11 ~label model result =
+  match result with
+  | Milp.Feasible { objective; solution } ->
+      check_float (label ^ ": incumbent objective") 11.0 objective;
+      Alcotest.(check bool)
+        (label ^ ": incumbent satisfies the model") true
+        (Lp.check_feasible ~tol:1e-6 model solution)
+  | Milp.Optimal _ ->
+      Alcotest.failf "%s: truncated search must not claim Optimal" label
+  | r -> Alcotest.failf "%s: expected feasible, got %s" label (classification r)
+
+let test_truncated_incumbent_feasible_sequential () =
+  let model = hard_incumbent_model 24 in
+  let options = { seq_options with Milp.max_nodes = 200 } in
+  expect_feasible_11 ~label:"seq node limit" model (Milp.solve ~options model)
+
+let test_truncated_incumbent_feasible_parallel () =
+  let model = hard_incumbent_model 24 in
+  let options = { par_options with Milp.max_nodes = 400 } in
+  expect_feasible_11 ~label:"par node limit" model
+    (Milp_par.solve ~options model)
+
+let test_deadline_incumbent_feasible () =
+  let model = hard_incumbent_model 24 in
+  let options =
+    { seq_options with Milp.max_nodes = max_int; time_limit_s = Some 0.3 }
+  in
+  let started = Clock.now_s () in
+  expect_feasible_11 ~label:"seq deadline" model (Milp.solve ~options model);
+  Alcotest.(check bool) "stopped near the deadline" true
+    (Clock.now_s () -. started < 5.0)
+
+let test_sequential_queue_depth_tracked () =
+  (* The DFS stack on the subset-sum tree must reach depth >= 2 and the
+     high-water mark is tracked incrementally (not recomputed per node). *)
+  let model = hard_infeasible_model 8 in
+  let result, stats = Milp.solve_with_stats ~options:seq_options model in
+  Alcotest.(check string) "proved infeasible" "infeasible"
+    (classification result);
+  Alcotest.(check bool) "stack depth tracked" true
+    (stats.Milp.max_queue_depth >= 2);
+  Alcotest.(check bool) "depth bounded by nodes" true
+    (stats.Milp.max_queue_depth <= stats.Milp.nodes_explored + 1)
+
 let test_branch_var_lowest_index_tie () =
   (* Two integer variables equally fractional at 0.5: branching must
      pick the lower index deterministically. *)
@@ -212,6 +279,14 @@ let tests =
       test_deadline_returns_timeout_parallel;
     Alcotest.test_case "node limit still reported" `Quick
       test_node_limit_still_reported;
+    Alcotest.test_case "truncated incumbent -> Feasible (sequential)" `Quick
+      test_truncated_incumbent_feasible_sequential;
+    Alcotest.test_case "truncated incumbent -> Feasible (parallel)" `Quick
+      test_truncated_incumbent_feasible_parallel;
+    Alcotest.test_case "deadline incumbent -> Feasible" `Quick
+      test_deadline_incumbent_feasible;
+    Alcotest.test_case "sequential queue depth tracked" `Quick
+      test_sequential_queue_depth_tracked;
     Alcotest.test_case "branch-var tie-break by lowest index" `Quick
       test_branch_var_lowest_index_tie;
   ]

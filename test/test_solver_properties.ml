@@ -166,7 +166,9 @@ let qcheck_milp_vs_bruteforce =
       in
       match Milp.solve !m with
       | Milp.Optimal { objective; _ } -> Float.abs (objective -. brute) <= 1e-6
-      | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false)
+      | Milp.Feasible _ | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit
+      | Milp.Timeout ->
+          false)
 
 let qcheck_milp_equalities_vs_bruteforce =
   QCheck.Test.make ~count:60
@@ -208,7 +210,9 @@ let qcheck_milp_equalities_vs_bruteforce =
       in
       match Milp.solve !m with
       | Milp.Optimal { objective; _ } -> Float.abs (objective -. brute) <= 1e-6
-      | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false)
+      | Milp.Feasible _ | Milp.Infeasible | Milp.Unbounded | Milp.Node_limit
+      | Milp.Timeout ->
+          false)
 
 let qcheck_milp_find_first_feasible =
   QCheck.Test.make ~count:60
@@ -244,8 +248,10 @@ let qcheck_milp_find_first_feasible =
       in
       let options = { Milp.default_options with find_first = true } in
       match Milp.solve ~options !m with
-      | Milp.Optimal { solution; _ } ->
+      | Milp.Feasible { solution; _ } ->
           brute_feasible && Lp.check_feasible ~tol:1e-6 !m solution
+      (* find_first incumbents must come back Feasible, never Optimal *)
+      | Milp.Optimal _ -> false
       | Milp.Infeasible -> not brute_feasible
       | Milp.Unbounded | Milp.Node_limit | Milp.Timeout -> false)
 
