@@ -635,6 +635,178 @@ let milp_result_word = function
   | Dpv_linprog.Milp.Node_limit -> "node-limit"
   | Dpv_linprog.Milp.Timeout -> "timeout"
 
+(* One measured MILP query for the JSON baseline — either a full
+   verification query or a synthetic smoke instance. *)
+type bench_query = {
+  bq_name : string;
+  bq_workers : int;
+  bq_verdict : string;
+  bq_wall : float;
+  bq_stats : Milp.stats;
+}
+
+let warm_rate (s : Milp.stats) =
+  let total = s.Milp.warm_starts + s.Milp.cold_starts in
+  if total = 0 then 0.0
+  else float_of_int s.Milp.warm_starts /. float_of_int total
+
+(* Pure-LP microbench: one deterministic sparse bounded LP, timed three
+   ways — fresh revised-engine solves, fresh dense-reference solves, and
+   persistent-handle re-solves after a bound flip (the branch-and-bound
+   inner loop).  The warm:cold ratio is the headline number of this PR. *)
+type lp_micro = {
+  mb_vars : int;
+  mb_rows : int;
+  mb_reps : int;
+  mb_cold_s : float;
+  mb_dense_s : float;
+  mb_warm_s : float;
+}
+
+let micro_lp ~vars ~rows =
+  let rng = Rng.create 4242 in
+  let m = ref (Dpv_linprog.Lp.create ()) in
+  let vs =
+    Array.init vars (fun _ ->
+        let model, v =
+          Dpv_linprog.Lp.add_var ~lo:0.0
+            ~up:(Rng.uniform rng ~lo:1.0 ~hi:10.0)
+            !m
+        in
+        m := model;
+        v)
+  in
+  for _ = 1 to rows do
+    (* ~4 variables per row: the sparsity of a big-M ReLU encoding. *)
+    let terms =
+      List.init 4 (fun _ ->
+          (Rng.uniform rng ~lo:(-2.0) ~hi:3.0, Rng.pick rng vs))
+    in
+    m :=
+      Dpv_linprog.Lp.add_constraint !m terms Dpv_linprog.Lp.Le
+        (Rng.uniform rng ~lo:1.0 ~hi:10.0)
+  done;
+  let obj =
+    Array.to_list
+      (Array.map (fun v -> (Rng.uniform rng ~lo:(-1.0) ~hi:1.0, v)) vs)
+  in
+  m := Dpv_linprog.Lp.set_objective !m Dpv_linprog.Lp.Maximize obj;
+  (!m, vs.(0))
+
+let lp_microbench ~reps () =
+  let vars = 80 and rows = 60 in
+  let model, flip_var = micro_lp ~vars ~rows in
+  let time f =
+    let started = Clock.now_s () in
+    f ();
+    Clock.now_s () -. started
+  in
+  let cold_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Dpv_linprog.Simplex.solve model)
+        done)
+  in
+  let dense_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Dpv_linprog.Simplex.solve_dense model)
+        done)
+  in
+  let handle = Dpv_linprog.Simplex.create model in
+  ignore (Dpv_linprog.Simplex.resolve handle);
+  let lo0, up0 = Dpv_linprog.Lp.var_bounds model flip_var in
+  let halved = Option.map (fun u -> u /. 2.0) up0 in
+  let warm_s =
+    time (fun () ->
+        for i = 1 to reps do
+          let up = if i mod 2 = 0 then up0 else halved in
+          ignore
+            (Dpv_linprog.Simplex.resolve
+               ~bound_changes:[ (flip_var, lo0, up) ]
+               handle)
+        done)
+  in
+  Format.printf
+    "lp-microbench (%d vars, %d rows, %d reps): cold %.1fms, dense %.1fms, \
+     warm re-solve %.1fms (%.1fx vs cold)@."
+    vars rows reps (1e3 *. cold_s) (1e3 *. dense_s) (1e3 *. warm_s)
+    (cold_s /. Float.max 1e-9 warm_s);
+  {
+    mb_vars = vars;
+    mb_rows = rows;
+    mb_reps = reps;
+    mb_cold_s = cold_s;
+    mb_dense_s = dense_s;
+    mb_warm_s = warm_s;
+  }
+
+let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
+    ~deadline:(deadline_s, deadline_word, deadline_wall, deadline_nodes)
+    ~micro =
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let query_json q =
+        let s = q.bq_stats in
+        Printf.sprintf
+          "    {\"name\": %S, \"workers\": %d, \"verdict\": %S, \
+           \"wall_s\": %.6f, \"nodes\": %d, \"lps\": %d, \"steals\": %d, \
+           \"max_queue_depth\": %d, \"lp_time_s\": %.6f, \"pivots\": %d, \
+           \"warm_starts\": %d, \"cold_starts\": %d, \
+           \"warm_start_hit_rate\": %.4f}"
+          q.bq_name q.bq_workers q.bq_verdict q.bq_wall s.Milp.nodes_explored
+          s.Milp.lp_solved s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s
+          s.Milp.pivots s.Milp.warm_starts s.Milp.cold_starts (warm_rate s)
+      in
+      let speedup_json (name, factor) =
+        Printf.sprintf "    {\"query\": %S, \"factor\": %.4f}" name factor
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"dpv-bench-milp/2\",\n\
+        \  \"mode\": %S,\n\
+        \  \"host_recommended_domains\": %d,\n\
+        \  \"parallel_workers\": %d,\n\
+        \  \"degraded\": %b,\n\
+        \  \"queries\": [\n%s\n  ],\n\
+        \  \"speedups\": [\n%s\n  ],\n\
+        \  \"deadline\": {\"time_limit_s\": %.3f, \"result\": %S, \
+         \"wall_s\": %.6f, \"nodes\": %d},\n\
+        \  \"lp_microbench\": {\"vars\": %d, \"rows\": %d, \"reps\": %d, \
+         \"cold_solve_s\": %.6f, \"dense_solve_s\": %.6f, \
+         \"warm_resolve_s\": %.6f}\n\
+         }\n"
+        mode
+        (Domain.recommended_domain_count ())
+        par_workers degraded
+        (String.concat ",\n" (List.map query_json queries))
+        (String.concat ",\n" (List.map speedup_json speedups))
+        deadline_s deadline_word deadline_wall deadline_nodes micro.mb_vars
+        micro.mb_rows micro.mb_reps micro.mb_cold_s micro.mb_dense_s
+        micro.mb_warm_s);
+  Format.printf "@.baseline written to %s@." bench_json_path
+
+(* Speedup of the parallel rows over the sequential rows, per query. *)
+let compute_speedups queries =
+  let names =
+    List.sort_uniq compare (List.map (fun q -> q.bq_name) queries)
+  in
+  List.filter_map
+    (fun name ->
+      let find w =
+        List.find_opt (fun q -> q.bq_name = name && q.bq_workers = w) queries
+      in
+      let par =
+        List.find_opt (fun q -> q.bq_name = name && q.bq_workers > 1) queries
+      in
+      match (find 1, par) with
+      | Some seq, Some par when par.bq_wall > 0.0 ->
+          Some (name, seq.bq_wall /. par.bq_wall)
+      | _ -> None)
+    names
+
 let ext5 prepared =
   section "EXT5: parallel branch-and-bound (work stealing) + deadlines";
   let par_workers = 4 in
@@ -650,7 +822,8 @@ let ext5 prepared =
       (Domain.recommended_domain_count ())
       par_workers;
   Format.printf "%s@."
-    (row [ "query"; "workers"; "verdict"; "nodes"; "steals"; "time (s)" ]);
+    (row
+       [ "query"; "workers"; "verdict"; "nodes"; "warm%"; "steals"; "time (s)" ]);
   Format.printf "%s@." (Report.rule ());
   (* Non-trivial verify_without_characterizer queries: cut 3 leaves 32
      features and dozens of crossing ReLUs, so the witness search
@@ -679,17 +852,27 @@ let ext5 prepared =
               Verify.verify_without_characterizer ~milp_options
                 ~perception:prepared.Workflow.perception ~cut ~psi ~bounds ()
             in
+            let q =
+              {
+                bq_name = name;
+                bq_workers = workers;
+                bq_verdict = verdict_word result;
+                bq_wall = result.Verify.wall_time_s;
+                bq_stats = result.Verify.milp_stats;
+              }
+            in
             Format.printf "%s@."
               (row
                  [
                    name;
                    string_of_int workers;
-                   verdict_word result;
-                   string_of_int result.Verify.milp_stats.Milp.nodes_explored;
-                   string_of_int result.Verify.milp_stats.Milp.steals;
-                   Printf.sprintf "%.3f" result.Verify.wall_time_s;
+                   q.bq_verdict;
+                   string_of_int q.bq_stats.Milp.nodes_explored;
+                   Printf.sprintf "%.0f" (100.0 *. warm_rate q.bq_stats);
+                   string_of_int q.bq_stats.Milp.steals;
+                   Printf.sprintf "%.3f" q.bq_wall;
                  ]);
-            (name, workers, result))
+            q)
           [ 1; par_workers ])
       queries
   in
@@ -717,65 +900,23 @@ let ext5 prepared =
          string_of_int par_workers;
          milp_result_word hard_result;
          string_of_int hard_stats.Milp.nodes_explored;
+         Printf.sprintf "%.0f" (100.0 *. warm_rate hard_stats);
          string_of_int hard_stats.Milp.steals;
          Printf.sprintf "%.3f" hard_wall;
        ]);
-  (* Speedup per query and the JSON baseline. *)
-  let speedups =
-    List.filter_map
-      (fun (name, _, _) ->
-        let find w =
-          List.find_opt (fun (n, ws, _) -> n = name && ws = w) measurements
-        in
-        match (find 1, find par_workers) with
-        | Some (_, _, seq), Some (_, _, par) when par.Verify.wall_time_s > 0.0
-          ->
-            Some (name, seq.Verify.wall_time_s /. par.Verify.wall_time_s)
-        | _ -> None)
-      queries
-  in
+  let speedups = compute_speedups measurements in
   List.iter
     (fun (name, factor) ->
       Format.printf "speedup %s: %.2fx with %d workers@." name factor
         par_workers)
     speedups;
-  let oc = open_out bench_json_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      let query_json (name, workers, (result : Verify.result)) =
-        Printf.sprintf
-          "    {\"name\": %S, \"workers\": %d, \"verdict\": %S, \
-           \"wall_s\": %.6f, \"nodes\": %d, \"lps\": %d, \"steals\": %d, \
-           \"max_queue_depth\": %d, \"lp_time_s\": %.6f}"
-          name workers (verdict_word result) result.Verify.wall_time_s
-          result.Verify.milp_stats.Milp.nodes_explored
-          result.Verify.milp_stats.Milp.lp_solved
-          result.Verify.milp_stats.Milp.steals
-          result.Verify.milp_stats.Milp.max_queue_depth
-          result.Verify.milp_stats.Milp.lp_time_s
-      in
-      let speedup_json (name, factor) =
-        Printf.sprintf "    {\"query\": %S, \"factor\": %.4f}" name factor
-      in
-      Printf.fprintf oc
-        "{\n\
-        \  \"schema\": \"dpv-bench-milp/1\",\n\
-        \  \"host_recommended_domains\": %d,\n\
-        \  \"parallel_workers\": %d,\n\
-        \  \"degraded\": %b,\n\
-        \  \"queries\": [\n%s\n  ],\n\
-        \  \"speedups\": [\n%s\n  ],\n\
-        \  \"deadline\": {\"time_limit_s\": %.3f, \"result\": %S, \
-         \"wall_s\": %.6f, \"nodes\": %d}\n\
-         }\n"
-        (Domain.recommended_domain_count ())
-        par_workers degraded
-        (String.concat ",\n" (List.map query_json measurements))
-        (String.concat ",\n" (List.map speedup_json speedups))
-        deadline_s (milp_result_word hard_result) hard_wall
-        hard_stats.Milp.nodes_explored);
-  Format.printf "@.baseline written to %s@." bench_json_path;
+  let micro = lp_microbench ~reps:50 () in
+  write_bench_json ~mode:"full" ~par_workers ~degraded ~queries:measurements
+    ~speedups
+    ~deadline:
+      (deadline_s, milp_result_word hard_result, hard_wall,
+       hard_stats.Milp.nodes_explored)
+    ~micro;
   (measurements, hard_result)
 
 (* Campaign amortization: the four E1-style queries below share two
@@ -937,29 +1078,160 @@ let run_bechamel prepared =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Smoke mode: a network-free bench for CI.  Synthetic MILPs exercise
+   the same solver paths as the full EXT5 run (warm-started B&B, work
+   stealing, the deadline degradation) and write BENCH_milp.json in
+   "smoke" mode, so per-PR perf stays visible without the multi-minute
+   training/prepare step. *)
+
+let knapsack_milp n =
+  let rng = Rng.create 99 in
+  let m = ref (Dpv_linprog.Lp.create ()) in
+  let vars =
+    Array.init n (fun _ ->
+        let model, v = Dpv_linprog.Lp.add_var ~kind:Dpv_linprog.Lp.Binary !m in
+        m := model;
+        v)
+  in
+  let weights = Array.map (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:9.0) vars in
+  let values = Array.map (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:9.0) vars in
+  let terms f = Array.to_list (Array.mapi (fun i v -> (f.(i), v)) vars) in
+  m :=
+    Dpv_linprog.Lp.add_constraint !m (terms weights) Dpv_linprog.Lp.Le
+      (0.4 *. Array.fold_left ( +. ) 0.0 weights);
+  Dpv_linprog.Lp.set_objective !m Dpv_linprog.Lp.Maximize (terms values)
+
+let run_smoke () =
+  section "smoke bench (synthetic MILPs, no trained network)";
+  let par_workers = 4 in
+  let degraded = Domain.recommended_domain_count () < par_workers in
+  let instances =
+    [
+      ("smoke/knapsack:16", knapsack_milp 16);
+      ("smoke/subset-sum:14", hard_milp 14);
+    ]
+  in
+  Format.printf "%s@."
+    (row [ "instance"; "workers"; "result"; "nodes"; "warm%"; "time (s)" ]);
+  Format.printf "%s@." (Report.rule ());
+  let measurements =
+    List.concat_map
+      (fun (name, model) ->
+        List.map
+          (fun workers ->
+            let options = { Milp.default_options with workers } in
+            let started = Clock.now_s () in
+            let result, stats = Milp_par.solve_with_stats ~options model in
+            let wall = Clock.now_s () -. started in
+            let q =
+              {
+                bq_name = name;
+                bq_workers = workers;
+                bq_verdict = milp_result_word result;
+                bq_wall = wall;
+                bq_stats = stats;
+              }
+            in
+            Format.printf "%s@."
+              (row
+                 [
+                   name;
+                   string_of_int workers;
+                   q.bq_verdict;
+                   string_of_int stats.Milp.nodes_explored;
+                   Printf.sprintf "%.0f" (100.0 *. warm_rate stats);
+                   Printf.sprintf "%.3f" wall;
+                 ]);
+            q)
+          [ 1; par_workers ])
+      instances
+  in
+  let deadline_s = 1.0 in
+  let hard = hard_milp 24 in
+  let hard_options =
+    {
+      Milp.default_options with
+      max_nodes = max_int;
+      workers = par_workers;
+      time_limit_s = Some deadline_s;
+    }
+  in
+  let hard_started = Clock.now_s () in
+  let hard_result, hard_stats =
+    Milp_par.solve_with_stats ~options:hard_options hard
+  in
+  let hard_wall = Clock.now_s () -. hard_started in
+  Format.printf "%s@."
+    (row
+       [
+         "smoke/subset-sum:24/1s";
+         string_of_int par_workers;
+         milp_result_word hard_result;
+         string_of_int hard_stats.Milp.nodes_explored;
+         Printf.sprintf "%.0f" (100.0 *. warm_rate hard_stats);
+         Printf.sprintf "%.3f" hard_wall;
+       ]);
+  let micro = lp_microbench ~reps:10 () in
+  write_bench_json ~mode:"smoke" ~par_workers ~degraded ~queries:measurements
+    ~speedups:(compute_speedups measurements)
+    ~deadline:
+      (deadline_s, milp_result_word hard_result, hard_wall,
+       hard_stats.Milp.nodes_explored)
+    ~micro;
+  Format.printf "@.done.@."
+
+(* ------------------------------------------------------------------ *)
+
+let sections : (string * (Workflow.prepared -> unit)) list =
+  [
+    ("fig1", fun p -> ignore (fig1 p));
+    ("tab1", fun p -> ignore (tab1 p));
+    ("e1-e5", fun p -> ignore (e1_e5 p));
+    ("e2", fun p -> ignore (e2 p));
+    ("e2b", fun p -> ignore (e2b p));
+    ("e3", fun p -> ignore (e3 p));
+    ("e4", fun p -> ignore (e4 p));
+    ("e6", fun p -> ignore (e6 p));
+    ("e7", fun p -> ignore (e7 p));
+    ("ext1", fun p -> ignore (ext1 p));
+    ("ext2", fun p -> ignore (ext2 p));
+    ("ext3", fun p -> ignore (ext3 p));
+    ("ext4", fun p -> ignore (ext4 p));
+    ("ext5", fun p -> ignore (ext5 p));
+    ("ext6", fun p -> ignore (ext6 p));
+    ("bechamel", run_bechamel);
+  ]
 
 let () =
-  Format.printf "dpv experiment harness — reproducing Cheng et al., DATE 2020@.";
-  let prepared = Workflow.prepare_cached ~cache_dir:"_cache" Workflow.default_setup in
-  Format.printf
-    "perception: %d parameters, val MAE %.2f m / %.3f rad (train loss %.3f)@."
-    (Network.num_parameters prepared.Workflow.perception)
-    prepared.Workflow.val_mae.(0) prepared.Workflow.val_mae.(1)
-    prepared.Workflow.final_train_loss;
-  ignore (fig1 prepared);
-  ignore (tab1 prepared);
-  ignore (e1_e5 prepared);
-  ignore (e2 prepared);
-  ignore (e2b prepared);
-  ignore (e3 prepared);
-  ignore (e4 prepared);
-  ignore (e6 prepared);
-  ignore (e7 prepared);
-  ignore (ext1 prepared);
-  ignore (ext2 prepared);
-  ignore (ext3 prepared);
-  ignore (ext4 prepared);
-  ignore (ext5 prepared);
-  ignore (ext6 prepared);
-  run_bechamel prepared;
-  Format.printf "@.done.@."
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--smoke" args then run_smoke ()
+  else begin
+    let rec onlys = function
+      | "--only" :: name :: rest -> name :: onlys rest
+      | _ :: rest -> onlys rest
+      | [] -> []
+    in
+    let selected = onlys args in
+    List.iter
+      (fun name ->
+        if not (List.mem_assoc name sections) then begin
+          Printf.eprintf
+            "unknown section %S; available: %s (or --smoke)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2
+        end)
+      selected;
+    let enabled name = selected = [] || List.mem name selected in
+    Format.printf
+      "dpv experiment harness — reproducing Cheng et al., DATE 2020@.";
+    let prepared =
+      Workflow.prepare_cached ~cache_dir:"_cache" Workflow.default_setup
+    in
+    Format.printf
+      "perception: %d parameters, val MAE %.2f m / %.3f rad (train loss %.3f)@."
+      (Network.num_parameters prepared.Workflow.perception)
+      prepared.Workflow.val_mae.(0) prepared.Workflow.val_mae.(1)
+      prepared.Workflow.final_train_loss;
+    List.iter (fun (name, f) -> if enabled name then f prepared) sections;
+    Format.printf "@.done.@."
+  end

@@ -143,9 +143,11 @@ let to_json report =
       Printf.bprintf b
         "      \"milp\": { \"nodes\": %d, \"lps\": %d, \
          \"incumbent_updates\": %d, \"steals\": %d, \
-         \"max_queue_depth\": %d, \"lp_time_s\": %.4f }\n"
+         \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
+         \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d }\n"
         s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
-        s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s;
+        s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
+        s.Milp.warm_starts s.Milp.cold_starts;
       Printf.bprintf b "    }%s\n" (if i = n - 1 then "" else ",")
     )
     report.query_reports;

@@ -7,9 +7,11 @@ let pp_verdict_line fmt (case : Workflow.case_report) =
 
 let pp_milp_stats fmt (stats : Dpv_linprog.Milp.stats) =
   let workers = Array.length stats.Dpv_linprog.Milp.per_worker_nodes in
-  Format.fprintf fmt "milp: %d nodes, %d LPs (%.3fs in LP)"
+  Format.fprintf fmt
+    "milp: %d nodes, %d LPs (%.3fs in LP, %d pivots, %d warm / %d cold starts)"
     stats.Dpv_linprog.Milp.nodes_explored stats.Dpv_linprog.Milp.lp_solved
-    stats.Dpv_linprog.Milp.lp_time_s;
+    stats.Dpv_linprog.Milp.lp_time_s stats.Dpv_linprog.Milp.pivots
+    stats.Dpv_linprog.Milp.warm_starts stats.Dpv_linprog.Milp.cold_starts;
   if workers > 1 then
     Format.fprintf fmt
       "@,solver: %d workers, nodes/worker [%s], %d steals, max queue depth %d"

@@ -12,7 +12,7 @@ type stats = {
   width_after : float;
 }
 
-let feature_box ?time_limit_s ?deadline ~suffix ~head ~feature_box
+let feature_box ?time_limit_s ?deadline ?shared ~suffix ~head ~feature_box
     ?(extra_faces = []) ?(characterizer_margin = 0.0) () =
   let deadline =
     match deadline with
@@ -20,10 +20,18 @@ let feature_box ?time_limit_s ?deadline ~suffix ~head ~feature_box
     | None -> Clock.deadline_after time_limit_s
   in
   let encoding =
-    Encode.build ~suffix ~head ~feature_box ~extra_faces ~characterizer_margin
-      ()
+    match shared with
+    | Some s -> Encode.complete s ~head ~characterizer_margin ()
+    | None ->
+        Encode.build ~suffix ~head ~feature_box ~extra_faces
+          ~characterizer_margin ()
   in
   let relaxed = Lp.relax_integrality encoding.Encode.model in
+  (* All 2*d LPs share one constraint matrix; only the objective moves.
+     A persistent handle keeps the optimal basis between solves — an
+     objective change leaves it primal feasible, so each LP after the
+     first warm-starts in primal simplex. *)
+  let handle = Simplex.create relaxed in
   let lps = ref 0 in
   let tightened = ref 0 in
   let skipped = ref 0 in
@@ -44,7 +52,8 @@ let feature_box ?time_limit_s ?deadline ~suffix ~head ~feature_box
           if Clock.expired deadline then None
           else begin
             incr lps;
-            Some (Simplex.solve (Lp.set_objective relaxed sense [ (1.0, v) ]))
+            Simplex.set_objective handle sense [ (1.0, v) ];
+            Some (Simplex.resolve handle)
           end
         in
         let lo =

@@ -20,6 +20,7 @@ type stats = {
 val feature_box :
   ?time_limit_s:float ->
   ?deadline:Dpv_linprog.Clock.deadline ->
+  ?shared:Encode.shared ->
   suffix:Dpv_nn.Network.t ->
   head:Dpv_nn.Network.t ->
   feature_box:Dpv_absint.Box_domain.t ->
@@ -36,4 +37,9 @@ val feature_box :
     [dims_skipped].  [deadline], when given, takes precedence over
     [time_limit_s]: it lets a caller thread one already-running deadline
     through tightening and the subsequent MILP so a single budget covers
-    both phases ({!Verify.verify}). *)
+    both phases ({!Verify.verify}).
+
+    [shared], when given, must be an {!Encode.build_shared} result for
+    the same [suffix], [feature_box] and [extra_faces]; the suffix
+    encoding is then reused instead of rebuilt ([extra_faces] is ignored
+    in that case — the faces are already part of the prefix). *)

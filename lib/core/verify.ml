@@ -110,19 +110,28 @@ let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
      the budget for the whole call, not per phase. *)
   let time_limit_s = Option.bind milp_options (fun o -> o.Milp.time_limit_s) in
   let deadline = Clock.deadline_after time_limit_s in
-  let feature_box =
-    if tighten then
-      fst
-        (Tighten.feature_box ~deadline ~suffix ~head ~feature_box ~extra_faces
-           ~characterizer_margin ())
-    else feature_box
+  (* Build the shared prefix on the incoming box first: tightening reuses
+     it (instead of re-encoding the suffix), and when OBBT ends up not
+     shrinking anything the MILP reuses it too. *)
+  let shared = Encode.build_shared ~suffix ~feature_box ~extra_faces () in
+  let shared =
+    if tighten then begin
+      let tightened_box =
+        fst
+          (Tighten.feature_box ~deadline ~shared ~suffix ~head ~feature_box
+             ~extra_faces ~characterizer_margin ())
+      in
+      if tightened_box = feature_box then shared
+      else
+        Encode.build_shared ~suffix ~feature_box:tightened_box ~extra_faces ()
+    end
+    else shared
   in
   let milp_options =
     Option.map
       (fun o -> { o with Milp.time_limit_s = Clock.carve deadline o.Milp.time_limit_s })
       milp_options
   in
-  let shared = Encode.build_shared ~suffix ~feature_box ~extra_faces () in
   run_query ?milp_options ~characterizer_margin ~shared ~head ~psi
     ~conditional:(is_conditional bounds) ()
 

@@ -14,6 +14,9 @@ type stats = {
   per_worker_nodes : int array;
   steals : int;
   max_queue_depth : int;
+  pivots : int;
+  warm_starts : int;
+  cold_starts : int;
 }
 
 let empty_stats =
@@ -25,6 +28,9 @@ let empty_stats =
     per_worker_nodes = [||];
     steals = 0;
     max_queue_depth = 0;
+    pivots = 0;
+    warm_starts = 0;
+    cold_starts = 0;
   }
 
 type options = {
@@ -95,6 +101,20 @@ let solve_with_stats ?(options = default_options) model =
   let hit_deadline = ref false in
   let relaxation_unbounded = ref false in
   let max_depth = ref 0 in
+  (* One persistent solver for the whole tree: nodes differ from each
+     other only in integer-variable bounds, so syncing those bounds and
+     re-solving warm-starts dual simplex from the previous optimal
+     basis instead of rebuilding a tableau per node. *)
+  let handle = Simplex.create model in
+  let int_vars = Lp.integer_vars model in
+  let solve_node node =
+    List.iter
+      (fun v ->
+        let lo, up = Lp.var_bounds node v in
+        Simplex.set_var_bounds handle v ~lo ~up)
+      int_vars;
+    Simplex.resolve handle
+  in
   (* DFS over persistent models; bound tightening produces child nodes.
      [depth] tracks the stack length incrementally (a branch pops one
      node and pushes two, everything else pops one) so the high-water
@@ -115,7 +135,7 @@ let solve_with_stats ?(options = default_options) model =
           incr nodes;
           incr lps;
           let lp_started = Clock.now_s () in
-          let status = Simplex.solve node in
+          let status = solve_node node in
           lp_time := !lp_time +. (Clock.now_s () -. lp_started);
           match status with
           | Simplex.Infeasible -> explore rest (depth - 1)
@@ -149,6 +169,7 @@ let solve_with_stats ?(options = default_options) model =
   in
   max_depth := 1;
   explore [ model ] 1;
+  let c = Simplex.counters handle in
   let stats =
     {
       nodes_explored = !nodes;
@@ -158,6 +179,9 @@ let solve_with_stats ?(options = default_options) model =
       per_worker_nodes = [| !nodes |];
       steals = 0;
       max_queue_depth = !max_depth;
+      pivots = c.Simplex.pivots;
+      warm_starts = c.Simplex.warm_starts;
+      cold_starts = c.Simplex.cold_starts;
     }
   in
   let result =

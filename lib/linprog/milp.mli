@@ -41,6 +41,14 @@ type stats = {
                                     counting the seeded root — so it is
                                     at least 1 whenever a node was
                                     explored, sequentially or not *)
+  pivots : int;                 (** simplex iterations across all node
+                                    LPs, bound flips included *)
+  warm_starts : int;            (** node LPs re-solved from a parent's
+                                    factorized basis (dual simplex) *)
+  cold_starts : int;            (** node LPs solved from scratch: the
+                                    root, the first node each parallel
+                                    worker touches, and any solve after
+                                    a numerical-trouble fallback *)
 }
 
 val empty_stats : stats

@@ -40,6 +40,29 @@ let solve_parallel ~(options : Milp.options) model =
   in
   let per_worker_nodes = Array.make workers 0 in
   let lp_time = Array.make workers 0.0 in
+  (* One persistent solver per worker, created lazily on the worker's
+     own domain.  A stolen node still warm-starts: the thief syncs the
+     node's integer bounds into its own handle and runs dual simplex
+     from whatever basis that handle last held — a cold start happens
+     only on each worker's first node. *)
+  let handles = Array.make workers None in
+  let int_vars = Lp.integer_vars model in
+  let solve_node id node =
+    let handle =
+      match handles.(id) with
+      | Some h -> h
+      | None ->
+          let h = Simplex.create model in
+          handles.(id) <- Some h;
+          h
+    in
+    List.iter
+      (fun v ->
+        let lo, up = Lp.var_bounds node v in
+        Simplex.set_var_bounds handle v ~lo ~up)
+      int_vars;
+    Simplex.resolve handle
+  in
   let stop () =
     (options.Milp.find_first && Atomic.get s.found)
     || Atomic.get s.hit_limit || Atomic.get s.hit_deadline
@@ -74,7 +97,7 @@ let solve_parallel ~(options : Milp.options) model =
       per_worker_nodes.(id) <- per_worker_nodes.(id) + 1;
       Atomic.incr s.lps;
       let lp_started = Clock.now_s () in
-      let status = Simplex.solve node in
+      let status = solve_node id node in
       lp_time.(id) <- lp_time.(id) +. (Clock.now_s () -. lp_started);
       match status with
       | Simplex.Infeasible -> []
@@ -108,6 +131,16 @@ let solve_parallel ~(options : Milp.options) model =
   let pool_stats =
     Pool.run ~workers ~initial:[ model ] ~process ~stop
   in
+  let pivots = ref 0 and warm = ref 0 and cold = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some h ->
+          let c = Simplex.counters h in
+          pivots := !pivots + c.Simplex.pivots;
+          warm := !warm + c.Simplex.warm_starts;
+          cold := !cold + c.Simplex.cold_starts)
+    handles;
   let stats =
     {
       Milp.nodes_explored = Atomic.get s.nodes;
@@ -117,6 +150,9 @@ let solve_parallel ~(options : Milp.options) model =
       per_worker_nodes;
       steals = pool_stats.Pool.steals;
       max_queue_depth = pool_stats.Pool.max_queue_depth;
+      pivots = !pivots;
+      warm_starts = !warm;
+      cold_starts = !cold;
     }
   in
   let result =

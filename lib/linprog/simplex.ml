@@ -3,6 +3,12 @@ type status =
   | Infeasible
   | Unbounded
 
+(* ===================================================================== *)
+(* Dense two-phase reference implementation, retained as [solve_dense].  *)
+(* It is the differential-testing oracle and the fallback when the       *)
+(* revised engine below hits numerical trouble.                          *)
+(* ===================================================================== *)
+
 (* Standard-form translation: every original variable is expressed as an
    affine combination of fresh non-negative variables.
      [lo, up]   -> lo + y,  with extra row  y <= up - lo
@@ -171,7 +177,7 @@ let run_phase ~tol ~allowed t =
   in
   loop 0
 
-let solve ?(tol = 1e-9) model =
+let solve_dense ?(tol = 1e-9) model =
   let sf = build_std_form model in
   let rows = Array.of_list sf.rows in
   let m = Array.length rows in
@@ -302,6 +308,715 @@ let solve ?(tol = 1e-9) model =
         in
         Optimal { objective; solution }
   end
+
+(* ===================================================================== *)
+(* Revised simplex with native bounded variables and basis reuse.        *)
+(*                                                                       *)
+(* Every constraint row becomes an equality by adding one slack whose    *)
+(* bounds encode the relation (Le: [0,inf), Ge: (-inf,0], Eq: [0,0]).    *)
+(* Variables keep their [lo,up] bounds; the ratio test handles bound     *)
+(* flips directly, so no standard-form splitting and no Phase-1          *)
+(* artificial columns are ever created.                                  *)
+(*                                                                       *)
+(* The basis inverse is kept explicitly (m x m, row-major) and updated   *)
+(* in product form on each pivot, with a full refactorization every 64   *)
+(* pivots to keep drift in check.  Cold starts run a zero-cost dual      *)
+(* phase from the all-slack basis (with c = 0 every basis is dual        *)
+(* feasible, so dual simplex is a pure primal-infeasibility chaser),     *)
+(* then the primal phase with the real costs.  Warm starts after a       *)
+(* bound change keep the old basis dual feasible and run dual simplex;   *)
+(* warm starts after an objective change keep it primal feasible and     *)
+(* run primal simplex.                                                   *)
+(* ===================================================================== *)
+
+exception Numerical_trouble of string
+
+type counters = {
+  pivots : int;
+  warm_starts : int;
+  cold_starts : int;
+  fallbacks : int;
+}
+
+type handle = {
+  n : int;                         (* structural variables *)
+  m : int;                         (* constraint rows *)
+  ncols : int;                     (* n + m (structural + slacks) *)
+  col_rows : int array array;      (* sparse column pattern, all ncols *)
+  col_coefs : float array array;
+  rhs : float array;               (* m *)
+  cost : float array;              (* ncols, minimization costs *)
+  lo : float array;                (* ncols, -infinity when unbounded *)
+  up : float array;                (* ncols, +infinity when unbounded *)
+  basis : int array;               (* m: column basic in row i *)
+  in_row : int array;              (* ncols: row where basic, or -1 *)
+  at_upper : bool array;           (* ncols: nonbasic rests at upper *)
+  binv : float array array;        (* m x m; binv.(r) is row r of B^-1 *)
+  xb : float array;                (* m: values of basic variables *)
+  d : float array;                 (* ncols: reduced costs *)
+  alpha : float array;             (* scratch m: ftran of a column *)
+  w : float array;                 (* scratch m *)
+  yrow : float array;              (* scratch m *)
+  tol : float;
+  base : Lp.t;                     (* model as given to [create] *)
+  mutable obj_sense : Lp.objective_sense;
+  mutable obj_terms : Lp.term list;
+  mutable has_basis : bool;
+  mutable since_refactor : int;
+  mutable n_pivots : int;
+  mutable n_warm : int;
+  mutable n_cold : int;
+  mutable n_fallbacks : int;
+}
+
+let feas_tol = 1e-7       (* primal feasibility *)
+let dfeas_tol = 1e-7      (* dual feasibility *)
+let degen_tol = 1e-10     (* step sizes below this count as degenerate *)
+let piv_floor = 1e-11     (* hard floor on pivot magnitude *)
+let refactor_every = 64
+
+let is_fixed h j = h.lo.(j) = h.up.(j)
+let is_free h j = h.lo.(j) = neg_infinity && h.up.(j) = infinity
+
+(* Value of a nonbasic variable given its rest status.  Free variables
+   rest at 0. *)
+let nb_value h j =
+  if h.at_upper.(j) then h.up.(j)
+  else if h.lo.(j) > neg_infinity then h.lo.(j)
+  else 0.0
+
+(* Keep [at_upper] consistent with the bounds: a variable cannot rest at
+   an infinite bound. *)
+let normalize_status h j =
+  if h.at_upper.(j) && h.up.(j) = infinity then h.at_upper.(j) <- false;
+  if (not h.at_upper.(j)) && h.lo.(j) = neg_infinity && h.up.(j) < infinity
+  then h.at_upper.(j) <- true
+
+let create ?(tol = 1e-9) model =
+  let n = Lp.num_vars model in
+  let cons = Array.of_list (Lp.constraints model) in
+  let m = Array.length cons in
+  let ncols = n + m in
+  let entries = Array.make ncols [] in
+  Array.iteri
+    (fun i (_, terms, _, _) ->
+      List.iter
+        (fun (c, v) -> if c <> 0.0 then entries.(v) <- (i, c) :: entries.(v))
+        terms)
+    cons;
+  for i = 0 to m - 1 do
+    entries.(n + i) <- [ (i, 1.0) ]
+  done;
+  let col_rows =
+    Array.map (fun l -> Array.of_list (List.rev_map fst l)) entries
+  in
+  let col_coefs =
+    Array.map (fun l -> Array.of_list (List.rev_map snd l)) entries
+  in
+  let lo = Array.make ncols neg_infinity in
+  let up = Array.make ncols infinity in
+  for v = 0 to n - 1 do
+    let l, u = Lp.var_bounds model v in
+    lo.(v) <- (match l with None -> neg_infinity | Some x -> x);
+    up.(v) <- (match u with None -> infinity | Some x -> x)
+  done;
+  let rhs = Array.make m 0.0 in
+  Array.iteri
+    (fun i (_, _, rel, b) ->
+      rhs.(i) <- b;
+      match rel with
+      | Lp.Le -> lo.(n + i) <- 0.0
+      | Lp.Ge -> up.(n + i) <- 0.0
+      | Lp.Eq ->
+          lo.(n + i) <- 0.0;
+          up.(n + i) <- 0.0)
+    cons;
+  let obj_sense, obj_terms = Lp.objective model in
+  let cost = Array.make ncols 0.0 in
+  let sign = if obj_sense = Lp.Maximize then -1.0 else 1.0 in
+  List.iter (fun (c, v) -> cost.(v) <- cost.(v) +. (sign *. c)) obj_terms;
+  {
+    n;
+    m;
+    ncols;
+    col_rows;
+    col_coefs;
+    rhs;
+    cost;
+    lo;
+    up;
+    basis = Array.make m (-1);
+    in_row = Array.make ncols (-1);
+    at_upper = Array.make ncols false;
+    binv = Array.init m (fun _ -> Array.make m 0.0);
+    xb = Array.make m 0.0;
+    d = Array.make ncols 0.0;
+    alpha = Array.make m 0.0;
+    w = Array.make m 0.0;
+    yrow = Array.make m 0.0;
+    tol;
+    base = model;
+    obj_sense;
+    obj_terms;
+    has_basis = false;
+    since_refactor = 0;
+    n_pivots = 0;
+    n_warm = 0;
+    n_cold = 0;
+    n_fallbacks = 0;
+  }
+
+(* xb = B^-1 (rhs - N x_N), from scratch. *)
+let compute_xb h =
+  let t = h.w in
+  Array.blit h.rhs 0 t 0 h.m;
+  for j = 0 to h.ncols - 1 do
+    if h.in_row.(j) < 0 then begin
+      let v = nb_value h j in
+      if v <> 0.0 then begin
+        let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
+        for k = 0 to Array.length rows - 1 do
+          t.(rows.(k)) <- t.(rows.(k)) -. (coefs.(k) *. v)
+        done
+      end
+    end
+  done;
+  for r = 0 to h.m - 1 do
+    let br = h.binv.(r) in
+    let acc = ref 0.0 in
+    for i = 0 to h.m - 1 do
+      acc := !acc +. (br.(i) *. t.(i))
+    done;
+    h.xb.(r) <- !acc
+  done
+
+(* Reduced costs d = c - c_B B^-1 A, from scratch (exact recomputation
+   after every pivot keeps warm-start dual-feasibility checks honest). *)
+let compute_d h =
+  let y = h.yrow in
+  for j = 0 to h.m - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to h.m - 1 do
+      let cb = h.cost.(h.basis.(i)) in
+      if cb <> 0.0 then acc := !acc +. (cb *. h.binv.(i).(j))
+    done;
+    y.(j) <- !acc
+  done;
+  for j = 0 to h.ncols - 1 do
+    if h.in_row.(j) >= 0 then h.d.(j) <- 0.0
+    else begin
+      let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
+      let acc = ref h.cost.(j) in
+      for k = 0 to Array.length rows - 1 do
+        acc := !acc -. (y.(rows.(k)) *. coefs.(k))
+      done;
+      h.d.(j) <- !acc
+    end
+  done
+
+(* alpha = B^-1 A_j. *)
+let ftran h j =
+  let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
+  for r = 0 to h.m - 1 do
+    let br = h.binv.(r) in
+    let acc = ref 0.0 in
+    for k = 0 to Array.length rows - 1 do
+      acc := !acc +. (br.(rows.(k)) *. coefs.(k))
+    done;
+    h.alpha.(r) <- !acc
+  done
+
+(* Entry (r, j) of B^-1 A given row r of B^-1. *)
+let row_dot_col h beta j =
+  let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
+  let acc = ref 0.0 in
+  for k = 0 to Array.length rows - 1 do
+    acc := !acc +. (beta.(rows.(k)) *. coefs.(k))
+  done;
+  !acc
+
+(* Rebuild B^-1 from the basis by Gauss-Jordan with partial pivoting,
+   then recompute xb exactly.  Raises on a (numerically) singular basis. *)
+let refactorize h =
+  let m = h.m in
+  let bmat = Array.init m (fun _ -> Array.make m 0.0) in
+  for r = 0 to m - 1 do
+    let j = h.basis.(r) in
+    let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
+    for k = 0 to Array.length rows - 1 do
+      bmat.(rows.(k)).(r) <- coefs.(k)
+    done
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
+  for c = 0 to m - 1 do
+    let p = ref c in
+    for i = c + 1 to m - 1 do
+      if Float.abs bmat.(i).(c) > Float.abs bmat.(!p).(c) then p := i
+    done;
+    if Float.abs bmat.(!p).(c) < piv_floor then
+      raise (Numerical_trouble "singular basis in refactorization");
+    if !p <> c then begin
+      let t = bmat.(c) in
+      bmat.(c) <- bmat.(!p);
+      bmat.(!p) <- t;
+      let t = inv.(c) in
+      inv.(c) <- inv.(!p);
+      inv.(!p) <- t
+    end;
+    let piv = bmat.(c).(c) in
+    let brow = bmat.(c) and irow = inv.(c) in
+    for j = 0 to m - 1 do
+      brow.(j) <- brow.(j) /. piv;
+      irow.(j) <- irow.(j) /. piv
+    done;
+    for i = 0 to m - 1 do
+      if i <> c then begin
+        let f = bmat.(i).(c) in
+        if f <> 0.0 then begin
+          let bi = bmat.(i) and ii = inv.(i) in
+          for j = 0 to m - 1 do
+            bi.(j) <- bi.(j) -. (f *. brow.(j));
+            ii.(j) <- ii.(j) -. (f *. irow.(j))
+          done
+        end
+      end
+    done
+  done;
+  for i = 0 to m - 1 do
+    Array.blit inv.(i) 0 h.binv.(i) 0 m
+  done;
+  h.since_refactor <- 0;
+  compute_xb h
+
+(* Product-form basis-inverse update: column q enters in row r. *)
+let apply_pivot h ~r ~q =
+  let piv = h.alpha.(r) in
+  if Float.abs piv < piv_floor then
+    raise (Numerical_trouble "pivot element below floor");
+  let br = h.binv.(r) in
+  for k = 0 to h.m - 1 do
+    br.(k) <- br.(k) /. piv
+  done;
+  for i = 0 to h.m - 1 do
+    if i <> r then begin
+      let f = h.alpha.(i) in
+      if f <> 0.0 then begin
+        let bi = h.binv.(i) in
+        for k = 0 to h.m - 1 do
+          bi.(k) <- bi.(k) -. (f *. br.(k))
+        done
+      end
+    end
+  done;
+  h.in_row.(h.basis.(r)) <- -1;
+  h.basis.(r) <- q;
+  h.in_row.(q) <- r;
+  h.n_pivots <- h.n_pivots + 1;
+  h.since_refactor <- h.since_refactor + 1
+
+let maybe_refactor h =
+  if h.since_refactor >= refactor_every then refactorize h
+
+let max_iters h = 200 * (h.m + h.ncols + 100)
+let bland_threshold h = h.m + h.ncols + 20
+
+(* ---- Primal bounded-variable simplex.  Requires a primal-feasible
+   basis and current reduced costs; minimizes.  Returns [`Optimal] or
+   [`Unbounded]. ---- *)
+let primal_simplex h =
+  let tol = h.tol in
+  let bland = ref false in
+  let degen_streak = ref 0 in
+  let rec loop iter =
+    if iter > max_iters h then
+      raise (Numerical_trouble "primal iteration limit");
+    (* Entering variable: most negative effective reduced cost
+       (Dantzig); min-index first-eligible in Bland mode. *)
+    let enter = ref (-1) in
+    let enter_dir = ref 1.0 in
+    let best = ref (-.tol) in
+    (try
+       for j = 0 to h.ncols - 1 do
+         if h.in_row.(j) < 0 && not (is_fixed h j) then begin
+           let dj = h.d.(j) in
+           let eligible, dir =
+             if is_free h j then
+               if dj < -.tol then (true, 1.0)
+               else if dj > tol then (true, -1.0)
+               else (false, 1.0)
+             else if h.at_upper.(j) then (dj > tol, -1.0)
+             else (dj < -.tol, 1.0)
+           in
+           if eligible then begin
+             let eff = dir *. dj in
+             if eff < !best then begin
+               best := eff;
+               enter := j;
+               enter_dir := dir;
+               if !bland then raise Exit
+             end
+           end
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then `Optimal
+    else begin
+      let q = !enter and dir = !enter_dir in
+      ftran h q;
+      (* Ratio test over basic variables plus the entering variable's own
+         opposite bound (bound flip). *)
+      let gap =
+        if is_free h q then infinity
+        else if dir > 0.0 then h.up.(q) -. h.lo.(q)
+        else h.up.(q) -. h.lo.(q)
+      in
+      let t_best = ref gap in
+      let leave = ref (-1) in
+      let leave_up = ref false in
+      let piv_abs = ref 0.0 in
+      for i = 0 to h.m - 1 do
+        let a = dir *. h.alpha.(i) in
+        let k = h.basis.(i) in
+        let t, to_upper =
+          if a > tol && h.lo.(k) > neg_infinity then
+            (Float.max 0.0 ((h.xb.(i) -. h.lo.(k)) /. a), false)
+          else if a < -.tol && h.up.(k) < infinity then
+            (Float.max 0.0 ((h.up.(k) -. h.xb.(i)) /. -.a), true)
+          else (infinity, false)
+        in
+        if t < infinity then begin
+          let better =
+            t < !t_best -. 1e-12
+            || (t < !t_best +. 1e-12
+               && !leave >= 0
+               &&
+               if !bland then k < h.basis.(!leave)
+               else Float.abs h.alpha.(i) > !piv_abs)
+          in
+          if better then begin
+            t_best := t;
+            leave := i;
+            leave_up := to_upper;
+            piv_abs := Float.abs h.alpha.(i)
+          end
+        end
+      done;
+      if !t_best = infinity then `Unbounded
+      else begin
+        let t = !t_best in
+        if t > degen_tol then degen_streak := 0
+        else begin
+          incr degen_streak;
+          if !degen_streak > bland_threshold h then bland := true
+        end;
+        if !leave < 0 then begin
+          (* Bound flip: the entering variable crosses to its opposite
+             bound before any basic variable blocks. *)
+          h.at_upper.(q) <- not h.at_upper.(q);
+          if t <> 0.0 then
+            for i = 0 to h.m - 1 do
+              h.xb.(i) <- h.xb.(i) -. (dir *. t *. h.alpha.(i))
+            done;
+          h.n_pivots <- h.n_pivots + 1;
+          loop (iter + 1)
+        end
+        else begin
+          let r = !leave in
+          let newval = nb_value h q +. (dir *. t) in
+          for i = 0 to h.m - 1 do
+            if i <> r then h.xb.(i) <- h.xb.(i) -. (dir *. t *. h.alpha.(i))
+          done;
+          h.at_upper.(h.basis.(r)) <- !leave_up;
+          apply_pivot h ~r ~q;
+          h.xb.(r) <- newval;
+          maybe_refactor h;
+          compute_d h;
+          loop (iter + 1)
+        end
+      end
+    end
+  in
+  loop 0
+
+(* ---- Dual simplex.  Requires a dual-feasible basis ([~zero:true]
+   pins the costs at 0, for which every basis is dual feasible — that is
+   the cold-start feasibility phase).  Chases primal bound violations;
+   returns [`Feasible] or [`Infeasible]. ---- *)
+let dual_simplex ~zero h =
+  let tol = h.tol in
+  let bland = ref false in
+  let stall_streak = ref 0 in
+  let prev_viol = ref infinity in
+  let rec loop iter =
+    if iter > max_iters h then
+      raise (Numerical_trouble "dual iteration limit");
+    (* Leaving row: largest bound violation (min basic index in Bland
+       mode).  Also track the total violation to detect stalling. *)
+    let r = ref (-1) in
+    let below = ref false in
+    let best_v = ref feas_tol in
+    let total_v = ref 0.0 in
+    for i = 0 to h.m - 1 do
+      let k = h.basis.(i) in
+      let v_below = h.lo.(k) -. h.xb.(i) in
+      let v_above = h.xb.(i) -. h.up.(k) in
+      if v_below > feas_tol then begin
+        total_v := !total_v +. v_below;
+        let take =
+          if !bland then !r < 0 || k < h.basis.(!r) else v_below > !best_v
+        in
+        if take then begin
+          r := i;
+          below := true;
+          if not !bland then best_v := v_below
+        end
+      end
+      else if v_above > feas_tol then begin
+        total_v := !total_v +. v_above;
+        let take =
+          if !bland then !r < 0 || k < h.basis.(!r) else v_above > !best_v
+        in
+        if take then begin
+          r := i;
+          below := false;
+          if not !bland then best_v := v_above
+        end
+      end
+    done;
+    if !r < 0 then `Feasible
+    else begin
+      if !total_v >= !prev_viol -. 1e-12 then begin
+        incr stall_streak;
+        if !stall_streak > bland_threshold h then bland := true
+      end
+      else stall_streak := 0;
+      prev_viol := !total_v;
+      let r = !r in
+      let below = !below in
+      let k = h.basis.(r) in
+      let target = if below then h.lo.(k) else h.up.(k) in
+      let beta = h.binv.(r) in
+      (* Entering variable: dual ratio test.  A nonbasic j moving by
+         t >= 0 in its admissible direction dir changes xb_r by
+         -dir*t*a_rj; we need xb_r to move toward [target]. *)
+      let q = ref (-1) in
+      let q_dir = ref 1.0 in
+      let best_ratio = ref infinity in
+      let best_abs = ref 0.0 in
+      for j = 0 to h.ncols - 1 do
+        if h.in_row.(j) < 0 && not (is_fixed h j) then begin
+          let a = row_dot_col h beta j in
+          if Float.abs a > tol then begin
+            let eligible, dir =
+              if is_free h j then (true, if below then -.Float.of_int (compare a 0.0) else Float.of_int (compare a 0.0))
+              else if h.at_upper.(j) then
+                if below then (a > tol, -1.0) else (a < -.tol, -1.0)
+              else if below then (a < -.tol, 1.0)
+              else (a > tol, 1.0)
+            in
+            if eligible then begin
+              let ratio = if zero then 0.0 else Float.abs h.d.(j) /. Float.abs a in
+              let better =
+                ratio < !best_ratio -. 1e-12
+                || (ratio < !best_ratio +. 1e-12
+                   &&
+                   if !bland then !q < 0 || j < !q
+                   else Float.abs a > !best_abs)
+              in
+              if better then begin
+                q := j;
+                q_dir := dir;
+                best_ratio := ratio;
+                best_abs := Float.abs a
+              end
+            end
+          end
+        end
+      done;
+      if !q < 0 then `Infeasible
+      else begin
+        let q = !q and dir = !q_dir in
+        ftran h q;
+        let denom = dir *. h.alpha.(r) in
+        if Float.abs denom < piv_floor then
+          raise (Numerical_trouble "dual pivot element below floor");
+        let t = Float.max 0.0 ((h.xb.(r) -. target) /. denom) in
+        let newval = nb_value h q +. (dir *. t) in
+        for i = 0 to h.m - 1 do
+          if i <> r then h.xb.(i) <- h.xb.(i) -. (dir *. t *. h.alpha.(i))
+        done;
+        h.at_upper.(k) <- not below;
+        apply_pivot h ~r ~q;
+        h.xb.(r) <- newval;
+        maybe_refactor h;
+        if not zero then compute_d h;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let primal_feasible h =
+  let ok = ref true in
+  for i = 0 to h.m - 1 do
+    let k = h.basis.(i) in
+    if h.xb.(i) < h.lo.(k) -. feas_tol || h.xb.(i) > h.up.(k) +. feas_tol then
+      ok := false
+  done;
+  !ok
+
+let dual_feasible h =
+  let ok = ref true in
+  for j = 0 to h.ncols - 1 do
+    if h.in_row.(j) < 0 && not (is_fixed h j) then begin
+      let dj = h.d.(j) in
+      if is_free h j then begin
+        if Float.abs dj > dfeas_tol then ok := false
+      end
+      else if h.at_upper.(j) then begin
+        if dj > dfeas_tol then ok := false
+      end
+      else if h.lo.(j) > neg_infinity then begin
+        if dj < -.dfeas_tol then ok := false
+      end
+    end
+  done;
+  !ok
+
+let set_var_bounds h v ~lo ~up =
+  let nlo = match lo with None -> neg_infinity | Some x -> x in
+  let nup = match up with None -> infinity | Some x -> x in
+  if nlo <> h.lo.(v) || nup <> h.up.(v) then begin
+    if h.has_basis && h.in_row.(v) < 0 then begin
+      let oldv = nb_value h v in
+      h.lo.(v) <- nlo;
+      h.up.(v) <- nup;
+      normalize_status h v;
+      let newv = nb_value h v in
+      let delta = newv -. oldv in
+      (* Keep xb consistent with the moved nonbasic value; the basis
+         stays dual feasible, which is what the warm resolve exploits. *)
+      if delta <> 0.0 then begin
+        ftran h v;
+        for i = 0 to h.m - 1 do
+          h.xb.(i) <- h.xb.(i) -. (delta *. h.alpha.(i))
+        done
+      end
+    end
+    else begin
+      h.lo.(v) <- nlo;
+      h.up.(v) <- nup
+    end
+  end
+
+let set_objective h sense terms =
+  h.obj_sense <- sense;
+  h.obj_terms <- terms;
+  Array.fill h.cost 0 h.ncols 0.0;
+  let sign = if sense = Lp.Maximize then -1.0 else 1.0 in
+  List.iter (fun (c, v) -> h.cost.(v) <- h.cost.(v) +. (sign *. c)) terms;
+  if h.has_basis then compute_d h
+
+(* The model the handle currently represents: base structure with the
+   handle's live bounds and objective.  Used by the dense fallback. *)
+let current_model h =
+  let opt x =
+    if x = neg_infinity || x = infinity then None else Some x
+  in
+  let model = ref h.base in
+  for v = 0 to h.n - 1 do
+    model := Lp.set_var_bounds !model v ~lo:(opt h.lo.(v)) ~up:(opt h.up.(v))
+  done;
+  Lp.set_objective !model h.obj_sense h.obj_terms
+
+let reset_basis h =
+  for i = 0 to h.m - 1 do
+    h.basis.(i) <- h.n + i
+  done;
+  Array.fill h.in_row 0 h.ncols (-1);
+  for i = 0 to h.m - 1 do
+    h.in_row.(h.n + i) <- i
+  done;
+  for j = 0 to h.ncols - 1 do
+    h.at_upper.(j) <- false;
+    normalize_status h j
+  done;
+  for i = 0 to h.m - 1 do
+    let bi = h.binv.(i) in
+    Array.fill bi 0 h.m 0.0;
+    bi.(i) <- 1.0
+  done;
+  h.since_refactor <- 0;
+  compute_xb h
+
+let extract_optimal h =
+  let solution =
+    Array.init h.n (fun j ->
+        if h.in_row.(j) >= 0 then h.xb.(h.in_row.(j)) else nb_value h j)
+  in
+  let objective = Lp.eval_term_list h.obj_terms solution in
+  Optimal { objective; solution }
+
+let finish_primal h =
+  match primal_simplex h with
+  | `Optimal ->
+      h.has_basis <- true;
+      extract_optimal h
+  | `Unbounded ->
+      h.has_basis <- true;
+      Unbounded
+
+(* Feasibility phase from the current basis: zero-cost dual simplex
+   (trivially dual feasible), then the real costs. *)
+let feasibility_then_primal h =
+  Array.fill h.d 0 h.ncols 0.0;
+  match dual_simplex ~zero:true h with
+  | `Infeasible ->
+      compute_d h;
+      h.has_basis <- true;
+      Infeasible
+  | `Feasible ->
+      compute_d h;
+      finish_primal h
+
+let bounds_conflict h =
+  let conflict = ref false in
+  for j = 0 to h.ncols - 1 do
+    if h.lo.(j) > h.up.(j) +. h.tol then conflict := true
+  done;
+  !conflict
+
+let resolve ?(bound_changes = []) h =
+  List.iter (fun (v, lo, up) -> set_var_bounds h v ~lo ~up) bound_changes;
+  if h.has_basis then h.n_warm <- h.n_warm + 1
+  else h.n_cold <- h.n_cold + 1;
+  if bounds_conflict h then Infeasible
+  else
+    try
+      if not h.has_basis then begin
+        reset_basis h;
+        feasibility_then_primal h
+      end
+      else if dual_feasible h then
+        match dual_simplex ~zero:false h with
+        | `Infeasible -> Infeasible
+        | `Feasible -> finish_primal h
+      else if primal_feasible h then finish_primal h
+      else feasibility_then_primal h
+    with Numerical_trouble _ ->
+      h.n_fallbacks <- h.n_fallbacks + 1;
+      h.has_basis <- false;
+      solve_dense ~tol:h.tol (current_model h)
+
+let counters h =
+  {
+    pivots = h.n_pivots;
+    warm_starts = h.n_warm;
+    cold_starts = h.n_cold;
+    fallbacks = h.n_fallbacks;
+  }
+
+let solve ?tol model = resolve (create ?tol model)
 
 let pp_status fmt = function
   | Optimal { objective; solution } ->

@@ -1,12 +1,28 @@
-(** Two-phase primal simplex over dense tableaus.
+(** LP solvers.
 
-    Accepts any {!Lp.t} (integrality kinds are ignored here — the LP
-    relaxation is solved).  Variables with general bounds are shifted /
-    split into non-negative standard-form variables internally; the
-    reported solution is in the original variable space.
+    The primary engine is a revised simplex over sparse columns with
+    native [lo, up] variable bounds: rows become equalities with one
+    bounded slack each (no standard-form variable splitting, no Phase-1
+    artificials), and the ratio test handles bound flips directly.  A
+    persistent {!handle} keeps the factorized basis alive between
+    solves, so re-solving after a bound change runs dual simplex from
+    the previous optimal basis (typically a handful of pivots) and
+    re-solving after an objective change runs primal simplex from the
+    still-primal-feasible basis.  Branch-and-bound and OBBT are exactly
+    these two workloads.
 
-    Termination: Dantzig pricing with an automatic switch to Bland's rule,
-    which rules out cycling. *)
+    A dense two-phase tableau implementation is retained as
+    {!solve_dense}: it is the differential-testing oracle and the
+    automatic fallback when the revised engine detects numerical
+    trouble (singular refactorization, vanishing pivots, iteration
+    blow-up).
+
+    Accepts any {!Lp.t}; integrality kinds are ignored (the LP
+    relaxation is solved).  Solutions are reported in the original
+    variable space.
+
+    Termination: Dantzig pricing with an automatic switch to Bland's
+    rule after a streak of degenerate pivots, which rules out cycling. *)
 
 type status =
   | Optimal of { objective : float; solution : float array }
@@ -14,6 +30,49 @@ type status =
   | Unbounded
 
 val solve : ?tol:float -> Lp.t -> status
-(** [tol] is the feasibility/pivot tolerance (default [1e-9]). *)
+(** One-shot solve with the revised engine: [create] + [resolve].
+    [tol] is the pivot/pricing tolerance (default [1e-9]). *)
+
+val solve_dense : ?tol:float -> Lp.t -> status
+(** Retained dense two-phase reference implementation. *)
+
+(** {1 Persistent solver handles} *)
+
+type handle
+(** A mutable solver bound to one constraint matrix.  Bounds and the
+    objective may change between solves; the constraint rows may not. *)
+
+type counters = {
+  pivots : int;        (** simplex iterations, bound flips included *)
+  warm_starts : int;   (** resolves that reused a factorized basis *)
+  cold_starts : int;   (** resolves from the all-slack basis *)
+  fallbacks : int;     (** resolves rescued by [solve_dense] *)
+}
+
+val create : ?tol:float -> Lp.t -> handle
+(** Capture the model's rows, bounds and objective.  No solving happens
+    until {!resolve}. *)
+
+val set_var_bounds :
+  handle -> Lp.var -> lo:float option -> up:float option -> unit
+(** Change one variable's bounds in place ([None] = unbounded).  Cheap
+    when the bounds are unchanged; otherwise the stored basis stays
+    dual feasible and the next {!resolve} warm-starts with dual
+    simplex. *)
+
+val set_objective : handle -> Lp.objective_sense -> Lp.term list -> unit
+(** Replace the objective.  The stored basis stays primal feasible and
+    the next {!resolve} warm-starts with primal simplex. *)
+
+val resolve :
+  ?bound_changes:(Lp.var * float option * float option) list ->
+  handle ->
+  status
+(** Solve the handle's current model, reusing the previous basis when
+    one exists.  [bound_changes] is sugar for {!set_var_bounds} calls
+    applied first. *)
+
+val counters : handle -> counters
+(** Cumulative over the handle's lifetime. *)
 
 val pp_status : Format.formatter -> status -> unit

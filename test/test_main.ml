@@ -3,6 +3,7 @@ let () =
     [
       ("tensor", Test_tensor.tests);
       ("linprog", Test_linprog.tests);
+      ("simplex-warm", Test_simplex_warm.tests);
       ("milp-parallel", Test_milp_parallel.tests);
       ("solver-properties", Test_solver_properties.tests);
       ("nn", Test_nn.tests);

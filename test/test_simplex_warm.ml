@@ -1,0 +1,224 @@
+(* Tests for the revised bounded-variable simplex: anti-cycling on
+   Beale's example, differential agreement with the retained dense
+   reference, and warm-start behavior of persistent handles. *)
+
+module Lp = Dpv_linprog.Lp
+module Simplex = Dpv_linprog.Simplex
+module Milp = Dpv_linprog.Milp
+module Rng = Dpv_tensor.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let expect_optimal = function
+  | Simplex.Optimal { objective; solution } -> (objective, solution)
+  | Simplex.Infeasible -> Alcotest.fail "expected optimal, got infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "expected optimal, got unbounded"
+
+(* Beale's example, the classic LP on which Dantzig pricing cycles
+   forever without an anti-cycling guard.  Optimum: -0.05. *)
+let beale () =
+  let m = Lp.create () in
+  let m, x1 = Lp.add_var ~lo:0.0 m in
+  let m, x2 = Lp.add_var ~lo:0.0 m in
+  let m, x3 = Lp.add_var ~lo:0.0 m in
+  let m, x4 = Lp.add_var ~lo:0.0 m in
+  let m =
+    Lp.add_constraint m
+      [ (0.25, x1); (-60.0, x2); (-1.0 /. 25.0, x3); (9.0, x4) ]
+      Lp.Le 0.0
+  in
+  let m =
+    Lp.add_constraint m
+      [ (0.5, x1); (-90.0, x2); (-1.0 /. 50.0, x3); (3.0, x4) ]
+      Lp.Le 0.0
+  in
+  let m = Lp.add_constraint m [ (1.0, x3) ] Lp.Le 1.0 in
+  Lp.set_objective m Lp.Minimize
+    [ (-0.75, x1); (150.0, x2); (-0.02, x3); (6.0, x4) ]
+
+let test_beale_no_cycling () =
+  let m = beale () in
+  let obj, _ = expect_optimal (Simplex.solve m) in
+  check_float "revised engine optimum" (-0.05) obj;
+  let obj_dense, _ = expect_optimal (Simplex.solve_dense m) in
+  check_float "dense reference optimum" (-0.05) obj_dense
+
+(* ---- Differential suite: the new engine against the retained dense
+   reference on randomized LPs covering every bound shape (two-sided,
+   one-sided, free) and every relation. ---- *)
+
+let random_lp rng =
+  let nv = 1 + Rng.int rng 5 in
+  let nc = 1 + Rng.int rng 5 in
+  let m = ref (Lp.create ()) in
+  let vars =
+    Array.init nv (fun _ ->
+        let lo, up =
+          match Rng.int rng 4 with
+          | 0 ->
+              let l = Rng.uniform rng ~lo:(-5.0) ~hi:2.0 in
+              (Some l, Some (l +. Rng.uniform rng ~lo:0.0 ~hi:8.0))
+          | 1 -> (Some (Rng.uniform rng ~lo:(-5.0) ~hi:2.0), None)
+          | 2 -> (None, Some (Rng.uniform rng ~lo:(-2.0) ~hi:5.0))
+          | _ -> (None, None)
+        in
+        let model, v = !m |> fun mm -> Lp.add_var ?lo ?up mm in
+        m := model;
+        v)
+  in
+  for _ = 1 to nc do
+    let terms =
+      Array.to_list
+        (Array.map (fun v -> (Rng.uniform rng ~lo:(-3.0) ~hi:3.0, v)) vars)
+    in
+    let rel =
+      match Rng.int rng 5 with 0 -> Lp.Ge | 1 -> Lp.Eq | _ -> Lp.Le
+    in
+    let rhs = Rng.uniform rng ~lo:(-5.0) ~hi:15.0 in
+    m := Lp.add_constraint !m terms rel rhs
+  done;
+  let obj =
+    Array.to_list
+      (Array.map (fun v -> (Rng.uniform rng ~lo:(-1.0) ~hi:1.0, v)) vars)
+  in
+  let sense = if Rng.bool rng then Lp.Maximize else Lp.Minimize in
+  Lp.set_objective !m sense obj
+
+let status_word = function
+  | Simplex.Optimal _ -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+
+let test_differential_vs_dense () =
+  let rng = Rng.create 20260807 in
+  for case = 1 to 240 do
+    let m = random_lp rng in
+    let fast = Simplex.solve m in
+    let dense = Simplex.solve_dense m in
+    let ctx = Printf.sprintf "case %d" case in
+    Alcotest.(check string)
+      (ctx ^ ": status") (status_word dense) (status_word fast);
+    match (fast, dense) with
+    | Simplex.Optimal { objective = of_; solution }, Simplex.Optimal { objective = od; _ }
+      ->
+        Alcotest.(check (float 1e-6)) (ctx ^ ": objective") od of_;
+        Alcotest.(check bool)
+          (ctx ^ ": solution feasible") true
+          (Lp.check_feasible ~tol:1e-5 m solution)
+    | _ -> ()
+  done
+
+(* ---- Warm starts: a handle re-solved after bound changes must agree
+   with fresh solves of the equivalently-modified model, while only the
+   first resolve is cold. ---- *)
+
+let bounded_model () =
+  (* max x + 2y + 3z  st  x+y+z <= 10, x - y >= -4, y + 2z <= 12,
+     x in [0,6], y in [0,5], z in [0,4]. *)
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~lo:0.0 ~up:6.0 m in
+  let m, y = Lp.add_var ~lo:0.0 ~up:5.0 m in
+  let m, z = Lp.add_var ~lo:0.0 ~up:4.0 m in
+  let m = Lp.add_constraint m [ (1.0, x); (1.0, y); (1.0, z) ] Lp.Le 10.0 in
+  let m = Lp.add_constraint m [ (1.0, x); (-1.0, y) ] Lp.Ge (-4.0) in
+  let m = Lp.add_constraint m [ (1.0, y); (2.0, z) ] Lp.Le 12.0 in
+  (Lp.set_objective m Lp.Maximize [ (1.0, x); (2.0, y); (3.0, z) ], x, y, z)
+
+let test_warm_bound_flips () =
+  let m, x, y, _z = bounded_model () in
+  let h = Simplex.create m in
+  (* A branch-and-bound-like sequence of bound changes on x and y. *)
+  let steps =
+    [
+      (x, Some 0.0, Some 6.0);
+      (x, Some 0.0, Some 2.0);
+      (x, Some 3.0, Some 6.0);
+      (y, Some 0.0, Some 1.0);
+      (y, Some 2.0, Some 5.0);
+      (x, Some 0.0, Some 0.0);
+      (x, Some 0.0, Some 6.0);
+    ]
+  in
+  let model = ref m in
+  List.iteri
+    (fun i (v, lo, up) ->
+      model := Lp.set_var_bounds !model v ~lo ~up;
+      let warm = Simplex.resolve ~bound_changes:[ (v, lo, up) ] h in
+      let fresh = Simplex.solve_dense !model in
+      let ctx = Printf.sprintf "step %d" i in
+      match (warm, fresh) with
+      | Simplex.Optimal { objective = a; solution }, Simplex.Optimal { objective = b; _ }
+        ->
+          Alcotest.(check (float 1e-6)) (ctx ^ ": objective") b a;
+          Alcotest.(check bool)
+            (ctx ^ ": feasible") true
+            (Lp.check_feasible ~tol:1e-5 !model solution)
+      | Simplex.Infeasible, Simplex.Infeasible -> ()
+      | _ ->
+          Alcotest.failf "%s: engines disagree (%s vs %s)" ctx
+            (status_word warm) (status_word fresh))
+    steps;
+  let c = Simplex.counters h in
+  Alcotest.(check int) "cold starts" 1 c.Simplex.cold_starts;
+  Alcotest.(check int)
+    "warm starts" (List.length steps - 1) c.Simplex.warm_starts;
+  Alcotest.(check int) "no fallbacks" 0 c.Simplex.fallbacks
+
+let test_warm_objective_changes () =
+  (* The OBBT workload: one matrix, objective sweeps over coordinates. *)
+  let m, x, y, z = bounded_model () in
+  let h = Simplex.create m in
+  let objectives =
+    [
+      (Lp.Minimize, [ (1.0, x) ]);
+      (Lp.Maximize, [ (1.0, x) ]);
+      (Lp.Minimize, [ (1.0, y) ]);
+      (Lp.Maximize, [ (1.0, y) ]);
+      (Lp.Minimize, [ (1.0, z) ]);
+      (Lp.Maximize, [ (1.0, z) ]);
+    ]
+  in
+  List.iteri
+    (fun i (sense, terms) ->
+      Simplex.set_objective h sense terms;
+      let warm = Simplex.resolve h in
+      let fresh = Simplex.solve_dense (Lp.set_objective m sense terms) in
+      let a, _ = expect_optimal warm in
+      let b, _ = expect_optimal fresh in
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "objective %d" i) b a)
+    objectives;
+  let c = Simplex.counters h in
+  Alcotest.(check int) "cold starts" 1 c.Simplex.cold_starts;
+  Alcotest.(check int) "warm starts" 5 c.Simplex.warm_starts
+
+let test_milp_counters_surface () =
+  (* 0/1 knapsack: max 6a+10b+12c st a+2b+3c <= 5.  The sequential B&B
+     shares one handle, so exactly one node LP is cold and the counters
+     must account for every LP solved. *)
+  let m = Lp.create () in
+  let m, a = Lp.add_var ~kind:Lp.Binary m in
+  let m, b = Lp.add_var ~kind:Lp.Binary m in
+  let m, c = Lp.add_var ~kind:Lp.Binary m in
+  let m = Lp.add_constraint m [ (1.0, a); (2.0, b); (3.0, c) ] Lp.Le 5.0 in
+  let m = Lp.set_objective m Lp.Maximize [ (6.0, a); (10.0, b); (12.0, c) ] in
+  let result, stats = Milp.solve_with_stats m in
+  (match result with
+  | Milp.Optimal { objective; _ } -> check_float "objective" 22.0 objective
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check int) "one cold start" 1 stats.Milp.cold_starts;
+  Alcotest.(check int)
+    "every LP accounted" stats.Milp.lp_solved
+    (stats.Milp.warm_starts + stats.Milp.cold_starts);
+  Alcotest.(check bool) "pivots counted" true (stats.Milp.pivots > 0)
+
+let tests =
+  [
+    Alcotest.test_case "beale cycling regression" `Quick test_beale_no_cycling;
+    Alcotest.test_case "differential vs dense (240 LPs)" `Quick
+      test_differential_vs_dense;
+    Alcotest.test_case "warm bound flips" `Quick test_warm_bound_flips;
+    Alcotest.test_case "warm objective changes" `Quick
+      test_warm_objective_changes;
+    Alcotest.test_case "milp surfaces solver counters" `Quick
+      test_milp_counters_surface;
+  ]
