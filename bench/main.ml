@@ -741,9 +741,86 @@ let lp_microbench ~reps () =
     mb_warm_s = warm_s;
   }
 
+let knapsack_milp n =
+  let rng = Rng.create 99 in
+  let m = ref (Dpv_linprog.Lp.create ()) in
+  let vars =
+    Array.init n (fun _ ->
+        let model, v = Dpv_linprog.Lp.add_var ~kind:Dpv_linprog.Lp.Binary !m in
+        m := model;
+        v)
+  in
+  let weights = Array.map (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:9.0) vars in
+  let values = Array.map (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:9.0) vars in
+  let terms f = Array.to_list (Array.mapi (fun i v -> (f.(i), v)) vars) in
+  m :=
+    Dpv_linprog.Lp.add_constraint !m (terms weights) Dpv_linprog.Lp.Le
+      (0.4 *. Array.fold_left ( +. ) 0.0 weights);
+  Dpv_linprog.Lp.set_objective !m Dpv_linprog.Lp.Maximize (terms values)
+
+(* Fault-injection overhead: the same knapsack instance solved clean,
+   with an injected pivot corruption (caught by the post-solve residual
+   check and rescued in-engine by the dense fallback), and with injected
+   numerical trouble that escapes the engine (re-solved via the
+   query-level dense-retry rung).  The deltas are the price of each
+   recovery layer. *)
+type fault_bench = {
+  fb_clean_s : float;
+  fb_fallback_s : float;
+  fb_fallbacks : int;   (** in-engine dense rescues during the solve *)
+  fb_retry_s : float;   (** wall including the failed attempt *)
+  fb_retries : int;     (** query-level dense re-solves (0 or 1) *)
+}
+
+let fault_injection_bench () =
+  let module Faults = Dpv_linprog.Faults in
+  let model = knapsack_milp 16 in
+  let options = { Milp.default_options with workers = 1 } in
+  let timed f =
+    let started = Clock.now_s () in
+    let r = f () in
+    (r, Clock.now_s () -. started)
+  in
+  let (_, clean_stats), clean_s =
+    timed (fun () -> Milp_par.solve_with_stats ~options model)
+  in
+  ignore clean_stats;
+  let (_, fb_stats), fallback_s =
+    Fun.protect ~finally:Faults.disable (fun () ->
+        Faults.configure ~seed:7 [ (Faults.Pivot_corrupt, 1) ];
+        timed (fun () -> Milp_par.solve_with_stats ~options model))
+  in
+  let retries = ref 0 in
+  let (_, _), retry_s =
+    Fun.protect ~finally:Faults.disable (fun () ->
+        Faults.configure ~seed:7 [ (Faults.Lp_trouble, 1) ];
+        timed (fun () ->
+            try Milp_par.solve_with_stats ~options model
+            with Dpv_linprog.Simplex.Numerical_trouble _ ->
+              incr retries;
+              Milp_par.solve_with_stats
+                ~options:{ options with Milp.lp_dense = true }
+                model))
+  in
+  let fb =
+    {
+      fb_clean_s = clean_s;
+      fb_fallback_s = fallback_s;
+      fb_fallbacks = fb_stats.Milp.fallbacks;
+      fb_retry_s = retry_s;
+      fb_retries = !retries;
+    }
+  in
+  Format.printf
+    "fault-injection (knapsack:16): clean %.1fms, engine fallback %.1fms \
+     (%d fallbacks), dense retry %.1fms (%d retries)@."
+    (1e3 *. fb.fb_clean_s) (1e3 *. fb.fb_fallback_s) fb.fb_fallbacks
+    (1e3 *. fb.fb_retry_s) fb.fb_retries;
+  fb
+
 let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
     ~deadline:(deadline_s, deadline_word, deadline_wall, deadline_nodes)
-    ~micro =
+    ~micro ~faults =
   let oc = open_out bench_json_path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -765,7 +842,7 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
       in
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"dpv-bench-milp/2\",\n\
+        \  \"schema\": \"dpv-bench-milp/3\",\n\
         \  \"mode\": %S,\n\
         \  \"host_recommended_domains\": %d,\n\
         \  \"parallel_workers\": %d,\n\
@@ -776,7 +853,10 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
          \"wall_s\": %.6f, \"nodes\": %d},\n\
         \  \"lp_microbench\": {\"vars\": %d, \"rows\": %d, \"reps\": %d, \
          \"cold_solve_s\": %.6f, \"dense_solve_s\": %.6f, \
-         \"warm_resolve_s\": %.6f}\n\
+         \"warm_resolve_s\": %.6f},\n\
+        \  \"fault_injection\": {\"clean_wall_s\": %.6f, \
+         \"fallback_wall_s\": %.6f, \"fallbacks\": %d, \
+         \"retry_wall_s\": %.6f, \"retries\": %d}\n\
          }\n"
         mode
         (Domain.recommended_domain_count ())
@@ -785,7 +865,8 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
         (String.concat ",\n" (List.map speedup_json speedups))
         deadline_s deadline_word deadline_wall deadline_nodes micro.mb_vars
         micro.mb_rows micro.mb_reps micro.mb_cold_s micro.mb_dense_s
-        micro.mb_warm_s);
+        micro.mb_warm_s faults.fb_clean_s faults.fb_fallback_s
+        faults.fb_fallbacks faults.fb_retry_s faults.fb_retries);
   Format.printf "@.baseline written to %s@." bench_json_path
 
 (* Speedup of the parallel rows over the sequential rows, per query. *)
@@ -911,12 +992,13 @@ let ext5 prepared =
         par_workers)
     speedups;
   let micro = lp_microbench ~reps:50 () in
+  let faults = fault_injection_bench () in
   write_bench_json ~mode:"full" ~par_workers ~degraded ~queries:measurements
     ~speedups
     ~deadline:
       (deadline_s, milp_result_word hard_result, hard_wall,
        hard_stats.Milp.nodes_explored)
-    ~micro;
+    ~micro ~faults;
   (measurements, hard_result)
 
 (* Campaign amortization: the four E1-style queries below share two
@@ -957,12 +1039,15 @@ let ext6 prepared =
   List.iter2
     (fun (r : Verify.result) (qr : Campaign.query_report) ->
       let agree =
-        match (r.Verify.verdict, qr.Campaign.result.Verify.verdict) with
-        | Verify.Safe _, Verify.Safe _
-        | Verify.Unsafe _, Verify.Unsafe _
-        | Verify.Unknown _, Verify.Unknown _ ->
-            true
-        | _ -> false
+        match qr.Campaign.outcome with
+        | Campaign.Done cr -> (
+            match (r.Verify.verdict, cr.Verify.verdict) with
+            | Verify.Safe _, Verify.Safe _
+            | Verify.Unsafe _, Verify.Unsafe _
+            | Verify.Unknown _, Verify.Unknown _ ->
+                true
+            | _ -> false)
+        | Campaign.Crashed _ | Campaign.Skipped _ -> false
       in
       if not agree then
         Format.printf "VERDICT MISMATCH on %s (campaign vs one-by-one)@."
@@ -1084,23 +1169,6 @@ let run_bechamel prepared =
    "smoke" mode, so per-PR perf stays visible without the multi-minute
    training/prepare step. *)
 
-let knapsack_milp n =
-  let rng = Rng.create 99 in
-  let m = ref (Dpv_linprog.Lp.create ()) in
-  let vars =
-    Array.init n (fun _ ->
-        let model, v = Dpv_linprog.Lp.add_var ~kind:Dpv_linprog.Lp.Binary !m in
-        m := model;
-        v)
-  in
-  let weights = Array.map (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:9.0) vars in
-  let values = Array.map (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:9.0) vars in
-  let terms f = Array.to_list (Array.mapi (fun i v -> (f.(i), v)) vars) in
-  m :=
-    Dpv_linprog.Lp.add_constraint !m (terms weights) Dpv_linprog.Lp.Le
-      (0.4 *. Array.fold_left ( +. ) 0.0 weights);
-  Dpv_linprog.Lp.set_objective !m Dpv_linprog.Lp.Maximize (terms values)
-
 let run_smoke () =
   section "smoke bench (synthetic MILPs, no trained network)";
   let par_workers = 4 in
@@ -1172,12 +1240,13 @@ let run_smoke () =
          Printf.sprintf "%.3f" hard_wall;
        ]);
   let micro = lp_microbench ~reps:10 () in
+  let faults = fault_injection_bench () in
   write_bench_json ~mode:"smoke" ~par_workers ~degraded ~queries:measurements
     ~speedups:(compute_speedups measurements)
     ~deadline:
       (deadline_s, milp_result_word hard_result, hard_wall,
        hard_stats.Milp.nodes_explored)
-    ~micro;
+    ~micro ~faults;
   Format.printf "@.done.@."
 
 (* ------------------------------------------------------------------ *)
@@ -1203,6 +1272,7 @@ let sections : (string * (Workflow.prepared -> unit)) list =
   ]
 
 let () =
+  Dpv_linprog.Faults.init_from_env ();
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then run_smoke ()
   else begin

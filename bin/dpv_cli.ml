@@ -256,7 +256,7 @@ let setup_of_spec spec ~seed =
       }
 
 let campaign_cmd =
-  let run cache_dir spec_path output =
+  let run cache_dir spec_path output journal resume =
     let read_file path =
       let ic = open_in_bin path in
       Fun.protect
@@ -367,21 +367,44 @@ let campaign_cmd =
               ())
           query_specs
       in
+      (* --resume implies journaling to the same file unless --journal
+         overrides it: a resumed campaign that dies can itself be
+         resumed. *)
+      let resume_entries =
+        Option.map
+          (fun path ->
+            match Dpv_core.Journal.load ~path with
+            | Ok entries -> entries
+            | Error e -> spec_error "cannot resume from %s: %s" path e)
+          resume
+      in
+      let journal =
+        match (journal, resume) with Some _, _ -> journal | None, r -> r
+      in
       let report =
-        Dpv_core.Campaign.run ~milp_options ~runners ?budget_s
-          ~perception:prepared.Workflow.perception queries
+        Dpv_core.Campaign.run ~milp_options ~runners ?budget_s ?journal
+          ?resume:resume_entries ~perception:prepared.Workflow.perception
+          queries
       in
       Format.printf "%a@." Report.pp_campaign report;
       Dpv_core.Campaign.save_json report ~path:output;
       Format.printf "report written to %s@." output;
       let verdicts =
-        List.map
+        List.filter_map
           (fun (qr : Dpv_core.Campaign.query_report) ->
-            qr.Dpv_core.Campaign.result.Verify.verdict)
+            match qr.Dpv_core.Campaign.outcome with
+            | Dpv_core.Campaign.Done r -> Some r.Verify.verdict
+            | Dpv_core.Campaign.Crashed _ | Dpv_core.Campaign.Skipped _ -> None)
           report.Dpv_core.Campaign.query_reports
       in
+      (* Exit-code precedence: a proven violation (1) outranks an
+         incomplete campaign (4), which outranks an inconclusive
+         verdict (2).  A degraded campaign must not exit 0: "no unsafe
+         found" is not "all safe" when queries crashed or were
+         skipped. *)
       if List.exists (function Verify.Unsafe _ -> true | _ -> false) verdicts
       then 1
+      else if report.Dpv_core.Campaign.degraded then 4
       else if
         List.exists (function Verify.Unknown _ -> true | _ -> false) verdicts
       then 2
@@ -404,11 +427,32 @@ let campaign_cmd =
       & opt string "campaign_report.json"
       & info [ "o"; "output" ] ~doc:"JSON report output path.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ]
+          ~doc:
+            "Append each settled query to this crash-safe journal file \
+             (JSON lines, atomically rewritten), enabling $(b,--resume) \
+             after a kill.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ]
+          ~doc:
+            "Replay completed verdicts from a journal written by a \
+             previous run instead of re-solving them; crashed and \
+             skipped queries are retried.  Implies journaling to the \
+             same file unless $(b,--journal) is also given.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a batch of verification queries concurrently with a \
              shared-encoding cache and write an aggregated JSON report")
-    Term.(const run $ cache_dir $ spec_path $ output)
+    Term.(const run $ cache_dir $ spec_path $ output $ journal $ resume)
 
 (* ---- monitor ---- *)
 
@@ -644,6 +688,10 @@ let info_cmd =
     Term.(const run $ seed $ cache_dir)
 
 let () =
+  (* Deterministic fault injection (chaos testing).  Inert unless the
+     DPV_FAULTS environment variable is set; a malformed spec exits 3
+     before any work starts. *)
+  Dpv_linprog.Faults.init_from_env ();
   let doc = "safety verification of direct perception neural networks" in
   let main =
     Cmd.group

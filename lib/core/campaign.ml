@@ -1,6 +1,7 @@
 module Milp = Dpv_linprog.Milp
 module Pool = Dpv_linprog.Pool
 module Clock = Dpv_linprog.Clock
+module Faults = Dpv_linprog.Faults
 module Network = Dpv_nn.Network
 
 type query = {
@@ -14,10 +15,26 @@ type query = {
 let query ?(characterizer_margin = 0.0) ~label ~characterizer ~psi ~bounds () =
   { label; characterizer; psi; bounds; characterizer_margin }
 
+(* Queries are pure data (labels, weights, risk inequalities, bounds
+   specs), so a digest of the marshalled value is a stable content key:
+   structurally equal queries collide, anything else does not.  The
+   journal records this key, which is what makes resume robust to the
+   query list being reordered or extended between runs. *)
+let query_key (q : query) = Digest.to_hex (Digest.string (Marshal.to_string q []))
+
+type outcome = Journal.outcome =
+  | Done of Verify.result
+  | Crashed of string
+  | Skipped of string
+
 type query_report = {
   query : query;
-  result : Verify.result;
+  outcome : outcome;
   from_cache : bool;
+  from_journal : bool;
+  attempts : int;
+  dense_retry : bool;
+  deadline_retry : bool;
 }
 
 type cache_stats = { entries : int; hits : int; misses : int }
@@ -28,81 +45,276 @@ type report = {
   runners : int;
   budget_s : float option;
   total_wall_s : float;
+  degraded : bool;
+  crashed : int;
+  skipped : int;
+  retried : int;
+  resumed : int;
+  journal_write_failures : int;
 }
 
+let skip_reason = "budget exhausted"
+
 let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
-    ~perception queries =
+    ?journal ?resume ~perception queries =
   if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
   let started = Clock.now_s () in
   let deadline = Clock.deadline_after budget_s in
-  (* Phase 1 — resolve each distinct (cut, bounds) region once.  Keys
-     compare structurally, so two queries quoting equal visited-point
-     sets (or the same array) share one suffix encoding.  This phase is
-     sequential: it mutates the cache, and its cost is exactly what the
-     cache is amortizing, paid once per distinct key. *)
+  let n = List.length queries in
+  let keyed = Array.of_list (List.map (fun q -> (query_key q, q)) queries) in
+  (* Resume: only [Done] entries replay — a crashed or skipped query is
+     exactly what a resumed campaign is there to retry. *)
+  let resume_tbl : (string, Journal.entry) Hashtbl.t = Hashtbl.create 16 in
+  (match resume with
+  | None -> ()
+  | Some entries ->
+      List.iter
+        (fun (e : Journal.entry) ->
+          match e.Journal.outcome with
+          | Done _ -> Hashtbl.replace resume_tbl e.Journal.key e
+          | Crashed _ | Skipped _ -> ())
+        entries);
+  let reports : query_report option array = Array.make n None in
+  Array.iteri
+    (fun i (key, q) ->
+      match Hashtbl.find_opt resume_tbl key with
+      | None -> ()
+      | Some e ->
+          reports.(i) <-
+            Some
+              {
+                query = q;
+                outcome = e.Journal.outcome;
+                from_cache = false;
+                from_journal = true;
+                attempts = e.Journal.attempts;
+                dense_retry = e.Journal.dense_retry;
+                deadline_retry = e.Journal.deadline_retry;
+              })
+    keyed;
+  (* Seed the journal writer with the replayed entries (in input order)
+     so the file on disk always describes the whole campaign. *)
+  let seed =
+    Array.to_list keyed
+    |> List.filter_map (fun (key, _) -> Hashtbl.find_opt resume_tbl key)
+  in
+  let writer = Option.map (fun path -> Journal.create ~path seed) journal in
+  let journal_write_failures = Atomic.make 0 in
+  let journal_append entry =
+    match writer with
+    | None -> ()
+    | Some w -> (
+        try Journal.append w entry
+        with Sys_error _ ->
+          (* The entry is retained in memory; the next successful append
+             rewrites the complete journal.  A campaign must not die on
+             a full disk when it still has verdicts to produce. *)
+          Atomic.incr journal_write_failures)
+  in
+  (* Phase 1 — resolve each distinct (cut, bounds) region once, for the
+     queries that actually need solving.  Keys compare structurally, so
+     two queries quoting equal visited-point sets (or the same array)
+     share one suffix encoding.  This phase is sequential: it mutates
+     the cache, and its cost is exactly what the cache is amortizing,
+     paid once per distinct key. *)
   let table : (int * Verify.bounds_spec, Encode.shared) Hashtbl.t =
     Hashtbl.create 16
   in
   let hits = ref 0 and misses = ref 0 in
+  (* A failed build is this query's failure, not the campaign's: the
+     error is carried to [run_one] and recorded as a [Crashed] outcome.
+     Failures are deliberately not cached — a later query on the same
+     key retries the build (transient numerical trouble in the octagon
+     pruning LPs should not condemn every query of the key). *)
   let shared_for q =
     let cut = q.characterizer.Characterizer.cut in
     let key = (cut, q.bounds) in
     match Hashtbl.find_opt table key with
     | Some shared ->
         incr hits;
-        (shared, true)
-    | None ->
-        incr misses;
-        let suffix = Network.suffix perception ~cut in
-        let feature_box, extra_faces =
-          Verify.resolve_bounds ~perception ~cut q.bounds
-        in
-        let shared = Encode.build_shared ~suffix ~feature_box ~extra_faces () in
-        Hashtbl.add table key shared;
-        (shared, false)
+        Ok (shared, true)
+    | None -> (
+        match
+          let suffix = Network.suffix perception ~cut in
+          let feature_box, extra_faces =
+            Verify.resolve_bounds ~perception ~cut q.bounds
+          in
+          Encode.build_shared ~suffix ~feature_box ~extra_faces ()
+        with
+        | shared ->
+            incr misses;
+            Hashtbl.add table key shared;
+            Ok (shared, false)
+        | exception e ->
+            Error (Printf.sprintf "encoding failed: %s" (Printexc.to_string e)))
   in
-  let prepared = List.map (fun q -> (q, shared_for q)) queries in
+  let prepared =
+    Array.to_list keyed
+    |> List.mapi (fun i (key, q) -> (i, key, q))
+    |> List.filter (fun (i, _, _) -> reports.(i) = None)
+    |> List.map (fun (i, key, q) -> (i, key, q, shared_for q))
+  in
+  let prepared_arr = Array.of_list prepared in
   (* Phase 2 — the solves fan out on the work-stealing pool, one
      coarse-grained task per query over the now read-only cache.  With
      several runners each task keeps its inner MILP sequential: the
      campaign already owns the domains, and nesting a domain pool per
      query would oversubscribe the machine. *)
   let inner_workers = if runners > 1 then 1 else milp_options.Milp.workers in
-  let run_one (q, (shared, from_cache)) =
-    (* Carved at task start, so early queries cannot spend the whole
-       campaign budget before later ones get their slice checked. *)
-    let options =
+  let run_one (_i, key, q, shared_res) =
+    match shared_res with
+    | Error reason ->
+        journal_append
+          {
+            Journal.key;
+            label = q.label;
+            outcome = Crashed reason;
+            attempts = 1;
+            dense_retry = false;
+            deadline_retry = false;
+          };
+        {
+          query = q;
+          outcome = Crashed reason;
+          from_cache = false;
+          from_journal = false;
+          attempts = 1;
+          dense_retry = false;
+          deadline_retry = false;
+        }
+    | Ok (shared, from_cache) ->
+    if Clock.expired deadline then begin
+      (* Recorded, not dropped: the report (and journal) say exactly
+         which queries the budget never reached. *)
+      journal_append
+        {
+          Journal.key;
+          label = q.label;
+          outcome = Skipped skip_reason;
+          attempts = 0;
+          dense_retry = false;
+          deadline_retry = false;
+        };
       {
-        milp_options with
-        Milp.workers = inner_workers;
-        time_limit_s = Clock.carve deadline milp_options.Milp.time_limit_s;
+        query = q;
+        outcome = Skipped skip_reason;
+        from_cache;
+        from_journal = false;
+        attempts = 0;
+        dense_retry = false;
+        deadline_retry = false;
       }
-    in
-    let result =
-      Verify.run_query ~milp_options:options
-        ~characterizer_margin:q.characterizer_margin ~shared
-        ~head:q.characterizer.Characterizer.head ~psi:q.psi
-        ~conditional:(Verify.is_conditional q.bounds) ()
-    in
-    { query = q; result; from_cache }
+    end
+    else begin
+      if Faults.fire Faults.Task_crash then failwith "injected task crash";
+      (* Carved at task start, so early queries cannot spend the whole
+         campaign budget before later ones get their slice checked. *)
+      let options =
+        {
+          milp_options with
+          Milp.workers = inner_workers;
+          time_limit_s = Clock.carve deadline milp_options.Milp.time_limit_s;
+        }
+      in
+      let result, t =
+        Retry.solve ~options ~deadline (fun opts ->
+            Verify.run_query ~milp_options:opts
+              ~characterizer_margin:q.characterizer_margin ~shared
+              ~head:q.characterizer.Characterizer.head ~psi:q.psi
+              ~conditional:(Verify.is_conditional q.bounds) ())
+      in
+      (* Journal from inside the task: a campaign killed right after
+         this solve still has the verdict on disk. *)
+      journal_append
+        {
+          Journal.key;
+          label = q.label;
+          outcome = Done result;
+          attempts = t.Retry.attempts;
+          dense_retry = t.Retry.dense_retry;
+          deadline_retry = t.Retry.deadline_retry;
+        };
+      {
+        query = q;
+        outcome = Done result;
+        from_cache;
+        from_journal = false;
+        attempts = t.Retry.attempts;
+        dense_retry = t.Retry.dense_retry;
+        deadline_retry = t.Retry.deadline_retry;
+      }
+    end
   in
   let out = Pool.map_list ~workers:runners run_one prepared in
+  (* Per-query fault isolation: an exception in one task (including a
+     worker-domain death) becomes that query's [Crashed] outcome; every
+     other cell of [out] is untouched by it. *)
+  Array.iteri
+    (fun j cell ->
+      let i, key, q, shared_res = prepared_arr.(j) in
+      let from_cache =
+        match shared_res with Ok (_, fc) -> fc | Error _ -> false
+      in
+      let crashed reason =
+        journal_append
+          {
+            Journal.key;
+            label = q.label;
+            outcome = Crashed reason;
+            attempts = 1;
+            dense_retry = false;
+            deadline_retry = false;
+          };
+        {
+          query = q;
+          outcome = Crashed reason;
+          from_cache;
+          from_journal = false;
+          attempts = 1;
+          dense_retry = false;
+          deadline_retry = false;
+        }
+      in
+      let qr =
+        match cell with
+        | Some (Ok r) -> r
+        | Some (Error e) -> crashed (Printexc.to_string e)
+        | None -> crashed "worker abandoned task"
+      in
+      reports.(i) <- Some qr)
+    out;
   let query_reports =
-    Array.to_list out
-    |> List.map (function Some r -> r | None -> assert false)
+    Array.to_list reports
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* every index is resumed or prepared *))
   in
+  let count p = List.length (List.filter p query_reports) in
+  let crashed = count (fun r -> match r.outcome with Crashed _ -> true | _ -> false) in
+  let skipped = count (fun r -> match r.outcome with Skipped _ -> true | _ -> false) in
   {
     query_reports;
     cache = { entries = Hashtbl.length table; hits = !hits; misses = !misses };
     runners;
     budget_s;
     total_wall_s = Clock.now_s () -. started;
+    degraded = crashed > 0 || skipped > 0;
+    crashed;
+    skipped;
+    retried = count (fun r -> r.attempts > 1);
+    resumed = count (fun r -> r.from_journal);
+    journal_write_failures = Atomic.get journal_write_failures;
   }
 
 let verdict_word = function
   | Verify.Safe _ -> "safe"
   | Verify.Unsafe _ -> "unsafe"
   | Verify.Unknown _ -> "unknown"
+
+let outcome_word = function
+  | Done _ -> "done"
+  | Crashed _ -> "crashed"
+  | Skipped _ -> "skipped"
 
 let verdict_detail = function
   | Verify.Safe { conditional } ->
@@ -116,12 +328,19 @@ let verdict_detail = function
 let to_json report =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
-  Printf.bprintf b "  \"schema\": \"dpv-campaign/1\",\n";
+  Printf.bprintf b "  \"schema\": \"dpv-campaign/2\",\n";
   Printf.bprintf b "  \"runners\": %d,\n" report.runners;
   (match report.budget_s with
   | None -> Printf.bprintf b "  \"budget_s\": null,\n"
   | Some s -> Printf.bprintf b "  \"budget_s\": %.3f,\n" s);
   Printf.bprintf b "  \"total_wall_s\": %.4f,\n" report.total_wall_s;
+  Printf.bprintf b "  \"degraded\": %b,\n" report.degraded;
+  Printf.bprintf b "  \"crashed\": %d,\n" report.crashed;
+  Printf.bprintf b "  \"skipped\": %d,\n" report.skipped;
+  Printf.bprintf b "  \"retried\": %d,\n" report.retried;
+  Printf.bprintf b "  \"resumed\": %d,\n" report.resumed;
+  Printf.bprintf b "  \"journal_write_failures\": %d,\n"
+    report.journal_write_failures;
   Printf.bprintf b
     "  \"cache\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
     report.cache.entries report.cache.hits report.cache.misses;
@@ -129,25 +348,39 @@ let to_json report =
   let n = List.length report.query_reports in
   List.iteri
     (fun i qr ->
-      let r = qr.result in
-      let s = r.Verify.milp_stats in
       Printf.bprintf b "    {\n";
       Printf.bprintf b "      \"label\": %S,\n" qr.query.label;
-      Printf.bprintf b "      \"verdict\": %S,\n" (verdict_word r.Verify.verdict);
-      Printf.bprintf b "      \"detail\": %S,\n"
-        (verdict_detail r.Verify.verdict);
+      Printf.bprintf b "      \"outcome\": %S,\n" (outcome_word qr.outcome);
+      (match qr.outcome with
+      | Done r ->
+          Printf.bprintf b "      \"verdict\": %S,\n"
+            (verdict_word r.Verify.verdict);
+          Printf.bprintf b "      \"detail\": %S,\n"
+            (verdict_detail r.Verify.verdict)
+      | Crashed reason | Skipped reason ->
+          Printf.bprintf b "      \"verdict\": null,\n";
+          Printf.bprintf b "      \"detail\": %S,\n" reason);
       Printf.bprintf b "      \"from_cache\": %b,\n" qr.from_cache;
-      Printf.bprintf b "      \"wall_s\": %.4f,\n" r.Verify.wall_time_s;
-      Printf.bprintf b "      \"encoding\": %S,\n" r.Verify.encoding;
-      Printf.bprintf b "      \"num_binaries\": %d,\n" r.Verify.num_binaries;
-      Printf.bprintf b
-        "      \"milp\": { \"nodes\": %d, \"lps\": %d, \
-         \"incumbent_updates\": %d, \"steals\": %d, \
-         \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
-         \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d }\n"
-        s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
-        s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
-        s.Milp.warm_starts s.Milp.cold_starts;
+      Printf.bprintf b "      \"from_journal\": %b,\n" qr.from_journal;
+      Printf.bprintf b "      \"attempts\": %d,\n" qr.attempts;
+      Printf.bprintf b "      \"dense_retry\": %b,\n" qr.dense_retry;
+      Printf.bprintf b "      \"deadline_retry\": %b" qr.deadline_retry;
+      (match qr.outcome with
+      | Done r ->
+          let s = r.Verify.milp_stats in
+          Printf.bprintf b ",\n      \"wall_s\": %.4f,\n" r.Verify.wall_time_s;
+          Printf.bprintf b "      \"encoding\": %S,\n" r.Verify.encoding;
+          Printf.bprintf b "      \"num_binaries\": %d,\n" r.Verify.num_binaries;
+          Printf.bprintf b
+            "      \"milp\": { \"nodes\": %d, \"lps\": %d, \
+             \"incumbent_updates\": %d, \"steals\": %d, \
+             \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
+             \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d, \
+             \"fallbacks\": %d }\n"
+            s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
+            s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
+            s.Milp.warm_starts s.Milp.cold_starts s.Milp.fallbacks
+      | Crashed _ | Skipped _ -> Buffer.add_string b "\n");
       Printf.bprintf b "    }%s\n" (if i = n - 1 then "" else ",")
     )
     report.query_reports;

@@ -1,4 +1,5 @@
-(** Batched verification campaigns with a shared-encoding cache.
+(** Batched verification campaigns with a shared-encoding cache,
+    per-query fault isolation, and crash-safe resume.
 
     The paper's evaluation (Section 5) answers {e families} of queries —
     one per (input property phi, risk condition psi, bounds strategy)
@@ -11,10 +12,28 @@
     allocation-cheap), and the per-query MILP solves then fan out on the
     {!Dpv_linprog.Pool} work-stealing domains.
 
-    A campaign-wide wall-clock budget is carved into per-task deadlines
-    at the moment each solve starts: a query never gets more than what
-    remains of the campaign budget, and queries past the budget degrade
-    to [Unknown "deadline exceeded"] rather than being dropped. *)
+    {b Failure semantics.}  A campaign is a batch job: one misbehaving
+    query must not take the other N-1 answers down with it.
+
+    - Each solve runs under the {!Retry} ladder: escaped numerical
+      trouble earns one dense re-solve, and a deadline expiry with
+      campaign budget left earns one re-carved re-solve.
+    - A query whose final attempt still raises is recorded as
+      [Crashed] — the exception text becomes the outcome, the batch
+      proceeds.
+    - Queries whose turn comes after the campaign budget is exhausted
+      are recorded as [Skipped "budget exhausted"], not silently
+      dropped and not burned attempting doomed solves.
+    - A report containing any [Crashed] or [Skipped] outcome is marked
+      [degraded]; the CLI maps that to its own exit code.
+
+    {b Journaling and resume.}  With [?journal], every settled query is
+    appended to a {!Journal} file atomically, so a campaign killed at
+    query k of N can be resumed: pass the loaded entries as [?resume]
+    and the k settled [Done] verdicts are replayed (bit-identical,
+    marked [from_journal]) while only the remaining N-k queries are
+    solved.  [Crashed]/[Skipped] journal entries are retried on resume,
+    not replayed. *)
 
 type query = {
   label : string;                    (** name used in reports *)
@@ -34,12 +53,28 @@ val query :
   query
 (** [characterizer_margin] defaults to [0.0]. *)
 
+val query_key : query -> string
+(** Content digest (hex) identifying a query across processes: two
+    structurally equal queries have equal keys.  This is the key the
+    journal records and resume matches on, so reordering or extending
+    the query list between runs cannot misattribute verdicts. *)
+
+type outcome = Journal.outcome =
+  | Done of Verify.result
+  | Crashed of string   (** solve raised; text of the exception *)
+  | Skipped of string   (** never attempted (budget exhausted) *)
+
 type query_report = {
   query : query;
-  result : Verify.result;
+  outcome : outcome;
   from_cache : bool;
       (** whether this query's [(cut, bounds)] prefix was already in the
           cache when the campaign prepared it *)
+  from_journal : bool;
+      (** replayed from a resume journal instead of being solved *)
+  attempts : int;       (** retry-ladder attempts; 0 for [Skipped] *)
+  dense_retry : bool;
+  deadline_retry : bool;
 }
 
 type cache_stats = {
@@ -54,12 +89,24 @@ type report = {
   runners : int;
   budget_s : float option;
   total_wall_s : float;
+  degraded : bool;
+      (** some query crashed or was skipped: the report is not a full
+          answer to the campaign *)
+  crashed : int;
+  skipped : int;
+  retried : int;   (** queries that needed more than one attempt *)
+  resumed : int;   (** queries replayed from the resume journal *)
+  journal_write_failures : int;
+      (** journal appends that raised; the campaign carries on (a later
+          successful append rewrites the full journal) *)
 }
 
 val run :
   ?milp_options:Dpv_linprog.Milp.options ->
   ?runners:int ->
   ?budget_s:float ->
+  ?journal:string ->
+  ?resume:Journal.entry list ->
   perception:Dpv_nn.Network.t ->
   query list ->
   report
@@ -77,16 +124,27 @@ val run :
 
     [budget_s] is a wall-clock budget for the whole campaign; each
     solve's [time_limit_s] is capped by the remaining budget when it
-    starts ({!Dpv_linprog.Clock.carve}).  [milp_options] applies to
-    every query (default {!Verify.default_milp_options}). *)
+    starts ({!Dpv_linprog.Clock.carve}), and queries reaching the pool
+    after expiry are [Skipped].
+
+    [journal] appends every settled query to the given path (see
+    {!Journal}); [resume] replays [Done] entries previously loaded with
+    {!Journal.load}.  When both are given the journal is seeded with
+    the replayed entries, so the file always describes the whole
+    campaign.  [milp_options] applies to every query (default
+    {!Verify.default_milp_options}). *)
 
 val verdict_word : Verify.verdict -> string
 (** ["safe"], ["unsafe"] or ["unknown"] — the JSON verdict field. *)
 
+val outcome_word : outcome -> string
+(** ["done"], ["crashed"] or ["skipped"]. *)
+
 val to_json : report -> string
 (** The aggregated machine-readable report, [BENCH_milp.json]-style
-    (schema tag ["dpv-campaign/1"]): campaign totals, cache statistics,
-    and one record per query with verdict, wall time, encoding size and
-    the {!Dpv_linprog.Milp.stats} telemetry. *)
+    (schema tag ["dpv-campaign/2"]): campaign totals, degradation
+    counters, cache statistics, and one record per query with outcome,
+    verdict, retry telemetry, wall time, encoding size and the
+    {!Dpv_linprog.Milp.stats} telemetry. *)
 
 val save_json : report -> path:string -> unit

@@ -121,11 +121,23 @@ let to_string t =
 
 exception Malformed of string
 
+(* Parsing must never raise: certificates arrive from disk and may be
+   truncated (partial download, full disk at save time) or corrupted.
+   Every failure path funnels into [Error] with the 1-based line number
+   where parsing stopped. *)
 let of_string s =
   let lines = Array.of_list (String.split_on_char '\n' s) in
   let pos = ref 0 in
+  (* [!pos] is the number of lines consumed, so after a [next] it is the
+     1-based number of the line being examined. *)
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> raise (Malformed (Printf.sprintf "line %d: %s" !pos m)))
+      fmt
+  in
   let next () =
-    if !pos >= Array.length lines then raise (Malformed "unexpected end");
+    if !pos >= Array.length lines then
+      fail "unexpected end of certificate (truncated?)";
     let l = lines.(!pos) in
     incr pos;
     l
@@ -142,18 +154,18 @@ let of_string s =
     if
       String.length l < String.length key
       || String.sub l 0 (String.length key) <> key
-    then raise (Malformed (Printf.sprintf "expected %S, got %S" key l));
+    then fail "expected %S, got %S" key l;
     String.trim (String.sub l (String.length key) (String.length l - String.length key))
   in
   try
     if String.trim (next_nonempty ()) <> "dpv-certificate 1" then
-      raise (Malformed "bad magic");
+      fail "bad magic (want \"dpv-certificate 1\")";
     let property_name = expect_key "property" in
     let psi_text = expect_key "psi" in
     let psi =
       match Risk.of_string psi_text with
       | Ok p -> p
-      | Error e -> raise (Malformed ("bad psi: " ^ e))
+      | Error e -> fail "bad psi: %s" e
     in
     let strategy = expect_key "strategy" in
     let cut = int_of_string (expect_key "cut") in
@@ -163,14 +175,17 @@ let of_string s =
       | [ "safe-conditional" ] -> Safe_conditional
       | "unsafe" :: [ d ] ->
           let dim = int_of_string d in
+          if dim < 0 then fail "negative witness dimension %d" dim;
           let parts =
             String.split_on_char ' ' (String.trim (next_nonempty ()))
             |> List.filter (( <> ) "")
           in
-          if List.length parts <> dim then raise (Malformed "bad witness length");
+          if List.length parts <> dim then
+            fail "bad witness length (want %d values, got %d)" dim
+              (List.length parts);
           Unsafe (Array.of_list (List.map float_of_string parts))
       | "inconclusive" :: rest -> Inconclusive (String.concat " " rest)
-      | _ -> raise (Malformed "bad verdict")
+      | _ -> fail "bad verdict"
     in
     let table =
       match String.split_on_char ' ' (expect_key "table") with
@@ -182,13 +197,15 @@ let of_string s =
             delta = float_of_string d;
             n = int_of_string n;
           }
-      | _ -> raise (Malformed "bad table")
+      | _ -> fail "bad table"
     in
     let region_dim, n_faces =
       match String.split_on_char ' ' (expect_key "region") with
       | [ d; n ] -> (int_of_string d, int_of_string n)
-      | _ -> raise (Malformed "bad region header")
+      | _ -> fail "bad region header"
     in
+    if region_dim < 0 then fail "negative region dimension %d" region_dim;
+    if n_faces < 0 then fail "negative face count %d" n_faces;
     let region =
       List.init n_faces (fun _ ->
           match String.split_on_char ':' (expect_key "face") with
@@ -201,13 +218,13 @@ let of_string s =
                 | [] -> []
                 | i :: c :: rest ->
                     (int_of_string i, float_of_string c) :: pairs rest
-                | [ _ ] -> raise (Malformed "odd face direction")
+                | [ _ ] -> fail "odd face direction"
               in
               {
                 Polyhedron.direction = pairs parts;
                 bound = float_of_string (String.trim bound_text);
               }
-          | _ -> raise (Malformed "bad face"))
+          | _ -> fail "bad face")
     in
     let (_ : string) = expect_key "head" in
     let head_lines = ref [] in
@@ -220,7 +237,13 @@ let of_string s =
       end
     in
     collect ();
-    let head = Serialize.of_string (String.concat "\n" (List.rev !head_lines)) in
+    let head =
+      (* [Serialize.of_string] is outside this module's control; any
+         exception it throws on corrupted head text becomes a parse
+         error, not a crash. *)
+      try Serialize.of_string (String.concat "\n" (List.rev !head_lines))
+      with e -> fail "bad head network: %s" (Printexc.to_string e)
+    in
     Ok
       {
         property_name;
@@ -235,7 +258,12 @@ let of_string s =
       }
   with
   | Malformed m -> Error m
-  | Failure m -> Error m
+  (* [int_of_string]/[float_of_string] raise [Failure]; [Array]/[List]
+     primitives raise [Invalid_argument] on pathological inputs.  The
+     current line number turns either into a located parse error. *)
+  | Failure m -> Error (Printf.sprintf "line %d: %s" !pos m)
+  | Invalid_argument m -> Error (Printf.sprintf "line %d: %s" !pos m)
+  | End_of_file -> Error (Printf.sprintf "line %d: unexpected end" !pos)
 
 let save t ~path =
   let oc = open_out path in
@@ -243,14 +271,18 @@ let save t ~path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string t))
 
+(* No [Sys.file_exists] pre-check: it races against deletion (TOCTOU)
+   and [open_in] reports the authoritative error anyway.  Everything the
+   OS can throw at us — missing file, permissions, a file truncated
+   between [in_channel_length] and the read — comes back as [Error]. *)
 let load ~path =
-  if not (Sys.file_exists path) then Error (path ^ ": no such file")
-  else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
-  end
+  match
+    In_channel.with_open_bin path (fun ic ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error (path ^ ": file shrank while reading")
+  | s -> of_string s
 
 let pp fmt t =
   let verdict_text =

@@ -53,8 +53,18 @@ val validate_witness : t -> perception:Dpv_nn.Network.t -> bool option
     [None] for non-witness verdicts. *)
 
 val to_string : t -> string
+
 val of_string : string -> (t, string) Stdlib.result
+(** Parse a certificate.  Never raises: truncated input (any byte
+    prefix of a valid certificate), corrupted numbers, negative counts
+    and malformed embedded networks all come back as [Error] carrying
+    the 1-based line number where parsing stopped. *)
+
 val save : t -> path:string -> unit
+
 val load : path:string -> (t, string) Stdlib.result
+(** Read and parse a certificate file.  Never raises: filesystem errors
+    (missing file, permissions, concurrent truncation) are reported as
+    [Error] alongside the parse errors of {!of_string}. *)
 
 val pp : Format.formatter -> t -> unit

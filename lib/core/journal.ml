@@ -1,0 +1,259 @@
+module Milp = Dpv_linprog.Milp
+module Faults = Dpv_linprog.Faults
+
+type outcome =
+  | Done of Verify.result
+  | Crashed of string
+  | Skipped of string
+
+type entry = {
+  key : string;
+  label : string;
+  outcome : outcome;
+  attempts : int;
+  dense_retry : bool;
+  deadline_retry : bool;
+}
+
+(* ---------------- serialization ---------------- *)
+
+(* %.17g round-trips every finite double, so a replayed verdict carries
+   bit-identical witnesses and timings. *)
+let buf_floats b arr =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%.17g" x)
+    arr;
+  Buffer.add_char b ']'
+
+let buf_ints b arr =
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%d" x)
+    arr;
+  Buffer.add_char b ']'
+
+let buf_result b (r : Verify.result) =
+  Buffer.add_string b "{";
+  (match r.Verify.verdict with
+  | Verify.Safe { conditional } ->
+      Printf.bprintf b "\"verdict\": \"safe\", \"conditional\": %b" conditional
+  | Verify.Unsafe { features; output; logit } ->
+      Buffer.add_string b "\"verdict\": \"unsafe\", \"features\": ";
+      buf_floats b features;
+      Buffer.add_string b ", \"output\": ";
+      buf_floats b output;
+      Printf.bprintf b ", \"logit\": %.17g" logit
+  | Verify.Unknown reason ->
+      Printf.bprintf b "\"verdict\": \"unknown\", \"reason\": %S" reason);
+  Printf.bprintf b ", \"encoding\": %S, \"num_binaries\": %d, \"wall_time_s\": %.17g"
+    r.Verify.encoding r.Verify.num_binaries r.Verify.wall_time_s;
+  let s = r.Verify.milp_stats in
+  Printf.bprintf b
+    ", \"milp\": {\"nodes_explored\": %d, \"lp_solved\": %d, \
+     \"incumbent_updates\": %d, \"lp_time_s\": %.17g, \"per_worker_nodes\": "
+    s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
+    s.Milp.lp_time_s;
+  buf_ints b s.Milp.per_worker_nodes;
+  Printf.bprintf b
+    ", \"steals\": %d, \"max_queue_depth\": %d, \"pivots\": %d, \
+     \"warm_starts\": %d, \"cold_starts\": %d, \"fallbacks\": %d}"
+    s.Milp.steals s.Milp.max_queue_depth s.Milp.pivots s.Milp.warm_starts
+    s.Milp.cold_starts s.Milp.fallbacks;
+  Buffer.add_string b "}"
+
+let entry_to_line e =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "{\"key\": %S, \"label\": %S, " e.key e.label;
+  (match e.outcome with
+  | Done _ -> Buffer.add_string b "\"outcome\": \"done\""
+  | Crashed m -> Printf.bprintf b "\"outcome\": \"crashed\", \"reason\": %S" m
+  | Skipped m -> Printf.bprintf b "\"outcome\": \"skipped\", \"reason\": %S" m);
+  Printf.bprintf b ", \"attempts\": %d, \"dense_retry\": %b, \"deadline_retry\": %b"
+    e.attempts e.dense_retry e.deadline_retry;
+  (match e.outcome with
+  | Done r ->
+      Buffer.add_string b ", \"result\": ";
+      buf_result b r
+  | Crashed _ | Skipped _ -> ());
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* ---------------- writer ---------------- *)
+
+type writer = {
+  path : string;
+  lock : Mutex.t;
+  mutable entries_rev : entry list;
+}
+
+let create ~path existing =
+  { path; lock = Mutex.create (); entries_rev = List.rev existing }
+
+(* Whole-file rewrite to a sibling tmp, then an atomic rename: readers
+   (and a resumed campaign) never see a torn line.  Called with the
+   writer lock held. *)
+let persist w =
+  let tmp = w.path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     List.iter
+       (fun e ->
+         output_string oc (entry_to_line e);
+         output_char oc '\n')
+       (List.rev w.entries_rev);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  (* The injected failure lands between the tmp write and the rename —
+     the window where a real crash leaves the journal at its previous
+     complete state. *)
+  if Faults.fire Faults.Journal_crash then
+    raise (Sys_error "injected journal write failure");
+  Sys.rename tmp w.path
+
+let append w e =
+  Mutex.protect w.lock (fun () ->
+      (* Entry first: if the persist fails, the next successful append
+         rewrites the full list and nothing recorded is lost. *)
+      w.entries_rev <- e :: w.entries_rev;
+      persist w)
+
+let entries w = Mutex.protect w.lock (fun () -> List.rev w.entries_rev)
+
+(* ---------------- reader ---------------- *)
+
+let ( let* ) = Result.bind
+
+let field ~line name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "line %d: missing or ill-typed field %S" line name)
+
+let float_array ~line name j =
+  let* l = field ~line name Json.to_list j in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | x :: rest -> (
+        match Json.to_float x with
+        | Some f -> go (f :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "line %d: non-number in array %S" line name))
+  in
+  go [] l
+
+let int_array ~line name j =
+  let* fa = float_array ~line name j in
+  Ok (Array.map int_of_float fa)
+
+let parse_milp ~line j =
+  let* nodes_explored = field ~line "nodes_explored" Json.to_int j in
+  let* lp_solved = field ~line "lp_solved" Json.to_int j in
+  let* incumbent_updates = field ~line "incumbent_updates" Json.to_int j in
+  let* lp_time_s = field ~line "lp_time_s" Json.to_float j in
+  let* per_worker_nodes = int_array ~line "per_worker_nodes" j in
+  let* steals = field ~line "steals" Json.to_int j in
+  let* max_queue_depth = field ~line "max_queue_depth" Json.to_int j in
+  let* pivots = field ~line "pivots" Json.to_int j in
+  let* warm_starts = field ~line "warm_starts" Json.to_int j in
+  let* cold_starts = field ~line "cold_starts" Json.to_int j in
+  let* fallbacks = field ~line "fallbacks" Json.to_int j in
+  Ok
+    {
+      Milp.nodes_explored;
+      lp_solved;
+      incumbent_updates;
+      lp_time_s;
+      per_worker_nodes;
+      steals;
+      max_queue_depth;
+      pivots;
+      warm_starts;
+      cold_starts;
+      fallbacks;
+    }
+
+let parse_result ~line j =
+  let* verdict_word = field ~line "verdict" Json.to_string j in
+  let* verdict =
+    match verdict_word with
+    | "safe" ->
+        let* conditional =
+          field ~line "conditional"
+            (function Json.Bool b -> Some b | _ -> None)
+            j
+        in
+        Ok (Verify.Safe { conditional })
+    | "unsafe" ->
+        let* features = float_array ~line "features" j in
+        let* output = float_array ~line "output" j in
+        let* logit = field ~line "logit" Json.to_float j in
+        Ok (Verify.Unsafe { features; output; logit })
+    | "unknown" ->
+        let* reason = field ~line "reason" Json.to_string j in
+        Ok (Verify.Unknown reason)
+    | other -> Error (Printf.sprintf "line %d: unknown verdict %S" line other)
+  in
+  let* encoding = field ~line "encoding" Json.to_string j in
+  let* num_binaries = field ~line "num_binaries" Json.to_int j in
+  let* wall_time_s = field ~line "wall_time_s" Json.to_float j in
+  let* milp_json = field ~line "milp" Option.some j in
+  let* milp_stats = parse_milp ~line milp_json in
+  Ok { Verify.verdict; milp_stats; encoding; num_binaries; wall_time_s }
+
+let parse_entry ~line j =
+  let* key = field ~line "key" Json.to_string j in
+  let* label = field ~line "label" Json.to_string j in
+  let* word = field ~line "outcome" Json.to_string j in
+  let* attempts = field ~line "attempts" Json.to_int j in
+  let* dense_retry =
+    field ~line "dense_retry" (function Json.Bool b -> Some b | _ -> None) j
+  in
+  let* deadline_retry =
+    field ~line "deadline_retry"
+      (function Json.Bool b -> Some b | _ -> None)
+      j
+  in
+  let* outcome =
+    match word with
+    | "done" ->
+        let* rj = field ~line "result" Option.some j in
+        let* r = parse_result ~line rj in
+        Ok (Done r)
+    | "crashed" ->
+        let* reason = field ~line "reason" Json.to_string j in
+        Ok (Crashed reason)
+    | "skipped" ->
+        let* reason = field ~line "reason" Json.to_string j in
+        Ok (Skipped reason)
+    | other -> Error (Printf.sprintf "line %d: unknown outcome %S" line other)
+  in
+  Ok { key; label; outcome; attempts; dense_retry; deadline_retry }
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | content ->
+      let lines = String.split_on_char '\n' content in
+      let rec go acc line = function
+        | [] -> Ok (List.rev acc)
+        | l :: rest when String.trim l = "" -> go acc (line + 1) rest
+        | l :: rest -> (
+            match Json.of_string l with
+            | Error m -> Error (Printf.sprintf "line %d: %s" line m)
+            | Ok j ->
+                let* e = parse_entry ~line j in
+                go (e :: acc) (line + 1) rest)
+      in
+      go [] 1 lines
+
+let result_of_entry e =
+  match e.outcome with Done r -> Some r | Crashed _ | Skipped _ -> None

@@ -1,0 +1,59 @@
+(** Crash-safe campaign journal: one JSON line per settled query.
+
+    A campaign that dies — machine reboot, OOM kill, operator ctrl-C —
+    should not forfeit the queries it already answered.  The journal
+    records each query's outcome as soon as it settles, keyed by a
+    content digest of the query itself, and [dpv campaign --resume]
+    replays [Done] entries instead of re-solving them.
+
+    Durability model: every append rewrites the whole journal to a
+    temporary file in the same directory and [Sys.rename]s it over the
+    target, so the on-disk file is always a complete, parseable
+    prefix of the campaign — never a torn line.  Journals are small
+    (one line per query), so the rewrite is cheap at campaign scale.
+
+    Writes are serialized with a mutex: campaign runners settle queries
+    concurrently. *)
+
+type outcome =
+  | Done of Verify.result
+      (** The query produced a verdict (possibly [Unknown]). *)
+  | Crashed of string
+      (** The solve raised; the message is the exception text.  Not
+          replayed on resume — a resumed campaign retries it. *)
+  | Skipped of string
+      (** Never attempted (campaign budget exhausted before its turn).
+          Not replayed on resume. *)
+
+type entry = {
+  key : string;           (** content digest of the query (hex) *)
+  label : string;
+  outcome : outcome;
+  attempts : int;         (** solve attempts, [>= 1]; 0 for [Skipped] *)
+  dense_retry : bool;
+  deadline_retry : bool;
+}
+
+type writer
+
+val create : path:string -> entry list -> writer
+(** [create ~path existing] opens a journal writer on [path], seeded
+    with [existing] entries (the replayed portion of a resumed
+    campaign) so the file on disk always describes the whole campaign.
+    Writes nothing until the first {!append}. *)
+
+val append : writer -> entry -> unit
+(** Record one settled query and persist the journal atomically.
+    Raises [Sys_error] if the filesystem write fails (or under the
+    [Journal_crash] fault-injection site); the in-memory entry list is
+    updated first, so a later append retries the persist. *)
+
+val entries : writer -> entry list
+(** All entries recorded so far, in append order. *)
+
+val load : path:string -> (entry list, string) result
+(** Parse a journal written by {!append}.  [Error] messages carry the
+    1-based line number of the offending line. *)
+
+val result_of_entry : entry -> Verify.result option
+(** The replayable result: [Some] exactly for [Done] entries. *)

@@ -12,6 +12,8 @@ let pp_milp_stats fmt (stats : Dpv_linprog.Milp.stats) =
     stats.Dpv_linprog.Milp.nodes_explored stats.Dpv_linprog.Milp.lp_solved
     stats.Dpv_linprog.Milp.lp_time_s stats.Dpv_linprog.Milp.pivots
     stats.Dpv_linprog.Milp.warm_starts stats.Dpv_linprog.Milp.cold_starts;
+  if stats.Dpv_linprog.Milp.fallbacks > 0 then
+    Format.fprintf fmt ", %d dense fallbacks" stats.Dpv_linprog.Milp.fallbacks;
   if workers > 1 then
     Format.fprintf fmt
       "@,solver: %d workers, nodes/worker [%s], %d steals, max queue depth %d"
@@ -37,22 +39,47 @@ let pp_case fmt (case : Workflow.case_report) =
 let case_to_string case = Format.asprintf "%a" pp_case case
 
 let pp_campaign fmt (report : Campaign.report) =
-  Format.fprintf fmt "@[<v>campaign: %d queries, %d runner%s%s@,"
+  Format.fprintf fmt "@[<v>campaign: %d queries, %d runner%s%s%s@,"
     (List.length report.Campaign.query_reports)
     report.Campaign.runners
     (if report.Campaign.runners = 1 then "" else "s")
     (match report.Campaign.budget_s with
     | None -> ""
-    | Some s -> Printf.sprintf ", budget %.1fs" s);
+    | Some s -> Printf.sprintf ", budget %.1fs" s)
+    (if report.Campaign.degraded then " -- DEGRADED" else "");
   List.iter
     (fun (qr : Campaign.query_report) ->
-      let r = qr.Campaign.result in
-      Format.fprintf fmt "  [%s] %a (%.2fs%s, %d nodes)@,"
-        qr.Campaign.query.Campaign.label Verify.pp_verdict r.Verify.verdict
-        r.Verify.wall_time_s
-        (if qr.Campaign.from_cache then ", cached encoding" else "")
-        r.Verify.milp_stats.Dpv_linprog.Milp.nodes_explored)
+      let label = qr.Campaign.query.Campaign.label in
+      match qr.Campaign.outcome with
+      | Campaign.Done r ->
+          let flags =
+            (if qr.Campaign.from_cache then [ "cached encoding" ] else [])
+            @ (if qr.Campaign.from_journal then [ "from journal" ] else [])
+            @ (if qr.Campaign.dense_retry then [ "dense retry" ] else [])
+            @ if qr.Campaign.deadline_retry then [ "deadline retry" ] else []
+          in
+          Format.fprintf fmt "  [%s] %a (%.2fs%s, %d nodes)@," label
+            Verify.pp_verdict r.Verify.verdict r.Verify.wall_time_s
+            (match flags with
+            | [] -> ""
+            | l -> ", " ^ String.concat ", " l)
+            r.Verify.milp_stats.Dpv_linprog.Milp.nodes_explored
+      | Campaign.Crashed reason ->
+          Format.fprintf fmt "  [%s] CRASHED: %s@," label reason
+      | Campaign.Skipped reason ->
+          Format.fprintf fmt "  [%s] SKIPPED: %s@," label reason)
     report.Campaign.query_reports;
+  if
+    report.Campaign.crashed > 0 || report.Campaign.skipped > 0
+    || report.Campaign.retried > 0 || report.Campaign.resumed > 0
+    || report.Campaign.journal_write_failures > 0
+  then
+    Format.fprintf fmt
+      "outcomes: %d crashed, %d skipped, %d retried, %d resumed, %d journal \
+       write failure%s@,"
+      report.Campaign.crashed report.Campaign.skipped report.Campaign.retried
+      report.Campaign.resumed report.Campaign.journal_write_failures
+      (if report.Campaign.journal_write_failures = 1 then "" else "s");
   Format.fprintf fmt
     "encoding cache: %d entr%s, %d hit%s, %d miss%s@,total wall %.2fs@]"
     report.Campaign.cache.Campaign.entries

@@ -50,6 +50,10 @@ let resolve_bounds ~perception ~cut = function
 
 let default_milp_options = { Milp.default_options with find_first = true }
 
+(* The one Unknown reason that is a scheduling artifact rather than a
+   verdict about the query: the retry ladder keys on it. *)
+let deadline_reason = "deadline exceeded"
+
 let concrete_tol = 1e-5
 
 let run_query ?(milp_options = default_milp_options) ~characterizer_margin
@@ -65,7 +69,7 @@ let run_query ?(milp_options = default_milp_options) ~characterizer_margin
     match milp_result with
     | Milp.Infeasible -> Safe { conditional }
     | Milp.Node_limit -> Unknown "branch-and-bound node limit reached"
-    | Milp.Timeout -> Unknown "deadline exceeded"
+    | Milp.Timeout -> Unknown deadline_reason
     | Milp.Unbounded -> Unknown "LP relaxation unbounded (missing bounds)"
     | Milp.Optimal { solution; _ } | Milp.Feasible { solution; _ } ->
         (* A [Feasible] incumbent (find_first, or a truncated search that

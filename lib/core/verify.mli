@@ -42,6 +42,12 @@ val default_milp_options : Dpv_linprog.Milp.options
 (** {!Dpv_linprog.Milp.default_options} with [find_first = true] — the
     natural solver mode for a feasibility query. *)
 
+val deadline_reason : string
+(** The [Unknown] reason reported when the wall-clock deadline expired
+    (["deadline exceeded"]).  It is a scheduling artifact, not a fact
+    about the query, which is why {!Retry} keys its deadline-retry rung
+    on exactly this string. *)
+
 val resolve_bounds :
   perception:Dpv_nn.Network.t ->
   cut:int ->

@@ -7,8 +7,13 @@ let deadline_after = function
   | Some budget_s -> Some (now_s () +. budget_s)
 
 (* Inclusive, so a zero-second budget is expired from the start even
-   when the clock has not ticked since the deadline was minted. *)
-let expired = function None -> false | Some t -> now_s () >= t
+   when the clock has not ticked since the deadline was minted.  The
+   deadline-jitter fault site makes one check on a finite deadline
+   report expiry early — the recovery under test is the deadline-retry
+   rung, which re-carves from the (not actually expired) budget. *)
+let expired = function
+  | None -> false
+  | Some t -> Faults.fire Faults.Deadline_jitter || now_s () >= t
 
 let remaining_s = function
   | None -> None

@@ -1,0 +1,137 @@
+type site =
+  | Lp_trouble
+  | Pivot_corrupt
+  | Refactor_singular
+  | Deadline_jitter
+  | Task_crash
+  | Journal_crash
+
+let all_sites =
+  [
+    ("lp-trouble", Lp_trouble);
+    ("pivot-corrupt", Pivot_corrupt);
+    ("refactor-singular", Refactor_singular);
+    ("deadline-jitter", Deadline_jitter);
+    ("task-crash", Task_crash);
+    ("journal-crash", Journal_crash);
+  ]
+
+let site_index = function
+  | Lp_trouble -> 0
+  | Pivot_corrupt -> 1
+  | Refactor_singular -> 2
+  | Deadline_jitter -> 3
+  | Task_crash -> 4
+  | Journal_crash -> 5
+
+let n_sites = 6
+
+let site_name s = fst (List.nth all_sites (site_index s))
+
+(* Armed state.  [targets.(i) = 0] means site [i] never fires.  The
+   enabled flag is the only thing the disabled fast path reads. *)
+let armed = Atomic.make false
+let the_seed = Atomic.make 0
+let targets = Array.make n_sites 0
+let counts = Array.init n_sites (fun _ -> Atomic.make 0)
+let fired_counts = Array.init n_sites (fun _ -> Atomic.make 0)
+
+let reset_counters () =
+  Array.iter (fun c -> Atomic.set c 0) counts;
+  Array.iter (fun c -> Atomic.set c 0) fired_counts
+
+let disable () =
+  Atomic.set armed false;
+  Atomic.set the_seed 0;
+  Array.fill targets 0 n_sites 0;
+  reset_counters ()
+
+let configure ?(seed = 0) plan =
+  Atomic.set armed false;
+  Array.fill targets 0 n_sites 0;
+  List.iter
+    (fun (s, n) ->
+      if n < 1 then invalid_arg "Faults.configure: occurrence must be >= 1";
+      targets.(site_index s) <- n)
+    plan;
+  Atomic.set the_seed seed;
+  reset_counters ();
+  if plan <> [] then Atomic.set armed true
+
+let enabled () = Atomic.get armed
+
+let seed () = Atomic.get the_seed
+
+let fire site =
+  if not (Atomic.get armed) then false
+  else begin
+    let i = site_index site in
+    let occurrence = 1 + Atomic.fetch_and_add counts.(i) 1 in
+    let hit = targets.(i) > 0 && occurrence = targets.(i) in
+    if hit then Atomic.incr fired_counts.(i);
+    hit
+  end
+
+let occurrences site = Atomic.get counts.(site_index site)
+let fired site = Atomic.get fired_counts.(site_index site)
+
+let parse_spec spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go seed plan = function
+    | [] -> Ok (seed, List.rev plan)
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "fault spec %S is not key=value" part)
+        | Some eq -> (
+            let key = String.trim (String.sub part 0 eq) in
+            let value =
+              String.trim
+                (String.sub part (eq + 1) (String.length part - eq - 1))
+            in
+            match int_of_string_opt value with
+            | None ->
+                Error (Printf.sprintf "fault spec %S: %S is not an integer" part value)
+            | Some n ->
+                if key = "seed" then go n plan rest
+                else (
+                  match List.assoc_opt key all_sites with
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "unknown fault site %S (known: seed, %s)" key
+                           (String.concat ", " (List.map fst all_sites)))
+                  | Some site ->
+                      if n < 1 then
+                        Error
+                          (Printf.sprintf "fault site %S: occurrence must be >= 1" key)
+                      else go seed ((site, n) :: plan) rest)))
+  in
+  go 0 [] parts
+
+let init_from_env () =
+  match Sys.getenv_opt "DPV_FAULTS" with
+  | None -> ()
+  | Some spec when String.trim spec = "" -> ()
+  | Some spec -> (
+      match parse_spec spec with
+      | Ok (seed, plan) -> configure ~seed plan
+      | Error msg ->
+          Printf.eprintf "DPV_FAULTS: %s\n%!" msg;
+          exit 3)
+
+let describe () =
+  if not (Atomic.get armed) then "disabled"
+  else begin
+    let parts =
+      List.filter_map
+        (fun (name, site) ->
+          let t = targets.(site_index site) in
+          if t = 0 then None else Some (Printf.sprintf "%s=%d" name t))
+        all_sites
+    in
+    Printf.sprintf "seed=%d,%s" (Atomic.get the_seed) (String.concat "," parts)
+  end

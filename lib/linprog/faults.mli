@@ -1,0 +1,81 @@
+(** Deterministic fault injection for chaos-style testing.
+
+    The solver and campaign stack advertise a recovery ladder (dense
+    fallback, deadline retry, crash isolation, skip-with-degraded
+    report).  This module lets tests and CI {e prove} each rung fires:
+    a handful of named injection sites are compiled into the hot paths
+    behind a single enabled-flag check, and a configured site raises or
+    corrupts exactly on its Nth dynamic occurrence.
+
+    Disabled (the default), every site is one relaxed atomic load —
+    no counters move and no randomness is drawn — so production and
+    benchmark runs pay nothing measurable.
+
+    Occurrence counting is global and atomic, so a spec like
+    [task-crash=2] means "the second time {e any} domain reaches the
+    task-crash site", which is deterministic whenever the call order
+    is (sequential campaigns, single-runner pools).  Each site fires at
+    most once per configuration.
+
+    Configuration comes either from {!configure} (tests) or from the
+    [DPV_FAULTS] environment variable (CLI and bench executables call
+    {!init_from_env} at startup; the library never reads the
+    environment on its own, so [dune runtest] stays deterministic). *)
+
+type site =
+  | Lp_trouble          (** raise [Simplex.Numerical_trouble] at [resolve]
+                            entry, {e outside} its internal fallback — the
+                            exception escapes to the query level *)
+  | Pivot_corrupt       (** silently scribble on the basis inverse after a
+                            pivot; caught by the post-solve residual check *)
+  | Refactor_singular   (** refactorization reports a singular basis *)
+  | Deadline_jitter     (** one [Clock.expired] check on a finite deadline
+                            returns true early *)
+  | Task_crash          (** a campaign query task raises mid-flight *)
+  | Journal_crash       (** a journal write fails with [Sys_error] *)
+
+val all_sites : (string * site) list
+(** Kebab-case spec names, e.g. [("task-crash", Task_crash)]. *)
+
+val site_name : site -> string
+
+val configure : ?seed:int -> (site * int) list -> unit
+(** [configure ~seed plan] arms the harness: each [(site, n)] pair makes
+    that site fire on its [n]th occurrence ([n >= 1]), once.  Counters
+    reset.  [seed] (default 0) perturbs {e how} a corrupting site
+    misbehaves (which basis-inverse entry [Pivot_corrupt] scribbles and
+    by how much), not {e when} it fires. *)
+
+val disable : unit -> unit
+(** Disarm every site and zero the counters. *)
+
+val parse_spec : string -> ((int * (site * int) list), string) result
+(** Parse a [DPV_FAULTS] spec such as ["seed=7,task-crash=2,deadline-jitter=1"]
+    into [(seed, plan)].  Unknown site names and malformed counts are
+    reported, not ignored. *)
+
+val init_from_env : unit -> unit
+(** [configure] from the [DPV_FAULTS] environment variable if it is set
+    and non-empty; print the parse error to stderr and exit 3 when it is
+    malformed (a typo silently disabling chaos would defeat the point).
+    Only executables should call this. *)
+
+val enabled : unit -> bool
+
+val fire : site -> bool
+(** Count one occurrence of [site] and return whether this occurrence is
+    the injected one.  When the harness is disabled this is a single
+    atomic load returning [false] — nothing is counted. *)
+
+val seed : unit -> int
+(** The configured seed (0 when disabled). *)
+
+val occurrences : site -> int
+(** Dynamic occurrences counted since the last [configure]/[disable]. *)
+
+val fired : site -> int
+(** Times [fire] returned [true] for [site] since the last configure. *)
+
+val describe : unit -> string
+(** One-line summary of the armed plan (["disabled"] when off); used by
+    reports so chaos runs are self-documenting. *)

@@ -17,6 +17,7 @@ type stats = {
   pivots : int;
   warm_starts : int;
   cold_starts : int;
+  fallbacks : int;
 }
 
 let empty_stats =
@@ -31,6 +32,7 @@ let empty_stats =
     pivots = 0;
     warm_starts = 0;
     cold_starts = 0;
+    fallbacks = 0;
   }
 
 type options = {
@@ -39,6 +41,7 @@ type options = {
   find_first : bool;
   workers : int;
   time_limit_s : float option;
+  lp_dense : bool;
 }
 
 let default_options =
@@ -48,6 +51,7 @@ let default_options =
     find_first = false;
     workers = 1;
     time_limit_s = None;
+    lp_dense = false;
   }
 
 let is_integral ~tol x = Float.abs (x -. Float.round x) <= tol
@@ -107,13 +111,19 @@ let solve_with_stats ?(options = default_options) model =
      basis instead of rebuilding a tableau per node. *)
   let handle = Simplex.create model in
   let int_vars = Lp.integer_vars model in
+  (* [lp_dense] is the last rung of the retry ladder: every node LP is
+     solved with the dense reference implementation, trading speed for
+     a path with no incremental basis state to corrupt. *)
   let solve_node node =
-    List.iter
-      (fun v ->
-        let lo, up = Lp.var_bounds node v in
-        Simplex.set_var_bounds handle v ~lo ~up)
-      int_vars;
-    Simplex.resolve handle
+    if options.lp_dense then Simplex.solve_dense node
+    else begin
+      List.iter
+        (fun v ->
+          let lo, up = Lp.var_bounds node v in
+          Simplex.set_var_bounds handle v ~lo ~up)
+        int_vars;
+      Simplex.resolve handle
+    end
   in
   (* DFS over persistent models; bound tightening produces child nodes.
      [depth] tracks the stack length incrementally (a branch pops one
@@ -182,6 +192,7 @@ let solve_with_stats ?(options = default_options) model =
       pivots = c.Simplex.pivots;
       warm_starts = c.Simplex.warm_starts;
       cold_starts = c.Simplex.cold_starts;
+      fallbacks = c.Simplex.fallbacks;
     }
   in
   let result =

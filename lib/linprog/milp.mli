@@ -49,6 +49,9 @@ type stats = {
                                     root, the first node each parallel
                                     worker touches, and any solve after
                                     a numerical-trouble fallback *)
+  fallbacks : int;              (** node LPs rescued by the dense
+                                    reference solver after the revised
+                                    engine hit numerical trouble *)
 }
 
 val empty_stats : stats
@@ -68,11 +71,16 @@ type options = {
       (** wall-clock budget; [None] never expires.  Measured on a
           monotonic wall clock, not CPU time, so it stays meaningful
           under multi-domain search. *)
+  lp_dense : bool;
+      (** solve every node LP with {!Simplex.solve_dense} instead of
+          the warm-started revised engine.  Slow but stateless between
+          nodes; the retry ladder switches this on after an escaped
+          [Numerical_trouble]. *)
 }
 
 val default_options : options
 (** [{ max_nodes = 200_000; int_tol = 1e-6; find_first = false;
-      workers = 1; time_limit_s = None }] *)
+      workers = 1; time_limit_s = None; lp_dense = false }] *)
 
 val find_branch_var : tol:float -> Lp.t -> float array -> Lp.var option
 (** Most fractional integer variable, ties broken toward the lowest

@@ -48,20 +48,23 @@ let solve_parallel ~(options : Milp.options) model =
   let handles = Array.make workers None in
   let int_vars = Lp.integer_vars model in
   let solve_node id node =
-    let handle =
-      match handles.(id) with
-      | Some h -> h
-      | None ->
-          let h = Simplex.create model in
-          handles.(id) <- Some h;
-          h
-    in
-    List.iter
-      (fun v ->
-        let lo, up = Lp.var_bounds node v in
-        Simplex.set_var_bounds handle v ~lo ~up)
-      int_vars;
-    Simplex.resolve handle
+    if options.Milp.lp_dense then Simplex.solve_dense node
+    else begin
+      let handle =
+        match handles.(id) with
+        | Some h -> h
+        | None ->
+            let h = Simplex.create model in
+            handles.(id) <- Some h;
+            h
+      in
+      List.iter
+        (fun v ->
+          let lo, up = Lp.var_bounds node v in
+          Simplex.set_var_bounds handle v ~lo ~up)
+        int_vars;
+      Simplex.resolve handle
+    end
   in
   let stop () =
     (options.Milp.find_first && Atomic.get s.found)
@@ -131,7 +134,14 @@ let solve_parallel ~(options : Milp.options) model =
   let pool_stats =
     Pool.run ~workers ~initial:[ model ] ~process ~stop
   in
+  (* The pool contains task exceptions instead of letting them kill a
+     domain, but for branch-and-bound a lost subtree voids the pruning
+     proof: a search that dropped nodes must not report Infeasible or
+     Optimal.  Re-raise here so the query-level retry ladder (or the
+     campaign's crash isolation) decides what to do with the query. *)
+  (match pool_stats.Pool.first_exn with Some e -> raise e | None -> ());
   let pivots = ref 0 and warm = ref 0 and cold = ref 0 in
+  let fallbacks = ref 0 in
   Array.iter
     (function
       | None -> ()
@@ -139,7 +149,8 @@ let solve_parallel ~(options : Milp.options) model =
           let c = Simplex.counters h in
           pivots := !pivots + c.Simplex.pivots;
           warm := !warm + c.Simplex.warm_starts;
-          cold := !cold + c.Simplex.cold_starts)
+          cold := !cold + c.Simplex.cold_starts;
+          fallbacks := !fallbacks + c.Simplex.fallbacks)
     handles;
   let stats =
     {
@@ -153,6 +164,7 @@ let solve_parallel ~(options : Milp.options) model =
       pivots = !pivots;
       warm_starts = !warm;
       cold_starts = !cold;
+      fallbacks = !fallbacks;
     }
   in
   let result =

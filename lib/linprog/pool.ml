@@ -2,6 +2,8 @@ type stats = {
   per_worker_tasks : int array;
   steals : int;
   max_queue_depth : int;
+  exceptions : int;
+  first_exn : exn option;
 }
 
 (* Growable ring-buffer deque, one lock each.  The owner works the back,
@@ -71,18 +73,36 @@ let run ~workers ~initial ~process ~stop =
   let pending = Atomic.make 0 in
   let steals = Atomic.make 0 in
   let tasks_done = Array.make workers 0 in
+  (* A raising task must not wedge the pool: the exception is recorded
+     here (first one wins the CAS), the pool aborts like a [stop], and
+     the caller reads it from the returned stats instead of catching a
+     propagated exception from whichever domain happened to host the
+     task. *)
+  let exn_count = Atomic.make 0 in
+  let first_exn : exn option Atomic.t = Atomic.make None in
+  let aborted = Atomic.make false in
   List.iter
     (fun task ->
       Atomic.incr pending;
       push_back deques.(0) task)
     initial;
+  let record_exn e =
+    Atomic.incr exn_count;
+    let (_ : bool) = Atomic.compare_and_set first_exn None (Some e) in
+    Atomic.set aborted true
+  in
   let execute id task =
-    let children = process id task in
-    List.iter
-      (fun child ->
-        Atomic.incr pending;
-        push_back deques.(id) child)
-      children;
+    (* [pending] is decremented on EVERY exit path, raising included —
+       otherwise the other workers would spin forever on a counter that
+       can no longer reach zero. *)
+    (match try Ok (process id task) with e -> Error e with
+    | Ok children ->
+        List.iter
+          (fun child ->
+            Atomic.incr pending;
+            push_back deques.(id) child)
+          children
+    | Error e -> record_exn e);
     tasks_done.(id) <- tasks_done.(id) + 1;
     Atomic.decr pending
   in
@@ -100,7 +120,7 @@ let run ~workers ~initial ~process ~stop =
     scan 1
   in
   let rec worker_loop id =
-    if Atomic.get pending = 0 || stop () then ()
+    if Atomic.get pending = 0 || Atomic.get aborted || stop () then ()
     else begin
       (match pop_back deques.(id) with
       | Some task -> execute id task
@@ -111,13 +131,17 @@ let run ~workers ~initial ~process ~stop =
       worker_loop id
     end
   in
-  if workers = 1 then worker_loop 0
+  (* Belt and braces: [execute] already contains every exception, but a
+     failure in the loop machinery itself must still not leak through
+     [Domain.join] and bypass the surfacing contract. *)
+  let guarded_loop id = try worker_loop id with e -> record_exn e in
+  if workers = 1 then guarded_loop 0
   else begin
     let domains =
       Array.init (workers - 1) (fun i ->
-          Domain.spawn (fun () -> worker_loop (i + 1)))
+          Domain.spawn (fun () -> guarded_loop (i + 1)))
     in
-    worker_loop 0;
+    guarded_loop 0;
     Array.iter Domain.join domains
   end;
   let max_queue_depth =
@@ -127,18 +151,23 @@ let run ~workers ~initial ~process ~stop =
     per_worker_tasks = tasks_done;
     steals = Atomic.get steals;
     max_queue_depth;
+    exceptions = Atomic.get exn_count;
+    first_exn = Atomic.get first_exn;
   }
 
 (* Coarse-grained fan-out over a fixed item list: each item is one leaf
    task (no children), results land at the item's index.  Distinct
    indices are written from distinct domains, which is safe; the join in
-   [run] publishes them to the caller. *)
+   [run] publishes them to the caller.  [f] is wrapped per item, so one
+   raising item records an [Error] at its own slot and the rest of the
+   batch keeps running — the abort-on-exception path in [run] never
+   sees item exceptions. *)
 let map_list ~workers ?(stop = fun () -> false) f items =
   let n = List.length items in
   let out = Array.make n None in
   let tasks = List.mapi (fun i x -> (i, x)) items in
   let process _id (i, x) =
-    out.(i) <- Some (f x);
+    out.(i) <- Some (try Ok (f x) with e -> Error e);
     []
   in
   let (_ : stats) = run ~workers ~initial:tasks ~process ~stop in

@@ -8,12 +8,21 @@
 
     The pool is built per solve and torn down when the task graph is
     exhausted or the caller's [stop] predicate fires, so worker domains
-    never outlive a query. *)
+    never outlive a query.
+
+    {b Exception safety.}  A raising task cannot wedge the pool or kill
+    an unrelated domain: {!run} catches task exceptions, aborts the
+    remaining work (the partial result is unreliable anyway for a tree
+    search) and surfaces the first exception in {!stats}; {!map_list}
+    instead isolates each item behind a [result], so one raising item
+    does not abort its batch. *)
 
 type stats = {
   per_worker_tasks : int array;  (** tasks processed, by worker index *)
   steals : int;                  (** successful cross-deque steals *)
   max_queue_depth : int;         (** deepest any single deque ever got *)
+  exceptions : int;              (** tasks that raised instead of returning *)
+  first_exn : exn option;        (** the first recorded task exception *)
 }
 
 val run :
@@ -32,6 +41,15 @@ val run :
     returned list is processed next by the same worker: callers encoding
     DFS should put the preferred branch last.
 
+    A [process] call that raises does not propagate: the pool counts it,
+    records the first such exception in [stats.first_exn], and aborts
+    the remaining tasks exactly as if [stop] had fired.  Per-task
+    bookkeeping stays consistent (the raising task is still counted as
+    processed and the pending counter still reaches zero), so the
+    worker deques cannot deadlock.  Callers for whom a lost subtree is
+    unsound — branch-and-bound pruning proofs, for instance — must
+    check [first_exn] and re-raise or degrade explicitly.
+
     [process] and [stop] run concurrently on several domains; they must
     synchronise any shared state themselves (atomics or mutexes).
     [workers = 1] degenerates to a plain sequential loop on the calling
@@ -39,12 +57,18 @@ val run :
     sequential implementation. *)
 
 val map_list :
-  workers:int -> ?stop:(unit -> bool) -> ('a -> 'b) -> 'a list -> 'b option array
+  workers:int ->
+  ?stop:(unit -> bool) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) result option array
 (** [map_list ~workers f items] runs [f] on every item as one
     coarse-grained pool task each and returns the results in item order.
-    An entry is [None] only when [stop] fired before its item started —
-    with the default [stop] every entry is [Some].  This is the reuse
-    path for schedulers above the MILP (verification campaigns): one
-    pool, one task per query, stealing balances uneven query costs.
-    [f] runs concurrently on several domains and must not itself spawn
-    domains per call beyond what the host machine can carry. *)
+    An item on which [f] raised yields [Some (Error exn)] at its slot
+    while every other item still runs to completion — the reuse path for
+    schedulers above the MILP (verification campaigns) wants per-query
+    failure isolation, not batch abortion.  An entry is [None] only when
+    [stop] fired before its item started — with the default [stop] every
+    entry is [Some].  [f] runs concurrently on several domains and must
+    not itself spawn domains per call beyond what the host machine can
+    carry. *)

@@ -538,6 +538,8 @@ let row_dot_col h beta j =
 (* Rebuild B^-1 from the basis by Gauss-Jordan with partial pivoting,
    then recompute xb exactly.  Raises on a (numerically) singular basis. *)
 let refactorize h =
+  if Faults.fire Faults.Refactor_singular then
+    raise (Numerical_trouble "injected singular refactorization");
   let m = h.m in
   let bmat = Array.init m (fun _ -> Array.make m 0.0) in
   for r = 0 to m - 1 do
@@ -612,7 +614,20 @@ let apply_pivot h ~r ~q =
   h.basis.(r) <- q;
   h.in_row.(q) <- r;
   h.n_pivots <- h.n_pivots + 1;
-  h.since_refactor <- h.since_refactor + 1
+  h.since_refactor <- h.since_refactor + 1;
+  (* Injected silent corruption: scribble on one row of B^-1 (and the
+     matching basic value) without raising.  Only the post-solve
+     residual check can catch this — which is the point. *)
+  if Faults.fire Faults.Pivot_corrupt then begin
+    let s = abs (Faults.seed ()) in
+    let row = ((s * 31) + 17) mod h.m in
+    let magnitude = 2.0 +. float_of_int (s mod 7) in
+    let br = h.binv.(row) in
+    for k = 0 to h.m - 1 do
+      br.(k) <- br.(k) +. magnitude
+    done;
+    h.xb.(row) <- h.xb.(row) +. magnitude
+  end
 
 let maybe_refactor h =
   if h.since_refactor >= refactor_every then refactorize h
@@ -949,7 +964,36 @@ let reset_basis h =
   h.since_refactor <- 0;
   compute_xb h
 
+(* Concrete row residual of the candidate basic solution over ALL
+   columns (structural + slacks), computed straight from the constraint
+   columns — deliberately not through B^-1, because a corrupted basis
+   inverse cannot vouch for itself.  In the bounded-slack formulation
+   [Ax = rhs] holds exactly at any consistent basic point, so a large
+   residual means the revised state is lying and the resolve must fall
+   back instead of reporting a fabricated optimum. *)
+let residual_check h =
+  let res = h.w in
+  Array.blit h.rhs 0 res 0 h.m;
+  let scale = ref 1.0 in
+  for j = 0 to h.ncols - 1 do
+    let v = if h.in_row.(j) >= 0 then h.xb.(h.in_row.(j)) else nb_value h j in
+    if v <> 0.0 then begin
+      let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
+      for k = 0 to Array.length rows - 1 do
+        let contrib = coefs.(k) *. v in
+        res.(rows.(k)) <- res.(rows.(k)) -. contrib;
+        let a = Float.abs contrib in
+        if a > !scale then scale := a
+      done
+    end
+  done;
+  for r = 0 to h.m - 1 do
+    if Float.abs res.(r) > 1e-6 *. !scale then
+      raise (Numerical_trouble "solution residual check failed")
+  done
+
 let extract_optimal h =
+  residual_check h;
   let solution =
     Array.init h.n (fun j ->
         if h.in_row.(j) >= 0 then h.xb.(h.in_row.(j)) else nb_value h j)
@@ -988,6 +1032,12 @@ let bounds_conflict h =
 
 let resolve ?(bound_changes = []) h =
   List.iter (fun (v, lo, up) -> set_var_bounds h v ~lo ~up) bound_changes;
+  (* The forced-trouble fault site sits OUTSIDE the fallback handler
+     below on purpose: it models trouble the internal rescue cannot
+     absorb, so the exception escapes to the caller (the query-level
+     retry ladder solves on [solve_dense] instead). *)
+  if Faults.fire Faults.Lp_trouble then
+    raise (Numerical_trouble "injected numerical trouble");
   if h.has_basis then h.n_warm <- h.n_warm + 1
   else h.n_cold <- h.n_cold + 1;
   if bounds_conflict h then Infeasible
@@ -1004,8 +1054,16 @@ let resolve ?(bound_changes = []) h =
       else if primal_feasible h then finish_primal h
       else feasibility_then_primal h
     with Numerical_trouble _ ->
+      (* The revised state may be arbitrarily corrupted at this point
+         (mid-pivot rest statuses, a singular or scribbled B^-1).  Drop
+         the basis entirely: with [has_basis] cleared the next resolve
+         rebuilds from the all-slack basis via [reset_basis] — a
+         refactorization from scratch — and [set_var_bounds] stops
+         routing incremental updates through the dead inverse, so a
+         corrupted basis is never reused. *)
       h.n_fallbacks <- h.n_fallbacks + 1;
       h.has_basis <- false;
+      h.since_refactor <- 0;
       solve_dense ~tol:h.tol (current_model h)
 
 let counters h =

@@ -29,6 +29,15 @@ type status =
   | Infeasible
   | Unbounded
 
+exception Numerical_trouble of string
+(** Numerical distress in the revised engine: singular refactorization,
+    vanishing pivots, iteration blow-up, or a failed post-solve residual
+    check.  Most occurrences are rescued internally (the handle resets
+    its basis and re-solves with {!solve_dense}); one that still escapes
+    {!resolve} means the handle state is beyond local repair and the
+    caller should re-solve statelessly — see
+    {!Milp.options.lp_dense} and the [Retry] ladder in [dpv_core]. *)
+
 val solve : ?tol:float -> Lp.t -> status
 (** One-shot solve with the revised engine: [create] + [resolve].
     [tol] is the pivot/pricing tolerance (default [1e-9]). *)

@@ -63,6 +63,18 @@ let queries () =
       ~bounds:(Verify.Data_octagon visited_features) ();
   ]
 
+(* Unwrap a [Done] outcome; any crash/skip in these clean-run tests is a
+   test failure in itself. *)
+let done_result (qr : Campaign.query_report) =
+  match qr.Campaign.outcome with
+  | Campaign.Done r -> r
+  | Campaign.Crashed reason ->
+      Alcotest.failf "%s: unexpected crash: %s" qr.Campaign.query.Campaign.label
+        reason
+  | Campaign.Skipped reason ->
+      Alcotest.failf "%s: unexpectedly skipped: %s"
+        qr.Campaign.query.Campaign.label reason
+
 let test_campaign_matches_individual_verify () =
   let qs = queries () in
   let report = Campaign.run ~runners:2 ~perception qs in
@@ -79,8 +91,10 @@ let test_campaign_matches_individual_verify () =
       Alcotest.(check string)
         (q.Campaign.label ^ ": verdict matches standalone verify")
         (Campaign.verdict_word standalone.Verify.verdict)
-        (Campaign.verdict_word qr.Campaign.result.Verify.verdict))
-    qs report.Campaign.query_reports
+        (Campaign.verdict_word (done_result qr).Verify.verdict))
+    qs report.Campaign.query_reports;
+  Alcotest.(check bool) "clean run is not degraded" false
+    report.Campaign.degraded
 
 let test_campaign_cache_accounting () =
   let report = Campaign.run ~runners:1 ~perception (queries ()) in
@@ -96,16 +110,24 @@ let test_campaign_cache_accounting () =
   Alcotest.(check (list bool)) "first of each key misses, second hits"
     [ false; true; false; true ] flags
 
-let test_campaign_zero_budget_degrades_to_unknown () =
+let test_campaign_zero_budget_skips_and_degrades () =
   let report = Campaign.run ~runners:1 ~budget_s:0.0 ~perception (queries ()) in
   List.iter
     (fun (qr : Campaign.query_report) ->
-      match qr.Campaign.result.Verify.verdict with
-      | Verify.Unknown _ -> ()
-      | v ->
-          Alcotest.failf "%s: expected unknown under zero budget, got %a"
-            qr.Campaign.query.Campaign.label Verify.pp_verdict v)
-    report.Campaign.query_reports
+      match qr.Campaign.outcome with
+      | Campaign.Skipped _ -> ()
+      | Campaign.Done r ->
+          Alcotest.failf "%s: expected skip under zero budget, got %a"
+            qr.Campaign.query.Campaign.label Verify.pp_verdict r.Verify.verdict
+      | Campaign.Crashed reason ->
+          Alcotest.failf "%s: expected skip under zero budget, got crash: %s"
+            qr.Campaign.query.Campaign.label reason)
+    report.Campaign.query_reports;
+  Alcotest.(check bool) "report is degraded" true report.Campaign.degraded;
+  Alcotest.(check int) "all queries counted as skipped"
+    (List.length report.Campaign.query_reports)
+    report.Campaign.skipped;
+  Alcotest.(check int) "nothing crashed" 0 report.Campaign.crashed
 
 let jget label = function
   | Some v -> v
@@ -119,10 +141,18 @@ let test_campaign_json_report () =
   match Json.of_string json with
   | Error e -> Alcotest.failf "report is not valid JSON: %s" e
   | Ok j ->
-      Alcotest.(check string) "schema tag" "dpv-campaign/1"
+      Alcotest.(check string) "schema tag" "dpv-campaign/2"
         (jget "schema" (Json.to_string (mem "schema" j)));
       Alcotest.(check int) "runners recorded" 2
         (jget "runners" (Json.to_int (mem "runners" j)));
+      Alcotest.(check bool) "degraded flag serialized" false
+        (match mem "degraded" j with
+        | Json.Bool b -> b
+        | _ -> Alcotest.fail "degraded is not a bool");
+      Alcotest.(check int) "crashed counter serialized" 0
+        (jget "crashed" (Json.to_int (mem "crashed" j)));
+      Alcotest.(check int) "retried counter serialized" 0
+        (jget "retried" (Json.to_int (mem "retried" j)));
       let cache = mem "cache" j in
       Alcotest.(check int) "cache hits serialized" 2
         (jget "hits" (Json.to_int (mem "hits" cache)));
@@ -130,9 +160,12 @@ let test_campaign_json_report () =
       Alcotest.(check int) "four query records" 4 (List.length qs);
       List.iter
         (fun q ->
+          Alcotest.(check string) "outcome is done" "done"
+            (jget "outcome" (Json.to_string (mem "outcome" q)));
           let verdict = jget "verdict" (Json.to_string (mem "verdict" q)) in
           Alcotest.(check bool) "verdict is a known word" true
             (List.mem verdict [ "safe"; "unsafe"; "unknown" ]);
+          ignore (jget "attempts" (Json.to_int (mem "attempts" q)));
           ignore (jget "nodes" (Json.to_int (mem "nodes" (mem "milp" q)))))
         qs
 
@@ -141,7 +174,7 @@ let tests =
     Alcotest.test_case "campaign matches individual verify" `Quick
       test_campaign_matches_individual_verify;
     Alcotest.test_case "cache accounting" `Quick test_campaign_cache_accounting;
-    Alcotest.test_case "zero budget degrades to unknown" `Quick
-      test_campaign_zero_budget_degrades_to_unknown;
+    Alcotest.test_case "zero budget skips and degrades" `Quick
+      test_campaign_zero_budget_skips_and_degrades;
     Alcotest.test_case "json report" `Quick test_campaign_json_report;
   ]

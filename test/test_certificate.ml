@@ -117,6 +117,41 @@ let test_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "loaded nonexistent file"
 
+(* [of_string] promises to never raise: sweep every byte-length prefix
+   of a real certificate through the parser.  Each prefix must come
+   back as [Ok] or [Error] — any exception fails the test. *)
+let test_truncation_sweep () =
+  let full = Certificate.to_string conditional_cert in
+  for len = 0 to String.length full - 1 do
+    let prefix = String.sub full 0 len in
+    match Certificate.of_string prefix with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "of_string raised %s on a %d-byte prefix"
+          (Printexc.to_string e) len
+  done
+
+let test_corrupt_line_is_positioned () =
+  (* Corrupting a field deep in the payload must produce an [Error]
+     whose message points at a line, not a raw exception. *)
+  let full = Certificate.to_string conditional_cert in
+  let corrupted =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if String.length line >= 4 && String.sub line 0 4 = "cut " then
+             "cut banana"
+           else line)
+         (String.split_on_char '\n' full))
+  in
+  match Certificate.of_string corrupted with
+  | Ok _ -> Alcotest.fail "accepted a corrupted cut line"
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S carries a line number" m)
+        true
+        (String.length m >= 5 && String.sub m 0 5 = "line ")
+
 let test_guarantee () = check_float "1 - gamma" 0.97 (Certificate.guarantee conditional_cert)
 
 let test_monitor_reconstruction () =
@@ -202,6 +237,10 @@ let tests =
     Alcotest.test_case "roundtrip inconclusive" `Quick test_roundtrip_inconclusive;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "truncation sweep never raises" `Quick
+      test_truncation_sweep;
+    Alcotest.test_case "corrupt line error is positioned" `Quick
+      test_corrupt_line_is_positioned;
     Alcotest.test_case "guarantee" `Quick test_guarantee;
     Alcotest.test_case "monitor reconstruction" `Quick test_monitor_reconstruction;
     Alcotest.test_case "no monitor when unconditional" `Quick test_monitor_absent_for_unconditional;

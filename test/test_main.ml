@@ -5,6 +5,8 @@ let () =
       ("linprog", Test_linprog.tests);
       ("simplex-warm", Test_simplex_warm.tests);
       ("milp-parallel", Test_milp_parallel.tests);
+      ("pool", Test_pool.tests);
+      ("faults", Test_faults.tests);
       ("solver-properties", Test_solver_properties.tests);
       ("nn", Test_nn.tests);
       ("conv", Test_conv.tests);

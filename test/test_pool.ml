@@ -1,0 +1,107 @@
+(* Exception safety of the work-stealing pool: a raising task must not
+   wedge the deques, deadlock a worker, or corrupt the accounting, and
+   [map_list] must isolate a raising item instead of aborting its
+   batch. *)
+
+module Pool = Dpv_linprog.Pool
+
+exception Boom of int
+
+let test_run_surfaces_task_exception () =
+  (* 40 tasks, one of which raises; the call must return (no deadlock),
+     record the exception, and keep the per-task accounting sane. *)
+  let processed = Atomic.make 0 in
+  let stats =
+    Pool.run ~workers:4
+      ~initial:(List.init 40 Fun.id)
+      ~process:(fun _worker n ->
+        Atomic.incr processed;
+        if n = 17 then raise (Boom n);
+        [])
+      ~stop:(fun () -> false)
+  in
+  Alcotest.(check bool) "exception was recorded" true (stats.Pool.exceptions >= 1);
+  (match stats.Pool.first_exn with
+  | Some (Boom 17) -> ()
+  | Some e -> Alcotest.failf "wrong exception surfaced: %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "first_exn not recorded");
+  let counted = Array.fold_left ( + ) 0 stats.Pool.per_worker_tasks in
+  Alcotest.(check int) "raising task still counted as processed" counted
+    (Atomic.get processed);
+  Alcotest.(check bool) "the raising task itself ran" true (counted >= 1)
+
+let test_run_sequential_worker_exception () =
+  (* workers = 1 is the plain sequential loop; it must have the same
+     containment contract as the domain pool. *)
+  let stats =
+    Pool.run ~workers:1 ~initial:[ 0 ]
+      ~process:(fun _ _ -> raise (Boom 0))
+      ~stop:(fun () -> false)
+  in
+  Alcotest.(check int) "one exception" 1 stats.Pool.exceptions;
+  match stats.Pool.first_exn with
+  | Some (Boom 0) -> ()
+  | _ -> Alcotest.fail "sequential pool lost the exception"
+
+let test_map_list_isolates_raising_item () =
+  let items = List.init 24 Fun.id in
+  let results =
+    Pool.map_list ~workers:4
+      (fun n -> if n mod 7 = 3 then raise (Boom n) else n * n)
+      items
+  in
+  Alcotest.(check int) "one slot per item" 24 (Array.length results);
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (Ok v) ->
+          Alcotest.(check bool) "raisers do not produce values" false
+            (i mod 7 = 3);
+          Alcotest.(check int) (Printf.sprintf "item %d value" i) (i * i) v
+      | Some (Error (Boom n)) ->
+          Alcotest.(check int) "error is at the raiser's own slot" i n;
+          Alcotest.(check bool) "only raisers error" true (i mod 7 = 3)
+      | Some (Error e) ->
+          Alcotest.failf "item %d: foreign exception %s" i
+            (Printexc.to_string e)
+      | None ->
+          Alcotest.failf "item %d abandoned without a stop predicate" i)
+    results
+
+let test_map_list_all_raise () =
+  (* Even when EVERY item raises the batch must terminate with each
+     error in its own slot. *)
+  let results = Pool.map_list ~workers:3 (fun n -> raise (Boom n)) [ 0; 1; 2; 3 ] in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (Error (Boom n)) -> Alcotest.(check int) "slot matches" i n
+      | _ -> Alcotest.failf "item %d: expected its own error" i)
+    results
+
+let test_map_list_stop_marks_unstarted () =
+  (* A stop predicate that fires immediately may abandon items, which
+     must surface as [None] — never as a hang or a fabricated value. *)
+  let results =
+    Pool.map_list ~workers:1 ~stop:(fun () -> true) (fun n -> n) [ 1; 2; 3 ]
+  in
+  Array.iter
+    (function
+      | None | Some (Ok _) -> ()
+      | Some (Error e) ->
+          Alcotest.failf "unexpected error: %s" (Printexc.to_string e))
+    results
+
+let tests =
+  [
+    Alcotest.test_case "run surfaces task exception" `Quick
+      test_run_surfaces_task_exception;
+    Alcotest.test_case "sequential run contains exception" `Quick
+      test_run_sequential_worker_exception;
+    Alcotest.test_case "map_list isolates raising item" `Quick
+      test_map_list_isolates_raising_item;
+    Alcotest.test_case "map_list survives all items raising" `Quick
+      test_map_list_all_raise;
+    Alcotest.test_case "map_list stop marks unstarted items" `Quick
+      test_map_list_stop_marks_unstarted;
+  ]
