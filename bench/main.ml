@@ -842,7 +842,7 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
       in
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"dpv-bench-milp/3\",\n\
+        \  \"schema\": \"dpv-bench-milp/4\",\n\
         \  \"mode\": %S,\n\
         \  \"host_recommended_domains\": %d,\n\
         \  \"parallel_workers\": %d,\n\
@@ -856,7 +856,8 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
          \"warm_resolve_s\": %.6f},\n\
         \  \"fault_injection\": {\"clean_wall_s\": %.6f, \
          \"fallback_wall_s\": %.6f, \"fallbacks\": %d, \
-         \"retry_wall_s\": %.6f, \"retries\": %d}\n\
+         \"retry_wall_s\": %.6f, \"retries\": %d},\n\
+        \  \"metrics\": %s\n\
          }\n"
         mode
         (Domain.recommended_domain_count ())
@@ -866,7 +867,8 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
         deadline_s deadline_word deadline_wall deadline_nodes micro.mb_vars
         micro.mb_rows micro.mb_reps micro.mb_cold_s micro.mb_dense_s
         micro.mb_warm_s faults.fb_clean_s faults.fb_fallback_s
-        faults.fb_fallbacks faults.fb_retry_s faults.fb_retries);
+        faults.fb_fallbacks faults.fb_retry_s faults.fb_retries
+        (Dpv_obs.Metrics.to_json ~indent:"  " (Dpv_obs.Metrics.snapshot ())));
   Format.printf "@.baseline written to %s@." bench_json_path
 
 (* Speedup of the parallel rows over the sequential rows, per query. *)
@@ -1273,6 +1275,7 @@ let sections : (string * (Workflow.prepared -> unit)) list =
 
 let () =
   Dpv_linprog.Faults.init_from_env ();
+  Dpv_obs.Trace.init_from_env ();
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then run_smoke ()
   else begin

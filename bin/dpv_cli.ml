@@ -52,6 +52,40 @@ let timeout_s =
   in
   Arg.(value & opt (some float) None & info [ "timeout-s" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) \
+     (open in chrome://tracing or https://ui.perfetto.dev).  Tracing \
+     is off — a single atomic load per site — unless this flag or the \
+     DPV_TRACE environment variable enables it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the end-of-run metrics snapshot (dpv-metrics/1 JSON: \
+     counters, high-water gauges, latency histograms) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Arm tracing before the work and flush trace/metrics after it — on
+   the raising path too, so a crashed run still leaves its telemetry
+   behind.  [Faults.trace_sites] stamps the trace with every fault
+   site's occurrence/fired counts, making chaos runs self-describing. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Dpv_obs.Trace.configure ();
+  let finish () =
+    Option.iter
+      (fun path ->
+        Dpv_linprog.Faults.trace_sites ();
+        Dpv_obs.Trace.write ~path)
+      trace;
+    Option.iter
+      (fun path -> Dpv_obs.Metrics.save_json (Dpv_obs.Metrics.snapshot ()) ~path)
+      metrics
+  in
+  Fun.protect ~finally:finish f
+
 let milp_options_of ~workers ~timeout_s =
   let workers =
     if workers <= 0 then Dpv_linprog.Milp_par.default_workers () else workers
@@ -165,7 +199,9 @@ let train_cmd =
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run seed cache_dir property psi strategy cut workers timeout_s =
+  let run seed cache_dir property psi strategy cut workers timeout_s trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
     let milp_options = milp_options_of ~workers ~timeout_s in
     let case =
@@ -186,7 +222,7 @@ let verify_cmd =
        ~doc:"Verify a (phi, psi) safety property of the cached network")
     Term.(
       const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
-      $ cut $ workers $ timeout_s)
+      $ cut $ workers $ timeout_s $ trace_arg $ metrics_arg)
 
 (* ---- campaign ---- *)
 
@@ -256,7 +292,8 @@ let setup_of_spec spec ~seed =
       }
 
 let campaign_cmd =
-  let run cache_dir spec_path output journal resume =
+  let run cache_dir spec_path output journal resume trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let read_file path =
       let ic = open_in_bin path in
       Fun.protect
@@ -387,6 +424,8 @@ let campaign_cmd =
           queries
       in
       Format.printf "%a@." Report.pp_campaign report;
+      if metrics <> None then
+        Format.printf "%a@." Report.pp_metrics report.Dpv_core.Campaign.metrics;
       Dpv_core.Campaign.save_json report ~path:output;
       Format.printf "report written to %s@." output;
       let verdicts =
@@ -452,7 +491,9 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:"Run a batch of verification queries concurrently with a \
              shared-encoding cache and write an aggregated JSON report")
-    Term.(const run $ cache_dir $ spec_path $ output $ journal $ resume)
+    Term.(
+      const run $ cache_dir $ spec_path $ output $ journal $ resume $ trace_arg
+      $ metrics_arg)
 
 (* ---- monitor ---- *)
 
@@ -532,7 +573,9 @@ let render_cmd =
 (* ---- certify ---- *)
 
 let certify_cmd =
-  let run seed cache_dir property psi strategy output workers timeout_s =
+  let run seed cache_dir property psi strategy output workers timeout_s trace
+      metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
     let milp_options = milp_options_of ~workers ~timeout_s in
     let case = Workflow.run_case ~milp_options prepared ~property ~psi ~strategy in
@@ -558,7 +601,7 @@ let certify_cmd =
              region, characterizer head, statistical table)")
     Term.(
       const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
-      $ output $ workers $ timeout_s)
+      $ output $ workers $ timeout_s $ trace_arg $ metrics_arg)
 
 (* ---- check-cert ---- *)
 
@@ -692,6 +735,9 @@ let () =
      DPV_FAULTS environment variable is set; a malformed spec exits 3
      before any work starts. *)
   Dpv_linprog.Faults.init_from_env ();
+  (* Tracing via DPV_TRACE, same opt-in shape: the library never reads
+     the environment, only executables do. *)
+  Dpv_obs.Trace.init_from_env ();
   let doc = "safety verification of direct perception neural networks" in
   let main =
     Cmd.group

@@ -3,6 +3,17 @@ module Pool = Dpv_linprog.Pool
 module Clock = Dpv_linprog.Clock
 module Faults = Dpv_linprog.Faults
 module Network = Dpv_nn.Network
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
+
+let m_queries = Metrics.counter "campaign.queries"
+let m_cache_hits = Metrics.counter "campaign.cache_hits"
+let m_cache_misses = Metrics.counter "campaign.cache_misses"
+let m_crashed = Metrics.counter "campaign.crashed"
+let m_skipped = Metrics.counter "campaign.skipped"
+let m_retried = Metrics.counter "campaign.retried"
+let m_resumed = Metrics.counter "campaign.resumed"
+let m_journal_failures = Metrics.counter "journal.write_failures"
 
 type query = {
   label : string;
@@ -51,6 +62,9 @@ type report = {
   retried : int;
   resumed : int;
   journal_write_failures : int;
+  metrics : Metrics.snapshot;
+      (** what this campaign did to the global registry: counters and
+          histograms as deltas over the run, gauges as end values *)
 }
 
 let skip_reason = "budget exhausted"
@@ -58,6 +72,13 @@ let skip_reason = "budget exhausted"
 let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
     ?journal ?resume ~perception queries =
   if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
+  (* The whole-run span is what makes the coverage guarantee trivial:
+     every other campaign span nests inside it. *)
+  Trace.with_span
+    ~args:[ ("queries", string_of_int (List.length queries)) ]
+    "campaign.run"
+  @@ fun () ->
+  let metrics_before = Metrics.snapshot () in
   let started = Clock.now_s () in
   let deadline = Clock.deadline_after budget_s in
   let n = List.length queries in
@@ -109,7 +130,8 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
           (* The entry is retained in memory; the next successful append
              rewrites the complete journal.  A campaign must not die on
              a full disk when it still has verdicts to produce. *)
-          Atomic.incr journal_write_failures)
+          Atomic.incr journal_write_failures;
+          Metrics.incr m_journal_failures 1)
   in
   (* Phase 1 — resolve each distinct (cut, bounds) region once, for the
      queries that actually need solving.  Keys compare structurally, so
@@ -132,17 +154,23 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
     match Hashtbl.find_opt table key with
     | Some shared ->
         incr hits;
+        Metrics.incr m_cache_hits 1;
         Ok (shared, true)
     | None -> (
         match
-          let suffix = Network.suffix perception ~cut in
-          let feature_box, extra_faces =
-            Verify.resolve_bounds ~perception ~cut q.bounds
-          in
-          Encode.build_shared ~suffix ~feature_box ~extra_faces ()
+          Trace.with_span
+            ~args:[ ("label", q.label) ]
+            "campaign.shared-encode"
+            (fun () ->
+              let suffix = Network.suffix perception ~cut in
+              let feature_box, extra_faces =
+                Verify.resolve_bounds ~perception ~cut q.bounds
+              in
+              Encode.build_shared ~suffix ~feature_box ~extra_faces ())
         with
         | shared ->
             incr misses;
+            Metrics.incr m_cache_misses 1;
             Hashtbl.add table key shared;
             Ok (shared, false)
         | exception e ->
@@ -217,11 +245,15 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
         }
       in
       let result, t =
-        Retry.solve ~options ~deadline (fun opts ->
-            Verify.run_query ~milp_options:opts
-              ~characterizer_margin:q.characterizer_margin ~shared
-              ~head:q.characterizer.Characterizer.head ~psi:q.psi
-              ~conditional:(Verify.is_conditional q.bounds) ())
+        Trace.with_span
+          ~args:[ ("label", q.label) ]
+          "campaign.query"
+          (fun () ->
+            Retry.solve ~options ~deadline (fun opts ->
+                Verify.run_query ~milp_options:opts
+                  ~characterizer_margin:q.characterizer_margin ~shared
+                  ~head:q.characterizer.Characterizer.head ~psi:q.psi
+                  ~conditional:(Verify.is_conditional q.bounds) ()))
       in
       (* Journal from inside the task: a campaign killed right after
          this solve still has the verdict on disk. *)
@@ -289,9 +321,17 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
          | Some r -> r
          | None -> assert false (* every index is resumed or prepared *))
   in
+  Option.iter Journal.close writer;
   let count p = List.length (List.filter p query_reports) in
   let crashed = count (fun r -> match r.outcome with Crashed _ -> true | _ -> false) in
   let skipped = count (fun r -> match r.outcome with Skipped _ -> true | _ -> false) in
+  let retried = count (fun r -> r.attempts > 1) in
+  let resumed = count (fun r -> r.from_journal) in
+  Metrics.incr m_queries (List.length query_reports);
+  Metrics.incr m_crashed crashed;
+  Metrics.incr m_skipped skipped;
+  Metrics.incr m_retried retried;
+  Metrics.incr m_resumed resumed;
   {
     query_reports;
     cache = { entries = Hashtbl.length table; hits = !hits; misses = !misses };
@@ -301,9 +341,10 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
     degraded = crashed > 0 || skipped > 0;
     crashed;
     skipped;
-    retried = count (fun r -> r.attempts > 1);
-    resumed = count (fun r -> r.from_journal);
+    retried;
+    resumed;
     journal_write_failures = Atomic.get journal_write_failures;
+    metrics = Metrics.since ~before:metrics_before (Metrics.snapshot ());
   }
 
 let verdict_word = function
@@ -344,6 +385,9 @@ let to_json report =
   Printf.bprintf b
     "  \"cache\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n"
     report.cache.entries report.cache.hits report.cache.misses;
+  Buffer.add_string b "  \"metrics\": ";
+  Metrics.buf_snapshot ~indent:"  " b report.metrics;
+  Buffer.add_string b ",\n";
   Printf.bprintf b "  \"queries\": [\n";
   let n = List.length report.query_reports in
   List.iteri

@@ -99,6 +99,14 @@ type report = {
   journal_write_failures : int;
       (** journal appends that raised; the campaign carries on (a later
           successful append rewrites the full journal) *)
+  metrics : Dpv_obs.Metrics.snapshot;
+      (** the campaign's delta against the global metrics registry
+          ({!Dpv_obs.Metrics.since} over the run): counter and histogram
+          totals attribute to this campaign exactly — e.g.
+          [simplex.pivots] equals the sum of [pivots] over the
+          non-replayed query stats — while gauges carry end-of-run
+          high-water values.  Embedded in {!to_json} as the
+          ["metrics"] object ([dpv-metrics/1]). *)
 }
 
 val run :
@@ -143,8 +151,9 @@ val outcome_word : outcome -> string
 val to_json : report -> string
 (** The aggregated machine-readable report, [BENCH_milp.json]-style
     (schema tag ["dpv-campaign/2"]): campaign totals, degradation
-    counters, cache statistics, and one record per query with outcome,
-    verdict, retry telemetry, wall time, encoding size and the
-    {!Dpv_linprog.Milp.stats} telemetry. *)
+    counters, cache statistics, the embedded [dpv-metrics/1] snapshot,
+    and one record per query with outcome, verdict, retry telemetry,
+    wall time, encoding size and the {!Dpv_linprog.Milp.stats}
+    telemetry. *)
 
 val save_json : report -> path:string -> unit

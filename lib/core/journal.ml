@@ -85,19 +85,54 @@ let entry_to_line e =
 
 (* ---------------- writer ---------------- *)
 
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
+
+let m_appends = Metrics.counter "journal.appends"
+let m_rewrites = Metrics.counter "journal.rewrites"
+let append_hist = Metrics.histogram "journal.append_ns"
+
 type writer = {
   path : string;
   lock : Mutex.t;
   mutable entries_rev : entry list;
+  mutable oc : out_channel option;
+      (* open append channel while the fast path is live *)
+  mutable pending_rewrite : bool;
+      (* the next append must rewrite the whole file: set at creation
+         (the target may hold stale or resumed-from content) and after
+         any failed write *)
 }
 
 let create ~path existing =
-  { path; lock = Mutex.create (); entries_rev = List.rev existing }
+  {
+    path;
+    lock = Mutex.create ();
+    entries_rev = List.rev existing;
+    oc = None;
+    pending_rewrite = true;
+  }
+
+let close_channel w =
+  match w.oc with
+  | None -> ()
+  | Some oc ->
+      w.oc <- None;
+      (try close_out oc with Sys_error _ -> ())
+
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error _ -> ()
 
 (* Whole-file rewrite to a sibling tmp, then an atomic rename: readers
-   (and a resumed campaign) never see a torn line.  Called with the
-   writer lock held. *)
-let persist w =
+   (and a resumed campaign) never see a torn line.  Used for the first
+   write (which doubles as resume compaction — the seeded entries reach
+   disk in one pass) and to recover after a failed append; steady-state
+   appends take the O(1) fast path below.  Called with the writer lock
+   held. *)
+let rewrite w =
+  close_channel w;
   let tmp = w.path ^ ".tmp" in
   let oc = open_out tmp in
   (try
@@ -106,6 +141,7 @@ let persist w =
          output_string oc (entry_to_line e);
          output_char oc '\n')
        (List.rev w.entries_rev);
+     fsync_channel oc;
      close_out oc
    with e ->
      close_out_noerr oc;
@@ -115,16 +151,50 @@ let persist w =
      complete state. *)
   if Faults.fire Faults.Journal_crash then
     raise (Sys_error "injected journal write failure");
-  Sys.rename tmp w.path
+  Sys.rename tmp w.path;
+  Metrics.incr m_rewrites 1;
+  w.pending_rewrite <- false;
+  w.oc <- Some (open_out_gen [ Open_wronly; Open_append ] 0o644 w.path)
+
+(* O(1) steady-state append: one line, flushed and fsynced.  The fault
+   fires before anything reaches the channel, so — like a real failure
+   caught below — the on-disk journal keeps its previous complete
+   state. *)
+let append_line w e =
+  if Faults.fire Faults.Journal_crash then
+    raise (Sys_error "injected journal write failure");
+  match w.oc with
+  | None -> rewrite w
+  | Some oc ->
+      output_string oc (entry_to_line e);
+      output_char oc '\n';
+      fsync_channel oc
 
 let append w e =
   Mutex.protect w.lock (fun () ->
-      (* Entry first: if the persist fails, the next successful append
+      (* Entry first: if the write fails, the next successful append
          rewrites the full list and nothing recorded is lost. *)
       w.entries_rev <- e :: w.entries_rev;
-      persist w)
+      let t0 = Dpv_obs.Mclock.now_ns () in
+      let trace_t0 = Trace.begin_ns () in
+      match if w.pending_rewrite then rewrite w else append_line w e with
+      | () ->
+          Metrics.incr m_appends 1;
+          Metrics.observe append_hist (Dpv_obs.Mclock.now_ns () - t0);
+          Trace.complete ~name:"journal.append" trace_t0
+      | exception ex ->
+          (* The append channel may hold a partial line; drop it and
+             force the next append through the atomic rewrite so every
+             retained entry still reaches disk. *)
+          close_channel w;
+          w.pending_rewrite <- true;
+          Trace.complete
+            ~args:[ ("exn", Printexc.to_string ex) ]
+            ~name:"journal.append" trace_t0;
+          raise ex)
 
 let entries w = Mutex.protect w.lock (fun () -> List.rev w.entries_rev)
+let close w = Mutex.protect w.lock (fun () -> close_channel w)
 
 (* ---------------- reader ---------------- *)
 
@@ -242,16 +312,36 @@ let load ~path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m -> Error m
   | content ->
+      (* Every complete append ends in a newline, so a final line with
+         no terminator can only be the torn tail of an interrupted
+         append — drop it and resume from the last complete entry.
+         Corruption anywhere else (or on a newline-terminated final
+         line) is still a hard error: that is damage, not a crash. *)
+      let ends_with_newline =
+        content = "" || content.[String.length content - 1] = '\n'
+      in
       let lines = String.split_on_char '\n' content in
+      let last_content_line =
+        List.fold_left
+          (fun (i, last) l ->
+            (i + 1, if String.trim l = "" then last else i))
+          (1, 0) lines
+        |> snd
+      in
       let rec go acc line = function
         | [] -> Ok (List.rev acc)
         | l :: rest when String.trim l = "" -> go acc (line + 1) rest
         | l :: rest -> (
-            match Json.of_string l with
-            | Error m -> Error (Printf.sprintf "line %d: %s" line m)
-            | Ok j ->
-                let* e = parse_entry ~line j in
-                go (e :: acc) (line + 1) rest)
+            let torn_ok = line = last_content_line && not ends_with_newline in
+            let parsed =
+              match Json.of_string l with
+              | Error m -> Error (Printf.sprintf "line %d: %s" line m)
+              | Ok j -> parse_entry ~line j
+            in
+            match parsed with
+            | Error _ when torn_ok -> Ok (List.rev acc)
+            | Error m -> Error m
+            | Ok e -> go (e :: acc) (line + 1) rest)
       in
       go [] 1 lines
 

@@ -6,14 +6,19 @@
     content digest of the query itself, and [dpv campaign --resume]
     replays [Done] entries instead of re-solving them.
 
-    Durability model: every append rewrites the whole journal to a
-    temporary file in the same directory and [Sys.rename]s it over the
-    target, so the on-disk file is always a complete, parseable
-    prefix of the campaign — never a torn line.  Journals are small
-    (one line per query), so the rewrite is cheap at campaign scale.
+    Durability model: the first write (and any write after a failure)
+    rewrites the whole journal to a temporary file in the same
+    directory, fsyncs it and [Sys.rename]s it over the target — the
+    atomic path that also compacts a resumed campaign's replayed
+    entries.  Steady-state appends then take an O(1) fast path: one
+    line written to an open append channel, flushed and fsynced.  A
+    crash mid-append can tear at most the final, unterminated line,
+    which {!load} drops; corruption anywhere else is still a hard
+    parse error.
 
     Writes are serialized with a mutex: campaign runners settle queries
-    concurrently. *)
+    concurrently.  Append latency lands in the [journal.append_ns]
+    histogram of {!Dpv_obs.Metrics}. *)
 
 type outcome =
   | Done of Verify.result
@@ -43,17 +48,26 @@ val create : path:string -> entry list -> writer
     Writes nothing until the first {!append}. *)
 
 val append : writer -> entry -> unit
-(** Record one settled query and persist the journal atomically.
-    Raises [Sys_error] if the filesystem write fails (or under the
-    [Journal_crash] fault-injection site); the in-memory entry list is
-    updated first, so a later append retries the persist. *)
+(** Record one settled query and persist it durably (fast append when
+    the file is in a known-good state, atomic whole-file rewrite
+    otherwise).  Raises [Sys_error] if the filesystem write fails (or
+    under the [Journal_crash] fault-injection site); the in-memory
+    entry list is updated first and the writer falls back to the
+    rewrite path, so a later append re-persists everything. *)
 
 val entries : writer -> entry list
 (** All entries recorded so far, in append order. *)
 
+val close : writer -> unit
+(** Close the fast-path append channel, if open.  Further appends
+    reopen it through the rewrite path; calling close is optional but
+    polite at campaign end. *)
+
 val load : path:string -> (entry list, string) result
-(** Parse a journal written by {!append}.  [Error] messages carry the
-    1-based line number of the offending line. *)
+(** Parse a journal written by {!append}.  A final line without a
+    trailing newline is treated as the torn tail of an interrupted
+    append and dropped; any other malformed line is an [Error]
+    carrying its 1-based line number. *)
 
 val result_of_entry : entry -> Verify.result option
 (** The replayable result: [Some] exactly for [Done] entries. *)

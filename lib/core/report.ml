@@ -23,6 +23,45 @@ let pp_milp_stats fmt (stats : Dpv_linprog.Milp.stats) =
             (Array.map string_of_int stats.Dpv_linprog.Milp.per_worker_nodes)))
       stats.Dpv_linprog.Milp.steals stats.Dpv_linprog.Milp.max_queue_depth
 
+(* Humanize an integer-nanosecond quantity for terminal output. *)
+let pp_ns fmt ns =
+  if ns >= 1_000_000_000 then Format.fprintf fmt "%.2fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then
+    Format.fprintf fmt "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Format.fprintf fmt "%.1fus" (float_of_int ns /. 1e3)
+  else Format.fprintf fmt "%dns" ns
+
+let pp_metrics fmt (snap : Dpv_obs.Metrics.snapshot) =
+  let name_width =
+    List.fold_left
+      (fun acc (n, _) -> Stdlib.max acc (String.length n))
+      0
+      (snap.Dpv_obs.Metrics.snap_counters @ snap.Dpv_obs.Metrics.snap_gauges)
+    |> Stdlib.max 8
+  in
+  Format.fprintf fmt "@[<v>metrics (dpv-metrics/1):";
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "@,  %-*s %d" name_width name v)
+    snap.Dpv_obs.Metrics.snap_counters;
+  List.iter
+    (fun (name, v) ->
+      Format.fprintf fmt "@,  %-*s %d (high water)" name_width name v)
+    snap.Dpv_obs.Metrics.snap_gauges;
+  List.iter
+    (fun (name, h) ->
+      let count = h.Dpv_obs.Metrics.count in
+      Format.fprintf fmt "@,  %-*s %d obs" name_width name count;
+      if count > 0 then begin
+        Format.fprintf fmt ", mean %a"
+          pp_ns (h.Dpv_obs.Metrics.sum / count);
+        match List.rev h.Dpv_obs.Metrics.buckets with
+        | (upper, _) :: _ when upper <> max_int ->
+            Format.fprintf fmt ", max < %a" pp_ns upper
+        | _ -> ()
+      end)
+    snap.Dpv_obs.Metrics.snap_histograms;
+  Format.fprintf fmt "@]"
+
 let pp_case fmt (case : Workflow.case_report) =
   Format.fprintf fmt
     "@[<v>%a@,\

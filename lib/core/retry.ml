@@ -1,6 +1,8 @@
 module Milp = Dpv_linprog.Milp
 module Clock = Dpv_linprog.Clock
 module Simplex = Dpv_linprog.Simplex
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
 
 type telemetry = {
   attempts : int;
@@ -10,6 +12,12 @@ type telemetry = {
 
 let clean = { attempts = 1; dense_retry = false; deadline_retry = false }
 let retried t = t.attempts > 1
+let m_dense = Metrics.counter "retry.dense"
+let m_deadline = Metrics.counter "retry.deadline"
+
+(* Each ladder attempt is one span; the rung argument says why it ran. *)
+let attempt ~rung f opts =
+  Trace.with_span ~args:[ ("rung", rung) ] "retry.attempt" (fun () -> f opts)
 
 let solve ~options ~deadline f =
   (* Rung 1 — numerical trouble.  The revised engine already rescues
@@ -19,9 +27,10 @@ let solve ~options ~deadline f =
      state at all).  A second escape propagates: the campaign records
      the query as crashed. *)
   let result, telemetry =
-    match f options with
+    match attempt ~rung:"first" f options with
     | r -> (r, clean)
     | exception Simplex.Numerical_trouble _ ->
+        Metrics.incr m_dense 1;
         let opts =
           {
             options with
@@ -29,7 +38,8 @@ let solve ~options ~deadline f =
             time_limit_s = Clock.carve deadline options.Milp.time_limit_s;
           }
         in
-        (f opts, { attempts = 2; dense_retry = true; deadline_retry = false })
+        ( attempt ~rung:"dense" f opts,
+          { attempts = 2; dense_retry = true; deadline_retry = false } )
   in
   (* Rung 2 — deadline.  [Unknown "deadline exceeded"] is a scheduling
      artifact, not a fact about the query; if the surrounding campaign
@@ -45,6 +55,7 @@ let solve ~options ~deadline f =
     when String.equal reason Verify.deadline_reason
          && (not (Clock.expired deadline))
          && Clock.remaining_s deadline <> None ->
+      Metrics.incr m_deadline 1;
       let opts =
         {
           options with
@@ -52,7 +63,7 @@ let solve ~options ~deadline f =
           time_limit_s = Clock.remaining_s deadline;
         }
       in
-      ( f opts,
+      ( attempt ~rung:"deadline" f opts,
         {
           telemetry with
           attempts = telemetry.attempts + 1;

@@ -3,6 +3,10 @@ module Simplex = Dpv_linprog.Simplex
 module Clock = Dpv_linprog.Clock
 module Box_domain = Dpv_absint.Box_domain
 module Interval = Dpv_absint.Interval
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
+
+let m_lps = Metrics.counter "tighten.lps"
 
 type stats = {
   lps_solved : int;
@@ -14,6 +18,7 @@ type stats = {
 
 let feature_box ?time_limit_s ?deadline ?shared ~suffix ~head ~feature_box
     ?(extra_faces = []) ?(characterizer_margin = 0.0) () =
+  Trace.with_span "tighten.feature-box" @@ fun () ->
   let deadline =
     match deadline with
     | Some d -> d
@@ -52,8 +57,20 @@ let feature_box ?time_limit_s ?deadline ?shared ~suffix ~head ~feature_box
           if Clock.expired deadline then None
           else begin
             incr lps;
+            Metrics.incr m_lps 1;
+            let trace_t0 = Trace.begin_ns () in
             Simplex.set_objective handle sense [ (1.0, v) ];
-            Some (Simplex.resolve handle)
+            let status = Simplex.resolve handle in
+            if trace_t0 <> 0 then
+              Trace.complete
+                ~args:
+                  [
+                    ("dim", string_of_int i);
+                    ( "sense",
+                      match sense with Lp.Minimize -> "min" | Lp.Maximize -> "max" );
+                  ]
+                ~name:"tighten.lp" trace_t0;
+            Some status
           end
         in
         let lo =

@@ -11,6 +11,7 @@ module Polyhedron = Dpv_monitor.Polyhedron
 module Risk = Dpv_spec.Risk
 module Vec = Dpv_tensor.Vec
 module Mat = Dpv_tensor.Mat
+module Trace = Dpv_obs.Trace
 
 type bounds_spec =
   | Static_bounds of Propagate.domain * Box_domain.t
@@ -37,7 +38,16 @@ let is_conditional = function
 
 (* Resolve the bounds specification into a feature box plus optional
    extra polyhedron faces over the feature variables. *)
-let resolve_bounds ~perception ~cut = function
+let resolve_bounds ~perception ~cut spec =
+  let kind =
+    match spec with
+    | Static_bounds _ -> "static"
+    | Data_box _ -> "data-box"
+    | Data_octagon _ -> "data-octagon"
+    | Feature_box _ -> "feature-box"
+  in
+  Trace.with_span ~args:[ ("spec", kind) ] "verify.resolve-bounds" @@ fun () ->
+  match spec with
   | Static_bounds (domain, input_box) ->
       (Propagate.layer_bounds domain perception ~input_box ~cut, [])
   | Data_box points -> (Box_monitor.to_box (Box_monitor.fit points), [])
@@ -58,6 +68,7 @@ let concrete_tol = 1e-5
 
 let run_query ?(milp_options = default_milp_options) ~characterizer_margin
     ~shared ~head ~psi ~conditional () =
+  Trace.with_span "verify.query" @@ fun () ->
   let started = Clock.now_s () in
   let suffix = Encode.suffix_of_shared shared in
   let encoding = Encode.complete shared ~head ~characterizer_margin ~psi () in

@@ -1,5 +1,10 @@
 let now_s () = Unix.gettimeofday ()
 
+(* Monotonic source for trace timestamps and latency histograms.
+   Deadlines stay on [now_s]: a deadline is a promise about the wall
+   clock, and jumping with it is the correct behavior there. *)
+let monotonic_ns = Dpv_obs.Mclock.now_ns
+
 type deadline = float option
 
 let deadline_after = function

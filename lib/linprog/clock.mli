@@ -8,6 +8,12 @@
 val now_s : unit -> float
 (** Seconds since an arbitrary epoch.  Only differences are meaningful. *)
 
+val monotonic_ns : unit -> int
+(** Never-decreasing nanoseconds since process start (see
+    {!Dpv_obs.Mclock}); the time base for trace spans and latency
+    histograms.  Deadlines deliberately keep using {!now_s}: wall-clock
+    budgets should follow wall-clock adjustments. *)
+
 type deadline
 (** An absolute point in time against which work can be checked. *)
 

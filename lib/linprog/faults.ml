@@ -68,12 +68,37 @@ let fire site =
     let i = site_index site in
     let occurrence = 1 + Atomic.fetch_and_add counts.(i) 1 in
     let hit = targets.(i) > 0 && occurrence = targets.(i) in
-    if hit then Atomic.incr fired_counts.(i);
+    if hit then begin
+      Atomic.incr fired_counts.(i);
+      (* A chaos run with tracing on shows each injection as a marker at
+         the instant it fired, on the worker that drew it. *)
+      Dpv_obs.Trace.instant
+        ~args:[ ("occurrence", string_of_int occurrence) ]
+        ("fault-fire:" ^ site_name site)
+    end;
     hit
   end
 
 let occurrences site = Atomic.get counts.(site_index site)
 let fired site = Atomic.get fired_counts.(site_index site)
+
+(* One summary marker per site, fired or not, so a trace is
+   self-describing about which injection sites the run passed through.
+   Executables call this right before writing the trace. *)
+let trace_sites () =
+  List.iter
+    (fun (name, site) ->
+      Dpv_obs.Trace.instant
+        ~args:
+          [
+            ("occurrences", string_of_int (occurrences site));
+            ("fired", string_of_int (fired site));
+            ( "target",
+              string_of_int
+                (if Atomic.get armed then targets.(site_index site) else 0) );
+          ]
+        ("fault-site:" ^ name))
+    all_sites
 
 let parse_spec spec =
   let parts =

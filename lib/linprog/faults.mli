@@ -79,3 +79,10 @@ val fired : site -> int
 val describe : unit -> string
 (** One-line summary of the armed plan (["disabled"] when off); used by
     reports so chaos runs are self-documenting. *)
+
+val trace_sites : unit -> unit
+(** Emit one [fault-site:<name>] instant trace event per injection site
+    (with its occurrence/fired counters as arguments), so a written
+    trace always names every site even when none fired.  Individual
+    fires additionally emit [fault-fire:<name>] markers at the moment
+    they happen.  No-op while tracing is disabled. *)

@@ -44,6 +44,43 @@ type options = {
   lp_dense : bool;
 }
 
+(* Global metrics, folded from the finished [stats] record at the end of
+   each solve ({!record_metrics}, shared with [Milp_par]) rather than
+   incremented per pivot: the campaign-level counter totals then equal
+   the sum of the per-query stats exactly, and the search hot loop gains
+   no atomic traffic.  The per-LP latency histogram reuses the two
+   clock reads the [lp_time_s] accounting already makes. *)
+module Metrics = Dpv_obs.Metrics
+
+let m_solves = Metrics.counter "milp.solves"
+let m_nodes = Metrics.counter "milp.nodes"
+let m_lps = Metrics.counter "milp.lps"
+let m_incumbents = Metrics.counter "milp.incumbent_updates"
+let m_lp_time = Metrics.counter "milp.lp_time_ns"
+let m_steals = Metrics.counter "milp.steals"
+let m_queue_depth = Metrics.gauge "milp.max_queue_depth"
+let m_pivots = Metrics.counter "simplex.pivots"
+let m_warm = Metrics.counter "simplex.warm_starts"
+let m_cold = Metrics.counter "simplex.cold_starts"
+let m_fallbacks = Metrics.counter "simplex.fallbacks"
+let lp_solve_hist = Metrics.histogram "milp.lp_solve_ns"
+
+let record_metrics (s : stats) =
+  Metrics.incr m_solves 1;
+  Metrics.incr m_nodes s.nodes_explored;
+  Metrics.incr m_lps s.lp_solved;
+  Metrics.incr m_incumbents s.incumbent_updates;
+  Metrics.incr m_lp_time (int_of_float (s.lp_time_s *. 1e9));
+  Metrics.incr m_steals s.steals;
+  Metrics.set_max m_queue_depth s.max_queue_depth;
+  Metrics.incr m_pivots s.pivots;
+  Metrics.incr m_warm s.warm_starts;
+  Metrics.incr m_cold s.cold_starts;
+  Metrics.incr m_fallbacks s.fallbacks
+
+let observe_lp_s seconds =
+  Metrics.observe lp_solve_hist (int_of_float (seconds *. 1e9))
+
 let default_options =
   {
     max_nodes = 200_000;
@@ -92,6 +129,7 @@ let branch_children node v x =
   if x -. floor_v <= ceil_v -. x then (down, up_node) else (up_node, down)
 
 let solve_with_stats ?(options = default_options) model =
+  let trace_t0 = Dpv_obs.Trace.begin_ns () in
   let sense, _ = Lp.objective model in
   (* Internally we always minimize; [better a b] says [a] improves on [b]. *)
   let better a b =
@@ -146,7 +184,9 @@ let solve_with_stats ?(options = default_options) model =
           incr lps;
           let lp_started = Clock.now_s () in
           let status = solve_node node in
-          lp_time := !lp_time +. (Clock.now_s () -. lp_started);
+          let lp_s = Clock.now_s () -. lp_started in
+          lp_time := !lp_time +. lp_s;
+          observe_lp_s lp_s;
           match status with
           | Simplex.Infeasible -> explore rest (depth - 1)
           | Simplex.Unbounded ->
@@ -216,6 +256,16 @@ let solve_with_stats ?(options = default_options) model =
         else if !hit_limit then Node_limit
         else Infeasible
   in
+  record_metrics stats;
+  if trace_t0 <> 0 then
+    Dpv_obs.Trace.complete
+      ~args:
+        [
+          ("nodes", string_of_int stats.nodes_explored);
+          ("lps", string_of_int stats.lp_solved);
+          ("pivots", string_of_int stats.pivots);
+        ]
+      ~name:"milp.solve" trace_t0;
   (result, stats)
 
 let solve ?options model = fst (solve_with_stats ?options model)

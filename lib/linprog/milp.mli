@@ -97,5 +97,18 @@ val branch_children : Lp.t -> Lp.var -> float -> Lp.t * Lp.t
     the branch nearer [x], which tends to reach integer-feasible points
     sooner.  Shared by the sequential and parallel tree searches. *)
 
+val record_metrics : stats -> unit
+(** Fold a finished [stats] record into the global {!Dpv_obs.Metrics}
+    registry ([milp.*] counters, the [milp.max_queue_depth] high-water
+    gauge and the [simplex.*] counters).  Called automatically at the
+    end of every solve (sequential here, parallel in {!Milp_par}); the
+    fold-at-end design keeps the hot loop free of atomic traffic and
+    makes the campaign-level metric totals equal the sum of per-query
+    stats exactly. *)
+
+val observe_lp_s : float -> unit
+(** Record one node-LP wall time (seconds) into the [milp.lp_solve_ns]
+    latency histogram; shared with {!Milp_par}. *)
+
 val solve : ?options:options -> Lp.t -> result
 val solve_with_stats : ?options:options -> Lp.t -> result * stats

@@ -19,6 +19,7 @@ type shared = {
 }
 
 let solve_parallel ~(options : Milp.options) model =
+  let trace_t0 = Dpv_obs.Trace.begin_ns () in
   let sense, _ = Lp.objective model in
   let better a b =
     match sense with Lp.Minimize -> a < b -. 1e-12 | Lp.Maximize -> a > b +. 1e-12
@@ -101,7 +102,9 @@ let solve_parallel ~(options : Milp.options) model =
       Atomic.incr s.lps;
       let lp_started = Clock.now_s () in
       let status = solve_node id node in
-      lp_time.(id) <- lp_time.(id) +. (Clock.now_s () -. lp_started);
+      let lp_s = Clock.now_s () -. lp_started in
+      lp_time.(id) <- lp_time.(id) +. lp_s;
+      Milp.observe_lp_s lp_s;
       match status with
       | Simplex.Infeasible -> []
       | Simplex.Unbounded ->
@@ -187,6 +190,16 @@ let solve_parallel ~(options : Milp.options) model =
         else if Atomic.get s.hit_limit then Milp.Node_limit
         else Milp.Infeasible
   in
+  Milp.record_metrics stats;
+  if trace_t0 <> 0 then
+    Dpv_obs.Trace.complete
+      ~args:
+        [
+          ("workers", string_of_int workers);
+          ("nodes", string_of_int stats.Milp.nodes_explored);
+          ("steals", string_of_int stats.Milp.steals);
+        ]
+      ~name:"milp.solve" trace_t0;
   (result, stats)
 
 let solve_with_stats ?(options = Milp.default_options) model =

@@ -6,6 +6,17 @@ type stats = {
   first_exn : exn option;
 }
 
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
+
+(* Pool-level metrics, distinct from the milp.* counters: this pool
+   also carries campaign query tasks, so "pool.steals" counts stealing
+   at every layer while "milp.steals" counts only tree-search steals. *)
+let m_tasks = Metrics.counter "pool.tasks"
+let m_steals = Metrics.counter "pool.steals"
+let m_exceptions = Metrics.counter "pool.exceptions"
+let m_queue_depth = Metrics.gauge "pool.max_queue_depth"
+
 (* Growable ring-buffer deque, one lock each.  The owner works the back,
    thieves take the front; contention is a single uncontended lock in
    the common case, which is cheap next to the LP solve each task does. *)
@@ -134,7 +145,18 @@ let run ~workers ~initial ~process ~stop =
   (* Belt and braces: [execute] already contains every exception, but a
      failure in the loop machinery itself must still not leak through
      [Domain.join] and bypass the surfacing contract. *)
-  let guarded_loop id = try worker_loop id with e -> record_exn e in
+  let guarded_loop id =
+    (* Label this domain's trace track and record its working lifetime
+       as one span, so a trace shows worker occupancy at a glance. *)
+    if Trace.enabled () then begin
+      Trace.name_thread (Printf.sprintf "worker-%d" id);
+      Trace.with_span
+        ~args:[ ("worker", string_of_int id) ]
+        "pool.worker"
+        (fun () -> try worker_loop id with e -> record_exn e)
+    end
+    else try worker_loop id with e -> record_exn e
+  in
   if workers = 1 then guarded_loop 0
   else begin
     let domains =
@@ -147,6 +169,10 @@ let run ~workers ~initial ~process ~stop =
   let max_queue_depth =
     Array.fold_left (fun acc d -> Stdlib.max acc d.high_water) 0 deques
   in
+  Metrics.incr m_tasks (Array.fold_left ( + ) 0 tasks_done);
+  Metrics.incr m_steals (Atomic.get steals);
+  Metrics.incr m_exceptions (Atomic.get exn_count);
+  Metrics.set_max m_queue_depth max_queue_depth;
   {
     per_worker_tasks = tasks_done;
     steals = Atomic.get steals;

@@ -540,6 +540,7 @@ let row_dot_col h beta j =
 let refactorize h =
   if Faults.fire Faults.Refactor_singular then
     raise (Numerical_trouble "injected singular refactorization");
+  let trace_t0 = Dpv_obs.Trace.begin_ns () in
   let m = h.m in
   let bmat = Array.init m (fun _ -> Array.make m 0.0) in
   for r = 0 to m - 1 do
@@ -588,7 +589,8 @@ let refactorize h =
     Array.blit inv.(i) 0 h.binv.(i) 0 m
   done;
   h.since_refactor <- 0;
-  compute_xb h
+  compute_xb h;
+  Dpv_obs.Trace.complete ~name:"simplex.refactorize" trace_t0
 
 (* Product-form basis-inverse update: column q enters in row r. *)
 let apply_pivot h ~r ~q =
@@ -1038,33 +1040,41 @@ let resolve ?(bound_changes = []) h =
      retry ladder solves on [solve_dense] instead). *)
   if Faults.fire Faults.Lp_trouble then
     raise (Numerical_trouble "injected numerical trouble");
-  if h.has_basis then h.n_warm <- h.n_warm + 1
-  else h.n_cold <- h.n_cold + 1;
-  if bounds_conflict h then Infeasible
-  else
-    try
-      if not h.has_basis then begin
-        reset_basis h;
-        feasibility_then_primal h
-      end
-      else if dual_feasible h then
-        match dual_simplex ~zero:false h with
-        | `Infeasible -> Infeasible
-        | `Feasible -> finish_primal h
-      else if primal_feasible h then finish_primal h
-      else feasibility_then_primal h
-    with Numerical_trouble _ ->
-      (* The revised state may be arbitrarily corrupted at this point
-         (mid-pivot rest statuses, a singular or scribbled B^-1).  Drop
-         the basis entirely: with [has_basis] cleared the next resolve
-         rebuilds from the all-slack basis via [reset_basis] — a
-         refactorization from scratch — and [set_var_bounds] stops
-         routing incremental updates through the dead inverse, so a
-         corrupted basis is never reused. *)
-      h.n_fallbacks <- h.n_fallbacks + 1;
-      h.has_basis <- false;
-      h.since_refactor <- 0;
-      solve_dense ~tol:h.tol (current_model h)
+  let warm = h.has_basis in
+  if warm then h.n_warm <- h.n_warm + 1 else h.n_cold <- h.n_cold + 1;
+  let trace_t0 = Dpv_obs.Trace.begin_ns () in
+  let result =
+    if bounds_conflict h then Infeasible
+    else
+      try
+        if not h.has_basis then begin
+          reset_basis h;
+          feasibility_then_primal h
+        end
+        else if dual_feasible h then
+          match dual_simplex ~zero:false h with
+          | `Infeasible -> Infeasible
+          | `Feasible -> finish_primal h
+        else if primal_feasible h then finish_primal h
+        else feasibility_then_primal h
+      with Numerical_trouble _ ->
+        (* The revised state may be arbitrarily corrupted at this point
+           (mid-pivot rest statuses, a singular or scribbled B^-1).  Drop
+           the basis entirely: with [has_basis] cleared the next resolve
+           rebuilds from the all-slack basis via [reset_basis] — a
+           refactorization from scratch — and [set_var_bounds] stops
+           routing incremental updates through the dead inverse, so a
+           corrupted basis is never reused. *)
+        h.n_fallbacks <- h.n_fallbacks + 1;
+        h.has_basis <- false;
+        h.since_refactor <- 0;
+        solve_dense ~tol:h.tol (current_model h)
+  in
+  if trace_t0 <> 0 then
+    Dpv_obs.Trace.complete
+      ~args:[ ("start", if warm then "warm" else "cold") ]
+      ~name:"simplex.resolve" trace_t0;
+  result
 
 let counters h =
   {

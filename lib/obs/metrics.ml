@@ -1,0 +1,235 @@
+(* Global always-on registry.  Registration (the [counter]/[gauge]/
+   [histogram] constructors) happens once per metric at module-init
+   time under a mutex; the hot-path operations ([incr], [observe],
+   [set_max]) are single atomic read-modify-writes on preallocated
+   cells — no allocation, no locking, no formatting. *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+type gauge = { g_name : string; g_cell : int Atomic.t }
+
+(* Log2 buckets over nanoseconds: bucket [i] counts observations v with
+   2^(i-1) < v <= 2^i (bucket 0 catches <= 1 ns).  63 buckets cover the
+   whole non-negative int range, so no observation is ever dropped. *)
+let n_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_buckets : int Atomic.t array;
+}
+
+let registry_lock = Mutex.create ()
+let counters : counter list ref = ref []
+let gauges : gauge list ref = ref []
+let histograms : histogram list ref = ref []
+
+let registered find add name =
+  Mutex.protect registry_lock (fun () ->
+      match find name with Some x -> x | None -> add name)
+
+let counter name =
+  registered
+    (fun n -> List.find_opt (fun c -> c.c_name = n) !counters)
+    (fun n ->
+      let c = { c_name = n; c_cell = Atomic.make 0 } in
+      counters := c :: !counters;
+      c)
+    name
+
+let gauge name =
+  registered
+    (fun n -> List.find_opt (fun g -> g.g_name = n) !gauges)
+    (fun n ->
+      let g = { g_name = n; g_cell = Atomic.make 0 } in
+      gauges := g :: !gauges;
+      g)
+    name
+
+let histogram name =
+  registered
+    (fun n -> List.find_opt (fun h -> h.h_name = n) !histograms)
+    (fun n ->
+      let h =
+        {
+          h_name = n;
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+        }
+      in
+      histograms := h :: !histograms;
+      h)
+    name
+
+let incr c n = ignore (Atomic.fetch_and_add c.c_cell n)
+let counter_value c = Atomic.get c.c_cell
+
+(* Monotonic high-water mark: campaigns want "the deepest the queue
+   ever got", not a last-writer-wins sample. *)
+let set_max g v =
+  let rec go () =
+    let prev = Atomic.get g.g_cell in
+    if v <= prev then ()
+    else if Atomic.compare_and_set g.g_cell prev v then ()
+    else go ()
+  in
+  go ()
+
+let gauge_value g = Atomic.get g.g_cell
+
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    (* Position of the highest set bit = ceil(log2) for powers of two,
+       floor+1 otherwise — exactly the (2^(i-1), 2^i] bucket. *)
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    Stdlib.min (n_buckets - 1) (bits 0 (v - 1))
+  end
+
+let observe h v =
+  let v = Stdlib.max 0 v in
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1)
+
+let bucket_upper i = if i >= 62 then max_int else 1 lsl i
+
+(* ---------------- snapshots ---------------- *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;  (* (upper bound inclusive, count), nonzero *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * int) list;
+  snap_histograms : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  Mutex.protect registry_lock (fun () ->
+      {
+        snap_counters =
+          List.sort by_name
+            (List.map (fun c -> (c.c_name, Atomic.get c.c_cell)) !counters);
+        snap_gauges =
+          List.sort by_name
+            (List.map (fun g -> (g.g_name, Atomic.get g.g_cell)) !gauges);
+        snap_histograms =
+          List.sort by_name
+            (List.map
+               (fun h ->
+                 let buckets = ref [] in
+                 Array.iteri
+                   (fun i b ->
+                     let n = Atomic.get b in
+                     if n > 0 then buckets := (bucket_upper i, n) :: !buckets)
+                   h.h_buckets;
+                 ( h.h_name,
+                   {
+                     count = Atomic.get h.h_count;
+                     sum = Atomic.get h.h_sum;
+                     buckets = List.rev !buckets;
+                   } ))
+               !histograms);
+      })
+
+(* What happened between two snapshots of the same process.  Counters
+   and histogram totals subtract (a metric absent at [before] counts
+   from zero); gauges are high-water marks, for which subtraction is
+   meaningless, so the [after] value is reported. *)
+let since ~before after =
+  let base l name = Option.value (List.assoc_opt name l) ~default:0 in
+  let sub_buckets before_b after_b =
+    List.filter_map
+      (fun (up, n) ->
+        let d = n - Option.value (List.assoc_opt up before_b) ~default:0 in
+        if d > 0 then Some (up, d) else None)
+      after_b
+  in
+  {
+    snap_counters =
+      List.map
+        (fun (name, v) -> (name, v - base before.snap_counters name))
+        after.snap_counters;
+    snap_gauges = after.snap_gauges;
+    snap_histograms =
+      List.map
+        (fun (name, h) ->
+          match List.assoc_opt name before.snap_histograms with
+          | None -> (name, h)
+          | Some hb ->
+              ( name,
+                {
+                  count = h.count - hb.count;
+                  sum = h.sum - hb.sum;
+                  buckets = sub_buckets hb.buckets h.buckets;
+                } ))
+        after.snap_histograms;
+  }
+
+let counter_in snap name = List.assoc_opt name snap.snap_counters
+let gauge_in snap name = List.assoc_opt name snap.snap_gauges
+let histogram_in snap name = List.assoc_opt name snap.snap_histograms
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      List.iter (fun c -> Atomic.set c.c_cell 0) !counters;
+      List.iter (fun g -> Atomic.set g.g_cell 0) !gauges;
+      List.iter
+        (fun h ->
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0;
+          Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+        !histograms)
+
+(* ---------------- dpv-metrics/1 JSON ---------------- *)
+
+let buf_obj b ~indent entries emit =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\n%s    " indent;
+      emit e)
+    entries;
+  if entries <> [] then Printf.bprintf b "\n%s  " indent;
+  Buffer.add_char b '}'
+
+let buf_snapshot ?(indent = "") b snap =
+  Printf.bprintf b "{\n%s  \"schema\": \"dpv-metrics/1\",\n" indent;
+  Printf.bprintf b "%s  \"counters\": " indent;
+  buf_obj b ~indent snap.snap_counters (fun (name, v) ->
+      Printf.bprintf b "%S: %d" name v);
+  Printf.bprintf b ",\n%s  \"gauges\": " indent;
+  buf_obj b ~indent snap.snap_gauges (fun (name, v) ->
+      Printf.bprintf b "%S: %d" name v);
+  Printf.bprintf b ",\n%s  \"histograms\": " indent;
+  buf_obj b ~indent snap.snap_histograms (fun (name, h) ->
+      Printf.bprintf b "%S: {\"count\": %d, \"sum_ns\": %d, \"buckets\": ["
+        name h.count h.sum;
+      List.iteri
+        (fun i (up, n) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Printf.bprintf b "[%d, %d]" up n)
+        h.buckets;
+      Buffer.add_string b "]}");
+  Printf.bprintf b "\n%s}" indent
+
+let to_json ?indent snap =
+  let b = Buffer.create 1024 in
+  buf_snapshot ?indent b snap;
+  Buffer.contents b
+
+let save_json snap ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json snap);
+      output_char oc '\n')

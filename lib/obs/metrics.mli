@@ -1,0 +1,95 @@
+(** Always-on typed metrics registry for the verification stack.
+
+    One global registry holds named counters, high-water gauges and
+    log-scale histograms.  Construction ({!counter}, {!gauge},
+    {!histogram}) registers the metric once — call it at module-init
+    time and keep the handle.  The hot-path operations ({!incr},
+    {!set_max}, {!observe}) are single atomic read-modify-writes on
+    preallocated cells: no allocation, no lock, safe from any domain.
+
+    Unlike {!Trace}, metrics are always collected — they are a handful
+    of atomic adds against LP solves, too cheap to gate.  Snapshots
+    ({!snapshot}, {!since}) give a consistent view; {!to_json} exports
+    the [dpv-metrics/1] schema embedded in campaign reports and bench
+    baselines.
+
+    Conventions: durations are accumulated as integer {e nanoseconds}
+    (histogram sums are reported as [sum_ns]); names are dotted paths
+    such as ["simplex.pivots"] or ["journal.append_ns"]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) the counter with this name. *)
+
+val gauge : string -> gauge
+(** Register (or look up) the high-water gauge with this name. *)
+
+val histogram : string -> histogram
+(** Register (or look up) a histogram with fixed log2 buckets over
+    nanoseconds: bucket [i] counts observations [v] with
+    [2^(i-1) < v <= 2^i] (bucket 0 catches [v <= 1]).  63 buckets
+    cover the whole non-negative range. *)
+
+val incr : counter -> int -> unit
+val counter_value : counter -> int
+
+val set_max : gauge -> int -> unit
+(** Raise the gauge to [v] if [v] exceeds its current value (CAS loop);
+    gauges are monotonic high-water marks, not last-write samples. *)
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one observation (negative values clamp to 0). *)
+
+val bucket_index : int -> int
+(** The bucket an observation lands in — exposed for tests. *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of bucket [i] in ns ([max_int] for the last). *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;
+      (** [(upper_bound_ns, count)] for nonzero buckets (bound is
+          inclusive), in
+          ascending bound order *)
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;    (** sorted by name *)
+  snap_gauges : (string * int) list;      (** sorted by name *)
+  snap_histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** A consistent-enough copy of every registered metric (each cell is
+    read atomically; the set of metrics is read under the registry
+    lock). *)
+
+val since : before:snapshot -> snapshot -> snapshot
+(** [since ~before after] is what happened between the two snapshots:
+    counters and histogram totals subtract (metrics absent at [before]
+    count from zero); gauges keep the [after] value, since subtracting
+    high-water marks is meaningless. *)
+
+val counter_in : snapshot -> string -> int option
+val gauge_in : snapshot -> string -> int option
+val histogram_in : snapshot -> string -> hist_snapshot option
+
+val reset : unit -> unit
+(** Zero every registered metric (tests). *)
+
+val to_json : ?indent:string -> snapshot -> string
+(** The [dpv-metrics/1] JSON object.  [indent] prefixes every line
+    after the first, for embedding inside a larger document. *)
+
+val buf_snapshot : ?indent:string -> Buffer.t -> snapshot -> unit
+
+val save_json : snapshot -> path:string -> unit

@@ -1,0 +1,166 @@
+(* Span tracing in Chrome trace_event format.
+
+   Disabled (the default), every instrumentation site is one relaxed
+   atomic load — the same discipline as Dpv_linprog.Faults — so the
+   solver hot paths pay nothing measurable.  Armed, events accumulate
+   in one mutex-protected in-memory buffer (campaign-scale traces are
+   thousands of events, not millions) and are written once at the end. *)
+
+type event =
+  | Complete of {
+      name : string;
+      ts_ns : int;
+      dur_ns : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      ts_ns : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Thread_name of { tid : int; label : string }
+
+let armed = Atomic.make false
+let lock = Mutex.create ()
+let events : event list ref = ref []
+let epoch_ns = ref 0
+
+let enabled () = Atomic.get armed
+
+let configure () =
+  Mutex.protect lock (fun () ->
+      events := [];
+      epoch_ns := Mclock.now_ns ());
+  Atomic.set armed true
+
+let disable () = Atomic.set armed false
+
+let record ev = Mutex.protect lock (fun () -> events := ev :: !events)
+let tid () = (Domain.self () :> int)
+
+(* Explicit begin/end pair for hot sites that want to avoid even a
+   closure allocation on the enabled path: [begin_ns] returns 0 when
+   tracing is off, and [complete] drops the event for a 0 start (which
+   also covers tracing being disabled mid-span). *)
+let begin_ns () = if Atomic.get armed then Mclock.now_ns () else 0
+
+let complete ?(args = []) ~name t0 =
+  if t0 <> 0 && Atomic.get armed then
+    record
+      (Complete
+         { name; ts_ns = t0; dur_ns = Mclock.now_ns () - t0; tid = tid (); args })
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get armed) then f ()
+  else begin
+    let t0 = Mclock.now_ns () in
+    match f () with
+    | v ->
+        record
+          (Complete
+             {
+               name;
+               ts_ns = t0;
+               dur_ns = Mclock.now_ns () - t0;
+               tid = tid ();
+               args;
+             });
+        v
+    | exception e ->
+        (* The span still lands in the trace — an aborted phase with its
+           exception text is exactly what a chaos-run trace is for. *)
+        record
+          (Complete
+             {
+               name;
+               ts_ns = t0;
+               dur_ns = Mclock.now_ns () - t0;
+               tid = tid ();
+               args = ("exn", Printexc.to_string e) :: args;
+             });
+        raise e
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get armed then
+    record (Instant { name; ts_ns = Mclock.now_ns (); tid = tid (); args })
+
+let name_thread label =
+  if Atomic.get armed then record (Thread_name { tid = tid (); label })
+
+let event_count () = Mutex.protect lock (fun () -> List.length !events)
+
+(* ---------------- Chrome trace_event JSON ---------------- *)
+
+(* Timestamps are microseconds relative to [configure] time, with
+   nanosecond precision kept in the fraction — what chrome://tracing
+   and Perfetto expect for "ts"/"dur". *)
+let buf_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S: %S" k v)
+    args;
+  Buffer.add_string b "}"
+
+let buf_event b pid epoch ev =
+  let us ns = float_of_int (ns - epoch) /. 1e3 in
+  match ev with
+  | Complete { name; ts_ns; dur_ns; tid; args } ->
+      Printf.bprintf b
+        "{\"name\": %S, \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \
+         \"pid\": %d, \"tid\": %d, \"args\": "
+        name (us ts_ns)
+        (float_of_int dur_ns /. 1e3)
+        pid tid;
+      buf_args b args;
+      Buffer.add_string b "}"
+  | Instant { name; ts_ns; tid; args } ->
+      Printf.bprintf b
+        "{\"name\": %S, \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, \
+         \"pid\": %d, \"tid\": %d, \"args\": "
+        name (us ts_ns) pid tid;
+      buf_args b args;
+      Buffer.add_string b "}"
+  | Thread_name { tid; label } ->
+      Printf.bprintf b
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \
+         \"tid\": %d, \"args\": {\"name\": %S}}"
+        pid tid label
+
+let to_json () =
+  let evs, epoch =
+    Mutex.protect lock (fun () -> (List.rev !events, !epoch_ns))
+  in
+  let pid = Unix.getpid () in
+  (* Metadata first so viewers label threads before their first event. *)
+  let metas, rest =
+    List.partition (function Thread_name _ -> true | _ -> false) evs
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "  ";
+      buf_event b pid epoch ev)
+    (metas @ rest);
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))
+
+let init_from_env () =
+  match Sys.getenv_opt "DPV_TRACE" with
+  | None -> ()
+  | Some path when String.trim path = "" -> ()
+  | Some path ->
+      configure ();
+      at_exit (fun () -> write ~path)

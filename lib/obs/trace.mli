@@ -1,0 +1,63 @@
+(** Span tracing for the verification stack, in Chrome [trace_event]
+    JSON (open the written file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}).
+
+    The pipeline is instrumented — campaign phases, per-query solves,
+    retry rungs, MILP trees, simplex resolves, OBBT LPs, journal
+    appends, fault fires — but tracing is {e off by default}: every
+    site is a single relaxed atomic load until {!configure} arms it
+    (the same near-zero-cost discipline as {!Dpv_linprog.Faults}).
+    The library never reads the environment; executables opt in via
+    [--trace FILE] or by calling {!init_from_env} ([DPV_TRACE]).
+
+    Thread ids are OCaml domain ids; {!name_thread} adds the metadata
+    event that makes Perfetto label pool workers ["worker-N"].
+    Timestamps come from {!Mclock} (monotonic), so spans survive
+    wall-clock jumps. *)
+
+val enabled : unit -> bool
+(** One atomic load; the guard for hot-path instrumentation. *)
+
+val configure : unit -> unit
+(** Arm tracing: clear the buffer and restart the trace epoch. *)
+
+val disable : unit -> unit
+(** Stop collecting.  The buffer is kept ({!to_json} still works). *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~args name f] runs [f] and, when tracing is armed,
+    records a complete event covering it.  If [f] raises, the span is
+    recorded with an ["exn"] argument and the exception is re-raised.
+    Disabled cost: the [enabled] check plus the closure the caller
+    already built. *)
+
+val begin_ns : unit -> int
+(** Start of an explicit span: the current monotonic time, or [0] when
+    tracing is disabled.  For hot sites with multiple exit points where
+    even a closure allocation is unwelcome. *)
+
+val complete : ?args:(string * string) list -> name:string -> int -> unit
+(** [complete ~name t0] records a span from [t0] (a {!begin_ns} result)
+    to now; a [0] start is dropped, so the pair is safe to leave
+    unconditional around code that runs with tracing off. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event (fault fires, incumbent updates). *)
+
+val name_thread : string -> unit
+(** Label the calling domain's track in the viewer. *)
+
+val event_count : unit -> int
+(** Events buffered so far (tests; the disabled-path smoke asserts 0). *)
+
+val to_json : unit -> string
+(** The buffered trace as a Chrome [trace_event] JSON object
+    ([{"traceEvents": [...], ...}]); metadata events first. *)
+
+val write : path:string -> unit
+
+val init_from_env : unit -> unit
+(** If [DPV_TRACE] is set and non-empty, arm tracing now and write the
+    trace to that path at process exit.  Only executables should call
+    this — the library never reads the environment, so [dune runtest]
+    stays deterministic. *)

@@ -7,6 +7,7 @@ let () =
       ("milp-parallel", Test_milp_parallel.tests);
       ("pool", Test_pool.tests);
       ("faults", Test_faults.tests);
+      ("obs", Test_obs.tests);
       ("solver-properties", Test_solver_properties.tests);
       ("nn", Test_nn.tests);
       ("conv", Test_conv.tests);

@@ -1,0 +1,512 @@
+(* Observability layer: metrics registry semantics (counters, gauges,
+   log-scale histogram buckets, snapshot diffs), span tracing (nesting,
+   pool-worker tracks, Chrome trace_event JSON validity), the disabled
+   path (zero events buffered), and the metrics snapshot embedded in a
+   campaign report agreeing exactly with the legacy per-query
+   [Milp.stats] aggregates.
+
+   Tracing is armed programmatically and disarmed in a [Fun.protect]
+   finalizer, mirroring the fault-injection tests: DPV_TRACE is never
+   read here, so `dune runtest` stays deterministic. *)
+
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
+module Mclock = Dpv_obs.Mclock
+module Json = Dpv_core.Json
+module Campaign = Dpv_core.Campaign
+module Journal = Dpv_core.Journal
+module Verify = Dpv_core.Verify
+module Characterizer = Dpv_core.Characterizer
+module Milp = Dpv_linprog.Milp
+module Pool = Dpv_linprog.Pool
+module Network = Dpv_nn.Network
+module Layer = Dpv_nn.Layer
+module Risk = Dpv_spec.Risk
+module Mat = Dpv_tensor.Mat
+
+let with_trace f =
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Trace.configure ();
+      f ())
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- monotonic clock ---- *)
+
+let test_mclock_monotonic () =
+  let prev = ref (Mclock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Mclock.now_ns () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %d after %d" t !prev;
+    prev := t
+  done
+
+(* ---- metrics ---- *)
+
+let test_counter_exact () =
+  let c = Metrics.counter "test.obs.counter" in
+  let base = Metrics.counter_value c in
+  for _ = 1 to 100 do
+    Metrics.incr c 1
+  done;
+  Metrics.incr c 17;
+  Alcotest.(check int) "counter adds exactly" (base + 117)
+    (Metrics.counter_value c)
+
+let test_gauge_high_water () =
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set_max g 5;
+  Metrics.set_max g 3;
+  Alcotest.(check bool) "gauge keeps its high water"
+    true
+    (Metrics.gauge_value g >= 5);
+  let v = Metrics.gauge_value g in
+  Metrics.set_max g (v + 2);
+  Alcotest.(check int) "gauge rises" (v + 2) (Metrics.gauge_value g)
+
+let test_histogram_buckets () =
+  (* Bucket edges: an observation [v > 0] lands in the bucket whose
+     upper bound is the smallest power of two >= v. *)
+  Alcotest.(check int) "0 -> bucket 0" 0 (Metrics.bucket_index 0);
+  Alcotest.(check int) "1 -> bucket 0" 0 (Metrics.bucket_index 1);
+  Alcotest.(check int) "2 -> bucket 1" 1 (Metrics.bucket_index 2);
+  Alcotest.(check int) "3 -> bucket 2" 2 (Metrics.bucket_index 3);
+  Alcotest.(check int) "4 -> bucket 2" 2 (Metrics.bucket_index 4);
+  Alcotest.(check int) "5 -> bucket 3" 3 (Metrics.bucket_index 5);
+  Alcotest.(check int) "upper of 0" 1 (Metrics.bucket_upper 0);
+  Alcotest.(check int) "upper of 10" 1024 (Metrics.bucket_upper 10);
+  Alcotest.(check int) "last bucket absorbs the tail" max_int
+    (Metrics.bucket_upper 62);
+  (* The covering invariant, on a spread of magnitudes including the
+     values that straddle bucket edges. *)
+  List.iter
+    (fun v ->
+      let i = Metrics.bucket_index v in
+      if v > Metrics.bucket_upper i then
+        Alcotest.failf "%d above its bucket bound %d" v (Metrics.bucket_upper i);
+      if i > 0 && v <= Metrics.bucket_upper (i - 1) then
+        Alcotest.failf "%d below its bucket: fits bucket %d too" v (i - 1))
+    [ 1; 2; 3; 4; 7; 8; 9; 1023; 1024; 1025; 999_983; max_int ];
+  Alcotest.(check int) "huge values clamp to the last bucket" 62
+    (Metrics.bucket_index max_int)
+
+let test_histogram_observe () =
+  let h = Metrics.histogram "test.obs.hist" in
+  let before =
+    match Metrics.histogram_in (Metrics.snapshot ()) "test.obs.hist" with
+    | Some s -> s
+    | None -> Alcotest.fail "registered histogram missing from snapshot"
+  in
+  Metrics.observe h 100;
+  Metrics.observe h 100;
+  Metrics.observe h 3_000;
+  Metrics.observe h (-5) (* clamps to 0 *);
+  let after =
+    match Metrics.histogram_in (Metrics.snapshot ()) "test.obs.hist" with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram vanished"
+  in
+  Alcotest.(check int) "count" (before.Metrics.count + 4) after.Metrics.count;
+  Alcotest.(check int) "sum" (before.Metrics.sum + 3_200) after.Metrics.sum
+
+let test_snapshot_since () =
+  let c = Metrics.counter "test.obs.since" in
+  let before = Metrics.snapshot () in
+  Metrics.incr c 42;
+  let delta = Metrics.since ~before (Metrics.snapshot ()) in
+  Alcotest.(check (option int)) "counter delta" (Some 42)
+    (Metrics.counter_in delta "test.obs.since")
+
+let test_metrics_json_parses () =
+  let json = Metrics.to_json (Metrics.snapshot ()) in
+  Alcotest.(check bool) "carries the schema tag" true
+    (contains ~needle:"dpv-metrics/1" json);
+  match Json.of_string json with
+  | Error e -> Alcotest.failf "metrics JSON does not parse: %s" e
+  | Ok j -> (
+      match Option.bind (Json.member "schema" j) Json.to_string with
+      | Some "dpv-metrics/1" -> ()
+      | _ -> Alcotest.fail "schema field wrong or missing")
+
+(* ---- tracing: disabled path ---- *)
+
+let test_disabled_path_emits_nothing () =
+  Trace.disable ();
+  let count0 = Trace.event_count () in
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Alcotest.(check int) "begin_ns is the zero sentinel" 0 (Trace.begin_ns ());
+  Trace.complete ~name:"should-drop" 0;
+  Trace.instant "should-drop-too";
+  let r = Trace.with_span "invisible" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span still runs the body" 42 r;
+  Alcotest.(check int) "no events buffered" count0 (Trace.event_count ())
+
+(* ---- tracing: spans ---- *)
+
+let span_event json name =
+  let events =
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  match
+    List.find_opt
+      (fun e ->
+        Option.bind (Json.member "name" e) Json.to_string = Some name
+        && Option.bind (Json.member "ph" e) Json.to_string = Some "X")
+      events
+  with
+  | Some e -> e
+  | None -> Alcotest.failf "span %S not in trace" name
+
+let span_bounds json name =
+  let e = span_event json name in
+  let f key =
+    match Option.bind (Json.member key e) Json.to_float with
+    | Some v -> v
+    | None -> Alcotest.failf "span %S missing %s" name key
+  in
+  let ts = f "ts" in
+  (ts, ts +. f "dur")
+
+let test_span_nesting () =
+  with_trace (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1)));
+      let json =
+        match Json.of_string (Trace.to_json ()) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+      in
+      let o_start, o_end = span_bounds json "outer" in
+      let i_start, i_end = span_bounds json "inner" in
+      (* ts/dur are printed in microseconds at 3 decimals; allow that
+         much rounding slack. *)
+      let eps = 0.002 in
+      if i_start +. eps < o_start || i_end > o_end +. eps then
+        Alcotest.failf "inner [%f, %f] escapes outer [%f, %f]" i_start i_end
+          o_start o_end)
+
+let test_span_exception_reraised () =
+  with_trace (fun () ->
+      (try
+         Trace.with_span "boom" (fun () -> failwith "expected")
+       with Failure m -> Alcotest.(check string) "re-raised" "expected" m);
+      let json = Trace.to_json () in
+      Alcotest.(check bool) "span recorded despite the raise" true
+        (contains ~needle:"boom" json);
+      Alcotest.(check bool) "exception text in args" true
+        (contains ~needle:"expected" json))
+
+let test_pool_worker_spans () =
+  with_trace (fun () ->
+      let workers = 4 in
+      let out =
+        Pool.map_list ~workers
+          (fun i ->
+            Trace.with_span "task" (fun () -> i * 2))
+          (List.init 16 Fun.id)
+      in
+      Array.iteri
+        (fun i cell ->
+          match cell with
+          | Some (Ok v) -> Alcotest.(check int) "result" (2 * i) v
+          | _ -> Alcotest.fail "pool dropped a task")
+        out;
+      let json =
+        match Json.of_string (Trace.to_json ()) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "pool trace does not parse: %s" e
+      in
+      let events =
+        match Option.bind (Json.member "traceEvents" json) Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents"
+      in
+      let named name e =
+        Option.bind (Json.member "name" e) Json.to_string = Some name
+      in
+      let task_spans = List.filter (named "task") events in
+      Alcotest.(check int) "every task left a span" 16
+        (List.length task_spans);
+      let worker_spans = List.filter (named "pool.worker") events in
+      Alcotest.(check int) "one lifetime span per worker" workers
+        (List.length worker_spans);
+      let meta = List.filter (named "thread_name") events in
+      Alcotest.(check bool) "workers named their tracks" true
+        (List.length meta >= 1);
+      (* Every task span's tid must be one of the worker span tids:
+         tasks only ever run on pool domains. *)
+      let tid e =
+        match Option.bind (Json.member "tid" e) Json.to_int with
+        | Some t -> t
+        | None -> Alcotest.fail "event without tid"
+      in
+      let worker_tids = List.map tid worker_spans in
+      List.iter
+        (fun e ->
+          if not (List.mem (tid e) worker_tids) then
+            Alcotest.fail "task span on a non-worker track")
+        task_spans)
+
+(* ---- campaign round-trip ---- *)
+
+(* Tiny deterministic pipeline, same shape as the fault-injection
+   campaign fixture: 1-input ReLU network, cut 2, box bounds (so the
+   shared-encoding phase does no LP work). *)
+let perception =
+  Network.create ~input_dim:1
+    [
+      Layer.dense
+        ~weights:(Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |])
+        ~bias:[| 0.0; 0.0 |];
+      Layer.Relu;
+      Layer.dense ~weights:(Mat.of_rows [| [| 1.0; -1.0 |] |]) ~bias:[| 0.0 |];
+    ]
+
+let characterizer =
+  {
+    Characterizer.head =
+      Network.create ~input_dim:2
+        [
+          Layer.dense
+            ~weights:(Mat.of_rows [| [| 1.0; 0.0 |] |])
+            ~bias:[| -0.5 |];
+        ];
+    cut = 2;
+    property_name = "x-at-least-half";
+  }
+
+let visited_features =
+  Array.init 41 (fun i ->
+      let x = -1.0 +. (float_of_int i /. 20.0) in
+      Network.forward_upto perception ~cut:2 [| x |])
+
+let queries () =
+  List.map
+    (fun (label, psi) ->
+      Campaign.query ~label ~characterizer ~psi
+        ~bounds:(Verify.Data_box visited_features) ())
+    [
+      ("reach", Risk.make ~name:"out>=0.9" [ Risk.output_ge 0 0.9 ]);
+      ("unreach", Risk.make ~name:"out>=1.5" [ Risk.output_ge 0 1.5 ]);
+      ("neg", Risk.make ~name:"out<=-0.2" [ Risk.output_le 0 (-0.2) ]);
+    ]
+
+let done_stats (report : Campaign.report) =
+  List.filter_map
+    (fun (qr : Campaign.query_report) ->
+      match qr.Campaign.outcome with
+      | Campaign.Done r -> Some r.Verify.milp_stats
+      | Campaign.Crashed _ | Campaign.Skipped _ -> None)
+    report.Campaign.query_reports
+
+let metric_exn snap name =
+  match Metrics.counter_in snap name with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %s missing from campaign snapshot" name
+
+let test_campaign_metrics_agree_with_stats () =
+  Dpv_linprog.Faults.disable ();
+  let report = Campaign.run ~runners:1 ~perception (queries ()) in
+  let stats = done_stats report in
+  Alcotest.(check int) "all queries settled Done" 3 (List.length stats);
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let m = report.Campaign.metrics in
+  Alcotest.(check int) "pivots agree"
+    (sum (fun s -> s.Milp.pivots))
+    (metric_exn m "simplex.pivots");
+  Alcotest.(check int) "warm starts agree"
+    (sum (fun s -> s.Milp.warm_starts))
+    (metric_exn m "simplex.warm_starts");
+  Alcotest.(check int) "cold starts agree"
+    (sum (fun s -> s.Milp.cold_starts))
+    (metric_exn m "simplex.cold_starts");
+  Alcotest.(check int) "nodes agree"
+    (sum (fun s -> s.Milp.nodes_explored))
+    (metric_exn m "milp.nodes");
+  Alcotest.(check int) "one solve per query" 3 (metric_exn m "milp.solves");
+  Alcotest.(check int) "cache hits agree" report.Campaign.cache.Campaign.hits
+    (metric_exn m "campaign.cache_hits");
+  Alcotest.(check int) "cache misses agree"
+    report.Campaign.cache.Campaign.misses
+    (metric_exn m "campaign.cache_misses");
+  Alcotest.(check int) "query count recorded" 3
+    (metric_exn m "campaign.queries")
+
+let test_campaign_report_embeds_metrics () =
+  Dpv_linprog.Faults.disable ();
+  let report = Campaign.run ~runners:1 ~perception (queries ()) in
+  let json = Campaign.to_json report in
+  Alcotest.(check bool) "metrics schema embedded" true
+    (contains ~needle:"dpv-metrics/1" json);
+  match Json.of_string json with
+  | Error e -> Alcotest.failf "campaign JSON does not parse: %s" e
+  | Ok j -> (
+      let metrics =
+        match Json.member "metrics" j with
+        | Some m -> m
+        | None -> Alcotest.fail "no metrics object in report"
+      in
+      (match Option.bind (Json.member "schema" metrics) Json.to_string with
+      | Some "dpv-metrics/1" -> ()
+      | _ -> Alcotest.fail "embedded metrics schema wrong");
+      let counters =
+        match Json.member "counters" metrics with
+        | Some c -> c
+        | None -> Alcotest.fail "no counters in embedded metrics"
+      in
+      let stats = done_stats report in
+      let pivots =
+        List.fold_left (fun acc s -> acc + s.Milp.pivots) 0 stats
+      in
+      match Option.bind (Json.member "simplex.pivots" counters) Json.to_int with
+      | Some v -> Alcotest.(check int) "pivots round-trip the JSON" pivots v
+      | None -> Alcotest.fail "simplex.pivots not in embedded counters")
+
+let test_campaign_trace_covers_run () =
+  Dpv_linprog.Faults.disable ();
+  with_trace (fun () ->
+      let report = Campaign.run ~runners:1 ~perception (queries ()) in
+      ignore report;
+      let json =
+        match Json.of_string (Trace.to_json ()) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "campaign trace does not parse: %s" e
+      in
+      let run_start, run_end = span_bounds json "campaign.run" in
+      (* Every campaign.query span nests inside campaign.run. *)
+      let events =
+        Option.bind (Json.member "traceEvents" json) Json.to_list
+        |> Option.value ~default:[]
+      in
+      let query_spans =
+        List.filter
+          (fun e ->
+            Option.bind (Json.member "name" e) Json.to_string
+            = Some "campaign.query")
+          events
+      in
+      Alcotest.(check int) "a span per solved query" 3
+        (List.length query_spans);
+      let eps = 0.002 in
+      List.iter
+        (fun e ->
+          let ts =
+            Option.bind (Json.member "ts" e) Json.to_float |> Option.get
+          in
+          let dur =
+            Option.bind (Json.member "dur" e) Json.to_float |> Option.get
+          in
+          if ts +. eps < run_start || ts +. dur > run_end +. eps then
+            Alcotest.fail "query span escapes the campaign.run span")
+        query_spans;
+      (* The milp.solve spans from inside the queries are also there. *)
+      Alcotest.(check bool) "solver spans present" true
+        (List.exists
+           (fun e ->
+             Option.bind (Json.member "name" e) Json.to_string
+             = Some "milp.solve")
+           events))
+
+(* ---- journal fast path ---- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "dpv_test_obs_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let test_journal_appends_and_latency () =
+  Dpv_linprog.Faults.disable ();
+  with_temp_file (fun path ->
+      let before = Metrics.snapshot () in
+      let report =
+        Campaign.run ~runners:1 ~journal:path ~perception (queries ())
+      in
+      Alcotest.(check int) "no write failures" 0
+        report.Campaign.journal_write_failures;
+      let delta = Metrics.since ~before (Metrics.snapshot ()) in
+      Alcotest.(check (option int)) "every settle appended" (Some 3)
+        (Metrics.counter_in delta "journal.appends");
+      (match Metrics.histogram_in delta "journal.append_ns" with
+      | Some h ->
+          Alcotest.(check int) "latency histogram observed each append" 3
+            h.Metrics.count
+      | None -> Alcotest.fail "journal.append_ns histogram missing");
+      let content = read_file path in
+      Alcotest.(check int) "one line per entry" 3
+        (List.length
+           (List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n' content)));
+      match Journal.load ~path with
+      | Ok entries -> Alcotest.(check int) "loads back" 3 (List.length entries)
+      | Error e -> Alcotest.failf "journal does not load: %s" e)
+
+let test_journal_torn_tail_tolerated () =
+  Dpv_linprog.Faults.disable ();
+  with_temp_file (fun path ->
+      let report =
+        Campaign.run ~runners:1 ~journal:path ~perception (queries ())
+      in
+      ignore report;
+      (* Simulate a crash mid-append: a torn, unterminated final line. *)
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      output_string oc "{\"key\": \"deadbeef\", \"label\": \"torn";
+      close_out oc;
+      (match Journal.load ~path with
+      | Ok entries ->
+          Alcotest.(check int) "complete entries survive, tail dropped" 3
+            (List.length entries)
+      | Error e -> Alcotest.failf "torn tail should be tolerated: %s" e);
+      (* Mid-file corruption is damage, not a crash: still an error. *)
+      let lines = String.split_on_char '\n' (read_file path) in
+      let corrupted =
+        match lines with
+        | first :: rest ->
+            String.concat "\n" (("garbage " ^ first) :: rest)
+        | [] -> Alcotest.fail "journal empty"
+      in
+      let oc = open_out path in
+      output_string oc corrupted;
+      close_out oc;
+      match Journal.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "mid-file corruption must not load")
+
+let tests =
+  [
+    Alcotest.test_case "mclock is monotonic" `Quick test_mclock_monotonic;
+    Alcotest.test_case "counters add exactly" `Quick test_counter_exact;
+    Alcotest.test_case "gauges keep high water" `Quick test_gauge_high_water;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "histogram observation totals" `Quick
+      test_histogram_observe;
+    Alcotest.test_case "snapshot diff" `Quick test_snapshot_since;
+    Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    Alcotest.test_case "disabled tracing emits nothing" `Quick
+      test_disabled_path_emits_nothing;
+    Alcotest.test_case "spans nest" `Quick test_span_nesting;
+    Alcotest.test_case "spans survive exceptions" `Quick
+      test_span_exception_reraised;
+    Alcotest.test_case "pool workers get labelled tracks" `Quick
+      test_pool_worker_spans;
+    Alcotest.test_case "campaign metrics equal legacy stats" `Quick
+      test_campaign_metrics_agree_with_stats;
+    Alcotest.test_case "campaign report embeds dpv-metrics/1" `Quick
+      test_campaign_report_embeds_metrics;
+    Alcotest.test_case "campaign trace covers the run" `Quick
+      test_campaign_trace_covers_run;
+    Alcotest.test_case "journal fast path appends lines" `Quick
+      test_journal_appends_and_latency;
+    Alcotest.test_case "journal tolerates a torn tail only" `Quick
+      test_journal_torn_tail_tolerated;
+  ]
