@@ -842,10 +842,11 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
       in
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"dpv-bench-milp/4\",\n\
+        \  \"schema\": \"dpv-bench-milp/5\",\n\
         \  \"mode\": %S,\n\
         \  \"host_recommended_domains\": %d,\n\
         \  \"parallel_workers\": %d,\n\
+        \  \"task_batch\": %d,\n\
         \  \"degraded\": %b,\n\
         \  \"queries\": [\n%s\n  ],\n\
         \  \"speedups\": [\n%s\n  ],\n\
@@ -861,7 +862,7 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
          }\n"
         mode
         (Domain.recommended_domain_count ())
-        par_workers degraded
+        par_workers Milp.default_options.Milp.task_batch degraded
         (String.concat ",\n" (List.map query_json queries))
         (String.concat ",\n" (List.map speedup_json speedups))
         deadline_s deadline_word deadline_wall deadline_nodes micro.mb_vars
@@ -1056,6 +1057,92 @@ let ext6 prepared =
           qr.Campaign.query.Campaign.label)
     individual report.Campaign.query_reports;
   report
+
+(* Sharded campaigns: the same four queries as EXT6 split into a
+   2-shard partition, each slice journaled, then merged — the
+   in-process version of the `dpv campaign --shard` / `dpv
+   merge-journals` workflow, with a verdict-identity check against the
+   unsharded run. *)
+let ext7 prepared =
+  section "EXT7: sharded campaign (2-way partition, journal merge)";
+  let characterizer, _, _ =
+    Workflow.train_characterizer prepared ~property:Oracle.bends_right
+  in
+  let box = Verify.Data_box prepared.Workflow.bounds_features in
+  let oct = Verify.Data_octagon prepared.Workflow.bounds_features in
+  let q label psi bounds = Campaign.query ~label ~characterizer ~psi ~bounds () in
+  let queries =
+    [
+      q "far-left:2.5/box" (Workflow.psi_steer_far_left ()) box;
+      q "far-right:2.5/box" (Workflow.psi_steer_far_right ()) box;
+      q "far-left:2.5/oct" (Workflow.psi_steer_far_left ()) oct;
+      q "far-right:2.5/oct" (Workflow.psi_steer_far_right ()) oct;
+    ]
+  in
+  let whole =
+    Campaign.run ~runners:2 ~perception:prepared.Workflow.perception queries
+  in
+  let with_temp f =
+    let path = Filename.temp_file "dpv_bench_shard" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () -> f path)
+  in
+  Format.printf "%s@." (row [ "slice"; "queries"; "runners"; "time (s)" ]);
+  Format.printf "%s@." (Report.rule ());
+  with_temp @@ fun path0 ->
+  with_temp @@ fun path1 ->
+  let run_shard i path =
+    let r =
+      Campaign.run ~runners:2 ~shard:(i, 2) ~journal:path
+        ~perception:prepared.Workflow.perception queries
+    in
+    Format.printf "%s@."
+      (row
+         [
+           Printf.sprintf "shard %d/2" i;
+           string_of_int (List.length r.Campaign.query_reports);
+           string_of_int r.Campaign.runners;
+           Printf.sprintf "%.3f" r.Campaign.total_wall_s;
+         ]);
+    r
+  in
+  let r0 = run_shard 0 path0 and r1 = run_shard 1 path1 in
+  let load path =
+    match Dpv_core.Journal.load_with_meta ~path with
+    | Ok x -> x
+    | Error e -> failwith (Printf.sprintf "shard journal unreadable: %s" e)
+  in
+  let entries, metas = Campaign.merge_journals [ load path0; load path1 ] in
+  let merged = Campaign.merge_reports [ r0; r1 ] in
+  Format.printf "%s@."
+    (row
+       [
+         "merged";
+         string_of_int (List.length entries);
+         string_of_int merged.Campaign.runners;
+         Printf.sprintf "%.3f" merged.Campaign.total_wall_s;
+       ]);
+  Format.printf "meta trailers: %d;  merged exit code: %d@." (List.length metas)
+    (Campaign.worst_exit_code entries);
+  (* Verdict identity against the unsharded run, label by label. *)
+  let multiset (r : Campaign.report) =
+    List.map
+      (fun (qr : Campaign.query_report) ->
+        ( qr.Campaign.query.Campaign.label,
+          match qr.Campaign.outcome with
+          | Campaign.Done res -> Campaign.verdict_word res.Verify.verdict
+          | Campaign.Crashed _ -> "crashed"
+          | Campaign.Skipped _ -> "skipped" ))
+      r.Campaign.query_reports
+    |> List.sort compare
+  in
+  if multiset whole = multiset merged then
+    Format.printf "verdict identity: 2-shard merge == unsharded run@."
+  else
+    Format.printf "VERDICT MISMATCH between the merged partition and the \
+                   unsharded run@.";
+  (whole, merged)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per experiment kernel.       *)
@@ -1270,6 +1357,7 @@ let sections : (string * (Workflow.prepared -> unit)) list =
     ("ext4", fun p -> ignore (ext4 p));
     ("ext5", fun p -> ignore (ext5 p));
     ("ext6", fun p -> ignore (ext6 p));
+    ("ext7", fun p -> ignore (ext7 p));
     ("bechamel", run_bechamel);
   ]
 

@@ -4,6 +4,8 @@
      train     train the direct perception network and cache/save it
      verify    run one (property, psi, strategy) verification case
      campaign  run a JSON-specified batch of queries with a shared cache
+               (optionally one --shard I/N slice of the partition)
+     merge-journals  combine shard journals into one campaign journal/report
      monitor   stream frames at the runtime monitor
      render    print an ASCII rendering of a scene
      info      show the model architecture and experiment defaults     *)
@@ -291,8 +293,23 @@ let setup_of_spec spec ~seed =
         scenario = { base.Workflow.scenario with Generator.camera };
       }
 
+(* --shard I/N: one deterministic slice of the query-key partition.
+   Validation here mirrors Campaign.run's, so a bad value is a usage
+   error instead of an uncaught Invalid_argument. *)
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; n ] -> (
+        match (int_of_string_opt i, int_of_string_opt n) with
+        | Some i, Some n when n >= 1 && 0 <= i && i < n -> Ok (i, n)
+        | _ -> Error (`Msg (Printf.sprintf "shard %S: need I/N with 0 <= I < N" s)))
+    | _ -> Error (`Msg (Printf.sprintf "shard %S: need I/N, e.g. 0/4" s))
+  in
+  let print fmt (i, n) = Format.fprintf fmt "%d/%d" i n in
+  Arg.conv (parse, print)
+
 let campaign_cmd =
-  let run cache_dir spec_path output journal resume trace metrics =
+  let run cache_dir spec_path output journal resume shard trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let read_file path =
       let ic = open_in_bin path in
@@ -322,10 +339,13 @@ let campaign_cmd =
               ~default:Dpv_linprog.Milp.default_options.Dpv_linprog.Milp.max_nodes;
         }
       in
+      (* An empty array is legal: a shard of a small spec can be empty
+         too, and both must produce a valid (empty) report, not an
+         error — CI merges such shards like any other. *)
       let query_specs =
         match Option.bind (field spec "queries") Dpv_core.Json.to_list with
-        | Some (_ :: _ as l) -> l
-        | Some [] | None -> spec_error "\"queries\" must be a non-empty array"
+        | Some l -> l
+        | None -> spec_error "\"queries\" must be an array"
       in
       let prepared = Workflow.prepare_cached ~cache_dir setup in
       (* Characterizer training and bounds fitting are memoized across
@@ -419,7 +439,7 @@ let campaign_cmd =
         match (journal, resume) with Some _, _ -> journal | None, r -> r
       in
       let report =
-        Dpv_core.Campaign.run ~milp_options ~runners ?budget_s ?journal
+        Dpv_core.Campaign.run ~milp_options ~runners ?shard ?budget_s ?journal
           ?resume:resume_entries ~perception:prepared.Workflow.perception
           queries
       in
@@ -487,13 +507,91 @@ let campaign_cmd =
              skipped queries are retried.  Implies journaling to the \
              same file unless $(b,--journal) is also given.")
   in
+  let shard =
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Run slice $(i,I) of a deterministic $(i,N)-way partition \
+             of the queries (by content digest).  Every shard reads \
+             the full spec; run all N slices (any hosts, any order), \
+             then combine their journals with $(b,dpv merge-journals).")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a batch of verification queries concurrently with a \
              shared-encoding cache and write an aggregated JSON report")
     Term.(
-      const run $ cache_dir $ spec_path $ output $ journal $ resume $ trace_arg
-      $ metrics_arg)
+      const run $ cache_dir $ spec_path $ output $ journal $ resume $ shard
+      $ trace_arg $ metrics_arg)
+
+(* ---- merge-journals ---- *)
+
+let merge_journals_cmd =
+  let run output inputs report_out =
+    match
+      List.map
+        (fun path ->
+          match Dpv_core.Journal.load_with_meta ~path with
+          | Ok x -> x
+          | Error e -> spec_error "cannot load %s: %s" path e)
+        inputs
+    with
+    | exception Spec_error msg ->
+        Format.eprintf "merge-journals: %s@." msg;
+        3
+    | shards ->
+        let entries, metas = Dpv_core.Campaign.merge_journals shards in
+        Dpv_core.Journal.save ~path:output entries;
+        Format.printf "merged %d journal%s: %d quer%s, %d shard trailer%s -> %s@."
+          (List.length inputs)
+          (if List.length inputs = 1 then "" else "s")
+          (List.length entries)
+          (if List.length entries = 1 then "y" else "ies")
+          (List.length metas)
+          (if List.length metas = 1 then "" else "s")
+          output;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Dpv_core.Campaign.merged_to_json ~entries ~metas));
+            Format.printf "report written to %s@." path)
+          report_out;
+        Dpv_core.Campaign.worst_exit_code entries
+  in
+  let output =
+    let doc =
+      "Merged journal output path (JSON lines, written atomically).  \
+       Valid as $(b,dpv campaign --resume) input: a merged partition \
+       can be re-run unsharded to retry its crashed queries."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let inputs =
+    let doc = "Shard journals to merge (from $(b,dpv campaign --shard))." in
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"JOURNAL" ~doc)
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ]
+          ~doc:
+            "Also write the merged dpv-campaign/2 JSON report here, with \
+             metric totals summed exactly across the shard trailers.")
+  in
+  Cmd.v
+    (Cmd.info "merge-journals"
+       ~doc:
+         "Merge shard journals into one campaign journal and report; \
+          the exit code is the worst across shards (unsafe > degraded \
+          > unknown > ok)")
+    Term.(const run $ output $ inputs $ report_out)
 
 (* ---- monitor ---- *)
 
@@ -746,6 +844,7 @@ let () =
         train_cmd;
         verify_cmd;
         campaign_cmd;
+        merge_journals_cmd;
         certify_cmd;
         check_cert_cmd;
         refine_cmd;

@@ -33,6 +33,31 @@ let query ?(characterizer_margin = 0.0) ~label ~characterizer ~psi ~bounds () =
    query list being reordered or extended between runs. *)
 let query_key (q : query) = Digest.to_hex (Digest.string (Marshal.to_string q []))
 
+(* Deterministic shard partition over the content digest: the first
+   eight hex digits as an integer, mod the shard count.  Every process
+   holding the same spec computes the same partition regardless of
+   query order, host or OCaml version — which is the whole coordination
+   protocol of [dpv campaign --shard i/n]. *)
+let shard_index ~shards key =
+  if shards < 1 then invalid_arg "Campaign.shard_index: shards must be >= 1";
+  int_of_string ("0x" ^ String.sub key 0 8) mod shards
+
+(* How the campaign spends its domain budget, as (pool runners, inner
+   MILP workers).  [runners] is the total parallelism granted: with at
+   least as many unsolved queries as runners, the outer pool takes them
+   all and each solve stays sequential (nesting a domain pool per query
+   would oversubscribe); with fewer queries than runners — the sharded
+   regime, or one huge query — the leftover domains move *inside* the
+   queries, splitting each MILP into subtree tasks so a campaign of one
+   query still uses the whole budget.  [runners = 1] defers entirely to
+   the caller's [milp_workers]. *)
+let plan_workers ~runners ~milp_workers ~pending =
+  if runners < 1 then invalid_arg "Campaign.plan_workers: runners must be >= 1";
+  if runners = 1 then (1, milp_workers)
+  else if pending = 0 then (1, 1)
+  else if pending >= runners then (runners, 1)
+  else (pending, Stdlib.max 1 (runners / pending))
+
 type outcome = Journal.outcome =
   | Done of Verify.result
   | Crashed of string
@@ -54,6 +79,7 @@ type report = {
   query_reports : query_report list;
   cache : cache_stats;
   runners : int;
+  shard : (int * int) option;
   budget_s : float option;
   total_wall_s : float;
   degraded : bool;
@@ -69,20 +95,44 @@ type report = {
 
 let skip_reason = "budget exhausted"
 
-let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
-    ?journal ?resume ~perception queries =
+let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
+    ?budget_s ?journal ?resume ~perception queries =
   if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
+  (match shard with
+  | Some (i, n) when n < 1 || i < 0 || i >= n ->
+      invalid_arg "Campaign.run: shard must be (i, n) with 0 <= i < n"
+  | _ -> ());
   (* The whole-run span is what makes the coverage guarantee trivial:
      every other campaign span nests inside it. *)
   Trace.with_span
-    ~args:[ ("queries", string_of_int (List.length queries)) ]
+    ~args:
+      [
+        ("queries", string_of_int (List.length queries));
+        ( "shard",
+          match shard with
+          | None -> "-"
+          | Some (i, n) -> Printf.sprintf "%d/%d" i n );
+      ]
     "campaign.run"
   @@ fun () ->
   let metrics_before = Metrics.snapshot () in
   let started = Clock.now_s () in
   let deadline = Clock.deadline_after budget_s in
-  let n = List.length queries in
-  let keyed = Array.of_list (List.map (fun q -> (query_key q, q)) queries) in
+  (* Sharding: every shard sees the full spec and runs its
+     deterministic slice of the key space.  Filtering happens on keys,
+     before any solving, so shards never overlap and their union is
+     exactly the spec. *)
+  let keep =
+    match shard with
+    | None -> fun _key -> true
+    | Some (i, shards) -> fun key -> shard_index ~shards key = i
+  in
+  let keyed =
+    List.map (fun q -> (query_key q, q)) queries
+    |> List.filter (fun (key, _) -> keep key)
+    |> Array.of_list
+  in
+  let n = Array.length keyed in
   (* Resume: only [Done] entries replay — a crashed or skipped query is
      exactly what a resumed campaign is there to retry. *)
   let resume_tbl : (string, Journal.entry) Hashtbl.t = Hashtbl.create 16 in
@@ -183,12 +233,16 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
     |> List.map (fun (i, key, q) -> (i, key, q, shared_for q))
   in
   let prepared_arr = Array.of_list prepared in
-  (* Phase 2 — the solves fan out on the work-stealing pool, one
-     coarse-grained task per query over the now read-only cache.  With
-     several runners each task keeps its inner MILP sequential: the
-     campaign already owns the domains, and nesting a domain pool per
-     query would oversubscribe the machine. *)
-  let inner_workers = if runners > 1 then 1 else milp_options.Milp.workers in
+  (* Phase 2 — the solves fan out on the work-stealing pool over the
+     now read-only cache.  [plan_workers] splits the domain budget:
+     enough unsolved queries and the pool takes one coarse task per
+     query with sequential inner solves; fewer queries than runners (a
+     thin shard, or one huge query) and the spare domains move inside
+     the MILPs as subtree-search workers instead of idling. *)
+  let outer_runners, inner_workers =
+    plan_workers ~runners ~milp_workers:milp_options.Milp.workers
+      ~pending:(List.length prepared)
+  in
   let run_one (_i, key, q, shared_res) =
     match shared_res with
     | Error reason ->
@@ -277,7 +331,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
       }
     end
   in
-  let out = Pool.map_list ~workers:runners run_one prepared in
+  let out = Pool.map_list ~workers:outer_runners run_one prepared in
   (* Per-query fault isolation: an exception in one task (including a
      worker-domain death) becomes that query's [Crashed] outcome; every
      other cell of [out] is untouched by it. *)
@@ -321,7 +375,6 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
          | Some r -> r
          | None -> assert false (* every index is resumed or prepared *))
   in
-  Option.iter Journal.close writer;
   let count p = List.length (List.filter p query_reports) in
   let crashed = count (fun r -> match r.outcome with Crashed _ -> true | _ -> false) in
   let skipped = count (fun r -> match r.outcome with Skipped _ -> true | _ -> false) in
@@ -332,19 +385,37 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?budget_s
   Metrics.incr m_skipped skipped;
   Metrics.incr m_retried retried;
   Metrics.incr m_resumed resumed;
+  let total_wall_s = Clock.now_s () -. started in
+  (* The delta is taken *before* the meta append below, so a shard's
+     recorded snapshot excludes the bookkeeping of writing it — which
+     is what lets [merge_reports] sum shard snapshots into exact
+     campaign totals. *)
+  let metrics = Metrics.since ~before:metrics_before (Metrics.snapshot ()) in
+  (match (shard, writer) with
+  | Some (i, shards), Some w -> (
+      try
+        Journal.append_meta w
+          { Journal.shard = i; shard_count = shards; runners; total_wall_s;
+            metrics }
+      with Sys_error _ ->
+        Atomic.incr journal_write_failures;
+        Metrics.incr m_journal_failures 1)
+  | _ -> ());
+  Option.iter Journal.close writer;
   {
     query_reports;
     cache = { entries = Hashtbl.length table; hits = !hits; misses = !misses };
     runners;
+    shard;
     budget_s;
-    total_wall_s = Clock.now_s () -. started;
+    total_wall_s;
     degraded = crashed > 0 || skipped > 0;
     crashed;
     skipped;
     retried;
     resumed;
     journal_write_failures = Atomic.get journal_write_failures;
-    metrics = Metrics.since ~before:metrics_before (Metrics.snapshot ());
+    metrics;
   }
 
 let verdict_word = function
@@ -364,6 +435,45 @@ let verdict_detail = function
   | Verify.Unsafe { logit; _ } -> Printf.sprintf "witness logit %.6g" logit
   | Verify.Unknown reason -> reason
 
+(* One query record of the dpv-campaign/2 "queries" array — shared
+   between {!to_json} (which has full query_reports) and
+   {!merged_to_json} (which reconstructs records from journal entries,
+   where every query is by definition [from_journal]). *)
+let buf_query_record b ~last ~label ~(outcome : outcome) ~from_cache
+    ~from_journal ~attempts ~dense_retry ~deadline_retry =
+  Printf.bprintf b "    {\n";
+  Printf.bprintf b "      \"label\": %S,\n" label;
+  Printf.bprintf b "      \"outcome\": %S,\n" (outcome_word outcome);
+  (match outcome with
+  | Done r ->
+      Printf.bprintf b "      \"verdict\": %S,\n" (verdict_word r.Verify.verdict);
+      Printf.bprintf b "      \"detail\": %S,\n" (verdict_detail r.Verify.verdict)
+  | Crashed reason | Skipped reason ->
+      Printf.bprintf b "      \"verdict\": null,\n";
+      Printf.bprintf b "      \"detail\": %S,\n" reason);
+  Printf.bprintf b "      \"from_cache\": %b,\n" from_cache;
+  Printf.bprintf b "      \"from_journal\": %b,\n" from_journal;
+  Printf.bprintf b "      \"attempts\": %d,\n" attempts;
+  Printf.bprintf b "      \"dense_retry\": %b,\n" dense_retry;
+  Printf.bprintf b "      \"deadline_retry\": %b" deadline_retry;
+  (match outcome with
+  | Done r ->
+      let s = r.Verify.milp_stats in
+      Printf.bprintf b ",\n      \"wall_s\": %.4f,\n" r.Verify.wall_time_s;
+      Printf.bprintf b "      \"encoding\": %S,\n" r.Verify.encoding;
+      Printf.bprintf b "      \"num_binaries\": %d,\n" r.Verify.num_binaries;
+      Printf.bprintf b
+        "      \"milp\": { \"nodes\": %d, \"lps\": %d, \
+         \"incumbent_updates\": %d, \"steals\": %d, \
+         \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
+         \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d, \
+         \"fallbacks\": %d }\n"
+        s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
+        s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
+        s.Milp.warm_starts s.Milp.cold_starts s.Milp.fallbacks
+  | Crashed _ | Skipped _ -> Buffer.add_string b "\n");
+  Printf.bprintf b "    }%s\n" (if last then "" else ",")
+
 (* BENCH_milp.json style: hand-rolled, schema-tagged, machine-readable.
    %S escaping covers the strings we emit (ASCII labels and reasons). *)
 let to_json report =
@@ -371,6 +481,10 @@ let to_json report =
   Buffer.add_string b "{\n";
   Printf.bprintf b "  \"schema\": \"dpv-campaign/2\",\n";
   Printf.bprintf b "  \"runners\": %d,\n" report.runners;
+  (match report.shard with
+  | None -> Printf.bprintf b "  \"shard\": null,\n"
+  | Some (i, n) ->
+      Printf.bprintf b "  \"shard\": { \"index\": %d, \"count\": %d },\n" i n);
   (match report.budget_s with
   | None -> Printf.bprintf b "  \"budget_s\": null,\n"
   | Some s -> Printf.bprintf b "  \"budget_s\": %.3f,\n" s);
@@ -392,41 +506,10 @@ let to_json report =
   let n = List.length report.query_reports in
   List.iteri
     (fun i qr ->
-      Printf.bprintf b "    {\n";
-      Printf.bprintf b "      \"label\": %S,\n" qr.query.label;
-      Printf.bprintf b "      \"outcome\": %S,\n" (outcome_word qr.outcome);
-      (match qr.outcome with
-      | Done r ->
-          Printf.bprintf b "      \"verdict\": %S,\n"
-            (verdict_word r.Verify.verdict);
-          Printf.bprintf b "      \"detail\": %S,\n"
-            (verdict_detail r.Verify.verdict)
-      | Crashed reason | Skipped reason ->
-          Printf.bprintf b "      \"verdict\": null,\n";
-          Printf.bprintf b "      \"detail\": %S,\n" reason);
-      Printf.bprintf b "      \"from_cache\": %b,\n" qr.from_cache;
-      Printf.bprintf b "      \"from_journal\": %b,\n" qr.from_journal;
-      Printf.bprintf b "      \"attempts\": %d,\n" qr.attempts;
-      Printf.bprintf b "      \"dense_retry\": %b,\n" qr.dense_retry;
-      Printf.bprintf b "      \"deadline_retry\": %b" qr.deadline_retry;
-      (match qr.outcome with
-      | Done r ->
-          let s = r.Verify.milp_stats in
-          Printf.bprintf b ",\n      \"wall_s\": %.4f,\n" r.Verify.wall_time_s;
-          Printf.bprintf b "      \"encoding\": %S,\n" r.Verify.encoding;
-          Printf.bprintf b "      \"num_binaries\": %d,\n" r.Verify.num_binaries;
-          Printf.bprintf b
-            "      \"milp\": { \"nodes\": %d, \"lps\": %d, \
-             \"incumbent_updates\": %d, \"steals\": %d, \
-             \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
-             \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d, \
-             \"fallbacks\": %d }\n"
-            s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
-            s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
-            s.Milp.warm_starts s.Milp.cold_starts s.Milp.fallbacks
-      | Crashed _ | Skipped _ -> Buffer.add_string b "\n");
-      Printf.bprintf b "    }%s\n" (if i = n - 1 then "" else ",")
-    )
+      buf_query_record b ~last:(i = n - 1) ~label:qr.query.label
+        ~outcome:qr.outcome ~from_cache:qr.from_cache
+        ~from_journal:qr.from_journal ~attempts:qr.attempts
+        ~dense_retry:qr.dense_retry ~deadline_retry:qr.deadline_retry)
     report.query_reports;
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
@@ -436,3 +519,168 @@ let save_json report ~path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json report))
+
+(* ---- Shard merging ------------------------------------------------ *)
+
+(* Combine the in-process reports of a disjoint shard partition into
+   the report the unsharded campaign would have produced (up to
+   ordering and wall clock): query lists concatenate in key order so
+   the result is independent of which shard ran first, counts add,
+   metric snapshots add exactly ({!Metrics.merge}), wall clock is the
+   slowest shard (they run concurrently), and the merged report is no
+   longer any one shard. *)
+let merge_reports reports =
+  match reports with
+  | [] -> invalid_arg "Campaign.merge_reports: empty report list"
+  | first :: _ ->
+      let query_reports =
+        List.concat_map (fun r -> r.query_reports) reports
+        |> List.map (fun qr -> (query_key qr.query, qr))
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map snd
+      in
+      let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+      let fmax f =
+        List.fold_left (fun acc r -> Stdlib.max acc (f r)) (f first) reports
+      in
+      {
+        query_reports;
+        cache =
+          {
+            entries = sum (fun r -> r.cache.entries);
+            hits = sum (fun r -> r.cache.hits);
+            misses = sum (fun r -> r.cache.misses);
+          };
+        runners = fmax (fun r -> r.runners);
+        shard = None;
+        budget_s = first.budget_s;
+        total_wall_s =
+          List.fold_left
+            (fun acc r -> Stdlib.max acc r.total_wall_s)
+            0.0 reports;
+        degraded = List.exists (fun r -> r.degraded) reports;
+        crashed = sum (fun r -> r.crashed);
+        skipped = sum (fun r -> r.skipped);
+        retried = sum (fun r -> r.retried);
+        resumed = sum (fun r -> r.resumed);
+        journal_write_failures = sum (fun r -> r.journal_write_failures);
+        metrics =
+          List.fold_left
+            (fun acc r -> Metrics.merge acc r.metrics)
+            Metrics.empty_snapshot reports;
+      }
+
+(* Merge shard journals (as loaded by {!Journal.load_with_meta}) into
+   one entry list plus the collected meta trailers.  Entries dedup by
+   content key — shards of one partition never overlap, but operators
+   re-run shards, and a re-run's journal may carry both a [Crashed]
+   attempt and a later [Done]: the most conclusive outcome wins
+   ([Done] > [Crashed] > [Skipped]), first occurrence on ties.  Order
+   is first-seen, so merging is deterministic in the argument order. *)
+let merge_journals shards =
+  let rank (e : Journal.entry) =
+    match e.Journal.outcome with Done _ -> 2 | Crashed _ -> 1 | Skipped _ -> 0
+  in
+  let tbl : (string, Journal.entry) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (entries, _metas) ->
+      List.iter
+        (fun (e : Journal.entry) ->
+          match Hashtbl.find_opt tbl e.Journal.key with
+          | None ->
+              Hashtbl.add tbl e.Journal.key e;
+              order := e.Journal.key :: !order
+          | Some prev ->
+              if rank e > rank prev then Hashtbl.replace tbl e.Journal.key e)
+        entries)
+    shards;
+  let entries = List.rev_map (fun key -> Hashtbl.find tbl key) !order in
+  let metas = List.concat_map snd shards in
+  (entries, metas)
+
+(* Exit-code severity for a merged journal, same precedence the CLI
+   applies to a live campaign: unsafe (1) dominates — a safety
+   counterexample must never be masked by infrastructure trouble —
+   then degraded (4: crashed or skipped queries), then unknown (2),
+   then clean (0). *)
+let worst_exit_code entries =
+  let code_of (e : Journal.entry) =
+    match e.Journal.outcome with
+    | Done r -> (
+        match r.Verify.verdict with
+        | Verify.Unsafe _ -> 1
+        | Verify.Unknown _ -> 2
+        | Verify.Safe _ -> 0)
+    | Crashed _ | Skipped _ -> 4
+  in
+  let severity = function 1 -> 3 | 4 -> 2 | 2 -> 1 | _ -> 0 in
+  List.fold_left
+    (fun worst e ->
+      let c = code_of e in
+      if severity c > severity worst then c else worst)
+    0 entries
+
+(* The dpv-campaign/2 report of a merged partition, rebuilt from what
+   the shard journals persist.  Whole-campaign totals come from the
+   summed meta metrics ({!Metrics.merge} over the trailers): cache
+   hits/misses, journal write failures.  Every query is
+   [from_journal] — the merge never re-solves anything. *)
+let merged_to_json ~entries ~metas =
+  let metrics =
+    List.fold_left
+      (fun acc (m : Journal.meta) -> Metrics.merge acc m.Journal.metrics)
+      Metrics.empty_snapshot metas
+  in
+  let counter name = Option.value ~default:0 (Metrics.counter_in metrics name) in
+  let count p = List.length (List.filter p entries) in
+  let crashed =
+    count (fun (e : Journal.entry) ->
+        match e.Journal.outcome with Crashed _ -> true | _ -> false)
+  in
+  let skipped =
+    count (fun (e : Journal.entry) ->
+        match e.Journal.outcome with Skipped _ -> true | _ -> false)
+  in
+  let retried = count (fun (e : Journal.entry) -> e.Journal.attempts > 1) in
+  let runners =
+    List.fold_left (fun acc (m : Journal.meta) -> Stdlib.max acc m.Journal.runners) 1 metas
+  in
+  let total_wall_s =
+    List.fold_left
+      (fun acc (m : Journal.meta) -> Stdlib.max acc m.Journal.total_wall_s)
+      0.0 metas
+  in
+  let misses = counter "campaign.cache_misses" in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": \"dpv-campaign/2\",\n";
+  Printf.bprintf b "  \"runners\": %d,\n" runners;
+  Printf.bprintf b "  \"shard\": null,\n";
+  Printf.bprintf b "  \"budget_s\": null,\n";
+  Printf.bprintf b "  \"total_wall_s\": %.4f,\n" total_wall_s;
+  Printf.bprintf b "  \"degraded\": %b,\n" (crashed > 0 || skipped > 0);
+  Printf.bprintf b "  \"crashed\": %d,\n" crashed;
+  Printf.bprintf b "  \"skipped\": %d,\n" skipped;
+  Printf.bprintf b "  \"retried\": %d,\n" retried;
+  Printf.bprintf b "  \"resumed\": %d,\n" (List.length entries);
+  Printf.bprintf b "  \"journal_write_failures\": %d,\n"
+    (counter "journal.write_failures");
+  Printf.bprintf b
+    "  \"cache\": { \"entries\": %d, \"hits\": %d, \"misses\": %d },\n" misses
+    (counter "campaign.cache_hits")
+    misses;
+  Buffer.add_string b "  \"metrics\": ";
+  Metrics.buf_snapshot ~indent:"  " b metrics;
+  Buffer.add_string b ",\n";
+  Printf.bprintf b "  \"queries\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (e : Journal.entry) ->
+      buf_query_record b ~last:(i = n - 1) ~label:e.Journal.label
+        ~outcome:e.Journal.outcome ~from_cache:false ~from_journal:true
+        ~attempts:e.Journal.attempts ~dense_retry:e.Journal.dense_retry
+        ~deadline_retry:e.Journal.deadline_retry)
+    entries;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b

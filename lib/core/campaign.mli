@@ -57,7 +57,25 @@ val query_key : query -> string
 (** Content digest (hex) identifying a query across processes: two
     structurally equal queries have equal keys.  This is the key the
     journal records and resume matches on, so reordering or extending
-    the query list between runs cannot misattribute verdicts. *)
+    the query list between runs cannot misattribute verdicts — and the
+    value {!shard_index} partitions on. *)
+
+val shard_index : shards:int -> string -> int
+(** The slice a query key belongs to in an [shards]-way partition: the
+    key's first eight hex digits as an integer, mod [shards].  Pure
+    arithmetic on the content digest, so every process holding the same
+    spec computes the same partition regardless of query order, host or
+    OCaml version.  Raises [Invalid_argument] if [shards < 1]. *)
+
+val plan_workers :
+  runners:int -> milp_workers:int -> pending:int -> int * int
+(** [(pool_runners, inner_workers)] for a campaign granted [runners]
+    domains with [pending] unsolved queries: [(1, milp_workers)] when
+    [runners = 1] (defer to the caller's MILP setting), [(runners, 1)]
+    when queries are plentiful, and [(pending, runners / pending)] when
+    queries are scarcer than domains, so thin shards spend the budget
+    inside the MILP subtree searches instead of idling.  Exposed for
+    tests.  Raises [Invalid_argument] if [runners < 1]. *)
 
 type outcome = Journal.outcome =
   | Done of Verify.result
@@ -87,6 +105,9 @@ type report = {
   query_reports : query_report list;  (** in input query order *)
   cache : cache_stats;
   runners : int;
+  shard : (int * int) option;
+      (** [(index, count)] when the run covered one slice of a sharded
+          partition; [None] for whole-spec (and merged) reports *)
   budget_s : float option;
   total_wall_s : float;
   degraded : bool;
@@ -112,6 +133,7 @@ type report = {
 val run :
   ?milp_options:Dpv_linprog.Milp.options ->
   ?runners:int ->
+  ?shard:int * int ->
   ?budget_s:float ->
   ?journal:string ->
   ?resume:Journal.entry list ->
@@ -120,15 +142,17 @@ val run :
   report
 (** Execute every query against [perception].
 
-    [runners] (default 1) is the number of pool domains answering
-    queries concurrently, one coarse-grained task per query with work
-    stealing to balance uneven query costs.  With [runners > 1] each
-    query's inner MILP search is forced sequential ([workers = 1]) so
-    query tasks do not nest domain pools; with [runners = 1] the
-    [milp_options.workers] setting applies unchanged and a single query
-    may still parallelize its tree search.  Verdicts never depend on
-    [runners]: each query solves the same model that a standalone
-    {!Verify.verify} call would (only solver scheduling differs).
+    [runners] (default 1) is the campaign's total domain budget.
+    {!plan_workers} splits it between the query pool and the inner
+    MILP searches: with at least [runners] unsolved queries, one
+    coarse-grained task per query with sequential inner solves (tasks
+    never nest domain pools); with fewer unsolved queries than runners
+    — a thin shard, or one large query — the spare domains move inside
+    the MILPs as subtree-search workers.  With [runners = 1] the
+    [milp_options.workers] setting applies unchanged.  Verdicts never
+    depend on [runners]: each query solves the same model that a
+    standalone {!Verify.verify} call would (only solver scheduling
+    differs).
 
     [budget_s] is a wall-clock budget for the whole campaign; each
     solve's [time_limit_s] is capped by the remaining budget when it
@@ -140,7 +164,16 @@ val run :
     {!Journal.load}.  When both are given the journal is seeded with
     the replayed entries, so the file always describes the whole
     campaign.  [milp_options] applies to every query (default
-    {!Verify.default_milp_options}). *)
+    {!Verify.default_milp_options}).
+
+    [shard = Some (i, n)] runs slice [i] of a deterministic [n]-way
+    partition of the query keys ({!shard_index}): the campaign sees the
+    full spec, filters to its slice before any solving, and shares the
+    encoding cache within the slice.  An empty slice is legal and
+    yields a valid empty report.  When a sharded run journals, it
+    appends one {!Journal.meta} trailer carrying its metrics snapshot,
+    which [dpv merge-journals] sums into whole-campaign totals.
+    Raises [Invalid_argument] unless [0 <= i < n]. *)
 
 val verdict_word : Verify.verdict -> string
 (** ["safe"], ["unsafe"] or ["unknown"] — the JSON verdict field. *)
@@ -157,3 +190,45 @@ val to_json : report -> string
     telemetry. *)
 
 val save_json : report -> path:string -> unit
+
+(** {2 Shard merging}
+
+    A sharded campaign runs as [n] independent processes, each covering
+    one slice of the partition and journaling its slice's outcomes plus
+    one meta trailer.  These functions reassemble the whole campaign:
+    in-process ({!merge_reports}, for tests and library callers) or
+    from the shard journals ({!merge_journals} / {!merged_to_json},
+    what [dpv merge-journals] runs). *)
+
+val merge_reports : report list -> report
+(** Combine the reports of a disjoint shard partition into the report
+    of the whole campaign: query reports concatenate in {!query_key}
+    order (deterministic regardless of shard order), counters and
+    cache statistics add, metric snapshots add exactly
+    ({!Dpv_obs.Metrics.merge}), [runners] is the per-shard maximum,
+    [total_wall_s] the slowest shard, [degraded] the disjunction, and
+    [shard] is [None].  Raises [Invalid_argument] on the empty list. *)
+
+val merge_journals :
+  (Journal.entry list * Journal.meta list) list ->
+  Journal.entry list * Journal.meta list
+(** Merge shard journals as loaded by {!Journal.load_with_meta}.
+    Entries deduplicate by content key — the most conclusive outcome
+    wins ([Done] > [Crashed] > [Skipped]), first occurrence on ties —
+    in first-seen order; meta trailers concatenate in argument order.
+    The merged entry list is a valid {!Journal.save} payload and a
+    valid [?resume] input. *)
+
+val merged_to_json :
+  entries:Journal.entry list -> metas:Journal.meta list -> string
+(** The [dpv-campaign/2] report of a merged partition, rebuilt from
+    the journals alone: campaign totals (cache statistics, journal
+    write failures) come from the summed meta metrics, [total_wall_s]
+    is the slowest shard, and every query record is [from_journal] —
+    merging never re-solves anything. *)
+
+val worst_exit_code : Journal.entry list -> int
+(** The exit code a merged campaign deserves, same precedence the CLI
+    applies to a live one: [1] if any query is unsafe (a
+    counterexample must never be masked), else [4] if any crashed or
+    was skipped, else [2] if any verdict is unknown, else [0]. *)

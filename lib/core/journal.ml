@@ -15,6 +15,19 @@ type entry = {
   deadline_retry : bool;
 }
 
+(* Shard trailer: one meta line at the end of a sharded campaign's
+   journal carries what the merge step needs beyond the per-query
+   entries — which slice of the partition this file covers and the
+   shard's metrics snapshot, so [dpv merge-journals] can report exact
+   whole-campaign totals without re-running anything. *)
+type meta = {
+  shard : int;
+  shard_count : int;
+  runners : int;
+  total_wall_s : float;
+  metrics : Dpv_obs.Metrics.snapshot;
+}
+
 (* ---------------- serialization ---------------- *)
 
 (* %.17g round-trips every finite double, so a replayed verdict carries
@@ -83,6 +96,47 @@ let entry_to_line e =
   Buffer.add_string b "}";
   Buffer.contents b
 
+(* The journal is JSON lines, so the embedded dpv-metrics/1 snapshot
+   must be emitted compactly — the pretty printer in [Dpv_obs.Metrics]
+   spans lines. *)
+let buf_metrics b (s : Dpv_obs.Metrics.snapshot) =
+  let obj entries emit =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_string b ", ";
+        emit e)
+      entries;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\"schema\": \"dpv-metrics/1\", \"counters\": ";
+  obj s.Dpv_obs.Metrics.snap_counters (fun (name, v) ->
+      Printf.bprintf b "%S: %d" name v);
+  Buffer.add_string b ", \"gauges\": ";
+  obj s.Dpv_obs.Metrics.snap_gauges (fun (name, v) ->
+      Printf.bprintf b "%S: %d" name v);
+  Buffer.add_string b ", \"histograms\": ";
+  obj s.Dpv_obs.Metrics.snap_histograms (fun (name, h) ->
+      Printf.bprintf b "%S: {\"count\": %d, \"sum_ns\": %d, \"buckets\": ["
+        name h.Dpv_obs.Metrics.count h.Dpv_obs.Metrics.sum;
+      List.iteri
+        (fun i (up, n) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Printf.bprintf b "[%d, %d]" up n)
+        h.Dpv_obs.Metrics.buckets;
+      Buffer.add_string b "]}");
+  Buffer.add_char b '}'
+
+let meta_to_line m =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "{\"journal_meta\": 1, \"shard\": %d, \"shard_count\": %d, \
+     \"runners\": %d, \"total_wall_s\": %.17g, \"metrics\": "
+    m.shard m.shard_count m.runners m.total_wall_s;
+  buf_metrics b m.metrics;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
 (* ---------------- writer ---------------- *)
 
 module Metrics = Dpv_obs.Metrics
@@ -96,6 +150,8 @@ type writer = {
   path : string;
   lock : Mutex.t;
   mutable entries_rev : entry list;
+  mutable meta : meta option;
+      (* shard trailer, retained so a recovery rewrite reproduces it *)
   mutable oc : out_channel option;
       (* open append channel while the fast path is live *)
   mutable pending_rewrite : bool;
@@ -109,6 +165,7 @@ let create ~path existing =
     path;
     lock = Mutex.create ();
     entries_rev = List.rev existing;
+    meta = None;
     oc = None;
     pending_rewrite = true;
   }
@@ -141,6 +198,11 @@ let rewrite w =
          output_string oc (entry_to_line e);
          output_char oc '\n')
        (List.rev w.entries_rev);
+     Option.iter
+       (fun m ->
+         output_string oc (meta_to_line m);
+         output_char oc '\n')
+       w.meta;
      fsync_channel oc;
      close_out oc
    with e ->
@@ -193,8 +255,51 @@ let append w e =
             ~name:"journal.append" trace_t0;
           raise ex)
 
+(* The shard trailer rides the same machinery as entry appends: fast
+   O(1) append when the channel is healthy, full atomic rewrite when a
+   prior write failed.  Campaigns call this once, right before close. *)
+let append_meta w m =
+  Mutex.protect w.lock (fun () ->
+      w.meta <- Some m;
+      let line () =
+        if Faults.fire Faults.Journal_crash then
+          raise (Sys_error "injected journal write failure");
+        match w.oc with
+        | None -> rewrite w
+        | Some oc ->
+            output_string oc (meta_to_line m);
+            output_char oc '\n';
+            fsync_channel oc
+      in
+      match if w.pending_rewrite then rewrite w else line () with
+      | () -> Metrics.incr m_appends 1
+      | exception ex ->
+          close_channel w;
+          w.pending_rewrite <- true;
+          raise ex)
+
 let entries w = Mutex.protect w.lock (fun () -> List.rev w.entries_rev)
 let close w = Mutex.protect w.lock (fun () -> close_channel w)
+
+(* One-shot atomic write of a complete journal (tmp + rename) — how
+   [dpv merge-journals] materializes the merged entry list so the
+   output is always a well-formed resume substrate, never a torn
+   partial merge. *)
+let save ~path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     List.iter
+       (fun e ->
+         output_string oc (entry_to_line e);
+         output_char oc '\n')
+       entries;
+     fsync_channel oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
 
 (* ---------------- reader ---------------- *)
 
@@ -308,7 +413,73 @@ let parse_entry ~line j =
   in
   Ok { key; label; outcome; attempts; dense_retry; deadline_retry }
 
-let load ~path =
+let parse_metrics ~line j =
+  let fields name =
+    match Json.member name j with
+    | Some (Json.Obj fs) -> Ok fs
+    | _ ->
+        Error (Printf.sprintf "line %d: metrics missing object %S" line name)
+  in
+  let ints fs =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, v) :: rest -> (
+          match Json.to_int v with
+          | Some n -> go ((name, n) :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf "line %d: metric %S is not an integer" line
+                   name))
+    in
+    go [] fs
+  in
+  let* counters = Result.bind (fields "counters") ints in
+  let* gauges = Result.bind (fields "gauges") ints in
+  let* hist_fields = fields "histograms" in
+  let parse_hist (name, v) =
+    let* count = field ~line "count" Json.to_int v in
+    let* sum = field ~line "sum_ns" Json.to_int v in
+    let* bucket_list = field ~line "buckets" Json.to_list v in
+    let rec buckets acc = function
+      | [] -> Ok (List.rev acc)
+      | b :: rest -> (
+          match Option.map (List.filter_map Json.to_int) (Json.to_list b) with
+          | Some [ up; n ] -> buckets ((up, n) :: acc) rest
+          | _ ->
+              Error
+                (Printf.sprintf "line %d: bad bucket in histogram %S" line
+                   name))
+    in
+    let* buckets = buckets [] bucket_list in
+    Ok (name, { Dpv_obs.Metrics.count; sum; buckets })
+  in
+  let rec hists acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest ->
+        let* h = parse_hist f in
+        hists (h :: acc) rest
+  in
+  let* histograms = hists [] hist_fields in
+  (* Snapshots carry a name-sorted invariant ([Metrics.merge] relies on
+     it); re-sort on input rather than trusting the file. *)
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare (a : string) b) l in
+  Ok
+    {
+      Dpv_obs.Metrics.snap_counters = sorted counters;
+      snap_gauges = sorted gauges;
+      snap_histograms = sorted histograms;
+    }
+
+let parse_meta ~line j =
+  let* shard = field ~line "shard" Json.to_int j in
+  let* shard_count = field ~line "shard_count" Json.to_int j in
+  let* runners = field ~line "runners" Json.to_int j in
+  let* total_wall_s = field ~line "total_wall_s" Json.to_float j in
+  let* metrics_json = field ~line "metrics" Option.some j in
+  let* metrics = parse_metrics ~line metrics_json in
+  Ok { shard; shard_count; runners; total_wall_s; metrics }
+
+let load_with_meta ~path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m -> Error m
   | content ->
@@ -328,22 +499,33 @@ let load ~path =
           (1, 0) lines
         |> snd
       in
-      let rec go acc line = function
-        | [] -> Ok (List.rev acc)
-        | l :: rest when String.trim l = "" -> go acc (line + 1) rest
+      let rec go acc metas line = function
+        | [] -> Ok (List.rev acc, List.rev metas)
+        | l :: rest when String.trim l = "" -> go acc metas (line + 1) rest
         | l :: rest -> (
             let torn_ok = line = last_content_line && not ends_with_newline in
             let parsed =
               match Json.of_string l with
               | Error m -> Error (Printf.sprintf "line %d: %s" line m)
-              | Ok j -> parse_entry ~line j
+              | Ok j -> (
+                  (* A meta trailer self-identifies; anything else must
+                     be a query entry. *)
+                  match Json.member "journal_meta" j with
+                  | Some _ -> Result.map (fun m -> `Meta m) (parse_meta ~line j)
+                  | None -> Result.map (fun e -> `Entry e) (parse_entry ~line j))
             in
             match parsed with
-            | Error _ when torn_ok -> Ok (List.rev acc)
+            | Error _ when torn_ok -> Ok (List.rev acc, List.rev metas)
             | Error m -> Error m
-            | Ok e -> go (e :: acc) (line + 1) rest)
+            | Ok (`Entry e) -> go (e :: acc) metas (line + 1) rest
+            | Ok (`Meta m) -> go acc (m :: metas) (line + 1) rest)
       in
-      go [] 1 lines
+      go [] [] 1 lines
+
+(* Resume only needs the entries; sharded journals' meta trailers are
+   skipped transparently, so a merged or sharded journal is a valid
+   [--resume] input unchanged. *)
+let load ~path = Result.map fst (load_with_meta ~path)
 
 let result_of_entry e =
   match e.outcome with Done r -> Some r | Crashed _ | Skipped _ -> None

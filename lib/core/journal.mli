@@ -39,6 +39,19 @@ type entry = {
   deadline_retry : bool;
 }
 
+type meta = {
+  shard : int;            (** this journal's slice index, [0 <= shard] *)
+  shard_count : int;      (** total slices in the partition, [>= 1] *)
+  runners : int;          (** pool runners the shard ran with *)
+  total_wall_s : float;   (** the shard's campaign wall clock *)
+  metrics : Dpv_obs.Metrics.snapshot;
+      (** the shard's [dpv-metrics/1] delta; [dpv merge-journals] sums
+          these ({!Dpv_obs.Metrics.merge}) into exact campaign totals *)
+}
+(** Shard trailer.  A sharded campaign ([dpv campaign --shard i/n])
+    appends exactly one meta line after its entries; unsharded journals
+    carry none, so their line count stays one-per-query. *)
+
 type writer
 
 val create : path:string -> entry list -> writer
@@ -55,6 +68,11 @@ val append : writer -> entry -> unit
     entry list is updated first and the writer falls back to the
     rewrite path, so a later append re-persists everything. *)
 
+val append_meta : writer -> meta -> unit
+(** Record the shard trailer (same durability contract as {!append});
+    a recovery rewrite reproduces it after the entries.  Meant to be
+    called once, at the end of a sharded campaign. *)
+
 val entries : writer -> entry list
 (** All entries recorded so far, in append order. *)
 
@@ -67,7 +85,20 @@ val load : path:string -> (entry list, string) result
 (** Parse a journal written by {!append}.  A final line without a
     trailing newline is treated as the torn tail of an interrupted
     append and dropped; any other malformed line is an [Error]
-    carrying its 1-based line number. *)
+    carrying its 1-based line number.  Meta trailer lines are skipped,
+    so sharded and merged journals resume like plain ones. *)
+
+val load_with_meta :
+  path:string -> (entry list * meta list, string) result
+(** Like {!load} but also returning the meta trailers — what
+    [dpv merge-journals] reads from each shard journal.  A well-formed
+    shard journal has exactly one; hand-concatenated files may carry
+    several. *)
+
+val save : path:string -> entry list -> unit
+(** Write a complete journal in one atomic pass (sibling tmp file,
+    fsync, rename) — no writer state, no fast path.  Used to
+    materialize merged journals. *)
 
 val result_of_entry : entry -> Verify.result option
 (** The replayable result: [Some] exactly for [Done] entries. *)

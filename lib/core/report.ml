@@ -78,10 +78,13 @@ let pp_case fmt (case : Workflow.case_report) =
 let case_to_string case = Format.asprintf "%a" pp_case case
 
 let pp_campaign fmt (report : Campaign.report) =
-  Format.fprintf fmt "@[<v>campaign: %d queries, %d runner%s%s%s@,"
+  Format.fprintf fmt "@[<v>campaign: %d queries, %d runner%s%s%s%s@,"
     (List.length report.Campaign.query_reports)
     report.Campaign.runners
     (if report.Campaign.runners = 1 then "" else "s")
+    (match report.Campaign.shard with
+    | None -> ""
+    | Some (i, n) -> Printf.sprintf ", shard %d/%d" i n)
     (match report.Campaign.budget_s with
     | None -> ""
     | Some s -> Printf.sprintf ", budget %.1fs" s)

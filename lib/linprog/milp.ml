@@ -40,6 +40,7 @@ type options = {
   int_tol : float;
   find_first : bool;
   workers : int;
+  task_batch : int;
   time_limit_s : float option;
   lp_dense : bool;
 }
@@ -87,6 +88,7 @@ let default_options =
     int_tol = 1e-6;
     find_first = false;
     workers = 1;
+    task_batch = 32;
     time_limit_s = None;
     lp_dense = false;
   }

@@ -67,6 +67,15 @@ type options = {
                             (never {!Optimal}) in this mode *)
   workers : int;        (** domains for {!Milp_par}; this module ignores
                             any value except to assert it is positive *)
+  task_batch : int;     (** nodes a {!Milp_par} pool task explores
+                            depth-first before handing leftover subtrees
+                            back to the pool (default 32; values < 1
+                            clamp to 1, which restores one-node tasks).
+                            Batching amortizes per-task pool overhead
+                            and keeps consecutive node LPs on the same
+                            worker handle's warm basis; this sequential
+                            module ignores it — its DFS is already one
+                            unbroken batch *)
   time_limit_s : float option;
       (** wall-clock budget; [None] never expires.  Measured on a
           monotonic wall clock, not CPU time, so it stays meaningful

@@ -87,52 +87,101 @@ let solve_parallel ~(options : Milp.options) model =
         | Some (obj, _) -> not (better objective obj)
         | None -> false)
   in
-  let process id node =
-    if Atomic.get s.nodes >= options.Milp.max_nodes then begin
-      Atomic.set s.hit_limit true;
-      []
-    end
-    else if Clock.expired deadline then begin
-      Atomic.set s.hit_deadline true;
-      []
-    end
-    else begin
-      Atomic.incr s.nodes;
-      per_worker_nodes.(id) <- per_worker_nodes.(id) + 1;
-      Atomic.incr s.lps;
-      let lp_started = Clock.now_s () in
-      let status = solve_node id node in
-      let lp_s = Clock.now_s () -. lp_started in
-      lp_time.(id) <- lp_time.(id) +. lp_s;
-      Milp.observe_lp_s lp_s;
-      match status with
-      | Simplex.Infeasible -> []
-      | Simplex.Unbounded ->
-          (* Without a finite relaxation bound we cannot prune; abandon
-             the search and report, as the sequential solver does. *)
-          Atomic.set s.relaxation_unbounded true;
-          []
-      | Simplex.Optimal { objective; solution } ->
-          if pruned_by_incumbent objective then []
-          else begin
-            match
-              Milp.find_branch_var ~tol:options.Milp.int_tol node solution
-            with
-            | None ->
-                let sol =
-                  Milp.round_integral ~tol:options.Milp.int_tol node solution
-                in
-                try_publish objective sol;
-                []
-            | Some v ->
-                let first, second =
-                  Milp.branch_children node v solution.(v)
-                in
-                (* The pool pops the *last* child next on this worker:
-                   keep the preferred branch last for DFS order. *)
-                [ second; first ]
-          end
-    end
+  (* One pool task is a bounded subtree search, not a single node LP:
+     the worker runs its own depth-first stack for up to [task_batch]
+     nodes, so per-task pool overhead (two deque lock rounds and the
+     shared pending counter) amortizes over the batch and consecutive
+     node LPs stay on this worker's warm basis.  Two things leave the
+     task: subtrees beyond [max_local_stack] — the *shallowest* stack
+     entries, the largest open subtrees — spill back to the pool where
+     idle workers steal them, and whatever the batch budget did not
+     reach is re-enqueued when the task ends. *)
+  let batch = Stdlib.max 1 options.Milp.task_batch in
+  let max_local_stack = 8 in
+  let rec split_at n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: rest ->
+          let a, b = split_at (n - 1) rest in
+          (x :: a, b)
+  in
+  let process id root =
+    let stack = ref [ root ] in
+    let spilled = ref [] in (* shallowest-first across spill rounds *)
+    let processed = ref 0 in
+    let truncated = ref false in
+    while !stack <> [] && not !truncated do
+      if !processed >= batch || stop () then truncated := true
+      else if Atomic.get s.nodes >= options.Milp.max_nodes then begin
+        Atomic.set s.hit_limit true;
+        truncated := true
+      end
+      else if Clock.expired deadline then begin
+        Atomic.set s.hit_deadline true;
+        truncated := true
+      end
+      else begin
+        let node = List.hd !stack in
+        stack := List.tl !stack;
+        incr processed;
+        Atomic.incr s.nodes;
+        per_worker_nodes.(id) <- per_worker_nodes.(id) + 1;
+        Atomic.incr s.lps;
+        let lp_started = Clock.now_s () in
+        let status = solve_node id node in
+        let lp_s = Clock.now_s () -. lp_started in
+        lp_time.(id) <- lp_time.(id) +. lp_s;
+        Milp.observe_lp_s lp_s;
+        match status with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+            (* Without a finite relaxation bound we cannot prune;
+               abandon the search and report, as the sequential solver
+               does. *)
+            Atomic.set s.relaxation_unbounded true;
+            truncated := true
+        | Simplex.Optimal { objective; solution } -> (
+            if pruned_by_incumbent objective then ()
+            else
+              match
+                Milp.find_branch_var ~tol:options.Milp.int_tol node solution
+              with
+              | None ->
+                  let sol =
+                    Milp.round_integral ~tol:options.Milp.int_tol node solution
+                  in
+                  try_publish objective sol
+              | Some v ->
+                  let first, second =
+                    Milp.branch_children node v solution.(v)
+                  in
+                  (* Head of the list is the stack top: the preferred
+                     branch goes on top, same dive order as the
+                     sequential DFS. *)
+                  stack := first :: second :: !stack;
+                  if List.length !stack > max_local_stack then begin
+                    let keep, spill = split_at max_local_stack !stack in
+                    stack := keep;
+                    (* [spill] is deepest-first (stack order); reverse
+                       so earlier = shallower within this round, and
+                       append so earlier rounds stay ahead — thieves
+                       pop the front of the deque, so they always grab
+                       the largest spilled subtree first. *)
+                    spilled := !spilled @ List.rev spill
+                  end)
+      end
+    done;
+    (* The pool pushes children in list order to this worker's deque:
+       thieves take the front (the spilled subtrees), this worker pops
+       the back next — the reversed local stack puts its top last, so
+       the dive resumes exactly where the batch budget cut it off.  On
+       a truncating exit the re-enqueued nodes are dropped unprocessed
+       by the pool's stop check, which is sound: every truncation path
+       set its shared flag first, so the result is already classified
+       as inconclusive. *)
+    !spilled @ List.rev !stack
   in
   let pool_stats =
     Pool.run ~workers ~initial:[ model ] ~process ~stop

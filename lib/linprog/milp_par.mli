@@ -11,6 +11,14 @@
     classifications agree (witness solutions may legitimately differ
     between equally-optimal points).
 
+    Work units are {e subtrees}, not single nodes: each pool task dives
+    depth-first for up to [options.task_batch] node LPs on a worker-local
+    stack (spilling its shallowest open subtrees back to the pool for
+    thieves, re-enqueueing the rest when the batch budget runs out), so
+    pool overhead is paid once per batch and consecutive LPs reuse the
+    worker's warm simplex basis and its refactorization scratch arena.
+    [task_batch = 1] restores one-node tasks.
+
     With [options.workers = 1] this module defers to
     {!Milp.solve_with_stats} verbatim — same traversal, same witness,
     bit-for-bit — which is the deterministic mode tests pin down.

@@ -357,6 +357,8 @@ type handle = {
   alpha : float array;             (* scratch m: ftran of a column *)
   w : float array;                 (* scratch m *)
   yrow : float array;              (* scratch m *)
+  scr_bmat : float array array;    (* scratch m x m: refactorization *)
+  scr_inv : float array array;     (* scratch m x m: refactorization *)
   tol : float;
   base : Lp.t;                     (* model as given to [create] *)
   mutable obj_sense : Lp.objective_sense;
@@ -454,6 +456,8 @@ let create ?(tol = 1e-9) model =
     alpha = Array.make m 0.0;
     w = Array.make m 0.0;
     yrow = Array.make m 0.0;
+    scr_bmat = Array.init m (fun _ -> Array.make m 0.0);
+    scr_inv = Array.init m (fun _ -> Array.make m 0.0);
     tol;
     base = model;
     obj_sense;
@@ -542,7 +546,21 @@ let refactorize h =
     raise (Numerical_trouble "injected singular refactorization");
   let trace_t0 = Dpv_obs.Trace.begin_ns () in
   let m = h.m in
-  let bmat = Array.init m (fun _ -> Array.make m 0.0) in
+  (* The handle owns one worker-local scratch arena for these two m x m
+     matrices: refactorization runs every [refactor_every] pivots per
+     handle, and with batched subtree tasks each pool worker holds one
+     handle, so reusing the arrays here removes the dominant per-worker
+     allocation of the parallel search.  Row swaps below permute the
+     row references inside the scratch arrays; every row is fully
+     overwritten at the top of each call, so the permutation is
+     harmless. *)
+  let bmat = h.scr_bmat in
+  let inv = h.scr_inv in
+  for i = 0 to m - 1 do
+    Array.fill bmat.(i) 0 m 0.0;
+    Array.fill inv.(i) 0 m 0.0;
+    inv.(i).(i) <- 1.0
+  done;
   for r = 0 to m - 1 do
     let j = h.basis.(r) in
     let rows = h.col_rows.(j) and coefs = h.col_coefs.(j) in
@@ -550,7 +568,6 @@ let refactorize h =
       bmat.(rows.(k)).(r) <- coefs.(k)
     done
   done;
-  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
   for c = 0 to m - 1 do
     let p = ref c in
     for i = c + 1 to m - 1 do

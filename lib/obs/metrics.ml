@@ -173,6 +173,47 @@ let since ~before after =
         after.snap_histograms;
   }
 
+let empty_snapshot =
+  { snap_counters = []; snap_gauges = []; snap_histograms = [] }
+
+(* Combine snapshots from different processes — campaign shards whose
+   journals are being merged into one report.  Counters and histogram
+   totals add (the shards did disjoint work), gauges take the max (a
+   high-water mark across processes is the highest any of them saw),
+   and histogram buckets merge bucket-wise.  Both inputs keep their
+   name-sorted invariant, so the result does too. *)
+let merge a b =
+  let rec merge_assoc combine xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (xn, xv) :: xrest, (yn, yv) :: yrest ->
+        let c = compare (xn : string) yn in
+        if c < 0 then (xn, xv) :: merge_assoc combine xrest ys
+        else if c > 0 then (yn, yv) :: merge_assoc combine xs yrest
+        else (xn, combine xv yv) :: merge_assoc combine xrest yrest
+  in
+  let rec merge_buckets xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (xu, xn) :: xrest, (yu, yn) :: yrest ->
+        if xu < yu then (xu, xn) :: merge_buckets xrest ys
+        else if xu > yu then (yu, yn) :: merge_buckets xs yrest
+        else (xu, xn + yn) :: merge_buckets xrest yrest
+  in
+  {
+    snap_counters = merge_assoc ( + ) a.snap_counters b.snap_counters;
+    snap_gauges = merge_assoc Stdlib.max a.snap_gauges b.snap_gauges;
+    snap_histograms =
+      merge_assoc
+        (fun x y ->
+          {
+            count = x.count + y.count;
+            sum = x.sum + y.sum;
+            buckets = merge_buckets x.buckets y.buckets;
+          })
+        a.snap_histograms b.snap_histograms;
+  }
+
 let counter_in snap name = List.assoc_opt name snap.snap_counters
 let gauge_in snap name = List.assoc_opt name snap.snap_gauges
 let histogram_in snap name = List.assoc_opt name snap.snap_histograms

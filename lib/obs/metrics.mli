@@ -79,6 +79,17 @@ val since : before:snapshot -> snapshot -> snapshot
     count from zero); gauges keep the [after] value, since subtracting
     high-water marks is meaningless. *)
 
+val empty_snapshot : snapshot
+(** A snapshot of nothing: the identity of {!merge}. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Combine snapshots taken in {e different} processes (campaign
+    shards): counters and histogram totals add, gauges keep the larger
+    high-water mark, histogram buckets merge bucket-wise.  This is how
+    [dpv merge-journals] turns per-shard [dpv-metrics/1] snapshots into
+    exact whole-campaign totals.  Not for two snapshots of the same
+    process — use {!since} for in-process deltas. *)
+
 val counter_in : snapshot -> string -> int option
 val gauge_in : snapshot -> string -> int option
 val histogram_in : snapshot -> string -> hist_snapshot option

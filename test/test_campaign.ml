@@ -169,6 +169,268 @@ let test_campaign_json_report () =
           ignore (jget "nodes" (Json.to_int (mem "nodes" (mem "milp" q)))))
         qs
 
+(* ---- sharding ---- *)
+
+module Journal = Dpv_core.Journal
+module Metrics = Dpv_obs.Metrics
+module Faults = Dpv_linprog.Faults
+
+let with_temp_file f =
+  let path = Filename.temp_file "dpv_test_shard" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_plan_workers () =
+  let check label expected got =
+    Alcotest.(check (pair int int)) label expected got
+  in
+  check "runners=1 defers to milp workers" (1, 4)
+    (Campaign.plan_workers ~runners:1 ~milp_workers:4 ~pending:10);
+  check "plentiful queries: one task each, sequential solves" (4, 1)
+    (Campaign.plan_workers ~runners:4 ~milp_workers:1 ~pending:9);
+  check "exactly as many queries as runners" (4, 1)
+    (Campaign.plan_workers ~runners:4 ~milp_workers:1 ~pending:4);
+  check "thin shard: spare domains move inside the MILPs" (2, 2)
+    (Campaign.plan_workers ~runners:4 ~milp_workers:1 ~pending:2);
+  check "one huge query gets the whole budget" (1, 4)
+    (Campaign.plan_workers ~runners:4 ~milp_workers:1 ~pending:1);
+  check "empty slice idles gracefully" (1, 1)
+    (Campaign.plan_workers ~runners:4 ~milp_workers:1 ~pending:0);
+  Alcotest.check_raises "runners=0 rejected"
+    (Invalid_argument "Campaign.plan_workers: runners must be >= 1") (fun () ->
+      ignore (Campaign.plan_workers ~runners:0 ~milp_workers:1 ~pending:1))
+
+let test_shard_partition_covers () =
+  (* The partition is a function of the content digest alone: disjoint,
+     exhaustive, and stable under query reordering. *)
+  let keys = List.map Campaign.query_key (queries ()) in
+  List.iter
+    (fun n ->
+      let slices =
+        List.init n (fun i ->
+            List.filter (fun k -> Campaign.shard_index ~shards:n k = i) keys)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d slices cover every query" n)
+        (List.length keys)
+        (List.fold_left (fun acc s -> acc + List.length s) 0 slices))
+    [ 1; 2; 3; 5 ];
+  List.iter
+    (fun k ->
+      Alcotest.(check int) "one shard is the identity partition" 0
+        (Campaign.shard_index ~shards:1 k))
+    keys
+
+(* The label/verdict multiset is the campaign's answer; sharding must
+   preserve it exactly. *)
+let verdict_multiset (report : Campaign.report) =
+  List.map
+    (fun (qr : Campaign.query_report) ->
+      ( qr.Campaign.query.Campaign.label,
+        match qr.Campaign.outcome with
+        | Campaign.Done r -> Campaign.verdict_word r.Verify.verdict
+        | Campaign.Crashed _ -> "crashed"
+        | Campaign.Skipped _ -> "skipped" ))
+    report.Campaign.query_reports
+  |> List.sort compare
+
+(* Counters that are deterministic for sequential solves (runners=1,
+   workers=1): exploration and pivot totals must sum exactly across a
+   shard partition.  Cache counters are excluded on purpose — shards
+   keep separate caches, so a key pair split across shards misses
+   twice. *)
+let det_counter name snap = Option.value ~default:0 (Metrics.counter_in snap name)
+
+let det_counters snap =
+  List.map
+    (fun name -> (name, det_counter name snap))
+    [ "campaign.queries"; "milp.nodes"; "milp.lps"; "simplex.pivots" ]
+
+let test_shard_merge_equals_unsharded () =
+  let qs = queries () in
+  let whole = Campaign.run ~runners:1 ~perception qs in
+  List.iter
+    (fun n ->
+      let shards =
+        List.init n (fun i ->
+            Campaign.run ~runners:1 ~shard:(i, n) ~perception qs)
+      in
+      List.iter
+        (fun (r : Campaign.report) ->
+          Alcotest.(check bool) "shard recorded in report" true
+            (r.Campaign.shard <> None))
+        shards;
+      let merged = Campaign.merge_reports shards in
+      Alcotest.(check bool) "merged report is whole-spec" true
+        (merged.Campaign.shard = None);
+      Alcotest.(check (list (pair string string)))
+        (Printf.sprintf "%d-shard merge keeps the verdict multiset" n)
+        (verdict_multiset whole) (verdict_multiset merged);
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%d-shard merge sums deterministic counters" n)
+        (det_counters whole.Campaign.metrics)
+        (det_counters merged.Campaign.metrics))
+    [ 1; 2; 3; 5 ]
+
+let test_shard_merge_with_crash_injection () =
+  let qs = queries () in
+  let whole = Campaign.run ~runners:1 ~perception qs in
+  let n = 2 in
+  (* Crash the first solve of shard 0 only; shard 1 runs clean.  The
+     merged report must carry exactly one crashed query and keep every
+     other verdict. *)
+  let shard0 =
+    Fun.protect ~finally:Faults.disable (fun () ->
+        Faults.configure [ (Faults.Task_crash, 1) ];
+        Campaign.run ~runners:1 ~shard:(0, n) ~perception qs)
+  in
+  let shard1 = Campaign.run ~runners:1 ~shard:(1, n) ~perception qs in
+  let merged = Campaign.merge_reports [ shard0; shard1 ] in
+  Alcotest.(check int) "exactly one crash" 1 merged.Campaign.crashed;
+  Alcotest.(check bool) "merged report degraded" true merged.Campaign.degraded;
+  Alcotest.(check int) "no query lost"
+    (List.length whole.Campaign.query_reports)
+    (List.length merged.Campaign.query_reports);
+  let clean (ms : (string * string) list) =
+    List.filter (fun (_, v) -> v <> "crashed") ms
+  in
+  let whole_ms = verdict_multiset whole and merged_ms = verdict_multiset merged in
+  Alcotest.(check int) "crash shows in the multiset" 1
+    (List.length (List.filter (fun (_, v) -> v = "crashed") merged_ms));
+  List.iter
+    (fun entry ->
+      Alcotest.(check bool) "surviving verdicts match the unsharded run" true
+        (List.mem entry whole_ms))
+    (clean merged_ms)
+
+let test_empty_shard_report_valid () =
+  (* A slice can be empty (fewer queries than shards): the report must
+     be a valid, non-degraded dpv-campaign/2 document. *)
+  let qs = queries () in
+  let n = 5 in
+  let used =
+    List.map (fun q -> Campaign.shard_index ~shards:n (Campaign.query_key q)) qs
+  in
+  let empty_slice =
+    match List.find_opt (fun i -> not (List.mem i used)) (List.init n Fun.id) with
+    | Some i -> i
+    | None -> Alcotest.fail "4 queries cannot fill 5 shards"
+  in
+  let report =
+    Campaign.run ~runners:2 ~shard:(empty_slice, n) ~perception qs
+  in
+  Alcotest.(check int) "no query reports" 0
+    (List.length report.Campaign.query_reports);
+  Alcotest.(check bool) "empty is not degraded" false report.Campaign.degraded;
+  (match Json.of_string (Campaign.to_json report) with
+  | Ok j ->
+      Alcotest.(check string) "schema tag survives" "dpv-campaign/2"
+        (jget "schema" (Json.to_string (mem "schema" j)));
+      Alcotest.(check int) "empty queries array" 0
+        (List.length (jget "queries" (Json.to_list (mem "queries" j))))
+  | Error e -> Alcotest.failf "empty report is not valid JSON: %s" e);
+  (* And run with an empty query list outright. *)
+  let report = Campaign.run ~runners:2 ~shard:(0, 2) ~perception [] in
+  Alcotest.(check bool) "no queries at all is fine" false
+    report.Campaign.degraded
+
+let test_shard_journals_merge () =
+  let qs = queries () in
+  let whole = Campaign.run ~runners:1 ~perception qs in
+  with_temp_file @@ fun path0 ->
+  with_temp_file @@ fun path1 ->
+  let r0 = Campaign.run ~runners:1 ~shard:(0, 2) ~journal:path0 ~perception qs in
+  let r1 = Campaign.run ~runners:1 ~shard:(1, 2) ~journal:path1 ~perception qs in
+  let load path =
+    match Journal.load_with_meta ~path with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "shard journal unreadable: %s" e
+  in
+  let (entries0, metas0) = load path0 and (entries1, metas1) = load path1 in
+  (* Meta round-trip: exactly one trailer, carrying the shard identity
+     and the report's metrics snapshot. *)
+  Alcotest.(check int) "one meta trailer per shard journal" 1
+    (List.length metas0);
+  (match metas0 with
+  | [ m ] ->
+      Alcotest.(check (pair int int)) "meta identifies the slice" (0, 2)
+        (m.Journal.shard, m.Journal.shard_count);
+      Alcotest.(check (list (pair string int)))
+        "meta metrics round-trip the report snapshot"
+        (det_counters r0.Campaign.metrics)
+        (det_counters m.Journal.metrics)
+  | _ -> Alcotest.fail "expected exactly one meta");
+  (* Plain load skips the trailer and still resumes. *)
+  (match Journal.load ~path:path0 with
+  | Ok entries ->
+      Alcotest.(check int) "load skips the meta line"
+        (List.length entries0) (List.length entries)
+  | Error e -> Alcotest.failf "plain load rejects a sharded journal: %s" e);
+  let entries, metas =
+    Campaign.merge_journals [ (entries0, metas0); (entries1, metas1) ]
+  in
+  Alcotest.(check int) "merged journal covers the whole spec"
+    (List.length qs) (List.length entries);
+  Alcotest.(check int) "both trailers collected" 2 (List.length metas);
+  let expected_exit =
+    let ms = verdict_multiset whole in
+    let has v = List.exists (fun (_, w) -> w = v) ms in
+    if has "unsafe" then 1
+    else if has "crashed" || has "skipped" then 4
+    else if has "unknown" then 2
+    else 0
+  in
+  Alcotest.(check int) "worst exit code matches the unsharded precedence"
+    expected_exit
+    (Campaign.worst_exit_code entries);
+  (* The merged entry multiset matches the unsharded answer. *)
+  let entry_ms =
+    List.map
+      (fun (e : Journal.entry) ->
+        ( e.Journal.label,
+          match e.Journal.outcome with
+          | Campaign.Done r -> Campaign.verdict_word r.Verify.verdict
+          | Campaign.Crashed _ -> "crashed"
+          | Campaign.Skipped _ -> "skipped" ))
+      entries
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string string)))
+    "merged journal verdicts equal the unsharded run" (verdict_multiset whole)
+    entry_ms;
+  ignore (r1 : Campaign.report);
+  (* merged_to_json is a valid dpv-campaign/2 document with summed
+     metrics. *)
+  match Json.of_string (Campaign.merged_to_json ~entries ~metas) with
+  | Error e -> Alcotest.failf "merged report is not valid JSON: %s" e
+  | Ok j ->
+      Alcotest.(check string) "merged schema tag" "dpv-campaign/2"
+        (jget "schema" (Json.to_string (mem "schema" j)));
+      Alcotest.(check int) "merged query records" (List.length qs)
+        (List.length (jget "queries" (Json.to_list (mem "queries" j))));
+      let counters = mem "counters" (mem "metrics" j) in
+      Alcotest.(check int) "merged milp.nodes sums the shards"
+        (det_counter "milp.nodes" whole.Campaign.metrics)
+        (jget "milp.nodes" (Json.to_int (mem "milp.nodes" counters)))
+
+let test_worst_exit_code_precedence () =
+  let entry outcome =
+    {
+      Journal.key = Digest.to_hex (Digest.string (Campaign.outcome_word outcome));
+      label = "x";
+      outcome;
+      attempts = 1;
+      dense_retry = false;
+      deadline_retry = false;
+    }
+  in
+  Alcotest.(check int) "empty journal exits 0" 0 (Campaign.worst_exit_code []);
+  Alcotest.(check int) "crash alone exits 4" 4
+    (Campaign.worst_exit_code [ entry (Campaign.Crashed "boom") ]);
+  Alcotest.(check int) "skip alone exits 4" 4
+    (Campaign.worst_exit_code [ entry (Campaign.Skipped "budget") ])
+
 let tests =
   [
     Alcotest.test_case "campaign matches individual verify" `Quick
@@ -177,4 +439,18 @@ let tests =
     Alcotest.test_case "zero budget skips and degrades" `Quick
       test_campaign_zero_budget_skips_and_degrades;
     Alcotest.test_case "json report" `Quick test_campaign_json_report;
+    Alcotest.test_case "plan_workers splits the domain budget" `Quick
+      test_plan_workers;
+    Alcotest.test_case "shard partition covers and is disjoint" `Quick
+      test_shard_partition_covers;
+    Alcotest.test_case "shard merge equals unsharded (n=1,2,3,5)" `Quick
+      test_shard_merge_equals_unsharded;
+    Alcotest.test_case "shard merge with crash injection" `Quick
+      test_shard_merge_with_crash_injection;
+    Alcotest.test_case "empty shard yields a valid report" `Quick
+      test_empty_shard_report_valid;
+    Alcotest.test_case "shard journals merge to the whole campaign" `Quick
+      test_shard_journals_merge;
+    Alcotest.test_case "worst exit code precedence" `Quick
+      test_worst_exit_code_precedence;
   ]

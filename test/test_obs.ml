@@ -121,6 +121,54 @@ let test_snapshot_since () =
   Alcotest.(check (option int)) "counter delta" (Some 42)
     (Metrics.counter_in delta "test.obs.since")
 
+let test_snapshot_merge () =
+  (* Cross-process combination (shard trailers): counters add, gauges
+     keep the larger high-water mark, histograms add count/sum and
+     merge buckets bucket-wise. *)
+  let snap counters gauges histograms =
+    {
+      Metrics.snap_counters = counters;
+      snap_gauges = gauges;
+      snap_histograms = histograms;
+    }
+  in
+  let h count sum buckets = { Metrics.count; sum; buckets } in
+  let a =
+    snap
+      [ ("a.only", 3); ("both", 10) ]
+      [ ("g", 5) ]
+      [ ("h", h 2 300 [ (256, 2) ]) ]
+  in
+  let b =
+    snap
+      [ ("b.only", 1); ("both", 7) ]
+      [ ("g", 9) ]
+      [ ("h", h 3 5000 [ (256, 1); (4096, 2) ]) ]
+  in
+  let m = Metrics.merge a b in
+  Alcotest.(check (list (pair string int)))
+    "counters add, names stay sorted"
+    [ ("a.only", 3); ("b.only", 1); ("both", 17) ]
+    m.Metrics.snap_counters;
+  Alcotest.(check (list (pair string int)))
+    "gauges keep the max" [ ("g", 9) ] m.Metrics.snap_gauges;
+  (match m.Metrics.snap_histograms with
+  | [ ("h", hm) ] ->
+      Alcotest.(check int) "histogram count adds" 5 hm.Metrics.count;
+      Alcotest.(check int) "histogram sum adds" 5300 hm.Metrics.sum;
+      Alcotest.(check (list (pair int int)))
+        "buckets merge bucket-wise"
+        [ (256, 3); (4096, 2) ]
+        hm.Metrics.buckets
+  | _ -> Alcotest.fail "expected exactly one merged histogram");
+  (* empty_snapshot is the identity on both sides. *)
+  Alcotest.(check bool) "left identity" true
+    (Metrics.merge Metrics.empty_snapshot a = a);
+  Alcotest.(check bool) "right identity" true
+    (Metrics.merge a Metrics.empty_snapshot = a);
+  (* Merge is commutative on these payloads. *)
+  Alcotest.(check bool) "commutative" true (Metrics.merge b a = m)
+
 let test_metrics_json_parses () =
   let json = Metrics.to_json (Metrics.snapshot ()) in
   Alcotest.(check bool) "carries the schema tag" true
@@ -491,6 +539,8 @@ let tests =
     Alcotest.test_case "histogram observation totals" `Quick
       test_histogram_observe;
     Alcotest.test_case "snapshot diff" `Quick test_snapshot_since;
+    Alcotest.test_case "snapshot merge (cross-process)" `Quick
+      test_snapshot_merge;
     Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
     Alcotest.test_case "disabled tracing emits nothing" `Quick
       test_disabled_path_emits_nothing;
