@@ -818,9 +818,175 @@ let fault_injection_bench () =
     (1e3 *. fb.fb_retry_s) fb.fb_retries;
   fb
 
+(* EXT8: abstraction-guided branch-and-bound.  Deterministic synthetic
+   Dense/ReLU suffixes (no trained network, so smoke mode runs the same
+   rows as the full bench): each feasibility query is solved by the
+   plain sequential solver and by the DeepPoly-guided one, and the
+   explored-node counts are compared.  The guide only discharges
+   provably-dead subtrees, so the verdicts must agree exactly — the
+   bench fails hard if they ever diverge. *)
+
+type absint_row = {
+  ab_name : string;
+  ab_verdict : string;
+  ab_nodes_plain : int;
+  ab_nodes_guided : int;
+  ab_nodes_width : int;  (* guided, with Bound_width branching *)
+  ab_phase_fixes : int;
+  ab_prunes : int;
+}
+
+(* Random Dense/ReLU stack: dims = [input; hidden...; output]. *)
+let ext8_random_stack ~seed dims =
+  let rng = Rng.create seed in
+  let dense ~inp ~out =
+    Layer.dense
+      ~weights:
+        (Dpv_tensor.Mat.of_rows
+           (Array.init out (fun _ ->
+                Array.init inp (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0))))
+      ~bias:(Array.init out (fun _ -> Rng.uniform rng ~lo:(-0.3) ~hi:0.3))
+  in
+  let rec build inp = function
+    | [] -> []
+    | [ out ] -> [ dense ~inp ~out ]
+    | out :: rest -> dense ~inp ~out :: Layer.Relu :: build out rest
+  in
+  match dims with
+  | inp :: rest when rest <> [] -> Network.create ~input_dim:inp (build inp rest)
+  | _ -> invalid_arg "ext8_random_stack"
+
+(* A characterizer head whose logit is constant 1: the phi-side
+   constraint is inert, so the query is purely "can the suffix output
+   reach psi over the box". *)
+let ext8_inert_head dim =
+  Network.create ~input_dim:dim
+    [
+      Layer.dense
+        ~weights:(Dpv_tensor.Mat.create ~rows:1 ~cols:dim 0.0)
+        ~bias:[| 1.0 |];
+    ]
+
+let ext8_sampled_max suffix ~dim =
+  let rng = Rng.create 4242 in
+  let box = Box_domain.uniform ~dim ~lo:(-1.0) ~hi:1.0 in
+  let best = ref neg_infinity in
+  for _ = 1 to 2000 do
+    let y = Network.forward suffix (Box_domain.sample rng box) in
+    if y.(0) > !best then best := y.(0)
+  done;
+  !best
+
+(* One EXT8 row: [blend] places the psi threshold between the sampled
+   concrete maximum (blend = 0) and the DeepPoly output upper bound
+   (blend = 1).  Thresholds past the DeepPoly bound are root-prunable
+   by the guide but still force the plain solver to branch (its big-M
+   LP relaxation uses the looser box bounds). *)
+let ext8_row ~name ~seed ~dims ~blend =
+  let suffix = ext8_random_stack ~seed dims in
+  let dim = List.hd dims in
+  let feature_box = Box_domain.uniform ~dim ~lo:(-1.0) ~hi:1.0 in
+  let dp_hi =
+    (Propagate.output_bounds Propagate.Deeppoly suffix ~input_box:feature_box).(0)
+      .Interval.hi
+  in
+  let sampled = ext8_sampled_max suffix ~dim in
+  let threshold = sampled +. (blend *. (dp_hi -. sampled)) in
+  let psi = Risk.make ~name [ Risk.output_ge 0 threshold ] in
+  let head = ext8_inert_head dim in
+  let shared = Encode.build_shared ~suffix ~feature_box () in
+  let solve ~absint ~branch_rule =
+    let milp_options =
+      { Verify.default_milp_options with Milp.workers = 1; branch_rule }
+    in
+    Verify.run_query ~milp_options ~absint ~characterizer_margin:0.0 ~shared
+      ~head ~psi ~conditional:false ()
+  in
+  let word r =
+    match r.Verify.verdict with
+    | Verify.Safe _ -> "safe"
+    | Verify.Unsafe _ -> "unsafe"
+    | Verify.Unknown _ -> "unknown"
+  in
+  let plain = solve ~absint:false ~branch_rule:Milp.Most_fractional in
+  let guided = solve ~absint:true ~branch_rule:Milp.Most_fractional in
+  let width = solve ~absint:true ~branch_rule:Milp.Bound_width in
+  if word plain <> word guided || word plain <> word width then
+    failwith
+      (Printf.sprintf
+         "EXT8 %s: guided verdict diverged (plain %s, guided %s, width %s)"
+         name (word plain) (word guided) (word width));
+  {
+    ab_name = name;
+    ab_verdict = word plain;
+    ab_nodes_plain = plain.Verify.milp_stats.Milp.nodes_explored;
+    ab_nodes_guided = guided.Verify.milp_stats.Milp.nodes_explored;
+    ab_nodes_width = width.Verify.milp_stats.Milp.nodes_explored;
+    ab_phase_fixes = guided.Verify.milp_stats.Milp.absint_phase_fixes;
+    ab_prunes = guided.Verify.milp_stats.Milp.absint_prunes;
+  }
+
+let ext8_absint_bench () =
+  section "EXT8: abstraction-guided search (absint on/off node counts)";
+  let rows =
+    [
+      (* Safe rows: threshold above the reachable set but below the
+         DeepPoly root bound, so both solvers must search; the guided
+         one prunes subtrees as phase fixings tighten bounds. *)
+      ext8_row ~name:"ext8/relu18-hard-safe" ~seed:7 ~dims:[ 5; 10; 8; 1 ]
+        ~blend:0.2;
+      ext8_row ~name:"ext8/relu18-mid-safe" ~seed:1 ~dims:[ 5; 10; 8; 1 ]
+        ~blend:0.2;
+      ext8_row ~name:"ext8/relu18-easy-safe" ~seed:4 ~dims:[ 5; 10; 8; 1 ]
+        ~blend:0.6;
+      (* Threshold past the DeepPoly bound: the guide discharges the
+         root outright while the box-relaxation LP still branches. *)
+      ext8_row ~name:"ext8/relu18-boxgap" ~seed:1 ~dims:[ 5; 10; 8; 1 ]
+        ~blend:1.05;
+      (* A reachable threshold: both sides find a witness. *)
+      ext8_row ~name:"ext8/relu18-unsafe" ~seed:5 ~dims:[ 5; 10; 8; 1 ]
+        ~blend:(-0.2);
+    ]
+  in
+  Format.printf "%s@."
+    (row
+       [
+         "query"; "verdict"; "nodes plain"; "nodes guided"; "nodes width";
+         "fixes"; "prunes";
+       ]);
+  Format.printf "%s@." (Report.rule ());
+  List.iter
+    (fun r ->
+      Format.printf "%s@."
+        (row
+           [
+             r.ab_name;
+             r.ab_verdict;
+             string_of_int r.ab_nodes_plain;
+             string_of_int r.ab_nodes_guided;
+             string_of_int r.ab_nodes_width;
+             string_of_int r.ab_phase_fixes;
+             string_of_int r.ab_prunes;
+           ]))
+    rows;
+  (match
+     List.filter
+       (fun r -> r.ab_verdict = "safe" && r.ab_nodes_guided >= r.ab_nodes_plain)
+       rows
+   with
+  | [] -> ()
+  | worse ->
+      List.iter
+        (fun r ->
+          Format.printf
+            "WARNING %s: guided search explored %d nodes vs %d plain@."
+            r.ab_name r.ab_nodes_guided r.ab_nodes_plain)
+        worse);
+  rows
+
 let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
     ~deadline:(deadline_s, deadline_word, deadline_wall, deadline_nodes)
-    ~micro ~faults =
+    ~micro ~faults ~absint_rows =
   let oc = open_out bench_json_path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -840,9 +1006,17 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
       let speedup_json (name, factor) =
         Printf.sprintf "    {\"query\": %S, \"factor\": %.4f}" name factor
       in
+      let absint_json r =
+        Printf.sprintf
+          "    {\"name\": %S, \"verdict\": %S, \"nodes_plain\": %d, \
+           \"nodes_guided\": %d, \"nodes_guided_width\": %d, \
+           \"phase_fixes\": %d, \"prunes\": %d}"
+          r.ab_name r.ab_verdict r.ab_nodes_plain r.ab_nodes_guided
+          r.ab_nodes_width r.ab_phase_fixes r.ab_prunes
+      in
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"dpv-bench-milp/5\",\n\
+        \  \"schema\": \"dpv-bench-milp/6\",\n\
         \  \"mode\": %S,\n\
         \  \"host_recommended_domains\": %d,\n\
         \  \"parallel_workers\": %d,\n\
@@ -858,6 +1032,7 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
         \  \"fault_injection\": {\"clean_wall_s\": %.6f, \
          \"fallback_wall_s\": %.6f, \"fallbacks\": %d, \
          \"retry_wall_s\": %.6f, \"retries\": %d},\n\
+        \  \"absint\": [\n%s\n  ],\n\
         \  \"metrics\": %s\n\
          }\n"
         mode
@@ -869,6 +1044,7 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
         micro.mb_rows micro.mb_reps micro.mb_cold_s micro.mb_dense_s
         micro.mb_warm_s faults.fb_clean_s faults.fb_fallback_s
         faults.fb_fallbacks faults.fb_retry_s faults.fb_retries
+        (String.concat ",\n" (List.map absint_json absint_rows))
         (Dpv_obs.Metrics.to_json ~indent:"  " (Dpv_obs.Metrics.snapshot ())));
   Format.printf "@.baseline written to %s@." bench_json_path
 
@@ -996,12 +1172,13 @@ let ext5 prepared =
     speedups;
   let micro = lp_microbench ~reps:50 () in
   let faults = fault_injection_bench () in
+  let absint_rows = ext8_absint_bench () in
   write_bench_json ~mode:"full" ~par_workers ~degraded ~queries:measurements
     ~speedups
     ~deadline:
       (deadline_s, milp_result_word hard_result, hard_wall,
        hard_stats.Milp.nodes_explored)
-    ~micro ~faults;
+    ~micro ~faults ~absint_rows;
   (measurements, hard_result)
 
 (* Campaign amortization: the four E1-style queries below share two
@@ -1330,12 +1507,13 @@ let run_smoke () =
        ]);
   let micro = lp_microbench ~reps:10 () in
   let faults = fault_injection_bench () in
+  let absint_rows = ext8_absint_bench () in
   write_bench_json ~mode:"smoke" ~par_workers ~degraded ~queries:measurements
     ~speedups:(compute_speedups measurements)
     ~deadline:
       (deadline_s, milp_result_word hard_result, hard_wall,
        hard_stats.Milp.nodes_explored)
-    ~micro ~faults;
+    ~micro ~faults ~absint_rows;
   Format.printf "@.done.@."
 
 (* ------------------------------------------------------------------ *)
@@ -1358,6 +1536,7 @@ let sections : (string * (Workflow.prepared -> unit)) list =
     ("ext5", fun p -> ignore (ext5 p));
     ("ext6", fun p -> ignore (ext6 p));
     ("ext7", fun p -> ignore (ext7 p));
+    ("ext8", fun _ -> ignore (ext8_absint_bench ()));
     ("bechamel", run_bechamel);
   ]
 

@@ -54,6 +54,66 @@ let timeout_s =
   in
   Arg.(value & opt (some float) None & info [ "timeout-s" ] ~doc)
 
+let absint_arg =
+  let doc =
+    "Guide the branch-and-bound search with DeepPoly abstract \
+     interpretation: before each node's LP is solved, bounds \
+     propagated under the node's ReLU phase fixings fix further \
+     phases without branching and prune nodes that provably miss \
+     psi."
+  in
+  Arg.(value & flag & info [ "absint" ] ~doc)
+
+let bisect_arg =
+  let doc =
+    "Input bisection depth (0 = off): split the feature box up to \
+     $(docv) times along its widest dimension, discharge cheap \
+     sub-boxes by bound propagation alone, and send only the \
+     survivors to the MILP.  Verdicts merge soundly (UNSAFE \
+     witnesses are re-validated concretely; SAFE requires every \
+     sub-box safe)."
+  in
+  Arg.(value & opt int 0 & info [ "bisect" ] ~docv:"DEPTH" ~doc)
+
+let bisect_timeout_arg =
+  let doc =
+    "Per-sub-box wall-clock budget in seconds (only with \
+     $(b,--bisect); the overall deadline still applies)."
+  in
+  Arg.(value & opt (some float) None & info [ "bisect-timeout-s" ] ~doc)
+
+let branch_rule_conv =
+  let parse = function
+    | "fractional" -> Ok Dpv_linprog.Milp.Most_fractional
+    | "width" -> Ok Dpv_linprog.Milp.Bound_width
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown branch rule %S (fractional, width)" s))
+  in
+  let print fmt r =
+    Format.fprintf fmt "%s"
+      (match r with
+      | Dpv_linprog.Milp.Most_fractional -> "fractional"
+      | Dpv_linprog.Milp.Bound_width -> "width")
+  in
+  Arg.conv (parse, print)
+
+let branch_rule_arg =
+  let doc =
+    "Branch-variable selection: $(b,fractional) (most fractional \
+     binary) or $(b,width) (widest pre-activation interval as scored \
+     by the DeepPoly guide; falls back to $(b,fractional) without \
+     $(b,--absint))."
+  in
+  Arg.(
+    value
+    & opt branch_rule_conv Dpv_linprog.Milp.Most_fractional
+    & info [ "branch-rule" ] ~doc)
+
+let bisect_options_of ~bisect ~bisect_timeout_s =
+  if bisect <= 0 then None
+  else Some { Verify.max_depth = bisect; subbox_time_limit_s = bisect_timeout_s }
+
 let trace_arg =
   let doc =
     "Write a Chrome trace_event JSON trace of the run to $(docv) \
@@ -201,13 +261,17 @@ let train_cmd =
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run seed cache_dir property psi strategy cut workers timeout_s trace
-      metrics =
+  let run seed cache_dir property psi strategy cut workers timeout_s absint
+      bisect bisect_timeout_s branch_rule trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let prepared = Workflow.prepare_cached ~cache_dir (setup_of ~seed) in
-    let milp_options = milp_options_of ~workers ~timeout_s in
+    let milp_options =
+      { (milp_options_of ~workers ~timeout_s) with Dpv_linprog.Milp.branch_rule }
+    in
+    let bisect = bisect_options_of ~bisect ~bisect_timeout_s in
     let case =
-      Workflow.run_case ~milp_options ?cut prepared ~property ~psi ~strategy
+      Workflow.run_case ~milp_options ?cut ~absint ?bisect prepared ~property
+        ~psi ~strategy
     in
     Format.printf "%a@." Report.pp_case case;
     match case.Workflow.result.Verify.verdict with
@@ -224,7 +288,8 @@ let verify_cmd =
        ~doc:"Verify a (phi, psi) safety property of the cached network")
     Term.(
       const run $ seed $ cache_dir $ property_arg $ psi_arg $ strategy_arg
-      $ cut $ workers $ timeout_s $ trace_arg $ metrics_arg)
+      $ cut $ workers $ timeout_s $ absint_arg $ bisect_arg
+      $ bisect_timeout_arg $ branch_rule_arg $ trace_arg $ metrics_arg)
 
 (* ---- campaign ---- *)
 
@@ -309,7 +374,8 @@ let shard_conv =
   Arg.conv (parse, print)
 
 let campaign_cmd =
-  let run cache_dir spec_path output journal resume shard trace metrics =
+  let run cache_dir spec_path output journal resume shard absint bisect
+      bisect_timeout_s branch_rule trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let read_file path =
       let ic = open_in_bin path in
@@ -337,8 +403,10 @@ let campaign_cmd =
           Dpv_linprog.Milp.max_nodes =
             int_field spec "max_nodes"
               ~default:Dpv_linprog.Milp.default_options.Dpv_linprog.Milp.max_nodes;
+          branch_rule;
         }
       in
+      let bisect = bisect_options_of ~bisect ~bisect_timeout_s in
       (* An empty array is legal: a shard of a small spec can be empty
          too, and both must produce a valid (empty) report, not an
          error — CI merges such shards like any other. *)
@@ -440,8 +508,8 @@ let campaign_cmd =
       in
       let report =
         Dpv_core.Campaign.run ~milp_options ~runners ?shard ?budget_s ?journal
-          ?resume:resume_entries ~perception:prepared.Workflow.perception
-          queries
+          ?resume:resume_entries ~absint ?bisect
+          ~perception:prepared.Workflow.perception queries
       in
       Format.printf "%a@." Report.pp_campaign report;
       if metrics <> None then
@@ -524,6 +592,7 @@ let campaign_cmd =
              shared-encoding cache and write an aggregated JSON report")
     Term.(
       const run $ cache_dir $ spec_path $ output $ journal $ resume $ shard
+      $ absint_arg $ bisect_arg $ bisect_timeout_arg $ branch_rule_arg
       $ trace_arg $ metrics_arg)
 
 (* ---- merge-journals ---- *)

@@ -67,9 +67,21 @@ let add_expr a b = { coeffs = Vec.add a.coeffs b.coeffs; const = a.const +. b.co
 let const_expr n c = { coeffs = Vec.zeros n; const = c }
 
 (* Both arguments are sound enclosures, so their intersection is too;
-   if float rounding makes them nominally disjoint, keep the box one. *)
+   if float rounding makes them nominally disjoint — or a degenerate
+   transfer left a nan side — keep whichever operand is still a
+   well-formed interval. *)
 let meet_safe box_iv expr_iv =
-  match Interval.meet box_iv expr_iv with Some iv -> iv | None -> box_iv
+  let well_formed (iv : Interval.t) =
+    (not (Float.is_nan iv.Interval.lo)) && not (Float.is_nan iv.Interval.hi)
+  in
+  match (well_formed box_iv, well_formed expr_iv) with
+  | true, true -> (
+      match Interval.meet box_iv expr_iv with
+      | Some iv -> iv
+      | None -> box_iv)
+  | true, false -> box_iv
+  | false, true -> expr_iv
+  | false, false -> Interval.top
 
 (* Finalize a transfer step: concretize the fresh symbolic bounds and
    intersect with the box-domain image of the previous concrete cache. *)
@@ -121,46 +133,113 @@ let transfer_dense t layer weights bias =
 
 let transfer_diag t layer scale shift =
   let d = dim t in
-  let lower = Array.make d (const_expr (input_dim t) 0.0) in
-  let upper = Array.make d (const_expr (input_dim t) 0.0) in
+  let n = input_dim t in
+  let lower = Array.make d (const_expr n 0.0) in
+  let upper = Array.make d (const_expr n 0.0) in
   for i = 0 to d - 1 do
     let a = scale.(i) and b = shift.(i) in
-    let scaled_lo = scale_expr a t.lower.(i) and scaled_hi = scale_expr a t.upper.(i) in
-    let lo, hi = if a >= 0.0 then (scaled_lo, scaled_hi) else (scaled_hi, scaled_lo) in
-    lower.(i) <- { lo with const = lo.const +. b };
-    upper.(i) <- { hi with const = hi.const +. b }
+    if Float.is_finite a && Float.is_finite b then begin
+      let scaled_lo = scale_expr a t.lower.(i)
+      and scaled_hi = scale_expr a t.upper.(i) in
+      let lo, hi =
+        if a >= 0.0 then (scaled_lo, scaled_hi) else (scaled_hi, scaled_lo)
+      in
+      lower.(i) <- { lo with const = lo.const +. b };
+      upper.(i) <- { hi with const = hi.const +. b }
+    end
+    else begin
+      (* A non-finite scale or shift would smear inf/nan coefficients
+         over every downstream concretization; keep the neuron as an
+         opaque constant interval instead, widening any nan side. *)
+      let raw = Interval.add (Interval.scale a t.conc.(i)) (Interval.point b) in
+      let lo = if Float.is_nan raw.Interval.lo then neg_infinity else raw.Interval.lo in
+      let hi = if Float.is_nan raw.Interval.hi then infinity else raw.Interval.hi in
+      let lo, hi = if lo <= hi then (lo, hi) else (neg_infinity, infinity) in
+      lower.(i) <- const_expr n lo;
+      upper.(i) <- const_expr n hi
+    end
   done;
   rebuild t layer ~lower ~upper
 
-(* DeepPoly ReLU.  With concrete pre-activation bounds [l, u]:
+(* DeepPoly ReLU bounds for one neuron.  With concrete pre-activation
+   bounds [l, u]:
      u <= 0           -> y = 0
      l >= 0           -> y unchanged
      l < 0 < u        -> upper: y <= (u/(u-l)) (x - l), substituting x's
                          upper expression; lower: y >= x if u > -l (the
-                         smaller-area choice) else y >= 0. *)
+                         smaller-area choice) else y >= 0.
+   The chord slope u/(u-l) goes non-finite when u - l overflows (huge
+   bounds of opposite sign) and nan when the cached bounds are already
+   poisoned; either way the symbolic relaxation would smear inf/nan
+   coefficients over every downstream concretization, so the crossing
+   case guards the slope and falls back to the box relaxation
+   0 <= y <= u for that neuron. *)
+let relu_neuron_bounds t n i =
+  let { Interval.lo = l; hi = u } = t.conc.(i) in
+  if u <= 0.0 then (const_expr n 0.0, const_expr n 0.0)
+  else if l >= 0.0 then (t.lower.(i), t.upper.(i))
+  else begin
+    let denom = u -. l in
+    let lambda = u /. denom in
+    if Float.is_finite denom && denom > 0.0 && Float.is_finite lambda then begin
+      let up = scale_expr lambda t.upper.(i) in
+      let upper = { up with const = up.const -. (lambda *. l) } in
+      let lower = if u > -.l then t.lower.(i) else const_expr n 0.0 in
+      (lower, upper)
+    end
+    else (const_expr n 0.0, const_expr n u)
+  end
+
 let transfer_relu t =
   let d = dim t in
   let n = input_dim t in
   let lower = Array.make d (const_expr n 0.0) in
   let upper = Array.make d (const_expr n 0.0) in
   for i = 0 to d - 1 do
-    let { Interval.lo = l; hi = u } = t.conc.(i) in
-    if u <= 0.0 then begin
-      lower.(i) <- const_expr n 0.0;
-      upper.(i) <- const_expr n 0.0
-    end
-    else if l >= 0.0 then begin
-      lower.(i) <- t.lower.(i);
-      upper.(i) <- t.upper.(i)
-    end
-    else begin
-      let lambda = u /. (u -. l) in
-      let up = scale_expr lambda t.upper.(i) in
-      upper.(i) <- { up with const = up.const -. (lambda *. l) };
-      lower.(i) <- (if u > -.l then t.lower.(i) else const_expr n 0.0)
-    end
+    let lo, hi = relu_neuron_bounds t n i in
+    lower.(i) <- lo;
+    upper.(i) <- hi
   done;
   rebuild t Layer.Relu ~lower ~upper
+
+type phase = Active | Inactive | Unknown
+
+exception Empty_region
+
+(* ReLU transfer under externally-fixed phases (the branch-and-bound
+   binary fixings).  [Inactive] asserts pre-activation x <= 0 (so
+   y = 0); [Active] asserts x >= 0 (so y = x); [Unknown] neurons get
+   the ordinary DeepPoly relaxation.  Returns [None] when a fixing
+   contradicts the propagated pre-activation bounds — the abstract
+   region is empty, so the search node carrying these fixings is
+   infeasible.  The x = 0 boundary is feasible under either phase, so
+   the contradiction tests are strict. *)
+let transfer_relu_fixed phases t =
+  let d = dim t in
+  if Array.length phases <> d then
+    invalid_arg "Deeppoly.transfer_relu_fixed: phase array dimension";
+  let n = input_dim t in
+  let lower = Array.make d (const_expr n 0.0) in
+  let upper = Array.make d (const_expr n 0.0) in
+  try
+    for i = 0 to d - 1 do
+      let { Interval.lo = l; hi = u } = t.conc.(i) in
+      match phases.(i) with
+      | Inactive ->
+          if l > 0.0 then raise Empty_region;
+          lower.(i) <- const_expr n 0.0;
+          upper.(i) <- const_expr n 0.0
+      | Active ->
+          if u < 0.0 then raise Empty_region;
+          lower.(i) <- t.lower.(i);
+          upper.(i) <- t.upper.(i)
+      | Unknown ->
+          let lo, hi = relu_neuron_bounds t n i in
+          lower.(i) <- lo;
+          upper.(i) <- hi
+    done;
+    Some (rebuild t Layer.Relu ~lower ~upper)
+  with Empty_region -> None
 
 (* Smooth activations: fall back to the concrete interval image (sound,
    loses the symbolic information for those neurons). *)

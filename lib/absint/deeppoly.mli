@@ -26,3 +26,17 @@ val transfer_layer : Dpv_nn.Layer.t -> t -> t
 val propagate : Dpv_nn.Network.t -> t -> t
 val propagate_all : Dpv_nn.Network.t -> t -> Box_domain.t array
 (** Interval enclosures at every layer (index 0 = the input box). *)
+
+type phase = Active | Inactive | Unknown
+(** One ReLU neuron's phase as fixed by an external search:
+    [Active] asserts pre-activation [x >= 0] (so [y = x]), [Inactive]
+    asserts [x <= 0] (so [y = 0]), [Unknown] leaves the ordinary
+    DeepPoly relaxation in place. *)
+
+val transfer_relu_fixed : phase array -> t -> t option
+(** ReLU transfer under fixed phases, one entry per neuron of the
+    current layer.  Returns [None] when a fixing contradicts the
+    propagated pre-activation bounds (strictly: [Inactive] with
+    [lo > 0], [Active] with [hi < 0]) — the abstract region is empty,
+    so a branch-and-bound node carrying these fixings is infeasible.
+    The [x = 0] boundary is feasible under either phase. *)

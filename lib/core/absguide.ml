@@ -1,0 +1,118 @@
+module Lp = Dpv_linprog.Lp
+module Milp = Dpv_linprog.Milp
+module Box_domain = Dpv_absint.Box_domain
+module Interval = Dpv_absint.Interval
+module Deeppoly = Dpv_absint.Deeppoly
+module Layer = Dpv_nn.Layer
+module Network = Dpv_nn.Network
+module Risk = Dpv_spec.Risk
+module Linexpr = Dpv_spec.Linexpr
+
+(* Phase of one encoded ReLU binary under a node's current bounds.  The
+   branch-and-bound children only ever tighten a binary to exactly
+   [0, 0] or [1, 1], so reading the bounds recovers the node's phase
+   fixings without any side channel from the solver. *)
+let phase_of node v =
+  let lo, up = Lp.var_bounds node v in
+  let lo = Option.value lo ~default:0.0 in
+  let up = Option.value up ~default:1.0 in
+  if lo >= 0.5 then Deeppoly.Active
+  else if up <= 0.5 then Deeppoly.Inactive
+  else Deeppoly.Unknown
+
+(* Interval of a linear expression over an output box (the same
+   arithmetic [Verify.expr_bounds] uses; duplicated because [Verify]
+   depends on this module, not the other way around). *)
+let expr_bounds (expr : Linexpr.t) box =
+  List.fold_left
+    (fun acc (c, i) -> Interval.add acc (Interval.scale c box.(i)))
+    (Interval.point expr.Linexpr.const)
+    (Linexpr.normalized_terms expr)
+
+(* Propagate DeepPoly through one encoded network under the node's
+   phase fixings.  [relus] maps 1-based ReLU layer indices to the
+   per-neuron binary variables ([None] = resolved by bounds at encode
+   time).  Returns [None] when some fixing contradicts the propagated
+   bounds (the node's region is empty); otherwise the output box.
+   Along the way, binaries whose phase the propagated pre-activation
+   bounds already imply are appended to [fixes], and still-free
+   binaries are scored in [widths] by their pre-activation width. *)
+let propagate_fixed ~net ~relus ~box node ~fixes ~widths =
+  let t = ref (Deeppoly.of_box box) in
+  let empty = ref false in
+  List.iteri
+    (fun idx layer ->
+      if not !empty then
+        match layer with
+        | Layer.Relu -> (
+            let pre = Deeppoly.to_box !t in
+            let d = Array.length pre in
+            let phases = Array.make d Deeppoly.Unknown in
+            (match List.assoc_opt (idx + 1) relus with
+            | None -> ()
+            | Some vars ->
+                let n = min d (Array.length vars) in
+                for i = 0 to n - 1 do
+                  match vars.(i) with
+                  | None -> ()
+                  | Some v -> (
+                      match phase_of node v with
+                      | Deeppoly.Unknown ->
+                          let iv = pre.(i) in
+                          if iv.Interval.lo >= 0.0 then begin
+                            fixes := (v, 1.0) :: !fixes;
+                            phases.(i) <- Deeppoly.Active
+                          end
+                          else if iv.Interval.hi <= 0.0 then begin
+                            fixes := (v, 0.0) :: !fixes;
+                            phases.(i) <- Deeppoly.Inactive
+                          end
+                          else
+                            widths :=
+                              (v, iv.Interval.hi -. iv.Interval.lo) :: !widths
+                      | p -> phases.(i) <- p)
+                done);
+            match Deeppoly.transfer_relu_fixed phases !t with
+            | Some t' -> t := t'
+            | None -> empty := true)
+        | layer -> t := Deeppoly.transfer_layer layer !t)
+    (Network.layers net);
+  if !empty then None else Some (Deeppoly.to_box !t)
+
+(* Can the propagated output box still satisfy the query?  Mirrors the
+   [verify_incomplete] discharge conditions: the node is dead if some
+   psi inequality is unreachable from the output box, or the
+   characterizer logit provably stays below the margin.  Both tests are
+   strict, the same soundness convention [verify_incomplete] uses. *)
+let query_unreachable ~psi ~characterizer_margin ~output_box ~logit_box =
+  logit_box.Interval.hi < characterizer_margin
+  || List.exists
+       (fun (ineq : Risk.inequality) ->
+         let iv = expr_bounds ineq.Risk.expr output_box in
+         match ineq.Risk.rel with
+         | `Le -> iv.Interval.lo > ineq.Risk.bound
+         | `Ge -> iv.Interval.hi < ineq.Risk.bound)
+       psi.Risk.inequalities
+
+let make ~suffix ~head ~feature_box ~suffix_relus ~head_relus ~psi
+    ~characterizer_margin : Milp.guide =
+ fun node ->
+  let fixes = ref [] and widths = ref [] in
+  let suffix_out =
+    propagate_fixed ~net:suffix ~relus:suffix_relus ~box:feature_box node
+      ~fixes ~widths
+  in
+  let prune =
+    match suffix_out with
+    | None -> true
+    | Some output_box -> (
+        match
+          propagate_fixed ~net:head ~relus:head_relus ~box:feature_box node
+            ~fixes ~widths
+        with
+        | None -> true
+        | Some head_out ->
+            query_unreachable ~psi ~characterizer_margin ~output_box
+              ~logit_box:head_out.(0))
+  in
+  { Milp.prune; fix = List.rev !fixes; widths = List.rev !widths }

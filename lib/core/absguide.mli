@@ -1,0 +1,36 @@
+(** Abstract-interpretation guide for the branch-and-bound MILP search.
+
+    Bridges [lib/absint] and [lib/linprog] without creating a
+    dependency between them: the solver only knows the
+    {!Dpv_linprog.Milp.guide} closure type, and this module builds that
+    closure from the encoding's binary-to-neuron maps (see
+    {!Encode.suffix_relu_vars_of_shared} and [Encode.t.head_relu_vars]).
+
+    Per node, the guide reads each binary's current LP bounds to
+    recover the node's ReLU phase fixings, propagates DeepPoly through
+    the suffix and the characterizer head under those fixings
+    ({!Dpv_absint.Deeppoly.transfer_relu_fixed}), and reports:
+
+    - [prune] when a fixing contradicts the propagated bounds or the
+      propagated output box provably misses [psi] (or the logit stays
+      below the margin) — the node is discharged without an LP solve;
+    - [fix] for binaries whose phase the propagated pre-activation
+      bounds already imply — the solver fixes them without branching;
+    - [widths] scoring still-free binaries by pre-activation interval
+      width, consumed by the [Bound_width] branch rule.
+
+    Soundness matches the MILP semantics: the encoded feasible set
+    projects onto exact network executions over the feature box, and
+    DeepPoly bounds enclose those executions under any phase fixing
+    (the [x = 0] boundary belongs to both phases, so implied fixes
+    preserve feasibility of the projection). *)
+
+val make :
+  suffix:Dpv_nn.Network.t ->
+  head:Dpv_nn.Network.t ->
+  feature_box:Dpv_absint.Box_domain.t ->
+  suffix_relus:(int * Dpv_linprog.Lp.var option array) list ->
+  head_relus:(int * Dpv_linprog.Lp.var option array) list ->
+  psi:Dpv_spec.Risk.t ->
+  characterizer_margin:float ->
+  Dpv_linprog.Milp.guide

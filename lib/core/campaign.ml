@@ -96,7 +96,7 @@ type report = {
 let skip_reason = "budget exhausted"
 
 let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
-    ?budget_s ?journal ?resume ~perception queries =
+    ?budget_s ?journal ?resume ?(absint = false) ?bisect ~perception queries =
   if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
   (match shard with
   | Some (i, n) when n < 1 || i < 0 || i >= n ->
@@ -235,140 +235,367 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
   let prepared_arr = Array.of_list prepared in
   (* Phase 2 — the solves fan out on the work-stealing pool over the
      now read-only cache.  [plan_workers] splits the domain budget:
-     enough unsolved queries and the pool takes one coarse task per
-     query with sequential inner solves; fewer queries than runners (a
-     thin shard, or one huge query) and the spare domains move inside
-     the MILPs as subtree-search workers instead of idling. *)
-  let outer_runners, inner_workers =
-    plan_workers ~runners ~milp_workers:milp_options.Milp.workers
-      ~pending:(List.length prepared)
-  in
-  let run_one (_i, key, q, shared_res) =
-    match shared_res with
-    | Error reason ->
-        journal_append
+     enough unsolved units and the pool takes one coarse task per unit
+     with sequential inner solves; fewer units than runners (a thin
+     shard, or one huge query) and the spare domains move inside the
+     MILPs as subtree-search workers instead of idling.  Without
+     bisection the schedulable unit is the query; with it, each
+     surviving sub-box of a query's bisection plan. *)
+  (match bisect with
+  | None ->
+      let outer_runners, inner_workers =
+        plan_workers ~runners ~milp_workers:milp_options.Milp.workers
+          ~pending:(List.length prepared)
+      in
+      let run_one (_i, key, q, shared_res) =
+        match shared_res with
+        | Error reason ->
+            journal_append
+              {
+                Journal.key;
+                label = q.label;
+                outcome = Crashed reason;
+                attempts = 1;
+                dense_retry = false;
+                deadline_retry = false;
+              };
+            {
+              query = q;
+              outcome = Crashed reason;
+              from_cache = false;
+              from_journal = false;
+              attempts = 1;
+              dense_retry = false;
+              deadline_retry = false;
+            }
+        | Ok (shared, from_cache) ->
+        if Clock.expired deadline then begin
+          (* Recorded, not dropped: the report (and journal) say exactly
+             which queries the budget never reached. *)
+          journal_append
+            {
+              Journal.key;
+              label = q.label;
+              outcome = Skipped skip_reason;
+              attempts = 0;
+              dense_retry = false;
+              deadline_retry = false;
+            };
           {
-            Journal.key;
-            label = q.label;
-            outcome = Crashed reason;
-            attempts = 1;
+            query = q;
+            outcome = Skipped skip_reason;
+            from_cache;
+            from_journal = false;
+            attempts = 0;
             dense_retry = false;
             deadline_retry = false;
-          };
-        {
-          query = q;
-          outcome = Crashed reason;
-          from_cache = false;
-          from_journal = false;
-          attempts = 1;
-          dense_retry = false;
-          deadline_retry = false;
-        }
-    | Ok (shared, from_cache) ->
-    if Clock.expired deadline then begin
-      (* Recorded, not dropped: the report (and journal) say exactly
-         which queries the budget never reached. *)
-      journal_append
-        {
-          Journal.key;
-          label = q.label;
-          outcome = Skipped skip_reason;
-          attempts = 0;
-          dense_retry = false;
-          deadline_retry = false;
-        };
-      {
-        query = q;
-        outcome = Skipped skip_reason;
-        from_cache;
-        from_journal = false;
-        attempts = 0;
-        dense_retry = false;
-        deadline_retry = false;
-      }
-    end
-    else begin
-      if Faults.fire Faults.Task_crash then failwith "injected task crash";
-      (* Carved at task start, so early queries cannot spend the whole
-         campaign budget before later ones get their slice checked. *)
-      let options =
-        {
-          milp_options with
-          Milp.workers = inner_workers;
-          time_limit_s = Clock.carve deadline milp_options.Milp.time_limit_s;
-        }
-      in
-      let result, t =
-        Trace.with_span
-          ~args:[ ("label", q.label) ]
-          "campaign.query"
-          (fun () ->
-            Retry.solve ~options ~deadline (fun opts ->
-                Verify.run_query ~milp_options:opts
-                  ~characterizer_margin:q.characterizer_margin ~shared
-                  ~head:q.characterizer.Characterizer.head ~psi:q.psi
-                  ~conditional:(Verify.is_conditional q.bounds) ()))
-      in
-      (* Journal from inside the task: a campaign killed right after
-         this solve still has the verdict on disk. *)
-      journal_append
-        {
-          Journal.key;
-          label = q.label;
-          outcome = Done result;
-          attempts = t.Retry.attempts;
-          dense_retry = t.Retry.dense_retry;
-          deadline_retry = t.Retry.deadline_retry;
-        };
-      {
-        query = q;
-        outcome = Done result;
-        from_cache;
-        from_journal = false;
-        attempts = t.Retry.attempts;
-        dense_retry = t.Retry.dense_retry;
-        deadline_retry = t.Retry.deadline_retry;
-      }
-    end
-  in
-  let out = Pool.map_list ~workers:outer_runners run_one prepared in
-  (* Per-query fault isolation: an exception in one task (including a
-     worker-domain death) becomes that query's [Crashed] outcome; every
-     other cell of [out] is untouched by it. *)
-  Array.iteri
-    (fun j cell ->
-      let i, key, q, shared_res = prepared_arr.(j) in
-      let from_cache =
-        match shared_res with Ok (_, fc) -> fc | Error _ -> false
-      in
-      let crashed reason =
-        journal_append
+          }
+        end
+        else begin
+          if Faults.fire Faults.Task_crash then failwith "injected task crash";
+          (* Carved at task start, so early queries cannot spend the whole
+             campaign budget before later ones get their slice checked. *)
+          let options =
+            {
+              milp_options with
+              Milp.workers = inner_workers;
+              time_limit_s = Clock.carve deadline milp_options.Milp.time_limit_s;
+            }
+          in
+          let result, t =
+            Trace.with_span
+              ~args:[ ("label", q.label) ]
+              "campaign.query"
+              (fun () ->
+                Retry.solve ~options ~deadline (fun opts ->
+                    Verify.run_query ~milp_options:opts ~absint
+                      ~characterizer_margin:q.characterizer_margin ~shared
+                      ~head:q.characterizer.Characterizer.head ~psi:q.psi
+                      ~conditional:(Verify.is_conditional q.bounds) ()))
+          in
+          (* Journal from inside the task: a campaign killed right after
+             this solve still has the verdict on disk. *)
+          journal_append
+            {
+              Journal.key;
+              label = q.label;
+              outcome = Done result;
+              attempts = t.Retry.attempts;
+              dense_retry = t.Retry.dense_retry;
+              deadline_retry = t.Retry.deadline_retry;
+            };
           {
-            Journal.key;
-            label = q.label;
-            outcome = Crashed reason;
-            attempts = 1;
-            dense_retry = false;
-            deadline_retry = false;
-          };
-        {
-          query = q;
-          outcome = Crashed reason;
-          from_cache;
-          from_journal = false;
-          attempts = 1;
-          dense_retry = false;
-          deadline_retry = false;
-        }
+            query = q;
+            outcome = Done result;
+            from_cache;
+            from_journal = false;
+            attempts = t.Retry.attempts;
+            dense_retry = t.Retry.dense_retry;
+            deadline_retry = t.Retry.deadline_retry;
+          }
+        end
       in
-      let qr =
-        match cell with
-        | Some (Ok r) -> r
-        | Some (Error e) -> crashed (Printexc.to_string e)
-        | None -> crashed "worker abandoned task"
+      let out = Pool.map_list ~workers:outer_runners run_one prepared in
+      (* Per-query fault isolation: an exception in one task (including a
+         worker-domain death) becomes that query's [Crashed] outcome; every
+         other cell of [out] is untouched by it. *)
+      Array.iteri
+        (fun j cell ->
+          let i, key, q, shared_res = prepared_arr.(j) in
+          let from_cache =
+            match shared_res with Ok (_, fc) -> fc | Error _ -> false
+          in
+          let crashed reason =
+            journal_append
+              {
+                Journal.key;
+                label = q.label;
+                outcome = Crashed reason;
+                attempts = 1;
+                dense_retry = false;
+                deadline_retry = false;
+              };
+            {
+              query = q;
+              outcome = Crashed reason;
+              from_cache;
+              from_journal = false;
+              attempts = 1;
+              dense_retry = false;
+              deadline_retry = false;
+            }
+          in
+          let qr =
+            match cell with
+            | Some (Ok r) -> r
+            | Some (Error e) -> crashed (Printexc.to_string e)
+            | None -> crashed "worker abandoned task"
+          in
+          reports.(i) <- Some qr)
+        out
+  | Some b ->
+      (* Phase 2a — sequential planning: split each query's feature box,
+         discharging cheap sub-boxes with DeepPoly propagation.  Queries
+         whose plan leaves no survivors are Safe right here; the rest
+         contribute one schedulable unit per surviving sub-box, which is
+         what lets [plan_workers] see the real pending width (a campaign
+         of one hard query still fans out across the domain budget). *)
+      let np = Array.length prepared_arr in
+      let plans = Array.make np None in
+      let units = ref [] in
+      Array.iteri
+        (fun j (i, key, q, shared_res) ->
+          match shared_res with
+          | Error reason ->
+              journal_append
+                {
+                  Journal.key;
+                  label = q.label;
+                  outcome = Crashed reason;
+                  attempts = 1;
+                  dense_retry = false;
+                  deadline_retry = false;
+                };
+              reports.(i) <-
+                Some
+                  {
+                    query = q;
+                    outcome = Crashed reason;
+                    from_cache = false;
+                    from_journal = false;
+                    attempts = 1;
+                    dense_retry = false;
+                    deadline_retry = false;
+                  }
+          | Ok (shared, from_cache) -> (
+              let t0 = Clock.now_s () in
+              let plan =
+                let feature_box = Encode.feature_box_of_shared shared in
+                match
+                  Verify.bisect_plan ~max_depth:b.Verify.max_depth
+                    ~suffix:(Encode.suffix_of_shared shared)
+                    ~head:q.characterizer.Characterizer.head ~psi:q.psi
+                    ~characterizer_margin:q.characterizer_margin feature_box
+                with
+                | plan -> plan
+                | exception _ ->
+                    (* Planning is an optimization; if propagation dies
+                       the whole box is solved as a single unit. *)
+                    { Verify.survivors = [ feature_box ]; discharged = 0 }
+              in
+              match plan.Verify.survivors with
+              | [] ->
+                  (* Every sub-box discharged by propagation alone. *)
+                  let result =
+                    Verify.merge_bisected
+                      ~conditional:(Verify.is_conditional q.bounds)
+                      ~discharged:plan.Verify.discharged
+                      ~total_subboxes:(Verify.plan_total plan)
+                      ~wall_time_s:(Clock.now_s () -. t0) ~unsolved:0 []
+                  in
+                  journal_append
+                    {
+                      Journal.key;
+                      label = q.label;
+                      outcome = Done result;
+                      attempts = 1;
+                      dense_retry = false;
+                      deadline_retry = false;
+                    };
+                  reports.(i) <-
+                    Some
+                      {
+                        query = q;
+                        outcome = Done result;
+                        from_cache;
+                        from_journal = false;
+                        attempts = 1;
+                        dense_retry = false;
+                        deadline_retry = false;
+                      }
+              | survivors ->
+                  plans.(j) <- Some (plan, from_cache);
+                  List.iteri (fun si sub -> units := (j, si, sub) :: !units)
+                    survivors))
+        prepared_arr;
+      let units = List.rev !units in
+      let outer_runners, inner_workers =
+        plan_workers ~runners ~milp_workers:milp_options.Milp.workers
+          ~pending:(List.length units)
       in
-      reports.(i) <- Some qr)
-    out;
+      (* Phase 2b — solve the surviving sub-boxes on the pool, each on a
+         prefix rebuilt over its sub-box. *)
+      let run_unit (j, si, sub) =
+        let _i, _key, q, shared_res = prepared_arr.(j) in
+        let shared =
+          match shared_res with Ok (s, _) -> s | Error _ -> assert false
+        in
+        if Clock.expired deadline then `Skipped
+        else begin
+          if Faults.fire Faults.Task_crash then failwith "injected task crash";
+          let budget =
+            let carved =
+              Clock.carve deadline milp_options.Milp.time_limit_s
+            in
+            match (carved, b.Verify.subbox_time_limit_s) with
+            | None, t | t, None -> t
+            | Some a, Some c -> Some (Stdlib.min a c)
+          in
+          let options =
+            {
+              milp_options with
+              Milp.workers = inner_workers;
+              time_limit_s = budget;
+            }
+          in
+          let sub_shared = Encode.restrict_shared shared ~feature_box:sub in
+          let result, t =
+            Trace.with_span
+              ~args:
+                [ ("label", q.label); ("subbox", string_of_int si) ]
+              "campaign.subbox"
+              (fun () ->
+                Retry.solve ~options ~deadline (fun opts ->
+                    Verify.run_query ~milp_options:opts ~absint
+                      ~characterizer_margin:q.characterizer_margin
+                      ~shared:sub_shared
+                      ~head:q.characterizer.Characterizer.head ~psi:q.psi
+                      ~conditional:(Verify.is_conditional q.bounds) ()))
+          in
+          `Done (result, t)
+        end
+      in
+      let out = Pool.map_list ~workers:outer_runners run_unit units in
+      (* Fold unit outcomes back per query.  Fault isolation is per
+         sub-box: one crashed unit leaves its siblings' verdicts
+         standing, and the merged outcome degrades to [Crashed] only
+         when no UNSAFE witness was found elsewhere. *)
+      let unit_arr = Array.of_list units in
+      let dones = Array.make np [] in
+      let crashes = Array.make np [] in
+      let skips = Array.make np 0 in
+      let attempts = Array.make np 0 in
+      let dense = Array.make np false in
+      let dl = Array.make np false in
+      Array.iteri
+        (fun k cell ->
+          let j, _si, _sub = unit_arr.(k) in
+          match cell with
+          | Some (Ok `Skipped) -> skips.(j) <- skips.(j) + 1
+          | Some (Ok (`Done (r, t))) ->
+              dones.(j) <- r :: dones.(j);
+              attempts.(j) <- Stdlib.max attempts.(j) t.Retry.attempts;
+              if t.Retry.dense_retry then dense.(j) <- true;
+              if t.Retry.deadline_retry then dl.(j) <- true
+          | Some (Error e) -> crashes.(j) <- Printexc.to_string e :: crashes.(j)
+          | None -> crashes.(j) <- "worker abandoned task" :: crashes.(j))
+        out;
+      Array.iteri
+        (fun j (i, key, q, _shared_res) ->
+          match plans.(j) with
+          | None -> ()
+          | Some (plan, from_cache) ->
+              let done_results = List.rev dones.(j) in
+              let crashed_reasons = List.rev crashes.(j) in
+              let merge ~unsolved =
+                Verify.merge_bisected
+                  ~conditional:(Verify.is_conditional q.bounds)
+                  ~discharged:plan.Verify.discharged
+                  ~total_subboxes:(Verify.plan_total plan)
+                  ~wall_time_s:
+                    (List.fold_left
+                       (fun acc (r : Verify.result) ->
+                         acc +. r.Verify.wall_time_s)
+                       0.0 done_results)
+                  ~unsolved done_results
+              in
+              let unsafe_found =
+                List.exists
+                  (fun (r : Verify.result) ->
+                    match r.Verify.verdict with
+                    | Verify.Unsafe _ -> true
+                    | _ -> false)
+                  done_results
+              in
+              let outcome =
+                (* A validated UNSAFE witness decides the query no matter
+                   what happened to the other sub-boxes; below that the
+                   worst infrastructure outcome wins so degradation is
+                   never hidden behind a partial Safe. *)
+                if unsafe_found then
+                  Done
+                    (merge
+                       ~unsolved:(List.length crashed_reasons + skips.(j)))
+                else
+                  match crashed_reasons with
+                  | reason :: _ ->
+                      Crashed (Printf.sprintf "sub-box crashed: %s" reason)
+                  | [] ->
+                      if skips.(j) > 0 then Skipped skip_reason
+                      else Done (merge ~unsolved:0)
+              in
+              let att = Stdlib.max 1 attempts.(j) in
+              journal_append
+                {
+                  Journal.key;
+                  label = q.label;
+                  outcome;
+                  attempts = att;
+                  dense_retry = dense.(j);
+                  deadline_retry = dl.(j);
+                };
+              reports.(i) <-
+                Some
+                  {
+                    query = q;
+                    outcome;
+                    from_cache;
+                    from_journal = false;
+                    attempts = att;
+                    dense_retry = dense.(j);
+                    deadline_retry = dl.(j);
+                  })
+        prepared_arr);
   let query_reports =
     Array.to_list reports
     |> List.map (function
@@ -467,10 +694,12 @@ let buf_query_record b ~last ~label ~(outcome : outcome) ~from_cache
          \"incumbent_updates\": %d, \"steals\": %d, \
          \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
          \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d, \
-         \"fallbacks\": %d }\n"
+         \"fallbacks\": %d, \"absint_phase_fixes\": %d, \
+         \"absint_prunes\": %d }\n"
         s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
         s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
         s.Milp.warm_starts s.Milp.cold_starts s.Milp.fallbacks
+        s.Milp.absint_phase_fixes s.Milp.absint_prunes
   | Crashed _ | Skipped _ -> Buffer.add_string b "\n");
   Printf.bprintf b "    }%s\n" (if last then "" else ",")
 

@@ -137,10 +137,27 @@ val run :
   ?budget_s:float ->
   ?journal:string ->
   ?resume:Journal.entry list ->
+  ?absint:bool ->
+  ?bisect:Verify.bisect_options ->
   perception:Dpv_nn.Network.t ->
   query list ->
   report
 (** Execute every query against [perception].
+
+    [absint] (default false) arms the DeepPoly branch-and-bound guide
+    on every solve (see {!Verify.run_query}).  [bisect] (default off)
+    turns each query into its input-bisection plan
+    ({!Verify.bisect_plan}): sub-boxes discharged by propagation cost
+    no solve at all, and each surviving sub-box becomes its own
+    schedulable unit — so {!plan_workers} sees the true pending width
+    and a campaign of one hard query still fans out across the domain
+    budget.  Per-query verdicts are merged soundly
+    ({!Verify.merge_bisected}); a validated UNSAFE witness in any
+    sub-box decides its query even if sibling sub-boxes crashed, and
+    otherwise one crashed (resp. budget-skipped) sub-box degrades the
+    query to [Crashed] (resp. [Skipped]).  The journal records one
+    merged entry per query, so resume and sharding are oblivious to
+    bisection.
 
     [runners] (default 1) is the campaign's total domain budget.
     {!plan_workers} splits it between the query pool and the inner

@@ -15,6 +15,7 @@ type t = {
   logit_var : Lp.var;
   num_binaries : int;
   num_fixed_relus : int;
+  head_relu_vars : (int * Lp.var option array) list;
 }
 
 let lp_bound x = if Float.is_finite x then Some x else None
@@ -88,6 +89,10 @@ let encode_relu model ~name ~in_vars ~in_bounds =
   let model = ref model in
   let binaries = ref 0 in
   let fixed = ref 0 in
+  (* Per-neuron phase indicator, [None] for bound-stable neurons — the
+     map the abstract-interpretation guide uses to tie LP binaries back
+     to network neurons. *)
+  let deltas = Array.make d None in
   let out_vars =
     Array.init d (fun i ->
         let { Interval.lo = l0; hi = h0 } = in_bounds.(i) in
@@ -119,6 +124,7 @@ let encode_relu model ~name ~in_vars ~in_bounds =
           let m, delta =
             Lp.add_var ~name:(Printf.sprintf "%s_d%d" name i) ~kind:Lp.Binary m
           in
+          deltas.(i) <- Some delta;
           let x = in_vars.(i) in
           let m =
             Lp.add_constraint ~name:(Printf.sprintf "%s_ge%d" name i) m
@@ -140,7 +146,7 @@ let encode_relu model ~name ~in_vars ~in_bounds =
           y
         end)
   in
-  (!model, out_vars, !binaries, !fixed)
+  (!model, out_vars, deltas, !binaries, !fixed)
 
 let encode_network model ~net ~input_vars ~input_box ~name =
   if Array.length input_vars <> Network.input_dim net then
@@ -150,6 +156,7 @@ let encode_network model ~net ~input_vars ~input_box ~name =
   let vars = ref input_vars in
   let binaries = ref 0 in
   let fixed = ref 0 in
+  let relu_vars = ref [] in
   List.iteri
     (fun idx layer ->
       let lname = Printf.sprintf "%s_l%d" name (idx + 1) in
@@ -179,12 +186,13 @@ let encode_network model ~net ~input_vars ~input_box ~name =
           model := m;
           vars := out
       | Layer.Relu ->
-          let m, out, b, f =
+          let m, out, deltas, b, f =
             encode_relu !model ~name:lname ~in_vars:!vars
               ~in_bounds:bounds.(idx)
           in
           model := m;
           vars := out;
+          relu_vars := (idx + 1, deltas) :: !relu_vars;
           binaries := !binaries + b;
           fixed := !fixed + f
       | Layer.Sigmoid | Layer.Tanh ->
@@ -193,7 +201,7 @@ let encode_network model ~net ~input_vars ~input_box ~name =
                "Encode: layer %s is not piecewise-linear; cannot encode"
                (Layer.name layer)))
     (Network.layers net);
-  (!model, !vars, !binaries, !fixed)
+  (!model, !vars, List.rev !relu_vars, !binaries, !fixed)
 
 let risk_constraints model ~psi ~output_vars =
   List.fold_left
@@ -219,9 +227,11 @@ let risk_constraints model ~psi ~output_vars =
 type shared = {
   suffix : Network.t;
   feature_box : Box_domain.t;
+  faces : Polyhedron.halfspace list;
   base_model : Lp.t;
   shared_feature_vars : Lp.var array;
   shared_output_vars : Lp.var array;
+  suffix_relu_vars : (int * Lp.var option array) list;
   suffix_binaries : int;
   suffix_fixed_relus : int;
 }
@@ -246,16 +256,18 @@ let build_shared ~suffix ~feature_box ?(extra_faces = []) () =
       in
       model := Lp.add_constraint ~name:"face" !model terms Lp.Le f.Polyhedron.bound)
     extra_faces;
-  let m, output_vars, b1, f1 =
+  let m, output_vars, relu_vars, b1, f1 =
     encode_network !model ~net:suffix ~input_vars:feature_vars
       ~input_box:feature_box ~name:"g"
   in
   {
     suffix;
     feature_box;
+    faces = extra_faces;
     base_model = m;
     shared_feature_vars = feature_vars;
     shared_output_vars = output_vars;
+    suffix_relu_vars = relu_vars;
     suffix_binaries = b1;
     suffix_fixed_relus = f1;
   }
@@ -265,7 +277,7 @@ let complete shared ~head ?(characterizer_margin = 0.0) ?psi () =
     invalid_arg "Encode.complete: suffix/head input dimensions differ";
   if Network.output_dim head <> 1 then
     invalid_arg "Encode.complete: characterizer head must output a single logit";
-  let m, head_out, b2, f2 =
+  let m, head_out, head_relu_vars, b2, f2 =
     encode_network shared.base_model ~net:head
       ~input_vars:shared.shared_feature_vars ~input_box:shared.feature_box
       ~name:"h"
@@ -288,6 +300,7 @@ let complete shared ~head ?(characterizer_margin = 0.0) ?psi () =
     logit_var;
     num_binaries = shared.suffix_binaries + b2;
     num_fixed_relus = shared.suffix_fixed_relus + f2;
+    head_relu_vars;
   }
 
 let build ~suffix ~head ~feature_box ?(extra_faces = [])
@@ -296,6 +309,16 @@ let build ~suffix ~head ~feature_box ?(extra_faces = [])
   complete shared ~head ~characterizer_margin ?psi ()
 
 let suffix_of_shared shared = shared.suffix
+let feature_box_of_shared shared = shared.feature_box
+let suffix_relu_vars_of_shared shared = shared.suffix_relu_vars
+
+(* Rebuild the prefix over a sub-box of the original feature region —
+   the unit of work under input bisection.  The octagon faces still
+   apply (the sub-box only shrinks S), so they are carried over. *)
+let restrict_shared shared ~feature_box =
+  if Array.length feature_box <> Array.length shared.feature_box then
+    invalid_arg "Encode.restrict_shared: feature box dimension mismatch";
+  build_shared ~suffix:shared.suffix ~feature_box ~extra_faces:shared.faces ()
 
 let set_output_objective t ~sense expr =
   let terms =

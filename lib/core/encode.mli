@@ -19,6 +19,11 @@ type t = {
   logit_var : Dpv_linprog.Lp.var;           (** characterizer logit *)
   num_binaries : int;                       (** ReLU phase indicators *)
   num_fixed_relus : int;                    (** ReLUs resolved by bounds *)
+  head_relu_vars : (int * Dpv_linprog.Lp.var option array) list;
+      (** binary phase variables of the characterizer head, one entry
+          per ReLU layer (1-based layer index; [None] per neuron whose
+          phase was resolved by bounds) — the map {!Absguide} uses to
+          tie LP binaries back to head neurons *)
 }
 
 val encode_network :
@@ -27,9 +32,14 @@ val encode_network :
   input_vars:Dpv_linprog.Lp.var array ->
   input_box:Dpv_absint.Box_domain.t ->
   name:string ->
-  Dpv_linprog.Lp.t * Dpv_linprog.Lp.var array * int * int
+  Dpv_linprog.Lp.t
+  * Dpv_linprog.Lp.var array
+  * (int * Dpv_linprog.Lp.var option array) list
+  * int
+  * int
 (** Lower-level piece: encode one network on existing input variables.
-    Returns (model, output vars, binaries added, fixed relus). *)
+    Returns (model, output vars, per-ReLU-layer binary map, binaries
+    added, fixed relus). *)
 
 type shared
 (** The query-independent prefix of an encoding: the feature-layer
@@ -43,6 +53,19 @@ type shared
 val suffix_of_shared : shared -> Dpv_nn.Network.t
 (** The suffix network captured at {!build_shared} time — callers replay
     witnesses through it without re-slicing the perception network. *)
+
+val feature_box_of_shared : shared -> Dpv_absint.Box_domain.t
+(** The feature box the prefix was built over. *)
+
+val suffix_relu_vars_of_shared :
+  shared -> (int * Dpv_linprog.Lp.var option array) list
+(** Binary phase variables of the suffix, one entry per ReLU layer
+    (1-based layer index; [None] per bound-stable neuron). *)
+
+val restrict_shared : shared -> feature_box:Dpv_absint.Box_domain.t -> shared
+(** Rebuild the prefix over a sub-box of the original feature region
+    (same suffix, same octagon faces) — the unit of work under input
+    bisection.  The sub-box must have the original dimension. *)
 
 val build_shared :
   suffix:Dpv_nn.Network.t ->

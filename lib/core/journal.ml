@@ -74,9 +74,11 @@ let buf_result b (r : Verify.result) =
   buf_ints b s.Milp.per_worker_nodes;
   Printf.bprintf b
     ", \"steals\": %d, \"max_queue_depth\": %d, \"pivots\": %d, \
-     \"warm_starts\": %d, \"cold_starts\": %d, \"fallbacks\": %d}"
+     \"warm_starts\": %d, \"cold_starts\": %d, \"fallbacks\": %d, \
+     \"absint_phase_fixes\": %d, \"absint_prunes\": %d}"
     s.Milp.steals s.Milp.max_queue_depth s.Milp.pivots s.Milp.warm_starts
-    s.Milp.cold_starts s.Milp.fallbacks;
+    s.Milp.cold_starts s.Milp.fallbacks s.Milp.absint_phase_fixes
+    s.Milp.absint_prunes;
   Buffer.add_string b "}"
 
 let entry_to_line e =
@@ -341,6 +343,15 @@ let parse_milp ~line j =
   let* warm_starts = field ~line "warm_starts" Json.to_int j in
   let* cold_starts = field ~line "cold_starts" Json.to_int j in
   let* fallbacks = field ~line "fallbacks" Json.to_int j in
+  (* Absint counters default to 0 so journals written before the
+     abstraction-guided search remain resumable. *)
+  let opt_int name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some v -> v
+    | None -> 0
+  in
+  let absint_phase_fixes = opt_int "absint_phase_fixes" in
+  let absint_prunes = opt_int "absint_prunes" in
   Ok
     {
       Milp.nodes_explored;
@@ -354,6 +365,8 @@ let parse_milp ~line j =
       warm_starts;
       cold_starts;
       fallbacks;
+      absint_phase_fixes;
+      absint_prunes;
     }
 
 let parse_result ~line j =

@@ -14,6 +14,13 @@ let pp_milp_stats fmt (stats : Dpv_linprog.Milp.stats) =
     stats.Dpv_linprog.Milp.warm_starts stats.Dpv_linprog.Milp.cold_starts;
   if stats.Dpv_linprog.Milp.fallbacks > 0 then
     Format.fprintf fmt ", %d dense fallbacks" stats.Dpv_linprog.Milp.fallbacks;
+  if
+    stats.Dpv_linprog.Milp.absint_phase_fixes > 0
+    || stats.Dpv_linprog.Milp.absint_prunes > 0
+  then
+    Format.fprintf fmt ", absint: %d phase fixes / %d prunes"
+      stats.Dpv_linprog.Milp.absint_phase_fixes
+      stats.Dpv_linprog.Milp.absint_prunes;
   if workers > 1 then
     Format.fprintf fmt
       "@,solver: %d workers, nodes/worker [%s], %d steals, max queue depth %d"

@@ -66,12 +66,31 @@ let deadline_reason = "deadline exceeded"
 
 let concrete_tol = 1e-5
 
-let run_query ?(milp_options = default_milp_options) ~characterizer_margin
-    ~shared ~head ~psi ~conditional () =
+(* Interval of a linear expression over an output box. *)
+let expr_bounds expr box =
+  let open Dpv_absint.Interval in
+  List.fold_left
+    (fun acc (c, i) -> add acc (scale c box.(i)))
+    (point expr.Dpv_spec.Linexpr.const)
+    (Dpv_spec.Linexpr.normalized_terms expr)
+
+let run_query ?(milp_options = default_milp_options) ?(absint = false)
+    ~characterizer_margin ~shared ~head ~psi ~conditional () =
   Trace.with_span "verify.query" @@ fun () ->
   let started = Clock.now_s () in
   let suffix = Encode.suffix_of_shared shared in
   let encoding = Encode.complete shared ~head ~characterizer_margin ~psi () in
+  let milp_options =
+    if not absint then milp_options
+    else
+      let guide =
+        Absguide.make ~suffix ~head
+          ~feature_box:(Encode.feature_box_of_shared shared)
+          ~suffix_relus:(Encode.suffix_relu_vars_of_shared shared)
+          ~head_relus:encoding.Encode.head_relu_vars ~psi ~characterizer_margin
+      in
+      { milp_options with Milp.absint = Some guide }
+  in
   let milp_result, milp_stats =
     Milp_par.solve_with_stats ~options:milp_options encoding.Encode.model
   in
@@ -115,12 +134,157 @@ let run_query ?(milp_options = default_milp_options) ~characterizer_margin
     wall_time_s;
   }
 
+(* ---------------- input bisection ---------------- *)
+
+type bisect_options = { max_depth : int; subbox_time_limit_s : float option }
+
+let default_bisect_options = { max_depth = 2; subbox_time_limit_s = None }
+
+module Metrics = Dpv_obs.Metrics
+
+let m_subboxes = Metrics.counter "bisect.subboxes"
+let m_discharged = Metrics.counter "bisect.discharged"
+
+(* Leaf discharge: the sub-box is safe when DeepPoly alone separates it
+   from the query — [verify_incomplete]'s conditions, applied to the
+   sub-box instead of the whole region. *)
+let subbox_discharged ~suffix ~head ~psi ~characterizer_margin box =
+  let output_box =
+    Propagate.output_bounds Propagate.Deeppoly suffix ~input_box:box
+  in
+  let logit_box =
+    (Propagate.output_bounds Propagate.Deeppoly head ~input_box:box).(0)
+  in
+  logit_box.Dpv_absint.Interval.hi < characterizer_margin
+  || List.exists
+       (fun (ineq : Risk.inequality) ->
+         let iv = expr_bounds ineq.Risk.expr output_box in
+         match ineq.Risk.rel with
+         | `Le -> iv.Dpv_absint.Interval.lo > ineq.Risk.bound
+         | `Ge -> iv.Dpv_absint.Interval.hi < ineq.Risk.bound)
+       psi.Risk.inequalities
+
+(* Split at the midpoint of the widest dimension; [None] when the box
+   is degenerate (a point, or midpoint rounding cannot make progress). *)
+let split_box (box : Box_domain.t) =
+  let d = Array.length box in
+  let widest = ref 0 and w = ref neg_infinity in
+  for i = 0 to d - 1 do
+    let wi = Dpv_absint.Interval.width box.(i) in
+    if wi > !w then begin
+      w := wi;
+      widest := i
+    end
+  done;
+  if d = 0 || !w <= 0.0 then None
+  else begin
+    let i = !widest in
+    let { Dpv_absint.Interval.lo; hi } = box.(i) in
+    let mid = 0.5 *. (lo +. hi) in
+    if (not (Float.is_finite mid)) || mid <= lo || mid >= hi then None
+    else begin
+      let a = Array.copy box and b = Array.copy box in
+      a.(i) <- Dpv_absint.Interval.make ~lo ~hi:mid;
+      b.(i) <- Dpv_absint.Interval.make ~lo:mid ~hi;
+      Some (a, b)
+    end
+  end
+
+type bisect_plan = { survivors : Box_domain.t list; discharged : int }
+
+let plan_total p = p.discharged + List.length p.survivors
+
+(* Recursively split the feature box, discharging cheap sub-boxes with
+   DeepPoly as they appear; whatever survives to [max_depth] (or cannot
+   be split further) goes to the MILP.  The union of discharged and
+   surviving sub-boxes covers the input box exactly, so any verdict
+   merge over the plan is a verdict about the whole region. *)
+let bisect_plan ~max_depth ~suffix ~head ~psi ~characterizer_margin
+    feature_box =
+  let discharged = ref 0 in
+  let survivors = ref [] in
+  let rec go depth box =
+    if subbox_discharged ~suffix ~head ~psi ~characterizer_margin box then
+      incr discharged
+    else if depth >= max_depth then survivors := box :: !survivors
+    else
+      match split_box box with
+      | None -> survivors := box :: !survivors
+      | Some (a, b) ->
+          go (depth + 1) a;
+          go (depth + 1) b
+  in
+  go 0 feature_box;
+  let plan = { survivors = List.rev !survivors; discharged = !discharged } in
+  Metrics.incr m_subboxes (plan_total plan);
+  Metrics.incr m_discharged plan.discharged;
+  plan
+
+(* Sound verdict merge across a plan's sub-boxes: any (already
+   concretely re-validated) UNSAFE witness decides the query; Safe
+   requires every sub-box Safe or discharged; anything else stays
+   Unknown.  [unsolved] counts survivors that never ran (budget). *)
+let merge_bisected ~conditional ~discharged ~total_subboxes ~wall_time_s
+    ~unsolved results =
+  let stats =
+    List.fold_left
+      (fun acc r -> Milp.add_stats acc r.milp_stats)
+      Milp.empty_stats results
+  in
+  let num_binaries =
+    List.fold_left (fun acc r -> max acc r.num_binaries) 0 results
+  in
+  let verdict =
+    match
+      List.find_opt
+        (fun r -> match r.verdict with Unsafe _ -> true | _ -> false)
+        results
+    with
+    | Some r -> r.verdict
+    | None ->
+        let unknowns =
+          List.filter_map
+            (fun r ->
+              match r.verdict with Unknown reason -> Some reason | _ -> None)
+            results
+        in
+        if unsolved > 0 then
+          Unknown
+            (Printf.sprintf "%d of %d sub-boxes not solved (budget exhausted)"
+               unsolved total_subboxes)
+        else if List.exists (fun reason -> reason = deadline_reason) unknowns
+        then
+          (* Keep the exact deadline reason: the retry ladder keys on it. *)
+          Unknown deadline_reason
+        else (
+          match unknowns with
+          | [] -> Safe { conditional }
+          | [ reason ] -> Unknown ("sub-box inconclusive: " ^ reason)
+          | reason :: _ ->
+              Unknown
+                (Printf.sprintf "%d sub-boxes inconclusive (first: %s)"
+                   (List.length unknowns) reason))
+  in
+  {
+    verdict;
+    milp_stats = stats;
+    encoding =
+      Printf.sprintf
+        "bisection: %d sub-boxes (%d discharged by propagation, %d to MILP)"
+        total_subboxes discharged
+        (total_subboxes - discharged);
+    num_binaries;
+    wall_time_s;
+  }
+
 let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
-    ~perception ~characterizer ~psi ~bounds () =
+    ?(absint = false) ?bisect ~perception ~characterizer ~psi ~bounds () =
+  let started = Clock.now_s () in
   let cut = characterizer.Characterizer.cut in
   let suffix = Network.suffix perception ~cut in
   let head = characterizer.Characterizer.head in
   let feature_box, extra_faces = resolve_bounds ~perception ~cut bounds in
+  let conditional = is_conditional bounds in
   (* One deadline covers tightening *and* the MILP: [time_limit_s] is
      the budget for the whole call, not per phase. *)
   let time_limit_s = Option.bind milp_options (fun o -> o.Milp.time_limit_s) in
@@ -142,21 +306,56 @@ let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
     end
     else shared
   in
-  let milp_options =
-    Option.map
-      (fun o -> { o with Milp.time_limit_s = Clock.carve deadline o.Milp.time_limit_s })
-      milp_options
-  in
-  run_query ?milp_options ~characterizer_margin ~shared ~head ~psi
-    ~conditional:(is_conditional bounds) ()
-
-(* Interval of a linear expression over an output box. *)
-let expr_bounds expr box =
-  let open Dpv_absint.Interval in
-  List.fold_left
-    (fun acc (c, i) -> add acc (scale c box.(i)))
-    (point expr.Dpv_spec.Linexpr.const)
-    (Dpv_spec.Linexpr.normalized_terms expr)
+  match bisect with
+  | None ->
+      let milp_options =
+        Option.map
+          (fun o ->
+            { o with Milp.time_limit_s = Clock.carve deadline o.Milp.time_limit_s })
+          milp_options
+      in
+      run_query ?milp_options ~absint ~characterizer_margin ~shared ~head ~psi
+        ~conditional ()
+  | Some b ->
+      let box = Encode.feature_box_of_shared shared in
+      let plan =
+        bisect_plan ~max_depth:b.max_depth ~suffix ~head ~psi
+          ~characterizer_margin box
+      in
+      let sub_options () =
+        let o = Option.value milp_options ~default:default_milp_options in
+        let budget = Clock.carve deadline o.Milp.time_limit_s in
+        let budget =
+          match (budget, b.subbox_time_limit_s) with
+          | Some t, Some s -> Some (Float.min t s)
+          | None, s -> s
+          | t, None -> t
+        in
+        { o with Milp.time_limit_s = budget }
+      in
+      let results = ref [] in
+      let unsafe_found = ref false in
+      List.iter
+        (fun sub ->
+          (* A validated witness settles the whole query: later sub-boxes
+             cannot change the verdict, so skip their MILPs. *)
+          if not !unsafe_found then begin
+            let sub_shared = Encode.restrict_shared shared ~feature_box:sub in
+            let r =
+              run_query ~milp_options:(sub_options ()) ~absint
+                ~characterizer_margin ~shared:sub_shared ~head ~psi
+                ~conditional ()
+            in
+            results := r :: !results;
+            match r.verdict with
+            | Unsafe _ -> unsafe_found := true
+            | _ -> ()
+          end)
+        plan.survivors;
+      merge_bisected ~conditional ~discharged:plan.discharged
+        ~total_subboxes:(plan_total plan)
+        ~wall_time_s:(Clock.now_s () -. started)
+        ~unsolved:0 (List.rev !results)
 
 let verify_incomplete ?(domain = Propagate.Deeppoly)
     ?(characterizer_margin = 0.0) ~perception ~characterizer ~psi ~bounds () =

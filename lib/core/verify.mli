@@ -60,6 +60,7 @@ val resolve_bounds :
 
 val run_query :
   ?milp_options:Dpv_linprog.Milp.options ->
+  ?absint:bool ->
   characterizer_margin:float ->
   shared:Encode.shared ->
   head:Dpv_nn.Network.t ->
@@ -70,13 +71,71 @@ val run_query :
 (** Run one MILP query on a pre-built {!Encode.shared} prefix: complete
     the encoding with [head]/[psi]/[characterizer_margin], solve, and
     map the solver result to a verdict (re-validating any witness by
-    concrete execution).  Callers that answer many queries over the same
-    [(cut, bounds)] region build the prefix once — see {!Campaign}. *)
+    concrete execution).  [absint] (default false) arms the
+    branch-and-bound search with the {!Absguide} DeepPoly guide built
+    from this encoding (phase fixing, node pruning, and — together with
+    [milp_options.branch_rule = Bound_width] — bound-width branching).
+    Callers that answer many queries over the same [(cut, bounds)]
+    region build the prefix once — see {!Campaign}. *)
+
+type bisect_options = {
+  max_depth : int;
+      (** bisection tree depth: up to [2^max_depth] sub-boxes *)
+  subbox_time_limit_s : float option;
+      (** optional per-sub-box wall-clock budget, met with the query's
+          own remaining deadline by taking the minimum *)
+}
+
+val default_bisect_options : bisect_options
+(** [{ max_depth = 2; subbox_time_limit_s = None }] *)
+
+type bisect_plan = {
+  survivors : Dpv_absint.Box_domain.t list;
+      (** sub-boxes that still need a complete MILP query *)
+  discharged : int;
+      (** sub-boxes proven safe by DeepPoly propagation alone *)
+}
+
+val plan_total : bisect_plan -> int
+(** Total leaves of the plan: [discharged + length survivors]. *)
+
+val bisect_plan :
+  max_depth:int ->
+  suffix:Dpv_nn.Network.t ->
+  head:Dpv_nn.Network.t ->
+  psi:Dpv_spec.Risk.t ->
+  characterizer_margin:float ->
+  Dpv_absint.Box_domain.t ->
+  bisect_plan
+(** Recursively split the feature box at the midpoint of its widest
+    dimension, discharging any sub-box that DeepPoly alone proves safe
+    (the {!verify_incomplete} conditions); survivors are the leaves at
+    [max_depth] (or unsplittable degenerate boxes).  The plan's leaves
+    cover the input box exactly.  Increments the [bisect.subboxes] and
+    [bisect.discharged] metrics counters. *)
+
+val merge_bisected :
+  conditional:bool ->
+  discharged:int ->
+  total_subboxes:int ->
+  wall_time_s:float ->
+  unsolved:int ->
+  result list ->
+  result
+(** Sound verdict merge over a plan's solved survivors: any UNSAFE
+    result (its witness was already re-validated concretely by
+    {!run_query}) decides the query; [Safe] requires [unsolved = 0] and
+    every survivor Safe; otherwise Unknown.  MILP stats are summed
+    ({!Dpv_linprog.Milp.add_stats}); a sub-box deadline expiry keeps
+    the exact {!deadline_reason} so the retry ladder still keys on
+    it. *)
 
 val verify :
   ?milp_options:Dpv_linprog.Milp.options ->
   ?characterizer_margin:float ->
   ?tighten:bool ->
+  ?absint:bool ->
+  ?bisect:bisect_options ->
   perception:Dpv_nn.Network.t ->
   characterizer:Characterizer.t ->
   psi:Dpv_spec.Risk.t ->
@@ -87,14 +146,24 @@ val verify :
     resolved region before encoding, trading a few LPs for fewer
     branch-and-bound binaries.
 
+    [absint] (default false) arms the DeepPoly branch-and-bound guide —
+    see {!run_query}.  [bisect] (default off) runs the input-bisection
+    front end instead of one monolithic MILP: the resolved (and
+    possibly tightened) feature box is split per {!bisect_plan}, cheap
+    sub-boxes are discharged by propagation, survivors are solved as
+    independent MILP queries (stopping early once a validated UNSAFE
+    witness is found), and the verdicts are combined with
+    {!merge_bisected}.
+
     [milp_options] controls the solver: [workers > 1] searches the
     branch-and-bound tree across that many domains
     ({!Dpv_linprog.Milp_par}), and [time_limit_s] imposes a wall-clock
     deadline — an expired query returns [Unknown "deadline exceeded"]
     (the paper's UNKNOWN verdict) instead of spinning to the node cap.
     [time_limit_s] is a budget for the {e whole} call: one deadline is
-    started up front and shared by the optional tightening pass and the
-    MILP search, so [tighten:true] cannot double the wall clock. *)
+    started up front and shared by the optional tightening pass, every
+    bisection sub-box, and the MILP search, so neither [tighten:true]
+    nor [bisect] can grow the wall clock past the budget. *)
 
 val verify_incomplete :
   ?domain:Dpv_absint.Propagate.domain ->

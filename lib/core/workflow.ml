@@ -310,8 +310,8 @@ let bounds_spec_of prepared ~cut = function
   | Data_box -> Verify.Data_box (features_at prepared ~cut)
   | Data_octagon -> Verify.Data_octagon (features_at prepared ~cut)
 
-let run_case ?characterizer_config ?milp_options ?cut prepared ~property ~psi
-    ~strategy =
+let run_case ?characterizer_config ?milp_options ?cut ?absint ?bisect prepared
+    ~property ~psi ~strategy =
   let cut = Option.value cut ~default:prepared.setup.cut in
   let train_images, train_labels, val_images, val_labels, rng =
     characterizer_data prepared ~property
@@ -328,8 +328,8 @@ let run_case ?characterizer_config ?milp_options ?cut prepared ~property ~psi
   in
   let bounds = bounds_spec_of prepared ~cut strategy in
   let result =
-    Verify.verify ?milp_options ~perception:prepared.perception ~characterizer
-      ~psi ~bounds ()
+    Verify.verify ?milp_options ?absint ?bisect ~perception:prepared.perception
+      ~characterizer ~psi ~bounds ()
   in
   let table =
     Statistical.estimate ~characterizer ~perception:prepared.perception

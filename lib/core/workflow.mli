@@ -104,13 +104,16 @@ val run_case :
   ?characterizer_config:Characterizer.train_config ->
   ?milp_options:Dpv_linprog.Milp.options ->
   ?cut:int ->
+  ?absint:bool ->
+  ?bisect:Verify.bisect_options ->
   prepared ->
   property:Dpv_scenario.Scene.t Dpv_spec.Property.t ->
   psi:Dpv_spec.Risk.t ->
   strategy:strategy ->
   case_report
 (** The full Figure-1 pipeline for one [(phi, psi, S)] triple.  [cut]
-    defaults to [setup.cut]. *)
+    defaults to [setup.cut]; [absint]/[bisect] pass through to
+    {!Verify.verify}. *)
 
 val train_characterizer :
   ?config:Characterizer.train_config ->

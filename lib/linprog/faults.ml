@@ -5,6 +5,7 @@ type site =
   | Deadline_jitter
   | Task_crash
   | Journal_crash
+  | Lp_unbounded
 
 let all_sites =
   [
@@ -14,6 +15,7 @@ let all_sites =
     ("deadline-jitter", Deadline_jitter);
     ("task-crash", Task_crash);
     ("journal-crash", Journal_crash);
+    ("lp-unbounded", Lp_unbounded);
   ]
 
 let site_index = function
@@ -23,8 +25,9 @@ let site_index = function
   | Deadline_jitter -> 3
   | Task_crash -> 4
   | Journal_crash -> 5
+  | Lp_unbounded -> 6
 
-let n_sites = 6
+let n_sites = 7
 
 let site_name s = fst (List.nth all_sites (site_index s))
 

@@ -33,6 +33,12 @@ type site =
                             returns true early *)
   | Task_crash          (** a campaign query task raises mid-flight *)
   | Journal_crash       (** a journal write fails with [Sys_error] *)
+  | Lp_unbounded        (** a branch-and-bound node's LP relaxation
+                            reports [Unbounded] — with exact arithmetic
+                            this is impossible below a bounded root, so
+                            the site models the numerical artifact the
+                            solvers must survive without abandoning the
+                            search *)
 
 val all_sites : (string * site) list
 (** Kebab-case spec names, e.g. [("task-crash", Task_crash)]. *)

@@ -18,6 +18,8 @@ type stats = {
   warm_starts : int;
   cold_starts : int;
   fallbacks : int;
+  absint_phase_fixes : int;
+  absint_prunes : int;
 }
 
 let empty_stats =
@@ -33,7 +35,42 @@ let empty_stats =
     warm_starts = 0;
     cold_starts = 0;
     fallbacks = 0;
+    absint_phase_fixes = 0;
+    absint_prunes = 0;
   }
+
+let add_stats a b =
+  {
+    nodes_explored = a.nodes_explored + b.nodes_explored;
+    lp_solved = a.lp_solved + b.lp_solved;
+    incumbent_updates = a.incumbent_updates + b.incumbent_updates;
+    lp_time_s = a.lp_time_s +. b.lp_time_s;
+    per_worker_nodes = Array.append a.per_worker_nodes b.per_worker_nodes;
+    steals = a.steals + b.steals;
+    max_queue_depth = max a.max_queue_depth b.max_queue_depth;
+    pivots = a.pivots + b.pivots;
+    warm_starts = a.warm_starts + b.warm_starts;
+    cold_starts = a.cold_starts + b.cold_starts;
+    fallbacks = a.fallbacks + b.fallbacks;
+    absint_phase_fixes = a.absint_phase_fixes + b.absint_phase_fixes;
+    absint_prunes = a.absint_prunes + b.absint_prunes;
+  }
+
+type branch_rule = Most_fractional | Bound_width
+
+(* What an abstract-interpretation guide learned about one node.  The
+   solver stays ignorant of how the bounds were propagated: [prune]
+   means the node's feasible region provably misses the query, [fix]
+   lists binary variables whose phase is implied by the node's current
+   bounds, and [widths] scores still-free binaries by the width of the
+   pre-activation interval they control (for [Bound_width] branching). *)
+type guidance = {
+  prune : bool;
+  fix : (Lp.var * float) list;
+  widths : (Lp.var * float) list;
+}
+
+type guide = Lp.t -> guidance
 
 type options = {
   max_nodes : int;
@@ -43,6 +80,8 @@ type options = {
   task_batch : int;
   time_limit_s : float option;
   lp_dense : bool;
+  absint : guide option;
+  branch_rule : branch_rule;
 }
 
 (* Global metrics, folded from the finished [stats] record at the end of
@@ -64,6 +103,8 @@ let m_pivots = Metrics.counter "simplex.pivots"
 let m_warm = Metrics.counter "simplex.warm_starts"
 let m_cold = Metrics.counter "simplex.cold_starts"
 let m_fallbacks = Metrics.counter "simplex.fallbacks"
+let m_absint_fixes = Metrics.counter "absint.phase_fixes"
+let m_absint_prunes = Metrics.counter "absint.prunes"
 let lp_solve_hist = Metrics.histogram "milp.lp_solve_ns"
 
 let record_metrics (s : stats) =
@@ -77,7 +118,9 @@ let record_metrics (s : stats) =
   Metrics.incr m_pivots s.pivots;
   Metrics.incr m_warm s.warm_starts;
   Metrics.incr m_cold s.cold_starts;
-  Metrics.incr m_fallbacks s.fallbacks
+  Metrics.incr m_fallbacks s.fallbacks;
+  Metrics.incr m_absint_fixes s.absint_phase_fixes;
+  Metrics.incr m_absint_prunes s.absint_prunes
 
 let observe_lp_s seconds =
   Metrics.observe lp_solve_hist (int_of_float (seconds *. 1e9))
@@ -91,6 +134,8 @@ let default_options =
     task_batch = 32;
     time_limit_s = None;
     lp_dense = false;
+    absint = None;
+    branch_rule = Most_fractional;
   }
 
 let is_integral ~tol x = Float.abs (x -. Float.round x) <= tol
@@ -113,6 +158,28 @@ let find_branch_var ~tol model solution =
       end)
     (Lp.integer_vars model);
   Option.map fst !best
+
+(* Widest-interval fractional variable under [Bound_width]: among the
+   fractional integer variables that the guide scored, take the one
+   whose pre-activation interval is widest (ties go to the lowest index,
+   like [find_branch_var], for run-to-run stability).  Falls back to
+   most-fractional when the guide scored none of the candidates. *)
+let find_branch_var_widest ~tol model solution widths =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let x = solution.(v) in
+      if not (is_integral ~tol x) then
+        match List.assoc_opt v widths with
+        | None -> ()
+        | Some w -> (
+            match !best with
+            | Some (_, bw) when w <= bw -> ()
+            | _ -> best := Some (v, w)))
+    (Lp.integer_vars model);
+  match !best with
+  | Some (v, _) -> Some v
+  | None -> find_branch_var ~tol model solution
 
 let round_integral ~tol model solution =
   let out = Array.copy solution in
@@ -144,6 +211,8 @@ let solve_with_stats ?(options = default_options) model =
   let hit_limit = ref false in
   let hit_deadline = ref false in
   let relaxation_unbounded = ref false in
+  let unbounded_truncated = ref false in
+  let absint_fixes = ref 0 and absint_prunes = ref 0 in
   let max_depth = ref 0 in
   (* One persistent solver for the whole tree: nodes differ from each
      other only in integer-variable bounds, so syncing those bounds and
@@ -182,41 +251,88 @@ let solve_with_stats ?(options = default_options) model =
           options.find_first && !incumbent <> None
         then ()
         else begin
-          incr nodes;
-          incr lps;
-          let lp_started = Clock.now_s () in
-          let status = solve_node node in
-          let lp_s = Clock.now_s () -. lp_started in
-          lp_time := !lp_time +. lp_s;
-          observe_lp_s lp_s;
-          match status with
-          | Simplex.Infeasible -> explore rest (depth - 1)
-          | Simplex.Unbounded ->
-              (* Without a finite relaxation bound we cannot prune; report. *)
-              relaxation_unbounded := true
-          | Simplex.Optimal { objective; solution } ->
-              let prune =
-                match !incumbent with
-                | Some (obj, _) -> not (better objective obj)
-                | None -> false
+          let is_root = node == model in
+          (* The abstract-interpretation guide, when armed, runs before
+             the LP: a pruned node costs no simplex work at all, and
+             phase fixes shrink the subtree the relaxation must cover. *)
+          let guidance =
+            match options.absint with None -> None | Some f -> Some (f node)
+          in
+          match guidance with
+          | Some g when g.prune ->
+              incr absint_prunes;
+              explore rest (depth - 1)
+          | _ -> (
+              let node =
+                match guidance with
+                | Some { fix = (_ :: _) as fix; _ } ->
+                    absint_fixes := !absint_fixes + List.length fix;
+                    List.fold_left
+                      (fun m (v, x) ->
+                        Lp.set_var_bounds m v ~lo:(Some x) ~up:(Some x))
+                      node fix
+                | _ -> node
               in
-              if prune then explore rest (depth - 1)
-              else begin
-                match find_branch_var ~tol:options.int_tol node solution with
-                | None ->
-                    let sol = round_integral ~tol:options.int_tol node solution in
-                    (match !incumbent with
-                    | Some (obj, _) when not (better objective obj) -> ()
-                    | _ ->
-                        incumbent := Some (objective, sol);
-                        incr updates);
+              incr nodes;
+              incr lps;
+              let lp_started = Clock.now_s () in
+              let status = solve_node node in
+              let status =
+                if Faults.fire Faults.Lp_unbounded then Simplex.Unbounded
+                else status
+              in
+              let lp_s = Clock.now_s () -. lp_started in
+              lp_time := !lp_time +. lp_s;
+              observe_lp_s lp_s;
+              match status with
+              | Simplex.Infeasible -> explore rest (depth - 1)
+              | Simplex.Unbounded ->
+                  if is_root then
+                    (* At the root this is an honest report: without a
+                       finite relaxation bound the MILP itself may be
+                       unbounded. *)
+                    relaxation_unbounded := true
+                  else begin
+                    (* A child's feasible set is contained in the root's,
+                       so below a bounded root an unbounded relaxation is
+                       a numerical artifact, not a proof.  Drop the
+                       subtree, keep exploring siblings; the truncation
+                       downgrades any optimality claim below. *)
+                    unbounded_truncated := true;
                     explore rest (depth - 1)
-                | Some v ->
-                    let first, second = branch_children node v solution.(v) in
-                    let depth' = depth + 1 in
-                    if depth' > !max_depth then max_depth := depth';
-                    explore (first :: second :: rest) depth'
-              end
+                  end
+              | Simplex.Optimal { objective; solution } ->
+                  let prune =
+                    match !incumbent with
+                    | Some (obj, _) -> not (better objective obj)
+                    | None -> false
+                  in
+                  if prune then explore rest (depth - 1)
+                  else begin
+                    let branch_var =
+                      match (options.branch_rule, guidance) with
+                      | Bound_width, Some { widths = _ :: _ as widths; _ } ->
+                          find_branch_var_widest ~tol:options.int_tol node
+                            solution widths
+                      | _ -> find_branch_var ~tol:options.int_tol node solution
+                    in
+                    match branch_var with
+                    | None ->
+                        let sol =
+                          round_integral ~tol:options.int_tol node solution
+                        in
+                        (match !incumbent with
+                        | Some (obj, _) when not (better objective obj) -> ()
+                        | _ ->
+                            incumbent := Some (objective, sol);
+                            incr updates);
+                        explore rest (depth - 1)
+                    | Some v ->
+                        let first, second = branch_children node v solution.(v) in
+                        let depth' = depth + 1 in
+                        if depth' > !max_depth then max_depth := depth';
+                        explore (first :: second :: rest) depth'
+                  end)
         end
   in
   max_depth := 1;
@@ -235,6 +351,8 @@ let solve_with_stats ?(options = default_options) model =
       warm_starts = c.Simplex.warm_starts;
       cold_starts = c.Simplex.cold_starts;
       fallbacks = c.Simplex.fallbacks;
+      absint_phase_fixes = !absint_fixes;
+      absint_prunes = !absint_prunes;
     }
   in
   let result =
@@ -248,14 +366,15 @@ let solve_with_stats ?(options = default_options) model =
           (not options.find_first)
           && (not !hit_limit)
           && (not !hit_deadline)
-          && not !relaxation_unbounded
+          && (not !relaxation_unbounded)
+          && not !unbounded_truncated
         in
         if proven then Optimal { objective; solution }
         else Feasible { objective; solution }
     | None ->
         if !relaxation_unbounded then Unbounded
         else if !hit_deadline then Timeout
-        else if !hit_limit then Node_limit
+        else if !hit_limit || !unbounded_truncated then Node_limit
         else Infeasible
   in
   record_metrics stats;

@@ -21,9 +21,17 @@ type result =
           objective is only a bound on the true optimum. *)
   | Infeasible
   | Unbounded
-      (** The LP relaxation is unbounded (the MILP may be too). *)
+      (** The {e root} LP relaxation is unbounded (the MILP may be
+          too).  Only the root can make this claim: below a bounded
+          root every child's feasible set is contained in the root's,
+          so a child relaxation reported unbounded is a numerical
+          artifact — the solvers treat it as truncation (the subtree is
+          dropped, siblings are still explored) and the run degrades to
+          {!Feasible} or {!Node_limit} honesty instead. *)
   | Node_limit
-      (** Search stopped at [max_nodes] without a conclusive answer. *)
+      (** Search stopped without a conclusive answer and without an
+          incumbent: the [max_nodes] cap was hit, or a non-root
+          unbounded relaxation forced a subtree to be dropped. *)
   | Timeout
       (** Search stopped at the wall-clock deadline without a
           conclusive answer.  Queries should degrade to "unknown"
@@ -52,11 +60,52 @@ type stats = {
   fallbacks : int;              (** node LPs rescued by the dense
                                     reference solver after the revised
                                     engine hit numerical trouble *)
+  absint_phase_fixes : int;     (** binary phase variables fixed by the
+                                    abstract-interpretation guide
+                                    without branching *)
+  absint_prunes : int;          (** nodes discharged by the guide before
+                                    their LP was ever solved (they do
+                                    not count toward [nodes_explored]) *)
 }
 
 val empty_stats : stats
 (** All-zero statistics; the baseline for non-MILP code paths that must
     still report a [stats] record. *)
+
+val add_stats : stats -> stats -> stats
+(** Componentwise sum (concatenating [per_worker_nodes], maxing
+    [max_queue_depth]) — used when one verification query is answered
+    by several MILP solves, e.g. under input bisection. *)
+
+type branch_rule =
+  | Most_fractional  (** classic most-fractional branching (default) *)
+  | Bound_width
+      (** among fractional binaries, branch on the one whose
+          pre-activation interval (as scored by the [absint] guide) is
+          widest; falls back to [Most_fractional] when no guide is
+          armed or it scored no candidate *)
+
+type guidance = {
+  prune : bool;
+      (** the node's region provably misses the query: discard it
+          without solving its LP *)
+  fix : (Lp.var * float) list;
+      (** binaries whose phase is implied by the node's bounds; the
+          solver fixes each variable to the given 0/1 value before the
+          LP solve *)
+  widths : (Lp.var * float) list;
+      (** pre-activation interval width per still-free binary, the
+          score used by {!Bound_width} branching *)
+}
+
+type guide = Lp.t -> guidance
+(** An abstract-interpretation oracle consulted once per node, before
+    the node's LP is solved.  Must be sound: [prune] only when no point
+    of the node's feasible region satisfies the query, [fix] only
+    phases implied (up to feasibility-preserving tie-breaks at 0) by
+    the node's bounds.  Built over DeepPoly by [Dpv_core.Absguide];
+    this module only sees the closure, so [lib/linprog] stays free of
+    any dependency on the abstract domains. *)
 
 type options = {
   max_nodes : int;      (** branch-and-bound node budget *)
@@ -85,16 +134,28 @@ type options = {
           the warm-started revised engine.  Slow but stateless between
           nodes; the retry ladder switches this on after an escaped
           [Numerical_trouble]. *)
+  absint : guide option;
+      (** abstract-interpretation guide consulted per node ([None], the
+          default, leaves the search bit-for-bit identical to the
+          unguided solver) *)
+  branch_rule : branch_rule;  (** branch-variable selection rule *)
 }
 
 val default_options : options
 (** [{ max_nodes = 200_000; int_tol = 1e-6; find_first = false;
-      workers = 1; time_limit_s = None; lp_dense = false }] *)
+      workers = 1; time_limit_s = None; lp_dense = false;
+      absint = None; branch_rule = Most_fractional }] *)
 
 val find_branch_var : tol:float -> Lp.t -> float array -> Lp.var option
 (** Most fractional integer variable, ties broken toward the lowest
     variable index (deterministically, so sequential and parallel runs
     branch identically on identical relaxations). *)
+
+val find_branch_var_widest :
+  tol:float -> Lp.t -> float array -> (Lp.var * float) list -> Lp.var option
+(** [Bound_width] selection: the fractional integer variable with the
+    largest width score, ties toward the lowest index; falls back to
+    {!find_branch_var} when no fractional variable was scored. *)
 
 val round_integral : tol:float -> Lp.t -> float array -> float array
 (** Snap near-integral integer variables of a relaxation solution to

@@ -15,7 +15,10 @@ type shared = {
   found : bool Atomic.t;          (* an incumbent exists (find_first exit) *)
   hit_limit : bool Atomic.t;
   hit_deadline : bool Atomic.t;
-  relaxation_unbounded : bool Atomic.t;
+  relaxation_unbounded : bool Atomic.t;  (* root LP unbounded: halt *)
+  unbounded_truncated : bool Atomic.t;   (* non-root artifact: go on *)
+  absint_fixes : int Atomic.t;
+  absint_prunes : int Atomic.t;
 }
 
 let solve_parallel ~(options : Milp.options) model =
@@ -37,6 +40,9 @@ let solve_parallel ~(options : Milp.options) model =
       hit_limit = Atomic.make false;
       hit_deadline = Atomic.make false;
       relaxation_unbounded = Atomic.make false;
+      unbounded_truncated = Atomic.make false;
+      absint_fixes = Atomic.make 0;
+      absint_prunes = Atomic.make 0;
     }
   in
   let per_worker_nodes = Array.make workers 0 in
@@ -125,29 +131,72 @@ let solve_parallel ~(options : Milp.options) model =
       else begin
         let node = List.hd !stack in
         stack := List.tl !stack;
+        (* Physical equality identifies the root: [branch_children]
+           always allocates fresh child records, so only the original
+           seeded model can ever be [==] to itself here. *)
+        let is_root = node == model in
+        (* Same guide protocol as the sequential solver: consult before
+           the LP, prune without solving, fix implied phases first. *)
+        let guidance =
+          match options.Milp.absint with
+          | None -> None
+          | Some f -> Some (f node)
+        in
+        match guidance with
+        | Some g when g.Milp.prune -> Atomic.incr s.absint_prunes
+        | _ -> (
+        let node =
+          match guidance with
+          | Some { Milp.fix = _ :: _ as fix; _ } ->
+              ignore (Atomic.fetch_and_add s.absint_fixes (List.length fix));
+              List.fold_left
+                (fun m (v, x) ->
+                  Lp.set_var_bounds m v ~lo:(Some x) ~up:(Some x))
+                node fix
+          | _ -> node
+        in
         incr processed;
         Atomic.incr s.nodes;
         per_worker_nodes.(id) <- per_worker_nodes.(id) + 1;
         Atomic.incr s.lps;
         let lp_started = Clock.now_s () in
         let status = solve_node id node in
+        let status =
+          if Faults.fire Faults.Lp_unbounded then Simplex.Unbounded else status
+        in
         let lp_s = Clock.now_s () -. lp_started in
         lp_time.(id) <- lp_time.(id) +. lp_s;
         Milp.observe_lp_s lp_s;
         match status with
         | Simplex.Infeasible -> ()
         | Simplex.Unbounded ->
-            (* Without a finite relaxation bound we cannot prune;
-               abandon the search and report, as the sequential solver
-               does. *)
-            Atomic.set s.relaxation_unbounded true;
-            truncated := true
+            if is_root then begin
+              (* The root relaxation really is unbounded: no finite
+                 bound exists, abandon the search and report. *)
+              Atomic.set s.relaxation_unbounded true;
+              truncated := true
+            end
+            else
+              (* Below a bounded root this is a numerical artifact, not
+                 an unboundedness proof (a child's feasible set is
+                 contained in the root's).  Drop the subtree and keep
+                 the other workers searching; the flag downgrades any
+                 optimality claim at classification time. *)
+              Atomic.set s.unbounded_truncated true
         | Simplex.Optimal { objective; solution } -> (
             if pruned_by_incumbent objective then ()
             else
-              match
-                Milp.find_branch_var ~tol:options.Milp.int_tol node solution
-              with
+              let branch_var =
+                match (options.Milp.branch_rule, guidance) with
+                | Milp.Bound_width, Some { Milp.widths = _ :: _ as widths; _ }
+                  ->
+                    Milp.find_branch_var_widest ~tol:options.Milp.int_tol node
+                      solution widths
+                | _ ->
+                    Milp.find_branch_var ~tol:options.Milp.int_tol node
+                      solution
+              in
+              match branch_var with
               | None ->
                   let sol =
                     Milp.round_integral ~tol:options.Milp.int_tol node solution
@@ -170,7 +219,7 @@ let solve_parallel ~(options : Milp.options) model =
                        pop the front of the deque, so they always grab
                        the largest spilled subtree first. *)
                     spilled := !spilled @ List.rev spill
-                  end)
+                  end))
       end
     done;
     (* The pool pushes children in list order to this worker's deque:
@@ -217,6 +266,8 @@ let solve_parallel ~(options : Milp.options) model =
       warm_starts = !warm;
       cold_starts = !cold;
       fallbacks = !fallbacks;
+      absint_phase_fixes = Atomic.get s.absint_fixes;
+      absint_prunes = Atomic.get s.absint_prunes;
     }
   in
   let result =
@@ -229,14 +280,16 @@ let solve_parallel ~(options : Milp.options) model =
           (not options.Milp.find_first)
           && (not (Atomic.get s.hit_limit))
           && (not (Atomic.get s.hit_deadline))
-          && not (Atomic.get s.relaxation_unbounded)
+          && (not (Atomic.get s.relaxation_unbounded))
+          && not (Atomic.get s.unbounded_truncated)
         in
         if proven then Milp.Optimal { objective; solution }
         else Milp.Feasible { objective; solution }
     | None ->
         if Atomic.get s.relaxation_unbounded then Milp.Unbounded
         else if Atomic.get s.hit_deadline then Milp.Timeout
-        else if Atomic.get s.hit_limit then Milp.Node_limit
+        else if Atomic.get s.hit_limit || Atomic.get s.unbounded_truncated then
+          Milp.Node_limit
         else Milp.Infeasible
   in
   Milp.record_metrics stats;

@@ -1,0 +1,543 @@
+(* Abstraction-guided branch-and-bound, input bisection, and the
+   unbounded-relaxation soundness fix.
+
+   - A non-root LP relaxation reporting Unbounded is a numerical
+     artifact (a child's feasible set is contained in the bounded
+     root's): the solver must truncate that subtree, never report the
+     whole MILP Unbounded, and never claim Optimal afterwards.  The
+     regression tests drive that path deterministically through the
+     lp-unbounded fault site.
+   - DeepPoly transfers must survive degenerate inputs (overflowing
+     crossing intervals, non-finite batch-norm parameters) without
+     producing unsound or NaN bounds.
+   - DeepPoly under ReLU phase fixings must enclose every concrete
+     execution consistent with the fixings.
+   - The absint guide and input bisection are search optimizations:
+     verdicts must match the unguided, unbisected solver. *)
+
+module Lp = Dpv_linprog.Lp
+module Milp = Dpv_linprog.Milp
+module Milp_par = Dpv_linprog.Milp_par
+module Faults = Dpv_linprog.Faults
+module Interval = Dpv_absint.Interval
+module Deeppoly = Dpv_absint.Deeppoly
+module Network = Dpv_nn.Network
+module Layer = Dpv_nn.Layer
+module Mat = Dpv_tensor.Mat
+module Rng = Dpv_tensor.Rng
+module Risk = Dpv_spec.Risk
+module Verify = Dpv_core.Verify
+module Campaign = Dpv_core.Campaign
+module Characterizer = Dpv_core.Characterizer
+module Metrics = Dpv_obs.Metrics
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let with_faults ?seed plan f =
+  Fun.protect ~finally:Faults.disable (fun () ->
+      Faults.configure ?seed plan;
+      f ())
+
+let classification = function
+  | Milp.Optimal _ -> "optimal"
+  | Milp.Feasible _ -> "feasible"
+  | Milp.Infeasible -> "infeasible"
+  | Milp.Unbounded -> "unbounded"
+  | Milp.Node_limit -> "node-limit"
+  | Milp.Timeout -> "timeout"
+
+(* ---- unbounded-relaxation regression ------------------------------ *)
+
+(* max x + y over binaries with x + y <= 1.5: the root relaxation is
+   fractional (1.5), both children still hold integer points, and the
+   integer optimum is 1.  Nodes: root, two children, grandchildren —
+   enough tree for "occurrence 2 of the LP solve" to be a non-root
+   node. *)
+let branching_model () =
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~kind:Lp.Binary m in
+  let m, y = Lp.add_var ~kind:Lp.Binary m in
+  let m = Lp.add_constraint m [ (1.0, x); (1.0, y) ] Lp.Le 1.5 in
+  Lp.set_objective m Lp.Maximize [ (1.0, x); (1.0, y) ]
+
+let seq_options = { Milp.default_options with workers = 1 }
+
+let test_root_unbounded_still_unbounded () =
+  (* At the root an Unbounded relaxation is an honest report and must
+     keep surfacing as the Unbounded verdict. *)
+  with_faults [ (Faults.Lp_unbounded, 1) ] @@ fun () ->
+  match Milp.solve ~options:seq_options (branching_model ()) with
+  | Milp.Unbounded -> ()
+  | r -> Alcotest.failf "expected root Unbounded, got %s" (classification r)
+
+let test_nonroot_unbounded_truncates_sequential () =
+  (* Occurrence 2 is the first child.  The old solver returned
+     [Unbounded] for the whole MILP here — unsound, the model is a
+     bounded 0/1 program.  The fixed solver drops the subtree, keeps
+     the sibling's incumbent, and reports Feasible (a truncated search
+     may never claim Optimal). *)
+  with_faults [ (Faults.Lp_unbounded, 2) ] @@ fun () ->
+  let model = branching_model () in
+  match Milp.solve ~options:seq_options model with
+  | Milp.Feasible { objective; solution } ->
+      check_float "sibling incumbent survives" 1.0 objective;
+      Alcotest.(check bool) "incumbent is feasible" true
+        (Lp.check_feasible ~tol:1e-6 model solution)
+  | Milp.Optimal _ ->
+      Alcotest.fail "truncated search must not claim Optimal"
+  | Milp.Unbounded ->
+      Alcotest.fail
+        "non-root unbounded relaxation leaked out as an Unbounded verdict"
+  | r -> Alcotest.failf "expected Feasible, got %s" (classification r)
+
+let test_nonroot_unbounded_infeasible_model_inconclusive () =
+  (* 2x = 1 over a binary is infeasible, but when one child's subtree
+     was truncated the solver no longer visited the whole tree: the
+     honest answer is Node_limit (inconclusive), not Infeasible and
+     certainly not Unbounded. *)
+  with_faults [ (Faults.Lp_unbounded, 2) ] @@ fun () ->
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~kind:Lp.Binary m in
+  let m = Lp.add_constraint m [ (2.0, x) ] Lp.Eq 1.0 in
+  match Milp.solve ~options:seq_options m with
+  | Milp.Node_limit -> ()
+  | r ->
+      Alcotest.failf "expected inconclusive Node_limit, got %s"
+        (classification r)
+
+let test_nonroot_unbounded_truncates_parallel () =
+  (* Same property under the work-stealing solver: the root is always
+     LP-solve occurrence 1 (workers start from the seeded root alone),
+     so occurrence 2 is some non-root node in whichever subtree. *)
+  with_faults [ (Faults.Lp_unbounded, 2) ] @@ fun () ->
+  let model = branching_model () in
+  let options = { Milp.default_options with workers = 2 } in
+  match Milp_par.solve ~options model with
+  | Milp.Feasible { objective; solution } ->
+      check_float "sibling incumbent survives" 1.0 objective;
+      Alcotest.(check bool) "incumbent is feasible" true
+        (Lp.check_feasible ~tol:1e-6 model solution)
+  | Milp.Optimal _ ->
+      Alcotest.fail "truncated parallel search must not claim Optimal"
+  | Milp.Unbounded ->
+      Alcotest.fail "non-root unbounded leaked out of the parallel solver"
+  | r -> Alcotest.failf "expected Feasible, got %s" (classification r)
+
+let test_genuinely_unbounded_root_unchanged () =
+  (* No injection: a model whose root relaxation really is unbounded
+     still reports Unbounded. *)
+  let m = Lp.create () in
+  let m, x = Lp.add_var ~lo:0.0 ~kind:Lp.Integer m in
+  let m = Lp.set_objective m Lp.Maximize [ (1.0, x) ] in
+  match Milp.solve ~options:seq_options m with
+  | Milp.Unbounded -> ()
+  | r -> Alcotest.failf "expected Unbounded, got %s" (classification r)
+
+(* ---- DeepPoly degenerate guards ----------------------------------- *)
+
+let test_relu_overflowing_crossing_interval_sound () =
+  (* u - l overflows to infinity for [-1e308, 1e308], which used to
+     collapse the chord slope to 0 and report an upper bound near 0 —
+     unsound, relu(1e308) = 1e308.  The guard falls back to the box
+     relaxation [0, u]. *)
+  let t = Deeppoly.of_box [| Interval.make ~lo:(-1e308) ~hi:1e308 |] in
+  let out = Deeppoly.to_box (Deeppoly.transfer_layer Layer.Relu t) in
+  Alcotest.(check bool) "no NaN bounds" false
+    (Float.is_nan out.(0).Interval.lo || Float.is_nan out.(0).Interval.hi);
+  Alcotest.(check bool) "upper bound covers relu(1e308)" true
+    (out.(0).Interval.hi >= 1e308);
+  Alcotest.(check bool) "lower bound covers relu of negatives" true
+    (out.(0).Interval.lo <= 0.0)
+
+let batch_norm_with gamma =
+  Layer.Batch_norm
+    {
+      gamma = [| gamma |];
+      beta = [| 0.0 |];
+      mean = [| 0.0 |];
+      var = [| 1.0 |];
+      eps = 0.0;
+    }
+
+let test_batch_norm_nonfinite_scale_no_nan () =
+  List.iter
+    (fun gamma ->
+      let t = Deeppoly.of_box [| Interval.make ~lo:(-1.0) ~hi:1.0 |] in
+      let out = Deeppoly.to_box (Deeppoly.transfer_layer (batch_norm_with gamma) t) in
+      let iv = out.(0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "gamma=%h: bounds are not NaN" gamma)
+        false
+        (Float.is_nan iv.Interval.lo || Float.is_nan iv.Interval.hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "gamma=%h: bounds are ordered" gamma)
+        true
+        (iv.Interval.lo <= iv.Interval.hi))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_relu_fixed_contradiction_is_empty () =
+  let always_pos = Deeppoly.of_box [| Interval.make ~lo:1.0 ~hi:2.0 |] in
+  (match Deeppoly.transfer_relu_fixed [| Deeppoly.Inactive |] always_pos with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Inactive fixing on lo > 0 must be empty");
+  let always_neg = Deeppoly.of_box [| Interval.make ~lo:(-2.0) ~hi:(-1.0) |] in
+  (match Deeppoly.transfer_relu_fixed [| Deeppoly.Active |] always_neg with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Active fixing on hi < 0 must be empty");
+  (* The x = 0 boundary belongs to both phases: neither fixing may
+     declare [0, 0] empty. *)
+  let zero = Deeppoly.of_box [| Interval.make ~lo:0.0 ~hi:0.0 |] in
+  List.iter
+    (fun phase ->
+      match Deeppoly.transfer_relu_fixed [| phase |] zero with
+      | Some _ -> ()
+      | None -> Alcotest.fail "x = 0 must stay feasible under either phase")
+    [ Deeppoly.Active; Deeppoly.Inactive ]
+
+(* ---- phased propagation encloses concrete executions -------------- *)
+
+let random_net rng ~input_dim ~relu_layers =
+  let layers = ref [] in
+  let prev = ref input_dim in
+  for _ = 1 to relu_layers do
+    let d = 1 + Rng.int rng 3 in
+    let rows =
+      Array.init d (fun _ ->
+          Array.init !prev (fun _ -> Rng.uniform rng ~lo:(-1.5) ~hi:1.5))
+    in
+    let bias = Array.init d (fun _ -> Rng.uniform rng ~lo:(-0.5) ~hi:0.5) in
+    layers := Layer.Relu :: Layer.dense ~weights:(Mat.of_rows rows) ~bias :: !layers;
+    prev := d
+  done;
+  Network.create ~input_dim (List.rev !layers)
+
+(* Phases the execution of [x] actually takes, indexed by layer
+   position; the pre-activation vector at each ReLU decides. *)
+let actual_phases net x =
+  let v = ref x in
+  let acc = ref [] in
+  List.iteri
+    (fun idx layer ->
+      (match layer with
+      | Layer.Relu ->
+          acc :=
+            ( idx,
+              Array.map
+                (fun p ->
+                  if p >= 0.0 then Deeppoly.Active else Deeppoly.Inactive)
+                !v )
+            :: !acc
+      | _ -> ());
+      v := Layer.forward layer !v)
+    (Network.layers net);
+  (List.rev !acc, !v)
+
+let test_phased_propagation_encloses_executions () =
+  let rng = Rng.create 20260808 in
+  for _ = 1 to 60 do
+    let input_dim = 1 + Rng.int rng 3 in
+    let net = random_net rng ~input_dim ~relu_layers:(1 + Rng.int rng 2) in
+    let box =
+      Array.init input_dim (fun _ ->
+          let lo = Rng.uniform rng ~lo:(-1.0) ~hi:0.0 in
+          Interval.make ~lo ~hi:(lo +. Rng.uniform rng ~lo:0.1 ~hi:2.0))
+    in
+    let x =
+      Array.map (fun iv -> Rng.uniform rng ~lo:iv.Interval.lo ~hi:iv.Interval.hi) box
+    in
+    let phases_by_layer, out = actual_phases net x in
+    (* Fix a random consistent subset of the execution's phases, leave
+       the rest Unknown: the abstraction must still contain x's run. *)
+    let phases_by_layer =
+      List.map
+        (fun (idx, phases) ->
+          ( idx,
+            Array.map
+              (fun p -> if Rng.int rng 2 = 0 then p else Deeppoly.Unknown)
+              phases ))
+        phases_by_layer
+    in
+    let t = ref (Deeppoly.of_box box) in
+    List.iteri
+      (fun idx layer ->
+        match layer with
+        | Layer.Relu -> (
+            match
+              Deeppoly.transfer_relu_fixed (List.assoc idx phases_by_layer) !t
+            with
+            | Some t' -> t := t'
+            | None ->
+                Alcotest.fail
+                  "fixings consistent with a concrete run reported empty")
+        | layer -> t := Deeppoly.transfer_layer layer !t)
+      (Network.layers net);
+    let bounds = Deeppoly.to_box !t in
+    Array.iteri
+      (fun i y ->
+        Alcotest.(check bool)
+          (Printf.sprintf "output %d enclosed" i)
+          true
+          (y >= bounds.(i).Interval.lo -. 1e-7
+          && y <= bounds.(i).Interval.hi +. 1e-7))
+      out
+  done
+
+(* ---- neutral guide is bit-for-bit the plain solver ---------------- *)
+
+let random_milp rng =
+  let nv = 2 + Rng.int rng 4 in
+  let nc = 1 + Rng.int rng 4 in
+  let m = ref (Lp.create ()) in
+  let vars =
+    Array.init nv (fun i ->
+        let kind = if i mod 2 = 0 then Lp.Integer else Lp.Continuous in
+        let model, v = Lp.add_var ~lo:0.0 ~up:6.0 ~kind !m in
+        m := model;
+        v)
+  in
+  for _ = 1 to nc do
+    let terms =
+      Array.to_list
+        (Array.map (fun v -> (Rng.uniform rng ~lo:(-2.0) ~hi:3.0, v)) vars)
+    in
+    m := Lp.add_constraint !m terms Lp.Le (Rng.uniform rng ~lo:0.0 ~hi:15.0)
+  done;
+  let obj =
+    Array.to_list
+      (Array.map (fun v -> (Rng.uniform rng ~lo:(-1.0) ~hi:1.0, v)) vars)
+  in
+  m := Lp.set_objective !m Lp.Maximize obj;
+  !m
+
+let test_neutral_guide_identical_to_plain () =
+  (* A guide that never prunes, fixes or scores must leave the search
+     untouched: same classification, same objective, same node count.
+     This is the [workers = 1, absint off ≡ today's solver] guarantee
+     approached from the other side — the guided code path degenerates
+     to the plain one. *)
+  let neutral = Some (fun _ -> { Milp.prune = false; fix = []; widths = [] }) in
+  let rng = Rng.create 4711 in
+  for _ = 1 to 30 do
+    let model = random_milp rng in
+    let plain, ps = Milp.solve_with_stats ~options:seq_options model in
+    let guided, gs =
+      Milp.solve_with_stats
+        ~options:{ seq_options with Milp.absint = neutral }
+        model
+    in
+    Alcotest.(check string) "classification agrees" (classification plain)
+      (classification guided);
+    Alcotest.(check int) "same tree explored" ps.Milp.nodes_explored
+      gs.Milp.nodes_explored;
+    Alcotest.(check int) "no fixes from the neutral guide" 0
+      gs.Milp.absint_phase_fixes;
+    Alcotest.(check int) "no prunes from the neutral guide" 0
+      gs.Milp.absint_prunes;
+    match (plain, guided) with
+    | Milp.Optimal { objective = o1; _ }, Milp.Optimal { objective = o2; _ } ->
+        check_float "objective agrees" o1 o2
+    | _ -> ()
+  done
+
+(* ---- guided verify / bisection equivalence ------------------------ *)
+
+(* Same hand-built pipeline as test_campaign:
+   perception x -> Dense [[1];[-1]] -> ReLU -> Dense [1,-1], cut 2, so
+   the features are (relu(x), relu(-x)) and the suffix output is
+   f1 - f2 in [-1, 1] over the visited box. *)
+let perception =
+  Network.create ~input_dim:1
+    [
+      Layer.dense
+        ~weights:(Mat.of_rows [| [| 1.0 |]; [| -1.0 |] |])
+        ~bias:[| 0.0; 0.0 |];
+      Layer.Relu;
+      Layer.dense ~weights:(Mat.of_rows [| [| 1.0; -1.0 |] |]) ~bias:[| 0.0 |];
+    ]
+
+let cut = 2
+
+let head =
+  Network.create ~input_dim:2
+    [ Layer.dense ~weights:(Mat.of_rows [| [| 1.0; 0.0 |] |]) ~bias:[| -0.5 |] ]
+
+let characterizer =
+  { Characterizer.head; cut; property_name = "x-at-least-half" }
+
+let visited_features =
+  Array.init 41 (fun i ->
+      let x = -1.0 +. (float_of_int i /. 20.0) in
+      Network.forward_upto perception ~cut [| x |])
+
+let risk_ge threshold =
+  Risk.make
+    ~name:(Printf.sprintf "out>=%g" threshold)
+    [ Risk.output_ge 0 threshold ]
+
+let risk_le threshold =
+  Risk.make
+    ~name:(Printf.sprintf "out<=%g" threshold)
+    [ Risk.output_le 0 threshold ]
+
+(* Reachable and unreachable queries over both bounds strategies; the
+   first is UNSAFE with a concretely re-validated witness. *)
+let battery () =
+  [
+    ("reach-box", risk_ge 0.9, Verify.Data_box visited_features);
+    ("unreach-box", risk_ge 1.5, Verify.Data_box visited_features);
+    ("neg-oct", risk_le (-0.2), Verify.Data_octagon visited_features);
+    ("neg-oct-deep", risk_le (-0.8), Verify.Data_octagon visited_features);
+  ]
+
+let verdict_word = Campaign.verdict_word
+
+let test_absint_guided_verify_matches_plain () =
+  List.iter
+    (fun (label, psi, bounds) ->
+      let plain = Verify.verify ~perception ~characterizer ~psi ~bounds () in
+      let guided =
+        Verify.verify ~absint:true ~perception ~characterizer ~psi ~bounds ()
+      in
+      let widest =
+        Verify.verify ~absint:true
+          ~milp_options:
+            {
+              Verify.default_milp_options with
+              Milp.branch_rule = Milp.Bound_width;
+            }
+          ~perception ~characterizer ~psi ~bounds ()
+      in
+      Alcotest.(check string)
+        (label ^ ": guided verdict matches plain")
+        (verdict_word plain.Verify.verdict)
+        (verdict_word guided.Verify.verdict);
+      Alcotest.(check string)
+        (label ^ ": bound-width branching matches too")
+        (verdict_word plain.Verify.verdict)
+        (verdict_word widest.Verify.verdict))
+    (battery ())
+
+let test_absint_prunes_unreachable_query () =
+  (* out = f1 - f2 can reach at most 1.0 over the feature box, so
+     psi : out >= 1.2 is dead on arrival: the guide must prune at the
+     root, before any LP is solved. *)
+  let result =
+    Verify.verify ~absint:true ~perception ~characterizer ~psi:(risk_ge 1.2)
+      ~bounds:(Verify.Data_box visited_features) ()
+  in
+  (match result.Verify.verdict with
+  | Verify.Safe _ -> ()
+  | v -> Alcotest.failf "expected safe, got %a" Verify.pp_verdict v);
+  Alcotest.(check bool) "the guide pruned at least one node" true
+    (result.Verify.milp_stats.Milp.absint_prunes >= 1);
+  Alcotest.(check int) "no LP was ever solved" 0
+    result.Verify.milp_stats.Milp.lp_solved
+
+let bisect2 = { Verify.max_depth = 2; subbox_time_limit_s = None }
+
+let test_bisected_verify_matches_unbisected () =
+  List.iter
+    (fun (label, psi, bounds) ->
+      let whole = Verify.verify ~perception ~characterizer ~psi ~bounds () in
+      let bisected =
+        Verify.verify ~bisect:bisect2 ~perception ~characterizer ~psi ~bounds ()
+      in
+      let both =
+        Verify.verify ~absint:true ~bisect:bisect2 ~perception ~characterizer
+          ~psi ~bounds ()
+      in
+      Alcotest.(check string)
+        (label ^ ": bisected verdict matches whole-box")
+        (verdict_word whole.Verify.verdict)
+        (verdict_word bisected.Verify.verdict);
+      Alcotest.(check string)
+        (label ^ ": bisect+absint matches too")
+        (verdict_word whole.Verify.verdict)
+        (verdict_word both.Verify.verdict))
+    (battery ())
+
+let test_bisected_unsafe_witness_revalidates () =
+  (* The UNSAFE query of the battery: the witness surviving the merge
+     must replay concretely into psi through the suffix, exactly like
+     the unbisected path guarantees. *)
+  let psi = risk_ge 0.9 in
+  let result =
+    Verify.verify ~bisect:bisect2 ~perception ~characterizer ~psi
+      ~bounds:(Verify.Data_box visited_features) ()
+  in
+  match result.Verify.verdict with
+  | Verify.Unsafe { features; output; logit } ->
+      let suffix = Network.suffix perception ~cut in
+      let replayed = Network.forward suffix features in
+      check_float "witness output replays through the suffix" replayed.(0)
+        output.(0);
+      Alcotest.(check bool) "witness really violates psi" true
+        (output.(0) >= 0.9 -. 1e-6);
+      Alcotest.(check bool) "characterizer fires on the witness" true
+        (logit >= -1e-9)
+  | v -> Alcotest.failf "expected unsafe, got %a" Verify.pp_verdict v
+
+let test_campaign_bisect_matches_plain () =
+  let queries () =
+    List.map
+      (fun (label, psi, bounds) ->
+        Campaign.query ~label ~characterizer ~psi ~bounds ())
+      (battery ())
+  in
+  let plain = Campaign.run ~runners:1 ~perception (queries ()) in
+  let bisected =
+    Campaign.run ~runners:2 ~absint:true ~bisect:bisect2 ~perception
+      (queries ())
+  in
+  Alcotest.(check bool) "bisected campaign is clean" false
+    bisected.Campaign.degraded;
+  List.iter2
+    (fun (pq : Campaign.query_report) (bq : Campaign.query_report) ->
+      match (pq.Campaign.outcome, bq.Campaign.outcome) with
+      | Campaign.Done p, Campaign.Done b ->
+          Alcotest.(check string)
+            (pq.Campaign.query.Campaign.label ^ ": verdict matches")
+            (verdict_word p.Verify.verdict)
+            (verdict_word b.Verify.verdict)
+      | _ -> Alcotest.fail "expected Done outcomes on a clean run")
+    plain.Campaign.query_reports bisected.Campaign.query_reports;
+  (* The bisection counters surface in the campaign's metrics delta —
+     the same property CI asserts on the smoke campaign. *)
+  match Metrics.counter_in bisected.Campaign.metrics "bisect.subboxes" with
+  | Some n when n > 0 -> ()
+  | Some n -> Alcotest.failf "bisect.subboxes counter stuck at %d" n
+  | None -> Alcotest.fail "bisect.subboxes counter missing from metrics"
+
+let tests =
+  [
+    Alcotest.test_case "root unbounded stays Unbounded" `Quick
+      test_root_unbounded_still_unbounded;
+    Alcotest.test_case "non-root unbounded truncates (sequential)" `Quick
+      test_nonroot_unbounded_truncates_sequential;
+    Alcotest.test_case "non-root unbounded -> inconclusive, not Infeasible"
+      `Quick test_nonroot_unbounded_infeasible_model_inconclusive;
+    Alcotest.test_case "non-root unbounded truncates (parallel)" `Quick
+      test_nonroot_unbounded_truncates_parallel;
+    Alcotest.test_case "genuinely unbounded root unchanged" `Quick
+      test_genuinely_unbounded_root_unchanged;
+    Alcotest.test_case "ReLU overflowing crossing interval is sound" `Quick
+      test_relu_overflowing_crossing_interval_sound;
+    Alcotest.test_case "batch-norm with non-finite scale yields no NaN" `Quick
+      test_batch_norm_nonfinite_scale_no_nan;
+    Alcotest.test_case "contradictory phase fixing is empty" `Quick
+      test_relu_fixed_contradiction_is_empty;
+    Alcotest.test_case "phased propagation encloses executions" `Quick
+      test_phased_propagation_encloses_executions;
+    Alcotest.test_case "neutral guide is the plain solver" `Quick
+      test_neutral_guide_identical_to_plain;
+    Alcotest.test_case "absint-guided verify matches plain" `Quick
+      test_absint_guided_verify_matches_plain;
+    Alcotest.test_case "absint prunes an unreachable query before any LP"
+      `Quick test_absint_prunes_unreachable_query;
+    Alcotest.test_case "bisected verify matches unbisected" `Quick
+      test_bisected_verify_matches_unbisected;
+    Alcotest.test_case "bisected UNSAFE witness re-validates" `Quick
+      test_bisected_unsafe_witness_revalidates;
+    Alcotest.test_case "campaign with bisect matches plain campaign" `Quick
+      test_campaign_bisect_matches_plain;
+  ]

@@ -13,6 +13,7 @@ let () =
       ("conv", Test_conv.tests);
       ("train", Test_train.tests);
       ("absint", Test_absint.tests);
+      ("absint-guided", Test_absint_guided.tests);
       ("spec", Test_spec.tests);
       ("scenario", Test_scenario.tests);
       ("monitor", Test_monitor.tests);
