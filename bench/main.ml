@@ -30,6 +30,8 @@ module Box_monitor = Dpv_monitor.Box_monitor
 module Polyhedron = Dpv_monitor.Polyhedron
 module Runtime = Dpv_monitor.Runtime
 module Milp = Dpv_linprog.Milp
+module Absguide = Dpv_core.Absguide
+module Deeppoly = Dpv_absint.Deeppoly
 module Campaign = Dpv_core.Campaign
 module Tighten = Dpv_core.Tighten
 module Refine = Dpv_core.Refine
@@ -984,9 +986,285 @@ let ext8_absint_bench () =
         worse);
   rows
 
+(* EXT9: incremental prefix-cached guide vs from-scratch re-propagation.
+   Same synthetic stacks as EXT8.  Both modes run the identical engine —
+   scratch just forces every consult to invalidate back to layer 1 — so
+   the verdicts, node counts, prunes and phase fixes must be
+   bit-identical; the bench fails hard on any divergence.  What changes
+   is the work per consult, measured directly by wrapping each guide
+   instance in a monotonic timer. *)
+
+type ext9_row = {
+  e9_name : string;
+  e9_verdict : string;
+  e9_nodes : int;
+  e9_consults : int;
+  e9_prunes : int;
+  e9_fixes : int;
+  e9_scratch_ns : int;  (* mean guide time per consult, from-scratch *)
+  e9_incr_ns : int;     (* mean guide time per consult, incremental *)
+  e9_layers_scratch : int;
+  e9_layers_incr : int;
+  e9_speedup : float;
+}
+
+let ext9_guided_solve ~scratch ~suffix ~head ~feature_box ~psi =
+  let shared = Encode.build_shared ~suffix ~feature_box () in
+  let encoding =
+    Encode.complete shared ~head ~characterizer_margin:0.0 ~psi ()
+  in
+  let factory =
+    Absguide.factory ~suffix ~head ~feature_box
+      ~suffix_relus:(Encode.suffix_relu_vars_of_shared shared)
+      ~head_relus:encoding.Encode.head_relu_vars ~psi
+      ~characterizer_margin:0.0 ()
+  in
+  let guide_ns = ref 0 and consults = ref 0 in
+  let timed =
+    {
+      Milp.new_guide =
+        (fun () ->
+          let g = factory.Milp.new_guide () in
+          fun node ->
+            let t0 = Clock.monotonic_ns () in
+            let r = g node in
+            guide_ns := !guide_ns + (Clock.monotonic_ns () - t0);
+            incr consults;
+            r);
+      guide_stats = factory.Milp.guide_stats;
+    }
+  in
+  let options =
+    {
+      Verify.default_milp_options with
+      Milp.workers = 1;
+      absint = Some timed;
+      branch_rule = Milp.Guide_order;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () -> Absguide.set_scratch false)
+    (fun () ->
+      Absguide.set_scratch scratch;
+      let result, stats = Milp.solve_with_stats ~options encoding.Encode.model in
+      (result, stats, !guide_ns, !consults))
+
+let ext9_word = function
+  | Milp.Infeasible -> "safe"
+  | Milp.Optimal _ | Milp.Feasible _ -> "unsafe"
+  | _ -> "unknown"
+
+let ext9_row ~name ~seed ~dims ~blend =
+  let suffix = ext8_random_stack ~seed dims in
+  let dim = List.hd dims in
+  let feature_box = Box_domain.uniform ~dim ~lo:(-1.0) ~hi:1.0 in
+  let dp_hi =
+    (Propagate.output_bounds Propagate.Deeppoly suffix ~input_box:feature_box).(0)
+      .Interval.hi
+  in
+  let sampled = ext8_sampled_max suffix ~dim in
+  let threshold = sampled +. (blend *. (dp_hi -. sampled)) in
+  let psi = Risk.make ~name [ Risk.output_ge 0 threshold ] in
+  let head = ext8_inert_head dim in
+  (* Best of three, with scratch and incremental samples interleaved:
+     the node sequence is deterministic per mode, so the minimum total
+     guide time is the least-noisy sample, and alternating modes keeps
+     host-load drift from landing entirely on one side of the ratio.
+     Compact before each pair so heap layout from earlier bench
+     sections does not leak into the comparison. *)
+  let best_s = ref None and best_i = ref None in
+  for _ = 1 to 3 do
+    Gc.compact ();
+    List.iter
+      (fun scratch ->
+        let sample =
+          ext9_guided_solve ~scratch ~suffix ~head ~feature_box ~psi
+        in
+        let _, _, ns, _ = sample in
+        let best = if scratch then best_s else best_i in
+        match !best with
+        | Some (_, _, bns, _) when bns <= ns -> ()
+        | _ -> best := Some sample)
+      [ true; false ]
+  done;
+  let s_res, s_stats, s_ns, s_consults = Option.get !best_s in
+  let i_res, i_stats, i_ns, i_consults = Option.get !best_i in
+  if
+    ext9_word s_res <> ext9_word i_res
+    || s_stats.Milp.nodes_explored <> i_stats.Milp.nodes_explored
+    || s_stats.Milp.absint_prunes <> i_stats.Milp.absint_prunes
+    || s_stats.Milp.absint_phase_fixes <> i_stats.Milp.absint_phase_fixes
+    || s_consults <> i_consults
+  then
+    failwith
+      (Printf.sprintf
+         "EXT9 %s: incremental diverged from scratch (%s/%d nodes vs %s/%d)"
+         name (ext9_word s_res) s_stats.Milp.nodes_explored (ext9_word i_res)
+         i_stats.Milp.nodes_explored);
+  let per total n = if n = 0 then 0 else total / n in
+  {
+    e9_name = name;
+    e9_verdict = ext9_word i_res;
+    e9_nodes = i_stats.Milp.nodes_explored;
+    e9_consults = i_consults;
+    e9_prunes = i_stats.Milp.absint_prunes;
+    e9_fixes = i_stats.Milp.absint_phase_fixes;
+    e9_scratch_ns = per s_ns s_consults;
+    e9_incr_ns = per i_ns i_consults;
+    e9_layers_scratch = s_stats.Milp.absint_layers_propagated;
+    e9_layers_incr = i_stats.Milp.absint_layers_propagated;
+    e9_speedup =
+      (if i_ns = 0 then 0.0 else float_of_int s_ns /. float_of_int i_ns);
+  }
+
+let ext9_incremental_bench () =
+  section "EXT9: incremental guide (prefix-cached DeepPoly vs from-scratch)";
+  let rows =
+    [
+      ext9_row ~name:"ext9/relu18-safe" ~seed:7 ~dims:[ 5; 10; 8; 1 ]
+        ~blend:0.2;
+      ext9_row ~name:"ext9/relu64-hard-safe" ~seed:13
+        ~dims:[ 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 1 ]
+        ~blend:0.05;
+      ext9_row ~name:"ext9/relu64-mid-safe" ~seed:19
+        ~dims:[ 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 1 ]
+        ~blend:0.05;
+      ext9_row ~name:"ext9/relu64-unsafe" ~seed:23
+        ~dims:[ 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 1 ]
+        ~blend:0.05;
+    ]
+  in
+  Format.printf "%s@."
+    (row
+       [
+         "query"; "verdict"; "nodes"; "consults"; "scratch ns"; "incr ns";
+         "layers s/i"; "speedup";
+       ]);
+  Format.printf "%s@." (Report.rule ());
+  List.iter
+    (fun r ->
+      Format.printf "%s@."
+        (row
+           [
+             r.e9_name;
+             r.e9_verdict;
+             string_of_int r.e9_nodes;
+             string_of_int r.e9_consults;
+             string_of_int r.e9_scratch_ns;
+             string_of_int r.e9_incr_ns;
+             Printf.sprintf "%d/%d" r.e9_layers_scratch r.e9_layers_incr;
+             Printf.sprintf "%.2fx" r.e9_speedup;
+           ]))
+    rows;
+  (match
+     List.find_opt (fun r -> r.e9_name = "ext9/relu64-hard-safe") rows
+   with
+  | Some r when r.e9_speedup < 3.0 ->
+      Format.printf
+        "WARNING %s: guide time per node only improved %.2fx (target 3x); \
+         noisy host?@."
+        r.e9_name r.e9_speedup
+  | _ -> ());
+  rows
+
+(* Resumable-engine microbench: one 16-relu stack, measuring the raw
+   re-propagation cost after an invalidation [depth] relu layers above
+   the output — the per-node work a B&B consult pays when a sibling
+   switch rolls the prefix cache back that far.  Also samples minor-heap
+   words per propagate: the steady-state transfer loop is supposed to
+   allocate nothing. *)
+
+type absint_micro_depth = { amd_depth : int; amd_ns : int; amd_layers : int }
+
+type absint_micro = {
+  am_relus : int;
+  am_scratch_ns : int;
+  am_scratch_layers : int;
+  am_minor_words : float;
+  am_depths : absint_micro_depth list;
+}
+
+let absint_microbench () =
+  section "absint microbench (Resumable re-propagation, 16-relu stack)";
+  let relus = 16 and width = 4 in
+  let dims = (width :: List.init relus (fun _ -> width)) @ [ 1 ] in
+  let net = ext8_random_stack ~seed:11 dims in
+  let plan = Deeppoly.Resumable.plan net in
+  let n = Deeppoly.Resumable.num_layers plan in
+  let box = Box_domain.uniform ~dim:width ~lo:(-1.0) ~hi:1.0 in
+  let st = Deeppoly.Resumable.create plan box in
+  let phase_arrays =
+    Array.init (n + 1) (fun l ->
+        if l >= 1 && Deeppoly.Resumable.is_relu plan l then
+          Array.make (Deeppoly.Resumable.layer_dim plan l) Deeppoly.Unknown
+        else [||])
+  in
+  let phases l = phase_arrays.(l) in
+  ignore (Deeppoly.Resumable.propagate st ~phases);
+  let relu_layers =
+    List.filter
+      (fun l -> Deeppoly.Resumable.is_relu plan l)
+      (List.init n (fun i -> i + 1))
+  in
+  let measure from_layer =
+    let iters = 2000 in
+    for _ = 1 to 100 do
+      Deeppoly.Resumable.invalidate_from st from_layer;
+      ignore (Deeppoly.Resumable.propagate st ~phases)
+    done;
+    Deeppoly.Resumable.invalidate_from st from_layer;
+    let layers = Deeppoly.Resumable.propagate st ~phases in
+    let w0 = Gc.minor_words () in
+    let t0 = Clock.monotonic_ns () in
+    for _ = 1 to iters do
+      Deeppoly.Resumable.invalidate_from st from_layer;
+      ignore (Deeppoly.Resumable.propagate st ~phases)
+    done;
+    let ns = (Clock.monotonic_ns () - t0) / iters in
+    let words = (Gc.minor_words () -. w0) /. float_of_int iters in
+    (ns, layers, words)
+  in
+  let scratch_ns, scratch_layers, scratch_words = measure 1 in
+  let depths =
+    List.map
+      (fun d ->
+        let from_layer =
+          List.nth relu_layers (List.length relu_layers - d)
+        in
+        let ns, layers, _ = measure from_layer in
+        { amd_depth = d; amd_ns = ns; amd_layers = layers })
+      [ 1; 4; 16 ]
+  in
+  Format.printf "%s@." (row [ "invalidation"; "layers"; "ns/propagate" ]);
+  Format.printf "%s@." (Report.rule ());
+  Format.printf "%s@."
+    (row
+       [
+         "scratch"; string_of_int scratch_layers; string_of_int scratch_ns;
+       ]);
+  List.iter
+    (fun d ->
+      Format.printf "%s@."
+        (row
+           [
+             Printf.sprintf "depth %d" d.amd_depth;
+             string_of_int d.amd_layers;
+             string_of_int d.amd_ns;
+           ]))
+    depths;
+  Format.printf "minor words per propagate (steady state): %.2f@."
+    scratch_words;
+  {
+    am_relus = relus;
+    am_scratch_ns = scratch_ns;
+    am_scratch_layers = scratch_layers;
+    am_minor_words = scratch_words;
+    am_depths = depths;
+  }
+
 let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
     ~deadline:(deadline_s, deadline_word, deadline_wall, deadline_nodes)
-    ~micro ~faults ~absint_rows =
+    ~micro ~faults ~absint_rows ~ext9_rows ~absint_micro =
   let oc = open_out bench_json_path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -1014,9 +1292,24 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
           r.ab_name r.ab_verdict r.ab_nodes_plain r.ab_nodes_guided
           r.ab_nodes_width r.ab_phase_fixes r.ab_prunes
       in
+      let ext9_json r =
+        Printf.sprintf
+          "    {\"name\": %S, \"verdict\": %S, \"nodes\": %d, \
+           \"consults\": %d, \"prunes\": %d, \"phase_fixes\": %d, \
+           \"guide_ns_scratch\": %d, \"guide_ns_incremental\": %d, \
+           \"layers_scratch\": %d, \"layers_incremental\": %d, \
+           \"guide_speedup\": %.2f}"
+          r.e9_name r.e9_verdict r.e9_nodes r.e9_consults r.e9_prunes
+          r.e9_fixes r.e9_scratch_ns r.e9_incr_ns r.e9_layers_scratch
+          r.e9_layers_incr r.e9_speedup
+      in
+      let micro_depth_json d =
+        Printf.sprintf "{\"depth\": %d, \"ns\": %d, \"layers\": %d}"
+          d.amd_depth d.amd_ns d.amd_layers
+      in
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"dpv-bench-milp/6\",\n\
+        \  \"schema\": \"dpv-bench-milp/7\",\n\
         \  \"mode\": %S,\n\
         \  \"host_recommended_domains\": %d,\n\
         \  \"parallel_workers\": %d,\n\
@@ -1033,6 +1326,10 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
          \"fallback_wall_s\": %.6f, \"fallbacks\": %d, \
          \"retry_wall_s\": %.6f, \"retries\": %d},\n\
         \  \"absint\": [\n%s\n  ],\n\
+        \  \"absint_incremental\": [\n%s\n  ],\n\
+        \  \"absint_microbench\": {\"relus\": %d, \"scratch_ns\": %d, \
+         \"scratch_layers\": %d, \"minor_words_per_propagate\": %.2f, \
+         \"depths\": [%s]},\n\
         \  \"metrics\": %s\n\
          }\n"
         mode
@@ -1045,6 +1342,10 @@ let write_bench_json ~mode ~par_workers ~degraded ~queries ~speedups
         micro.mb_warm_s faults.fb_clean_s faults.fb_fallback_s
         faults.fb_fallbacks faults.fb_retry_s faults.fb_retries
         (String.concat ",\n" (List.map absint_json absint_rows))
+        (String.concat ",\n" (List.map ext9_json ext9_rows))
+        absint_micro.am_relus absint_micro.am_scratch_ns
+        absint_micro.am_scratch_layers absint_micro.am_minor_words
+        (String.concat ", " (List.map micro_depth_json absint_micro.am_depths))
         (Dpv_obs.Metrics.to_json ~indent:"  " (Dpv_obs.Metrics.snapshot ())));
   Format.printf "@.baseline written to %s@." bench_json_path
 
@@ -1173,12 +1474,14 @@ let ext5 prepared =
   let micro = lp_microbench ~reps:50 () in
   let faults = fault_injection_bench () in
   let absint_rows = ext8_absint_bench () in
+  let ext9_rows = ext9_incremental_bench () in
+  let absint_micro = absint_microbench () in
   write_bench_json ~mode:"full" ~par_workers ~degraded ~queries:measurements
     ~speedups
     ~deadline:
       (deadline_s, milp_result_word hard_result, hard_wall,
        hard_stats.Milp.nodes_explored)
-    ~micro ~faults ~absint_rows;
+    ~micro ~faults ~absint_rows ~ext9_rows ~absint_micro;
   (measurements, hard_result)
 
 (* Campaign amortization: the four E1-style queries below share two
@@ -1508,12 +1811,14 @@ let run_smoke () =
   let micro = lp_microbench ~reps:10 () in
   let faults = fault_injection_bench () in
   let absint_rows = ext8_absint_bench () in
+  let ext9_rows = ext9_incremental_bench () in
+  let absint_micro = absint_microbench () in
   write_bench_json ~mode:"smoke" ~par_workers ~degraded ~queries:measurements
     ~speedups:(compute_speedups measurements)
     ~deadline:
       (deadline_s, milp_result_word hard_result, hard_wall,
        hard_stats.Milp.nodes_explored)
-    ~micro ~faults ~absint_rows;
+    ~micro ~faults ~absint_rows ~ext9_rows ~absint_micro;
   Format.printf "@.done.@."
 
 (* ------------------------------------------------------------------ *)
@@ -1537,12 +1842,17 @@ let sections : (string * (Workflow.prepared -> unit)) list =
     ("ext6", fun p -> ignore (ext6 p));
     ("ext7", fun p -> ignore (ext7 p));
     ("ext8", fun _ -> ignore (ext8_absint_bench ()));
+    ( "ext9",
+      fun _ ->
+        ignore (ext9_incremental_bench ());
+        ignore (absint_microbench ()) );
     ("bechamel", run_bechamel);
   ]
 
 let () =
   Dpv_linprog.Faults.init_from_env ();
   Dpv_obs.Trace.init_from_env ();
+  Dpv_core.Absguide.init_from_env ();
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--smoke" args then run_smoke ()
   else begin

@@ -86,24 +86,30 @@ let branch_rule_conv =
   let parse = function
     | "fractional" -> Ok Dpv_linprog.Milp.Most_fractional
     | "width" -> Ok Dpv_linprog.Milp.Bound_width
+    | "order" -> Ok Dpv_linprog.Milp.Guide_order
     | s ->
         Error
-          (`Msg (Printf.sprintf "unknown branch rule %S (fractional, width)" s))
+          (`Msg
+            (Printf.sprintf "unknown branch rule %S (fractional, width, order)"
+               s))
   in
   let print fmt r =
     Format.fprintf fmt "%s"
       (match r with
       | Dpv_linprog.Milp.Most_fractional -> "fractional"
-      | Dpv_linprog.Milp.Bound_width -> "width")
+      | Dpv_linprog.Milp.Bound_width -> "width"
+      | Dpv_linprog.Milp.Guide_order -> "order")
   in
   Arg.conv (parse, print)
 
 let branch_rule_arg =
   let doc =
     "Branch-variable selection: $(b,fractional) (most fractional \
-     binary) or $(b,width) (widest pre-activation interval as scored \
-     by the DeepPoly guide; falls back to $(b,fractional) without \
-     $(b,--absint))."
+     binary), $(b,width) (widest pre-activation interval as scored \
+     by the DeepPoly guide) or $(b,order) (earliest guide-scored \
+     binary in layer order, the cache-friendliest rule for the \
+     incremental guide); $(b,width) and $(b,order) fall back to \
+     $(b,fractional) without $(b,--absint)."
   in
   Arg.(
     value
@@ -905,6 +911,10 @@ let () =
   (* Tracing via DPV_TRACE, same opt-in shape: the library never reads
      the environment, only executables do. *)
   Dpv_obs.Trace.init_from_env ();
+  (* DPV_ABSINT_SCRATCH=1 forces the abstraction guide to re-propagate
+     from scratch at every node (bit-identical results; CI uses it to
+     prove incremental ≡ from-scratch). *)
+  Dpv_core.Absguide.init_from_env ();
   let doc = "safety verification of direct perception neural networks" in
   let main =
     Cmd.group

@@ -409,7 +409,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                   }
           | Ok (shared, from_cache) -> (
               let t0 = Clock.now_s () in
-              let plan =
+              let plan_res =
                 let feature_box = Encode.feature_box_of_shared shared in
                 match
                   Verify.bisect_plan ~max_depth:b.Verify.max_depth
@@ -417,14 +417,17 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                     ~head:q.characterizer.Characterizer.head ~psi:q.psi
                     ~characterizer_margin:q.characterizer_margin feature_box
                 with
-                | plan -> plan
-                | exception _ ->
-                    (* Planning is an optimization; if propagation dies
-                       the whole box is solved as a single unit. *)
-                    { Verify.survivors = [ feature_box ]; discharged = 0 }
+                | plan -> Ok plan
+                | exception _ -> Error feature_box
               in
-              match plan.Verify.survivors with
-              | [] ->
+              match plan_res with
+              | Error feature_box ->
+                  (* Planning is an optimization; if propagation dies
+                     the whole box is solved as a single unit, with no
+                     root seed to hand the guide. *)
+                  plans.(j) <- Some (0, 1, from_cache);
+                  units := (j, 0, feature_box, None) :: !units
+              | Ok ({ Verify.survivors = []; _ } as plan) ->
                   (* Every sub-box discharged by propagation alone. *)
                   let result =
                     Verify.merge_bisected
@@ -453,10 +456,16 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                         dense_retry = false;
                         deadline_retry = false;
                       }
-              | survivors ->
-                  plans.(j) <- Some (plan, from_cache);
-                  List.iteri (fun si sub -> units := (j, si, sub) :: !units)
-                    survivors))
+              | Ok plan ->
+                  plans.(j) <-
+                    Some
+                      ( plan.Verify.discharged,
+                        Verify.plan_total plan,
+                        from_cache );
+                  List.iteri
+                    (fun si (sub, sd) ->
+                      units := (j, si, sub, Some sd) :: !units)
+                    plan.Verify.survivors))
         prepared_arr;
       let units = List.rev !units in
       let outer_runners, inner_workers =
@@ -465,7 +474,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
       in
       (* Phase 2b — solve the surviving sub-boxes on the pool, each on a
          prefix rebuilt over its sub-box. *)
-      let run_unit (j, si, sub) =
+      let run_unit (j, si, sub, sd) =
         let _i, _key, q, shared_res = prepared_arr.(j) in
         let shared =
           match shared_res with Ok (s, _) -> s | Error _ -> assert false
@@ -497,6 +506,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
               (fun () ->
                 Retry.solve ~options ~deadline (fun opts ->
                     Verify.run_query ~milp_options:opts ~absint
+                      ?absint_seed:sd
                       ~characterizer_margin:q.characterizer_margin
                       ~shared:sub_shared
                       ~head:q.characterizer.Characterizer.head ~psi:q.psi
@@ -519,7 +529,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
       let dl = Array.make np false in
       Array.iteri
         (fun k cell ->
-          let j, _si, _sub = unit_arr.(k) in
+          let j, _si, _sub, _sd = unit_arr.(k) in
           match cell with
           | Some (Ok `Skipped) -> skips.(j) <- skips.(j) + 1
           | Some (Ok (`Done (r, t))) ->
@@ -534,14 +544,13 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
         (fun j (i, key, q, _shared_res) ->
           match plans.(j) with
           | None -> ()
-          | Some (plan, from_cache) ->
+          | Some (discharged, total_subboxes, from_cache) ->
               let done_results = List.rev dones.(j) in
               let crashed_reasons = List.rev crashes.(j) in
               let merge ~unsolved =
                 Verify.merge_bisected
                   ~conditional:(Verify.is_conditional q.bounds)
-                  ~discharged:plan.Verify.discharged
-                  ~total_subboxes:(Verify.plan_total plan)
+                  ~discharged ~total_subboxes
                   ~wall_time_s:
                     (List.fold_left
                        (fun acc (r : Verify.result) ->
@@ -695,11 +704,15 @@ let buf_query_record b ~last ~label ~(outcome : outcome) ~from_cache
          \"max_queue_depth\": %d, \"lp_time_s\": %.4f, \
          \"pivots\": %d, \"warm_starts\": %d, \"cold_starts\": %d, \
          \"fallbacks\": %d, \"absint_phase_fixes\": %d, \
-         \"absint_prunes\": %d }\n"
+         \"absint_prunes\": %d, \"absint_incr_hits\": %d, \
+         \"absint_layers_propagated\": %d, \"absint_layers_saved\": %d, \
+         \"absint_cache_evictions\": %d }\n"
         s.Milp.nodes_explored s.Milp.lp_solved s.Milp.incumbent_updates
         s.Milp.steals s.Milp.max_queue_depth s.Milp.lp_time_s s.Milp.pivots
         s.Milp.warm_starts s.Milp.cold_starts s.Milp.fallbacks
-        s.Milp.absint_phase_fixes s.Milp.absint_prunes
+        s.Milp.absint_phase_fixes s.Milp.absint_prunes s.Milp.absint_incr_hits
+        s.Milp.absint_layers_propagated s.Milp.absint_layers_saved
+        s.Milp.absint_cache_evictions
   | Crashed _ | Skipped _ -> Buffer.add_string b "\n");
   Printf.bprintf b "    }%s\n" (if last then "" else ",")
 

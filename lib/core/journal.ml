@@ -75,10 +75,14 @@ let buf_result b (r : Verify.result) =
   Printf.bprintf b
     ", \"steals\": %d, \"max_queue_depth\": %d, \"pivots\": %d, \
      \"warm_starts\": %d, \"cold_starts\": %d, \"fallbacks\": %d, \
-     \"absint_phase_fixes\": %d, \"absint_prunes\": %d}"
+     \"absint_phase_fixes\": %d, \"absint_prunes\": %d, \
+     \"absint_incr_hits\": %d, \"absint_layers_propagated\": %d, \
+     \"absint_layers_saved\": %d, \"absint_cache_evictions\": %d}"
     s.Milp.steals s.Milp.max_queue_depth s.Milp.pivots s.Milp.warm_starts
     s.Milp.cold_starts s.Milp.fallbacks s.Milp.absint_phase_fixes
-    s.Milp.absint_prunes;
+    s.Milp.absint_prunes s.Milp.absint_incr_hits
+    s.Milp.absint_layers_propagated s.Milp.absint_layers_saved
+    s.Milp.absint_cache_evictions;
   Buffer.add_string b "}"
 
 let entry_to_line e =
@@ -352,6 +356,10 @@ let parse_milp ~line j =
   in
   let absint_phase_fixes = opt_int "absint_phase_fixes" in
   let absint_prunes = opt_int "absint_prunes" in
+  let absint_incr_hits = opt_int "absint_incr_hits" in
+  let absint_layers_propagated = opt_int "absint_layers_propagated" in
+  let absint_layers_saved = opt_int "absint_layers_saved" in
+  let absint_cache_evictions = opt_int "absint_cache_evictions" in
   Ok
     {
       Milp.nodes_explored;
@@ -367,6 +375,10 @@ let parse_milp ~line j =
       fallbacks;
       absint_phase_fixes;
       absint_prunes;
+      absint_incr_hits;
+      absint_layers_propagated;
+      absint_layers_saved;
+      absint_cache_evictions;
     }
 
 let parse_result ~line j =

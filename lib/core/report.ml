@@ -21,6 +21,16 @@ let pp_milp_stats fmt (stats : Dpv_linprog.Milp.stats) =
     Format.fprintf fmt ", absint: %d phase fixes / %d prunes"
       stats.Dpv_linprog.Milp.absint_phase_fixes
       stats.Dpv_linprog.Milp.absint_prunes;
+  if stats.Dpv_linprog.Milp.absint_incr_hits > 0 then
+    Format.fprintf fmt
+      ", incremental: %d hits, %d layers propagated / %d saved%s"
+      stats.Dpv_linprog.Milp.absint_incr_hits
+      stats.Dpv_linprog.Milp.absint_layers_propagated
+      stats.Dpv_linprog.Milp.absint_layers_saved
+      (if stats.Dpv_linprog.Milp.absint_cache_evictions > 0 then
+         Printf.sprintf ", %d evictions"
+           stats.Dpv_linprog.Milp.absint_cache_evictions
+       else "");
   if workers > 1 then
     Format.fprintf fmt
       "@,solver: %d workers, nodes/worker [%s], %d steals, max queue depth %d"

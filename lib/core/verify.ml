@@ -75,7 +75,7 @@ let expr_bounds expr box =
     (Dpv_spec.Linexpr.normalized_terms expr)
 
 let run_query ?(milp_options = default_milp_options) ?(absint = false)
-    ~characterizer_margin ~shared ~head ~psi ~conditional () =
+    ?absint_seed ~characterizer_margin ~shared ~head ~psi ~conditional () =
   Trace.with_span "verify.query" @@ fun () ->
   let started = Clock.now_s () in
   let suffix = Encode.suffix_of_shared shared in
@@ -84,10 +84,11 @@ let run_query ?(milp_options = default_milp_options) ?(absint = false)
     if not absint then milp_options
     else
       let guide =
-        Absguide.make ~suffix ~head
+        Absguide.factory ?seed:absint_seed ~suffix ~head
           ~feature_box:(Encode.feature_box_of_shared shared)
           ~suffix_relus:(Encode.suffix_relu_vars_of_shared shared)
           ~head_relus:encoding.Encode.head_relu_vars ~psi ~characterizer_margin
+          ()
       in
       { milp_options with Milp.absint = Some guide }
   in
@@ -147,22 +148,26 @@ let m_discharged = Metrics.counter "bisect.discharged"
 
 (* Leaf discharge: the sub-box is safe when DeepPoly alone separates it
    from the query — [verify_incomplete]'s conditions, applied to the
-   sub-box instead of the whole region. *)
+   sub-box instead of the whole region.  The propagation runs once,
+   through the resumable engine (bit-identical to the immutable one);
+   a leaf that survives keeps it as [Some seed], which the MILP guide
+   later adopts as its root state instead of propagating the same
+   restricted box a second time. *)
 let subbox_discharged ~suffix ~head ~psi ~characterizer_margin box =
-  let output_box =
-    Propagate.output_bounds Propagate.Deeppoly suffix ~input_box:box
+  let sd = Absguide.root_propagation ~suffix ~head ~feature_box:box in
+  let output_box = Absguide.seed_output_box sd in
+  let logit_box = Absguide.seed_logit_box sd in
+  let discharged =
+    logit_box.Dpv_absint.Interval.hi < characterizer_margin
+    || List.exists
+         (fun (ineq : Risk.inequality) ->
+           let iv = expr_bounds ineq.Risk.expr output_box in
+           match ineq.Risk.rel with
+           | `Le -> iv.Dpv_absint.Interval.lo > ineq.Risk.bound
+           | `Ge -> iv.Dpv_absint.Interval.hi < ineq.Risk.bound)
+         psi.Risk.inequalities
   in
-  let logit_box =
-    (Propagate.output_bounds Propagate.Deeppoly head ~input_box:box).(0)
-  in
-  logit_box.Dpv_absint.Interval.hi < characterizer_margin
-  || List.exists
-       (fun (ineq : Risk.inequality) ->
-         let iv = expr_bounds ineq.Risk.expr output_box in
-         match ineq.Risk.rel with
-         | `Le -> iv.Dpv_absint.Interval.lo > ineq.Risk.bound
-         | `Ge -> iv.Dpv_absint.Interval.hi < ineq.Risk.bound)
-       psi.Risk.inequalities
+  if discharged then None else Some sd
 
 (* Split at the midpoint of the widest dimension; [None] when the box
    is degenerate (a point, or midpoint rounding cannot make progress). *)
@@ -190,29 +195,36 @@ let split_box (box : Box_domain.t) =
     end
   end
 
-type bisect_plan = { survivors : Box_domain.t list; discharged : int }
+type bisect_plan = {
+  survivors : (Box_domain.t * Absguide.seed) list;
+  discharged : int;
+}
 
 let plan_total p = p.discharged + List.length p.survivors
 
 (* Recursively split the feature box, discharging cheap sub-boxes with
    DeepPoly as they appear; whatever survives to [max_depth] (or cannot
-   be split further) goes to the MILP.  The union of discharged and
-   surviving sub-boxes covers the input box exactly, so any verdict
-   merge over the plan is a verdict about the whole region. *)
+   be split further) goes to the MILP, carrying the propagation that
+   failed to discharge it as the guide's root seed.  The union of
+   discharged and surviving sub-boxes covers the input box exactly, so
+   any verdict merge over the plan is a verdict about the whole
+   region. *)
 let bisect_plan ~max_depth ~suffix ~head ~psi ~characterizer_margin
     feature_box =
   let discharged = ref 0 in
   let survivors = ref [] in
+  let keep box sd = survivors := (box, sd) :: !survivors in
   let rec go depth box =
-    if subbox_discharged ~suffix ~head ~psi ~characterizer_margin box then
-      incr discharged
-    else if depth >= max_depth then survivors := box :: !survivors
-    else
-      match split_box box with
-      | None -> survivors := box :: !survivors
-      | Some (a, b) ->
-          go (depth + 1) a;
-          go (depth + 1) b
+    match subbox_discharged ~suffix ~head ~psi ~characterizer_margin box with
+    | None -> incr discharged
+    | Some sd ->
+        if depth >= max_depth then keep box sd
+        else (
+          match split_box box with
+          | None -> keep box sd
+          | Some (a, b) ->
+              go (depth + 1) a;
+              go (depth + 1) b)
   in
   go 0 feature_box;
   let plan = { survivors = List.rev !survivors; discharged = !discharged } in
@@ -336,13 +348,13 @@ let verify ?milp_options ?(characterizer_margin = 0.0) ?(tighten = false)
       let results = ref [] in
       let unsafe_found = ref false in
       List.iter
-        (fun sub ->
+        (fun (sub, sd) ->
           (* A validated witness settles the whole query: later sub-boxes
              cannot change the verdict, so skip their MILPs. *)
           if not !unsafe_found then begin
             let sub_shared = Encode.restrict_shared shared ~feature_box:sub in
             let r =
-              run_query ~milp_options:(sub_options ()) ~absint
+              run_query ~milp_options:(sub_options ()) ~absint ~absint_seed:sd
                 ~characterizer_margin ~shared:sub_shared ~head ~psi
                 ~conditional ()
             in

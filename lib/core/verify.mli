@@ -61,6 +61,7 @@ val resolve_bounds :
 val run_query :
   ?milp_options:Dpv_linprog.Milp.options ->
   ?absint:bool ->
+  ?absint_seed:Absguide.seed ->
   characterizer_margin:float ->
   shared:Encode.shared ->
   head:Dpv_nn.Network.t ->
@@ -75,6 +76,10 @@ val run_query :
     branch-and-bound search with the {!Absguide} DeepPoly guide built
     from this encoding (phase fixing, node pruning, and — together with
     [milp_options.branch_rule = Bound_width] — bound-width branching).
+    [absint_seed] hands the guide an already propagated root state over
+    this query's feature box ({!Absguide.root_propagation}), so the
+    first consult re-propagates nothing — the bisection front end uses
+    it to avoid propagating every surviving leaf twice.
     Callers that answer many queries over the same [(cut, bounds)]
     region build the prefix once — see {!Campaign}. *)
 
@@ -90,8 +95,10 @@ val default_bisect_options : bisect_options
 (** [{ max_depth = 2; subbox_time_limit_s = None }] *)
 
 type bisect_plan = {
-  survivors : Dpv_absint.Box_domain.t list;
-      (** sub-boxes that still need a complete MILP query *)
+  survivors : (Dpv_absint.Box_domain.t * Absguide.seed) list;
+      (** sub-boxes that still need a complete MILP query, each paired
+          with the root propagation that failed to discharge it — handed
+          to {!run_query} as [absint_seed] so the work is not redone *)
   discharged : int;
       (** sub-boxes proven safe by DeepPoly propagation alone *)
 }

@@ -6,6 +6,7 @@ type site =
   | Task_crash
   | Journal_crash
   | Lp_unbounded
+  | Absint_stale
 
 let all_sites =
   [
@@ -16,6 +17,7 @@ let all_sites =
     ("task-crash", Task_crash);
     ("journal-crash", Journal_crash);
     ("lp-unbounded", Lp_unbounded);
+    ("absint-stale", Absint_stale);
   ]
 
 let site_index = function
@@ -26,8 +28,9 @@ let site_index = function
   | Task_crash -> 4
   | Journal_crash -> 5
   | Lp_unbounded -> 6
+  | Absint_stale -> 7
 
-let n_sites = 7
+let n_sites = 8
 
 let site_name s = fst (List.nth all_sites (site_index s))
 

@@ -39,6 +39,14 @@ type site =
                             the site models the numerical artifact the
                             solvers must survive without abandoning the
                             search *)
+  | Absint_stale        (** the incremental abstract-interpretation guide
+                            serves a stale cached layer state once: a
+                            consult that should have invalidated part of
+                            its prefix cache skips the invalidation.  The
+                            guide's debug cross-check (active whenever the
+                            harness is enabled) must detect the divergence
+                            against a from-scratch propagation and fall
+                            back *)
 
 val all_sites : (string * site) list
 (** Kebab-case spec names, e.g. [("task-crash", Task_crash)]. *)

@@ -23,6 +23,13 @@ type t = {
   nconstrs : int;
   sense : objective_sense;
   obj : term list;
+  (* Bound-change history, most recent first: one entry per
+     [set_var_bounds] call since [create].  A child model built from a
+     parent shares the parent's tail physically, so two models derived
+     from a common ancestor can be diffed in time proportional to their
+     distance in the derivation tree — see [bounds_delta]. *)
+  trail : var list;
+  trail_len : int;
 }
 
 let create () =
@@ -33,6 +40,8 @@ let create () =
     nconstrs = 0;
     sense = Minimize;
     obj = [];
+    trail = [];
+    trail_len = 0;
   }
 
 let add_var ?name ?lo ?up ?(kind = Continuous) m =
@@ -104,7 +113,46 @@ let integer_vars m =
 
 let set_var_bounds m v ~lo ~up =
   let info = find_var m v in
-  { m with vars = Imap.add v { info with lo; up } m.vars }
+  {
+    m with
+    vars = Imap.add v { info with lo; up } m.vars;
+    trail = v :: m.trail;
+    trail_len = m.trail_len + 1;
+  }
+
+let bounds_delta ?cap a b =
+  let cap = match cap with Some c -> c | None -> max_int in
+  (* Walk both trails back to their longest physically-shared suffix:
+     every entry dropped on either side names a variable whose bounds
+     may differ between [a] and [b]; all other variables provably have
+     identical bounds (their infos were inherited untouched from the
+     common ancestor).  [None] when the models share no recent history
+     within [cap] steps — the caller should fall back to a full scan. *)
+  let rec strip n t count acc =
+    if count > cap then None
+    else if n = 0 then Some (t, count, acc)
+    else
+      match t with
+      | [] -> Some ([], count, acc)
+      | v :: rest -> strip (n - 1) rest (count + 1) (v :: acc)
+  in
+  let rec walk ta tb count acc =
+    if count > cap then None
+    else if ta == tb then Some acc
+    else
+      match (ta, tb) with
+      | va :: ra, vb :: rb -> walk ra rb (count + 2) (va :: vb :: acc)
+      | [], [] -> Some acc
+      | _ -> None
+  in
+  if a.trail_len >= b.trail_len then
+    match strip (a.trail_len - b.trail_len) a.trail 0 [] with
+    | None -> None
+    | Some (ta, count, acc) -> walk ta b.trail count acc
+  else
+    match strip (b.trail_len - a.trail_len) b.trail 0 [] with
+    | None -> None
+    | Some (tb, count, acc) -> walk a.trail tb count acc
 
 let relax_integrality m =
   {

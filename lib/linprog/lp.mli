@@ -43,6 +43,21 @@ val integer_vars : t -> var list
 
 val set_var_bounds : t -> var -> lo:float option -> up:float option -> t
 
+val bounds_delta : ?cap:int -> t -> t -> var list option
+(** [bounds_delta a b] lists every variable whose bounds {e may} differ
+    between two models derived from a common ancestor by
+    [set_var_bounds]; any variable not listed provably has identical
+    bounds in both.  Both models must belong to the same derivation
+    family (the same [create] call) — the diff walks the bound-change
+    history and cannot tell unrelated families apart.  Cost is
+    proportional to the models' distance in the derivation tree (each
+    [set_var_bounds] leaves a physically shared history entry), not to
+    model size — this is what lets an incremental branch-and-bound
+    guide diff consecutive tree nodes in O(1) instead of re-reading
+    every binary.  The list may repeat variables.  [None] when more
+    than [cap] history entries (default: unlimited) separate the
+    models — callers fall back to a full scan. *)
+
 val relax_integrality : t -> t
 (** Every [Integer]/[Binary] variable becomes [Continuous] (bounds kept):
     the LP relaxation used by bound tightening. *)

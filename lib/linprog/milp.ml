@@ -20,6 +20,10 @@ type stats = {
   fallbacks : int;
   absint_phase_fixes : int;
   absint_prunes : int;
+  absint_incr_hits : int;
+  absint_layers_propagated : int;
+  absint_layers_saved : int;
+  absint_cache_evictions : int;
 }
 
 let empty_stats =
@@ -37,6 +41,10 @@ let empty_stats =
     fallbacks = 0;
     absint_phase_fixes = 0;
     absint_prunes = 0;
+    absint_incr_hits = 0;
+    absint_layers_propagated = 0;
+    absint_layers_saved = 0;
+    absint_cache_evictions = 0;
   }
 
 let add_stats a b =
@@ -54,9 +62,14 @@ let add_stats a b =
     fallbacks = a.fallbacks + b.fallbacks;
     absint_phase_fixes = a.absint_phase_fixes + b.absint_phase_fixes;
     absint_prunes = a.absint_prunes + b.absint_prunes;
+    absint_incr_hits = a.absint_incr_hits + b.absint_incr_hits;
+    absint_layers_propagated =
+      a.absint_layers_propagated + b.absint_layers_propagated;
+    absint_layers_saved = a.absint_layers_saved + b.absint_layers_saved;
+    absint_cache_evictions = a.absint_cache_evictions + b.absint_cache_evictions;
   }
 
-type branch_rule = Most_fractional | Bound_width
+type branch_rule = Most_fractional | Bound_width | Guide_order
 
 (* What an abstract-interpretation guide learned about one node.  The
    solver stays ignorant of how the bounds were propagated: [prune]
@@ -72,6 +85,50 @@ type guidance = {
 
 type guide = Lp.t -> guidance
 
+(* What a stateful guide did across one solve: cache hits (consults
+   that reused at least one cached layer state), layer transfers run
+   and skipped, and layer states dropped for the memory budget.  All
+   zero for stateless guides. *)
+type guide_stats = {
+  incr_hits : int;
+  layers_propagated : int;
+  layers_saved : int;
+  cache_evictions : int;
+}
+
+let empty_guide_stats =
+  {
+    incr_hits = 0;
+    layers_propagated = 0;
+    layers_saved = 0;
+    cache_evictions = 0;
+  }
+
+let sub_guide_stats a b =
+  {
+    incr_hits = a.incr_hits - b.incr_hits;
+    layers_propagated = a.layers_propagated - b.layers_propagated;
+    layers_saved = a.layers_saved - b.layers_saved;
+    cache_evictions = a.cache_evictions - b.cache_evictions;
+  }
+
+(* Guides carry per-solver state (cached propagation prefixes), so the
+   solver asks the factory for a fresh instance per search — one for
+   the sequential DFS, one per worker in [Milp_par] — instead of
+   sharing a closure across domains.  [guide_stats] aggregates over
+   every instance the factory ever made; solvers read it as a
+   start/end delta so factories may outlive a solve. *)
+type guide_factory = {
+  new_guide : unit -> guide;
+  guide_stats : unit -> guide_stats;
+}
+
+(* Wrap a stateless per-node closure (tests, custom heuristics) as a
+   factory: every "instance" is the same closure and the stats stay
+   zero. *)
+let stateless_guide g =
+  { new_guide = (fun () -> g); guide_stats = (fun () -> empty_guide_stats) }
+
 type options = {
   max_nodes : int;
   int_tol : float;
@@ -80,7 +137,7 @@ type options = {
   task_batch : int;
   time_limit_s : float option;
   lp_dense : bool;
-  absint : guide option;
+  absint : guide_factory option;
   branch_rule : branch_rule;
 }
 
@@ -105,6 +162,10 @@ let m_cold = Metrics.counter "simplex.cold_starts"
 let m_fallbacks = Metrics.counter "simplex.fallbacks"
 let m_absint_fixes = Metrics.counter "absint.phase_fixes"
 let m_absint_prunes = Metrics.counter "absint.prunes"
+let m_absint_hits = Metrics.counter "absint.incr_hits"
+let m_absint_propagated = Metrics.counter "absint.layers_propagated"
+let m_absint_saved = Metrics.counter "absint.layers_saved"
+let m_absint_evictions = Metrics.counter "absint.cache_evictions"
 let lp_solve_hist = Metrics.histogram "milp.lp_solve_ns"
 
 let record_metrics (s : stats) =
@@ -120,7 +181,11 @@ let record_metrics (s : stats) =
   Metrics.incr m_cold s.cold_starts;
   Metrics.incr m_fallbacks s.fallbacks;
   Metrics.incr m_absint_fixes s.absint_phase_fixes;
-  Metrics.incr m_absint_prunes s.absint_prunes
+  Metrics.incr m_absint_prunes s.absint_prunes;
+  Metrics.incr m_absint_hits s.absint_incr_hits;
+  Metrics.incr m_absint_propagated s.absint_layers_propagated;
+  Metrics.incr m_absint_saved s.absint_layers_saved;
+  Metrics.incr m_absint_evictions s.absint_cache_evictions
 
 let observe_lp_s seconds =
   Metrics.observe lp_solve_hist (int_of_float (seconds *. 1e9))
@@ -181,6 +246,24 @@ let find_branch_var_widest ~tol model solution widths =
   | Some (v, _) -> Some v
   | None -> find_branch_var ~tol model solution
 
+(* Deepest-scored fractional variable under [Guide_order]: the guide
+   emits widths in network layer order (per layer, ascending neuron
+   index), so the last fractional entry is the deepest crossing
+   binary.  Branching deepest-first means consecutive DFS nodes differ
+   only in the final layers, so the incremental guide's prefix cache
+   rolls back as little as possible; shallow invalidations only happen
+   at the (geometrically rarer) backtracks above a exhausted deep
+   subtree.  Falls back to most-fractional when the guide scored no
+   fractional candidate. *)
+let find_branch_var_ordered ~tol model solution widths =
+  let best = ref None in
+  List.iter
+    (fun (v, _) -> if not (is_integral ~tol solution.(v)) then best := Some v)
+    widths;
+  match !best with
+  | Some v -> Some v
+  | None -> find_branch_var ~tol model solution
+
 let round_integral ~tol model solution =
   let out = Array.copy solution in
   List.iter
@@ -214,6 +297,17 @@ let solve_with_stats ?(options = default_options) model =
   let unbounded_truncated = ref false in
   let absint_fixes = ref 0 and absint_prunes = ref 0 in
   let max_depth = ref 0 in
+  (* Instantiate the guide for this search; guide counters are read as
+     a delta so a factory reused across solves still reports exactly
+     this solve's work. *)
+  let guide_stats_before =
+    match options.absint with
+    | None -> empty_guide_stats
+    | Some f -> f.guide_stats ()
+  in
+  let guide =
+    match options.absint with None -> None | Some f -> Some (f.new_guide ())
+  in
   (* One persistent solver for the whole tree: nodes differ from each
      other only in integer-variable bounds, so syncing those bounds and
      re-solving warm-starts dual simplex from the previous optimal
@@ -256,7 +350,7 @@ let solve_with_stats ?(options = default_options) model =
              the LP: a pruned node costs no simplex work at all, and
              phase fixes shrink the subtree the relaxation must cover. *)
           let guidance =
-            match options.absint with None -> None | Some f -> Some (f node)
+            match guide with None -> None | Some g -> Some (g node)
           in
           match guidance with
           | Some g when g.prune ->
@@ -314,6 +408,9 @@ let solve_with_stats ?(options = default_options) model =
                       | Bound_width, Some { widths = _ :: _ as widths; _ } ->
                           find_branch_var_widest ~tol:options.int_tol node
                             solution widths
+                      | Guide_order, Some { widths = _ :: _ as widths; _ } ->
+                          find_branch_var_ordered ~tol:options.int_tol node
+                            solution widths
                       | _ -> find_branch_var ~tol:options.int_tol node solution
                     in
                     match branch_var with
@@ -338,6 +435,11 @@ let solve_with_stats ?(options = default_options) model =
   max_depth := 1;
   explore [ model ] 1;
   let c = Simplex.counters handle in
+  let gd =
+    match options.absint with
+    | None -> empty_guide_stats
+    | Some f -> sub_guide_stats (f.guide_stats ()) guide_stats_before
+  in
   let stats =
     {
       nodes_explored = !nodes;
@@ -353,6 +455,10 @@ let solve_with_stats ?(options = default_options) model =
       fallbacks = c.Simplex.fallbacks;
       absint_phase_fixes = !absint_fixes;
       absint_prunes = !absint_prunes;
+      absint_incr_hits = gd.incr_hits;
+      absint_layers_propagated = gd.layers_propagated;
+      absint_layers_saved = gd.layers_saved;
+      absint_cache_evictions = gd.cache_evictions;
     }
   in
   let result =

@@ -66,6 +66,20 @@ type stats = {
   absint_prunes : int;          (** nodes discharged by the guide before
                                     their LP was ever solved (they do
                                     not count toward [nodes_explored]) *)
+  absint_incr_hits : int;       (** guide consults that resumed from at
+                                    least one cached layer state instead
+                                    of propagating from scratch *)
+  absint_layers_propagated : int;
+                                (** DeepPoly layer transfers the guide
+                                    actually ran across all consults *)
+  absint_layers_saved : int;    (** layer transfers skipped by reusing
+                                    cached prefix states (scratch-mode
+                                    propagation would have run
+                                    [layers_propagated + layers_saved]) *)
+  absint_cache_evictions : int; (** layer states dropped from the
+                                    guide's prefix cache for the memory
+                                    budget (counted once per guide
+                                    instance per evicted layer) *)
 }
 
 val empty_stats : stats
@@ -84,6 +98,15 @@ type branch_rule =
           pre-activation interval (as scored by the [absint] guide) is
           widest; falls back to [Most_fractional] when no guide is
           armed or it scored no candidate *)
+  | Guide_order
+      (** branch on the {e deepest} guide-scored fractional binary.
+          The [absint] guide lists crossing binaries in network layer
+          order, so this fixes ReLU phases output-end-first down each
+          DFS path: consecutive nodes then differ only in the deepest
+          layers, which is exactly the access pattern the incremental
+          guide's prefix cache resumes cheapest.  Falls back to
+          [Most_fractional] when no guide is armed or it scored no
+          candidate *)
 
 type guidance = {
   prune : bool;
@@ -106,6 +129,39 @@ type guide = Lp.t -> guidance
     the node's bounds.  Built over DeepPoly by [Dpv_core.Absguide];
     this module only sees the closure, so [lib/linprog] stays free of
     any dependency on the abstract domains. *)
+
+type guide_stats = {
+  incr_hits : int;
+  layers_propagated : int;
+  layers_saved : int;
+  cache_evictions : int;
+}
+(** Incremental-propagation work done by a stateful guide; see the
+    matching [absint_*] fields of {!stats}.  All zero for stateless
+    guides. *)
+
+val empty_guide_stats : guide_stats
+val sub_guide_stats : guide_stats -> guide_stats -> guide_stats
+
+type guide_factory = {
+  new_guide : unit -> guide;
+      (** a fresh guide instance.  Instances may carry mutable
+          propagation caches, so each is confined to the solver thread
+          that requested it: the sequential solver makes one per solve,
+          {!Milp_par} one per worker domain. *)
+  guide_stats : unit -> guide_stats;
+      (** counters aggregated over every instance this factory created.
+          Solvers snapshot before and after a search and record the
+          delta, so factories may be reused across solves. *)
+}
+(** How solvers obtain guides.  The factory itself must be safe to call
+    from the domain that owns the solve; instance creation happens on
+    the worker domains but is serialized per instance. *)
+
+val stateless_guide : guide -> guide_factory
+(** Wrap a stateless per-node closure as a factory (every instance is
+    the same closure; stats stay zero).  The natural constructor for
+    tests and ad-hoc heuristics. *)
 
 type options = {
   max_nodes : int;      (** branch-and-bound node budget *)
@@ -134,10 +190,11 @@ type options = {
           the warm-started revised engine.  Slow but stateless between
           nodes; the retry ladder switches this on after an escaped
           [Numerical_trouble]. *)
-  absint : guide option;
-      (** abstract-interpretation guide consulted per node ([None], the
-          default, leaves the search bit-for-bit identical to the
-          unguided solver) *)
+  absint : guide_factory option;
+      (** abstract-interpretation guide factory; each search
+          instantiates its own guide(s) and consults one per node
+          ([None], the default, leaves the search bit-for-bit identical
+          to the unguided solver) *)
   branch_rule : branch_rule;  (** branch-variable selection rule *)
 }
 
@@ -156,6 +213,13 @@ val find_branch_var_widest :
 (** [Bound_width] selection: the fractional integer variable with the
     largest width score, ties toward the lowest index; falls back to
     {!find_branch_var} when no fractional variable was scored. *)
+
+val find_branch_var_ordered :
+  tol:float -> Lp.t -> float array -> (Lp.var * float) list -> Lp.var option
+(** [Guide_order] selection: the last fractional variable in the
+    guide's width list (network layer order, so the deepest crossing
+    binary); falls back to {!find_branch_var} when no fractional
+    variable was scored. *)
 
 val round_integral : tol:float -> Lp.t -> float array -> float array
 (** Snap near-integral integer variables of a relaxation solution to

@@ -53,6 +53,29 @@ let solve_parallel ~(options : Milp.options) model =
      from whatever basis that handle last held — a cold start happens
      only on each worker's first node. *)
   let handles = Array.make workers None in
+  (* Likewise one stateful guide instance per worker: the factory's
+     instances carry the incremental DeepPoly prefix cache, which is
+     mutable and must stay confined to one domain.  Consecutive nodes
+     of a subtree batch share long fixing prefixes, so the warm state
+     survives within a batch; a stolen subtree simply diverges at a
+     shallow layer and the instance re-propagates from there. *)
+  let guides = Array.make workers None in
+  let guide_for id =
+    match options.Milp.absint with
+    | None -> None
+    | Some f -> (
+        match guides.(id) with
+        | Some _ as g -> g
+        | None ->
+            let g = f.Milp.new_guide () in
+            guides.(id) <- Some g;
+            Some g)
+  in
+  let guide_stats_before =
+    match options.Milp.absint with
+    | None -> Milp.empty_guide_stats
+    | Some f -> f.Milp.guide_stats ()
+  in
   let int_vars = Lp.integer_vars model in
   let solve_node id node =
     if options.Milp.lp_dense then Simplex.solve_dense node
@@ -138,9 +161,9 @@ let solve_parallel ~(options : Milp.options) model =
         (* Same guide protocol as the sequential solver: consult before
            the LP, prune without solving, fix implied phases first. *)
         let guidance =
-          match options.Milp.absint with
+          match guide_for id with
           | None -> None
-          | Some f -> Some (f node)
+          | Some g -> Some (g node)
         in
         match guidance with
         | Some g when g.Milp.prune -> Atomic.incr s.absint_prunes
@@ -192,6 +215,10 @@ let solve_parallel ~(options : Milp.options) model =
                   ->
                     Milp.find_branch_var_widest ~tol:options.Milp.int_tol node
                       solution widths
+                | Milp.Guide_order, Some { Milp.widths = _ :: _ as widths; _ }
+                  ->
+                    Milp.find_branch_var_ordered ~tol:options.Milp.int_tol node
+                      solution widths
                 | _ ->
                     Milp.find_branch_var ~tol:options.Milp.int_tol node
                       solution
@@ -241,6 +268,15 @@ let solve_parallel ~(options : Milp.options) model =
      Optimal.  Re-raise here so the query-level retry ladder (or the
      campaign's crash isolation) decides what to do with the query. *)
   (match pool_stats.Pool.first_exn with Some e -> raise e | None -> ());
+  (* Guide counters: the factory aggregates over every instance it
+     made, so the workers' per-instance work is read as a single
+     start/end delta after the pool joins (happens-before via
+     [Pool.run]'s domain joins — no atomics in the hot path). *)
+  let gd =
+    match options.Milp.absint with
+    | None -> Milp.empty_guide_stats
+    | Some f -> Milp.sub_guide_stats (f.Milp.guide_stats ()) guide_stats_before
+  in
   let pivots = ref 0 and warm = ref 0 and cold = ref 0 in
   let fallbacks = ref 0 in
   Array.iter
@@ -268,6 +304,10 @@ let solve_parallel ~(options : Milp.options) model =
       fallbacks = !fallbacks;
       absint_phase_fixes = Atomic.get s.absint_fixes;
       absint_prunes = Atomic.get s.absint_prunes;
+      absint_incr_hits = gd.Milp.incr_hits;
+      absint_layers_propagated = gd.Milp.layers_propagated;
+      absint_layers_saved = gd.Milp.layers_saved;
+      absint_cache_evictions = gd.Milp.cache_evictions;
     }
   in
   let result =

@@ -315,7 +315,11 @@ let test_neutral_guide_identical_to_plain () =
      This is the [workers = 1, absint off ≡ today's solver] guarantee
      approached from the other side — the guided code path degenerates
      to the plain one. *)
-  let neutral = Some (fun _ -> { Milp.prune = false; fix = []; widths = [] }) in
+  let neutral =
+    Some
+      (Milp.stateless_guide (fun _ ->
+           { Milp.prune = false; fix = []; widths = [] }))
+  in
   let rng = Rng.create 4711 in
   for _ = 1 to 30 do
     let model = random_milp rng in
@@ -407,6 +411,15 @@ let test_absint_guided_verify_matches_plain () =
             }
           ~perception ~characterizer ~psi ~bounds ()
       in
+      let ordered =
+        Verify.verify ~absint:true
+          ~milp_options:
+            {
+              Verify.default_milp_options with
+              Milp.branch_rule = Milp.Guide_order;
+            }
+          ~perception ~characterizer ~psi ~bounds ()
+      in
       Alcotest.(check string)
         (label ^ ": guided verdict matches plain")
         (verdict_word plain.Verify.verdict)
@@ -414,7 +427,11 @@ let test_absint_guided_verify_matches_plain () =
       Alcotest.(check string)
         (label ^ ": bound-width branching matches too")
         (verdict_word plain.Verify.verdict)
-        (verdict_word widest.Verify.verdict))
+        (verdict_word widest.Verify.verdict);
+      Alcotest.(check string)
+        (label ^ ": guide-order branching matches too")
+        (verdict_word plain.Verify.verdict)
+        (verdict_word ordered.Verify.verdict))
     (battery ())
 
 let test_absint_prunes_unreachable_query () =
@@ -508,6 +525,199 @@ let test_campaign_bisect_matches_plain () =
   | Some n -> Alcotest.failf "bisect.subboxes counter stuck at %d" n
   | None -> Alcotest.fail "bisect.subboxes counter missing from metrics"
 
+(* ---- incremental guide: scratch ≡ incremental, stale fault, seeds -- *)
+
+module Absguide = Dpv_core.Absguide
+module Propagate = Dpv_absint.Propagate
+
+(* A pipeline whose suffix and head both hold crossing ReLUs, so the
+   guided search genuinely branches on relu binaries: consecutive DFS
+   nodes share phase-fixing prefixes (incrementality pays off) and
+   sibling switches roll the prefix cache back (the absint-stale site
+   accrues occurrences). *)
+let make_deep seed =
+  let rng = Rng.create seed in
+  let dense ~rows ~cols =
+    Layer.dense
+      ~weights:
+        (Mat.of_rows
+           (Array.init rows (fun _ ->
+                Array.init cols (fun _ -> Rng.uniform rng ~lo:(-1.2) ~hi:1.2))))
+      ~bias:(Array.init rows (fun _ -> Rng.uniform rng ~lo:(-0.3) ~hi:0.3))
+  in
+  let perception =
+    Network.create ~input_dim:2
+      [
+        dense ~rows:2 ~cols:2;
+        (* cut here: features are this layer's 2-dim output *)
+        dense ~rows:3 ~cols:2;
+        Layer.Relu;
+        dense ~rows:3 ~cols:3;
+        Layer.Relu;
+        dense ~rows:1 ~cols:3;
+      ]
+  in
+  let head =
+    Network.create ~input_dim:2
+      [ dense ~rows:2 ~cols:2; Layer.Relu; dense ~rows:1 ~cols:2 ]
+  in
+  (perception, head)
+
+let deep_perception, deep_head = make_deep 27
+let deep_cut = 1
+
+let deep_characterizer =
+  { Characterizer.head = deep_head; cut = deep_cut; property_name = "deep" }
+
+let deep_box =
+  [| Interval.make ~lo:(-1.0) ~hi:1.0; Interval.make ~lo:(-1.0) ~hi:1.0 |]
+
+let deep_bounds = Verify.Feature_box deep_box
+
+(* A threshold strictly between the concretely sampled maximum and the
+   DeepPoly upper bound: propagation alone cannot discharge the query,
+   so the solver must branch on the relu binaries to prove it safe.
+   [blend] slides the threshold from the sampled maximum (0.0, hardest
+   to discharge) to the DeepPoly bound (1.0, trivially discharged). *)
+let deep_psi_of ?(blend = 0.5) perception =
+  let suffix = Network.suffix perception ~cut:deep_cut in
+  let hi =
+    (Propagate.output_bounds Propagate.Deeppoly suffix ~input_box:deep_box).(0)
+      .Interval.hi
+  in
+  let sampled = ref neg_infinity in
+  for i = 0 to 20 do
+    for j = 0 to 20 do
+      let f =
+        [|
+          -1.0 +. (float_of_int i /. 10.0); -1.0 +. (float_of_int j /. 10.0);
+        |]
+      in
+      sampled := Stdlib.max !sampled (Network.forward suffix f).(0)
+    done
+  done;
+  risk_ge (!sampled +. (blend *. (hi -. !sampled)))
+
+let deep_psi = deep_psi_of deep_perception
+
+let guided_verify ?(workers = 1) ?(scratch = false) () =
+  Fun.protect
+    ~finally:(fun () -> Absguide.set_scratch false)
+    (fun () ->
+      Absguide.set_scratch scratch;
+      Verify.verify ~absint:true
+        ~milp_options:{ Verify.default_milp_options with Milp.workers }
+        ~perception:deep_perception ~characterizer:deep_characterizer
+        ~psi:deep_psi ~bounds:deep_bounds ())
+
+let test_incremental_matches_scratch_sequential () =
+  (* The whole point of the prefix cache: from-scratch and incremental
+     propagation are the same function, so every solver-visible number
+     is identical — only the layers-transferred work counters differ. *)
+  let inc = guided_verify () in
+  let scr = guided_verify ~scratch:true () in
+  let is_ = inc.Verify.milp_stats and ss = scr.Verify.milp_stats in
+  Alcotest.(check string) "verdict identical"
+    (verdict_word scr.Verify.verdict)
+    (verdict_word inc.Verify.verdict);
+  Alcotest.(check bool) "the search actually branches" true
+    (is_.Milp.nodes_explored >= 3);
+  Alcotest.(check int) "same tree" ss.Milp.nodes_explored
+    is_.Milp.nodes_explored;
+  Alcotest.(check int) "same LPs" ss.Milp.lp_solved is_.Milp.lp_solved;
+  Alcotest.(check int) "same prunes" ss.Milp.absint_prunes
+    is_.Milp.absint_prunes;
+  Alcotest.(check int) "same phase fixes" ss.Milp.absint_phase_fixes
+    is_.Milp.absint_phase_fixes;
+  Alcotest.(check bool) "incremental consults resume cached prefixes" true
+    (is_.Milp.absint_incr_hits > 0 && is_.Milp.absint_layers_saved > 0);
+  Alcotest.(check int) "scratch mode saves nothing" 0
+    ss.Milp.absint_layers_saved;
+  Alcotest.(check int) "scratch mode scores no hits" 0
+    ss.Milp.absint_incr_hits;
+  Alcotest.(check bool) "incremental transfers strictly fewer layers" true
+    (is_.Milp.absint_layers_propagated < ss.Milp.absint_layers_propagated)
+
+let test_incremental_matches_scratch_parallel () =
+  (* Same equivalence through the work-stealing solver, where each
+     worker domain owns a private guide instance.  The explored tree of
+     an infeasible query is schedule-independent, so node counts still
+     line up between the two modes. *)
+  let seq = guided_verify () in
+  let inc = guided_verify ~workers:2 () in
+  let scr = guided_verify ~workers:2 ~scratch:true () in
+  Alcotest.(check string) "parallel verdict matches sequential"
+    (verdict_word seq.Verify.verdict)
+    (verdict_word inc.Verify.verdict);
+  Alcotest.(check string) "parallel scratch verdict identical"
+    (verdict_word inc.Verify.verdict)
+    (verdict_word scr.Verify.verdict);
+  Alcotest.(check int) "parallel modes explore the same tree"
+    scr.Verify.milp_stats.Milp.nodes_explored
+    inc.Verify.milp_stats.Milp.nodes_explored;
+  Alcotest.(check bool) "per-worker guides report incremental work" true
+    (inc.Verify.milp_stats.Milp.absint_layers_propagated > 0)
+
+let test_absint_stale_detected_and_recovered () =
+  (* Chaos: serve one stale cached layer state.  The debug cross-check
+     (armed whenever the fault harness is) must catch the divergence
+     against a from-scratch reference, count a fallback, and leave the
+     search bit-identical to a clean run. *)
+  let clean = guided_verify () in
+  let fallbacks = Metrics.counter "absint.stale_fallbacks" in
+  with_faults [ (Faults.Absint_stale, 1) ] @@ fun () ->
+  let before = Metrics.counter_value fallbacks in
+  let faulted =
+    Verify.verify ~absint:true ~perception:deep_perception
+      ~characterizer:deep_characterizer ~psi:deep_psi ~bounds:deep_bounds ()
+  in
+  Alcotest.(check int) "the stale site fired exactly once" 1
+    (Faults.fired Faults.Absint_stale);
+  Alcotest.(check bool) "cross-check caught the stale state" true
+    (Metrics.counter_value fallbacks - before >= 1);
+  Alcotest.(check string) "verdict survives the injection"
+    (verdict_word clean.Verify.verdict)
+    (verdict_word faulted.Verify.verdict);
+  Alcotest.(check int) "the repaired search explores the same tree"
+    clean.Verify.milp_stats.Milp.nodes_explored
+    faulted.Verify.milp_stats.Milp.nodes_explored
+
+let test_bisection_seeds_guide_roots () =
+  (* Regression for the bisection double-propagation: every surviving
+     leaf hands its plan-time root propagation to the guide as a seed,
+     so no survivor propagates its root twice. *)
+  let seeded = Metrics.counter "absint.seeded_roots" in
+  let subboxes = Metrics.counter "bisect.subboxes" in
+  let discharged = Metrics.counter "bisect.discharged" in
+  (* A tighter threshold than [deep_psi]: the quarter boxes of the
+     depth-2 plan propagate tighter bounds, so the midpoint threshold
+     would discharge every leaf and the seed hand-off would go
+     unexercised. *)
+  let psi = deep_psi_of ~blend:0.02 deep_perception in
+  let whole =
+    Verify.verify ~absint:true ~perception:deep_perception
+      ~characterizer:deep_characterizer ~psi ~bounds:deep_bounds ()
+  in
+  let sr0 = Metrics.counter_value seeded in
+  let sb0 = Metrics.counter_value subboxes in
+  let dc0 = Metrics.counter_value discharged in
+  let bis =
+    Verify.verify ~absint:true ~bisect:bisect2 ~perception:deep_perception
+      ~characterizer:deep_characterizer ~psi ~bounds:deep_bounds ()
+  in
+  let survivors =
+    Metrics.counter_value subboxes
+    - sb0
+    - (Metrics.counter_value discharged - dc0)
+  in
+  Alcotest.(check bool) "some sub-box survives to MILP" true (survivors >= 1);
+  Alcotest.(check int) "every survivor adopts its seed instead of redoing it"
+    survivors
+    (Metrics.counter_value seeded - sr0);
+  Alcotest.(check string) "verdict matches the whole-box guided query"
+    (verdict_word whole.Verify.verdict)
+    (verdict_word bis.Verify.verdict)
+
 let tests =
   [
     Alcotest.test_case "root unbounded stays Unbounded" `Quick
@@ -540,4 +750,12 @@ let tests =
       test_bisected_unsafe_witness_revalidates;
     Alcotest.test_case "campaign with bisect matches plain campaign" `Quick
       test_campaign_bisect_matches_plain;
+    Alcotest.test_case "incremental ≡ scratch (sequential)" `Quick
+      test_incremental_matches_scratch_sequential;
+    Alcotest.test_case "incremental ≡ scratch (parallel)" `Quick
+      test_incremental_matches_scratch_parallel;
+    Alcotest.test_case "stale cache injection detected and recovered" `Quick
+      test_absint_stale_detected_and_recovered;
+    Alcotest.test_case "bisection survivors seed the guide roots" `Quick
+      test_bisection_seeds_guide_roots;
   ]

@@ -204,6 +204,39 @@ let test_milp_find_first () =
   let _, sol = expect_milp_feasible (Milp.solve ~options m) in
   check_float "sum" 1.0 (sol.(a) +. sol.(b))
 
+let test_lp_bounds_delta () =
+  let m = Lp.create () in
+  let m, a = Lp.add_var ~kind:Lp.Binary m in
+  let m, b = Lp.add_var ~kind:Lp.Binary m in
+  let m, c = Lp.add_var ~kind:Lp.Binary m in
+  let sort l = List.sort_uniq compare l in
+  let expect_delta label want x y =
+    match Lp.bounds_delta x y with
+    | None -> Alcotest.failf "%s: expected Some delta, got None" label
+    | Some vars -> Alcotest.(check (list int)) label want (sort vars)
+  in
+  (* Identical models share their whole (empty) history. *)
+  expect_delta "self" [] m m;
+  (* Two children of a common ancestor: delta covers exactly the vars
+     touched on either side since the fork, in any order / multiplicity. *)
+  let left = Lp.set_var_bounds m a ~lo:(Some 1.0) ~up:(Some 1.0) in
+  let right = Lp.set_var_bounds m b ~lo:(Some 0.0) ~up:(Some 0.0) in
+  let right = Lp.set_var_bounds right c ~lo:(Some 1.0) ~up:(Some 1.0) in
+  expect_delta "siblings" [ a; b; c ] left right;
+  expect_delta "parent-child" [ b; c ] m right;
+  expect_delta "child-parent" [ b; c ] right m;
+  (* Deeper chain: diffing a node against its grandchild only reports the
+     two intervening fixings, not [a]. *)
+  let gchild = Lp.set_var_bounds left b ~lo:(Some 1.0) ~up:(Some 1.0) in
+  expect_delta "grandchild" [ b ] left gchild;
+  (* cap: distance between [left] and [right] is 3 trail entries. *)
+  (match Lp.bounds_delta ~cap:2 left right with
+  | None -> ()
+  | Some _ -> Alcotest.fail "cap 2 should refuse a distance-3 diff");
+  (match Lp.bounds_delta ~cap:3 left right with
+  | Some vars -> Alcotest.(check (list int)) "cap 3 admits" [ a; b; c ] (sort vars)
+  | None -> Alcotest.fail "cap 3 should admit a distance-3 diff")
+
 let test_milp_stats () =
   let m = Lp.create () in
   let m, x = Lp.add_var ~lo:0.0 ~up:10.0 ~kind:Lp.Integer m in
@@ -277,6 +310,7 @@ let tests =
     Alcotest.test_case "milp rounding gap" `Quick test_milp_integer_rounding_gap;
     Alcotest.test_case "milp infeasible" `Quick test_milp_infeasible;
     Alcotest.test_case "milp find-first" `Quick test_milp_find_first;
+    Alcotest.test_case "bounds delta trail diff" `Quick test_lp_bounds_delta;
     Alcotest.test_case "milp stats" `Quick test_milp_stats;
     QCheck_alcotest.to_alcotest qcheck_lp_optimality;
   ]

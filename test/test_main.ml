@@ -14,6 +14,7 @@ let () =
       ("train", Test_train.tests);
       ("absint", Test_absint.tests);
       ("absint-guided", Test_absint_guided.tests);
+      ("absint-incremental", Test_absint_incremental.tests);
       ("spec", Test_spec.tests);
       ("scenario", Test_scenario.tests);
       ("monitor", Test_monitor.tests);
