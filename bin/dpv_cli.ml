@@ -13,6 +13,10 @@
 module Workflow = Dpv_core.Workflow
 module Verify = Dpv_core.Verify
 module Report = Dpv_core.Report
+module Specfile = Dpv_core.Specfile
+module Json = Dpv_core.Json
+module Server = Dpv_serve.Server
+module Sclient = Dpv_serve.Client
 module Oracle = Dpv_scenario.Oracle
 module Generator = Dpv_scenario.Generator
 module Camera = Dpv_scenario.Camera
@@ -185,31 +189,8 @@ let property_arg =
     & opt property_conv Oracle.bends_right
     & info [ "p"; "property" ] ~doc)
 
-let parse_psi s =
-  match String.split_on_char ':' s with
-  | [ "far-left" ] -> Ok (Workflow.psi_steer_far_left ())
-  | [ "far-left"; t ] ->
-      Ok (Workflow.psi_steer_far_left ~threshold:(float_of_string t) ())
-  | [ "far-right" ] -> Ok (Workflow.psi_steer_far_right ())
-  | [ "far-right"; t ] ->
-      Ok (Workflow.psi_steer_far_right ~threshold:(float_of_string t) ())
-  | [ "straight" ] -> Ok (Workflow.psi_steer_straight ())
-  | [ "straight"; h ] ->
-      Ok (Workflow.psi_steer_straight ~halfwidth:(float_of_string h) ())
-  | _ -> (
-      (* Fall back to the raw inequality language, e.g.
-         "y0 >= 2.5 && y1 <= 0.3". *)
-      match Dpv_spec.Risk.of_string s with
-      | Ok psi -> Ok psi
-      | Error e ->
-          Error
-            (Printf.sprintf
-               "not a named condition (far-left[:T], far-right[:T], \
-                straight[:H]) and not a valid inequality (%s)"
-               e))
-
 let psi_conv =
-  let parse s = Result.map_error (fun e -> `Msg e) (parse_psi s) in
+  let parse s = Result.map_error (fun e -> `Msg e) (Specfile.parse_psi s) in
   let print fmt psi = Format.fprintf fmt "%s" psi.Dpv_spec.Risk.name in
   Arg.conv (parse, print)
 
@@ -219,21 +200,8 @@ let psi_arg =
   in
   Arg.(value & opt psi_conv (Workflow.psi_steer_far_left ()) & info [ "psi" ] ~doc)
 
-let parse_strategy = function
-  | "static-box" -> Ok (Workflow.Static Propagate.Box)
-  | "static-zonotope" -> Ok (Workflow.Static Propagate.Zonotope)
-  | "static-deeppoly" -> Ok (Workflow.Static Propagate.Deeppoly)
-  | "data-box" -> Ok Workflow.Data_box
-  | "data-octagon" -> Ok Workflow.Data_octagon
-  | s ->
-      Error
-        (Printf.sprintf
-           "unknown strategy %S (static-box, static-zonotope, \
-            static-deeppoly, data-box, data-octagon)"
-           s)
-
 let strategy_conv =
-  let parse s = Result.map_error (fun e -> `Msg e) (parse_strategy s) in
+  let parse s = Result.map_error (fun e -> `Msg e) (Specfile.parse_strategy s) in
   let print fmt s = Format.fprintf fmt "%s" (Workflow.strategy_name s) in
   Arg.conv (parse, print)
 
@@ -303,66 +271,19 @@ exception Spec_error of string
 
 let spec_error fmt = Printf.ksprintf (fun m -> raise (Spec_error m)) fmt
 
-(* Typed field accessors over the hand-rolled JSON reader; every
-   mistype names the offending key. *)
-let j_int v key =
-  match Dpv_core.Json.to_int v with
-  | Some i -> i
-  | None -> spec_error "%S must be an integer" key
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let j_float v key =
-  match Dpv_core.Json.to_float v with
-  | Some f -> f
-  | None -> spec_error "%S must be a number" key
-
-let j_string v key =
-  match Dpv_core.Json.to_string v with
-  | Some s -> s
-  | None -> spec_error "%S must be a string" key
-
-let field obj key = Dpv_core.Json.member key obj
-let int_field obj key ~default =
-  match field obj key with None -> default | Some v -> j_int v key
-let float_opt_field obj key =
-  Option.map (fun v -> j_float v key) (field obj key)
-
-(* The optional "setup" object shrinks the trained pipeline — CI smoke
-   campaigns train a tiny network in seconds instead of the full
-   default. *)
-let setup_of_spec spec ~seed =
-  let base = setup_of ~seed in
-  match field spec "setup" with
-  | None -> base
-  | Some s ->
-      let geti key default = int_field s key ~default in
-      let hidden =
-        match field s "hidden" with
-        | None -> base.Workflow.hidden
-        | Some v -> (
-            match Dpv_core.Json.to_list v with
-            | Some l -> List.map (fun x -> j_int x "hidden") l
-            | None -> spec_error "\"hidden\" must be an array of integers")
-      in
-      let camera = base.Workflow.scenario.Generator.camera in
-      let camera =
-        {
-          camera with
-          Camera.width = geti "camera_width" camera.Camera.width;
-          height = geti "camera_height" camera.Camera.height;
-        }
-      in
-      {
-        base with
-        Workflow.hidden;
-        cut = geti "cut" base.Workflow.cut;
-        train_size = geti "train_size" base.Workflow.train_size;
-        val_size = geti "val_size" base.Workflow.val_size;
-        perception_epochs = geti "perception_epochs" base.Workflow.perception_epochs;
-        characterizer_samples =
-          geti "characterizer_samples" base.Workflow.characterizer_samples;
-        bounds_samples = geti "bounds_samples" base.Workflow.bounds_samples;
-        scenario = { base.Workflow.scenario with Generator.camera };
-      }
+(* Read + parse a campaign spec file; dialect and query building live
+   in {!Dpv_core.Specfile}, shared with the serve daemon. *)
+let load_spec path =
+  let text = try read_file path with Sys_error e -> spec_error "%s" e in
+  match Json.of_string text with
+  | Ok v -> v
+  | Error e -> spec_error "cannot parse %s: %s" path e
 
 (* --shard I/N: one deterministic slice of the query-key partition.
    Validation here mirrors Campaign.run's, so a bad value is a usage
@@ -383,120 +304,25 @@ let campaign_cmd =
   let run cache_dir spec_path output journal resume shard absint bisect
       bisect_timeout_s branch_rule trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
-    let read_file path =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
     try
-      let text =
-        try read_file spec_path with Sys_error e -> spec_error "%s" e
+      let spec = load_spec spec_path in
+      let parsed =
+        match Specfile.parse spec with Ok p -> p | Error e -> spec_error "%s" e
       in
-      let spec =
-        match Dpv_core.Json.of_string text with
-        | Ok v -> v
-        | Error e -> spec_error "cannot parse %s: %s" spec_path e
-      in
-      let seed = int_field spec "seed" ~default:Workflow.default_setup.Workflow.seed in
-      let runners = int_field spec "runners" ~default:1 in
-      let workers = int_field spec "workers" ~default:1 in
-      let budget_s = float_opt_field spec "budget_s" in
-      let setup = setup_of_spec spec ~seed in
-      let milp_options =
-        {
-          (milp_options_of ~workers ~timeout_s:(float_opt_field spec "timeout_s")) with
-          Dpv_linprog.Milp.max_nodes =
-            int_field spec "max_nodes"
-              ~default:Dpv_linprog.Milp.default_options.Dpv_linprog.Milp.max_nodes;
-          branch_rule;
-        }
-      in
+      let runners = parsed.Specfile.runners in
+      let budget_s = parsed.Specfile.budget_s in
+      let milp_options = Specfile.milp_options ~branch_rule parsed in
       let bisect = bisect_options_of ~bisect ~bisect_timeout_s in
-      (* An empty array is legal: a shard of a small spec can be empty
-         too, and both must produce a valid (empty) report, not an
-         error — CI merges such shards like any other. *)
-      let query_specs =
-        match Option.bind (field spec "queries") Dpv_core.Json.to_list with
-        | Some l -> l
-        | None -> spec_error "\"queries\" must be an array"
-      in
-      let prepared = Workflow.prepare_cached ~cache_dir setup in
-      (* Characterizer training and bounds fitting are memoized across
-         the spec; both are deterministic in (setup.seed, property, cut),
-         so verdicts match individual `dpv verify` runs. *)
-      let characterizers = Hashtbl.create 8 in
-      let characterizer_for ~property ~cut =
-        let key = (property.Dpv_spec.Property.name, cut) in
-        match Hashtbl.find_opt characterizers key with
-        | Some c -> c
-        | None ->
-            let c, _, _ = Workflow.train_characterizer ~cut prepared ~property in
-            Hashtbl.add characterizers key c;
-            c
-      in
-      let bounds_cache = Hashtbl.create 8 in
-      let bounds_for ~strategy ~cut =
-        let key = (Workflow.strategy_name strategy, cut) in
-        match Hashtbl.find_opt bounds_cache key with
-        | Some b -> b
-        | None ->
-            let b = Workflow.bounds_spec_of prepared ~cut strategy in
-            Hashtbl.add bounds_cache key b;
-            b
-      in
+      let prepared = Workflow.prepare_cached ~cache_dir parsed.Specfile.setup in
       let queries =
-        List.map
-          (fun q ->
-            let str key =
-              match field q key with
-              | Some v -> Some (j_string v key)
-              | None -> None
-            in
-            let property =
-              let name =
-                match str "property" with
-                | Some n -> n
-                | None -> spec_error "query is missing \"property\""
-              in
-              match Oracle.find name with
-              | Some p -> p
-              | None -> spec_error "unknown property %S" name
-            in
-            let psi =
-              match str "psi" with
-              | None -> spec_error "query is missing \"psi\""
-              | Some s -> (
-                  match parse_psi s with
-                  | Ok psi -> psi
-                  | Error e -> spec_error "bad psi %S: %s" s e)
-            in
-            let strategy =
-              match str "strategy" with
-              | None -> spec_error "query is missing \"strategy\""
-              | Some s -> (
-                  match parse_strategy s with
-                  | Ok st -> st
-                  | Error e -> spec_error "%s" e)
-            in
-            let cut = int_field q "cut" ~default:setup.Workflow.cut in
-            let characterizer_margin =
-              Option.value (float_opt_field q "margin") ~default:0.0
-            in
-            let label =
-              match str "name" with
-              | Some n -> n
-              | None ->
-                  Printf.sprintf "%s|%s|%s" property.Dpv_spec.Property.name
-                    psi.Dpv_spec.Risk.name
-                    (Workflow.strategy_name strategy)
-            in
-            Dpv_core.Campaign.query ~characterizer_margin ~label
-              ~characterizer:(characterizer_for ~property ~cut)
-              ~psi
-              ~bounds:(bounds_for ~strategy ~cut)
-              ())
-          query_specs
+        match
+          Specfile.queries
+            (Specfile.builder prepared)
+            ~default_cut:parsed.Specfile.setup.Workflow.cut
+            parsed.Specfile.query_specs
+        with
+        | Ok q -> q
+        | Error e -> spec_error "%s" e
       in
       (* --resume implies journaling to the same file unless --journal
          overrides it: a resumed campaign that dies can itself be
@@ -522,26 +348,12 @@ let campaign_cmd =
         Format.printf "%a@." Report.pp_metrics report.Dpv_core.Campaign.metrics;
       Dpv_core.Campaign.save_json report ~path:output;
       Format.printf "report written to %s@." output;
-      let verdicts =
-        List.filter_map
-          (fun (qr : Dpv_core.Campaign.query_report) ->
-            match qr.Dpv_core.Campaign.outcome with
-            | Dpv_core.Campaign.Done r -> Some r.Verify.verdict
-            | Dpv_core.Campaign.Crashed _ | Dpv_core.Campaign.Skipped _ -> None)
-          report.Dpv_core.Campaign.query_reports
-      in
       (* Exit-code precedence: a proven violation (1) outranks an
          incomplete campaign (4), which outranks an inconclusive
          verdict (2).  A degraded campaign must not exit 0: "no unsafe
          found" is not "all safe" when queries crashed or were
          skipped. *)
-      if List.exists (function Verify.Unsafe _ -> true | _ -> false) verdicts
-      then 1
-      else if report.Dpv_core.Campaign.degraded then 4
-      else if
-        List.exists (function Verify.Unknown _ -> true | _ -> false) verdicts
-      then 2
-      else 0
+      Dpv_core.Campaign.report_exit_code report
     with Spec_error msg ->
       Format.eprintf "campaign: %s@." msg;
       3
@@ -667,6 +479,275 @@ let merge_journals_cmd =
           the exit code is the worst across shards (unsafe > degraded \
           > unknown > ok)")
     Term.(const run $ output $ inputs $ report_out)
+
+(* ---- serve / client ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path for the server." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port on loopback (alternative to $(b,--socket))." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~doc)
+
+let serve_cmd =
+  let run cache_dir spec_path socket port state_dir capacity runners
+      retry_after_s settle_delay_s trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    try
+      let spec = load_spec spec_path in
+      let parsed =
+        match Specfile.parse spec with Ok p -> p | Error e -> spec_error "%s" e
+      in
+      let listen =
+        match (socket, port) with
+        | Some path, None -> `Unix path
+        | None, Some port -> `Tcp port
+        | Some _, Some _ -> spec_error "give --socket or --port, not both"
+        | None, None -> spec_error "a server needs --socket PATH or --port N"
+      in
+      let prepared = Workflow.prepare_cached ~cache_dir parsed.Specfile.setup in
+      let config =
+        {
+          (Server.default_config ~state_dir) with
+          Server.capacity;
+          runners;
+          retry_after_s;
+          settle_delay_s;
+        }
+      in
+      let server =
+        Server.create ~config ~perception:prepared.Workflow.perception
+          ~builder:(Specfile.builder prepared) ~base:parsed ~base_spec:spec ()
+      in
+      if Server.recovered server > 0 then
+        Format.printf "recovered %d journaled job(s) from %s@."
+          (Server.recovered server)
+          state_dir;
+      (* SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+         or journal in-flight work, then fall through to with_obs's
+         trace/metrics flush. *)
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Server.request_drain server)))
+        [ Sys.sigterm; Sys.sigint ];
+      let listen_fd =
+        match listen with
+        | `Unix path ->
+            Format.printf "dpv-serve/1 listening on %s@." path;
+            Server.listen_unix ~path
+        | `Tcp port ->
+            Format.printf "dpv-serve/1 listening on 127.0.0.1:%d@." port;
+            Server.listen_tcp ~port
+      in
+      Format.print_flush ();
+      Server.serve server listen_fd;
+      Format.printf "drained@.";
+      0
+    with Spec_error msg ->
+      Format.eprintf "serve: %s@." msg;
+      3
+  in
+  let spec_path =
+    let doc =
+      "Base campaign spec: fixes the trained pipeline (seed + setup) the \
+       resident server holds.  Submissions omitting seed/setup inherit it."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASE_SPEC" ~doc)
+  in
+  let state_dir =
+    Arg.(
+      value & opt string "_serve"
+      & info [ "state-dir" ]
+          ~doc:
+            "Directory for the server joblog and per-job campaign journals \
+             (the crash-recovery state).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 4
+      & info [ "capacity" ]
+          ~doc:
+            "Maximum jobs in the system (queued + running); beyond it \
+             submissions get an explicit busy reply.")
+  in
+  let runners =
+    Arg.(
+      value & opt int 1
+      & info [ "runners" ]
+          ~doc:"Domain-budget cap per job (specs may ask for fewer).")
+  in
+  let retry_after_s =
+    Arg.(
+      value & opt float 1.0
+      & info [ "retry-after-s" ] ~doc:"Retry hint carried in busy replies.")
+  in
+  let settle_delay_s =
+    Arg.(
+      value & opt float 0.0
+      & info [ "settle-delay-s" ]
+          ~doc:
+            "Pause this many seconds after each settled query (test \
+             pacing: makes kill-mid-campaign land deterministically \
+             between queries).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident verification service: accept campaign \
+          submissions over a socket, stream verdicts, journal every \
+          accepted job for crash recovery")
+    Term.(
+      const run $ cache_dir $ spec_path $ socket_arg $ port_arg $ state_dir
+      $ capacity $ runners $ retry_after_s $ settle_delay_s $ trace_arg
+      $ metrics_arg)
+
+let client_cmd =
+  let run action spec_path socket port name priority budget_s deadline_s wait =
+    let connect () =
+      try
+        match (socket, port) with
+        | Some path, None -> Ok (Sclient.connect_unix ~path)
+        | None, Some port -> Ok (Sclient.connect_tcp ~port)
+        | _ -> Error "give --socket PATH or --port N (not both)"
+      with Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+    in
+    let with_conn f =
+      match connect () with
+      | Error msg ->
+          Format.eprintf "client: %s@." msg;
+          3
+      | Ok fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> f fd)
+    in
+    let one_shot op =
+      with_conn @@ fun fd ->
+      match Sclient.rpc fd (Json.encode (Json.Obj [ ("op", Json.Str op) ])) with
+      | Ok reply ->
+          print_endline reply;
+          0
+      | Error msg ->
+          Format.eprintf "client: %s@." msg;
+          3
+    in
+    match action with
+    | "ping" -> one_shot "ping"
+    | "metrics" -> one_shot "metrics"
+    | "drain" -> one_shot "drain"
+    | "submit" -> (
+        match spec_path with
+        | None ->
+            Format.eprintf "client: submit needs a SPEC file@.";
+            3
+        | Some path -> (
+            match Json.of_string (read_file path) with
+            | exception Sys_error e ->
+                Format.eprintf "client: %s@." e;
+                3
+            | Error e ->
+                Format.eprintf "client: cannot parse %s: %s@." path e;
+                3
+            | Ok spec ->
+                let opt_num key = function
+                  | None -> []
+                  | Some v -> [ (key, Json.Num v) ]
+                in
+                let request =
+                  Json.encode
+                    (Json.Obj
+                       ([ ("op", Json.Str "submit"); ("spec", spec) ]
+                       @ (match name with
+                         | None -> []
+                         | Some n -> [ ("name", Json.Str n) ])
+                       @ [ ("priority", Json.Num (float_of_int priority)) ]
+                       @ opt_num "budget_s" budget_s
+                       @ opt_num "deadline_s" deadline_s))
+                in
+                (* Each attempt is one connection; on busy with --wait,
+                   sleep out the server's hint and resubmit. *)
+                let rec attempt () =
+                  let outcome =
+                    with_conn @@ fun fd ->
+                    match
+                      Sclient.submit_and_stream fd ~request
+                        ~on_frame:print_endline
+                    with
+                    | Sclient.Finished { exit_code } -> exit_code
+                    | Sclient.Busy { retry_after_s } ->
+                        if wait then begin
+                          Unix.sleepf retry_after_s;
+                          (* Busy (6) is never final under --wait. *)
+                          -1
+                        end
+                        else begin
+                          Format.eprintf
+                            "client: server busy (retry after %.1fs)@."
+                            retry_after_s;
+                          6
+                        end
+                    | Sclient.Failed msg ->
+                        Format.eprintf "client: %s@." msg;
+                        3
+                  in
+                  if outcome = -1 then attempt () else outcome
+                in
+                attempt ()))
+    | a ->
+        Format.eprintf "client: unknown action %S (submit, metrics, ping, drain)@." a;
+        3
+  in
+  let action =
+    let doc = "What to ask the server: submit, metrics, ping or drain." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ACTION" ~doc)
+  in
+  let spec_path =
+    let doc = "Campaign spec to submit (for $(b,submit))." in
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let name_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "name" ] ~doc:"Human-readable job name.")
+  in
+  let priority =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~doc:"Admission priority (higher runs first).")
+  in
+  let budget_s =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-s" ] ~doc:"Campaign wall-clock budget once running.")
+  in
+  let deadline_s =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-s" ]
+          ~doc:
+            "Wall-clock deadline from acceptance; queue wait spends it \
+             and the budget is carved from the remainder.")
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:
+            "On a busy reply, sleep out the server's retry hint and \
+             resubmit instead of exiting 6.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running dpv serve: submit a campaign and stream its \
+          verdicts (exit code mirrors dpv campaign; 6 = server busy), or \
+          ping/metrics/drain")
+    Term.(
+      const run $ action $ spec_path $ socket_arg $ port_arg $ name_arg
+      $ priority $ budget_s $ deadline_s $ wait)
 
 (* ---- monitor ---- *)
 
@@ -924,6 +1005,8 @@ let () =
         verify_cmd;
         campaign_cmd;
         merge_journals_cmd;
+        serve_cmd;
+        client_cmd;
         certify_cmd;
         check_cert_cmd;
         refine_cmd;

@@ -75,6 +75,19 @@ type query_report = {
 
 type cache_stats = { entries : int; hits : int; misses : int }
 
+(* A shared-encoding cache that outlives one [run]: the resident server
+   hands every job the same cache, so a (cut, bounds) prefix built for
+   one client is served warm to every later client.  The lock guards
+   the build-or-lookup window; phase 1 of a run is sequential, but two
+   holders of the same cache may prepare concurrently. *)
+type cache = {
+  c_tbl : (int * Verify.bounds_spec, Encode.shared) Hashtbl.t;
+  c_lock : Mutex.t;
+}
+
+let create_cache () = { c_tbl = Hashtbl.create 16; c_lock = Mutex.create () }
+let cache_size c = Mutex.protect c.c_lock (fun () -> Hashtbl.length c.c_tbl)
+
 type report = {
   query_reports : query_report list;
   cache : cache_stats;
@@ -96,7 +109,8 @@ type report = {
 let skip_reason = "budget exhausted"
 
 let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
-    ?budget_s ?journal ?resume ?(absint = false) ?bisect ~perception queries =
+    ?budget_s ?journal ?resume ?(absint = false) ?bisect ?cache ?on_settled
+    ~perception queries =
   if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
   (match shard with
   | Some (i, n) when n < 1 || i < 0 || i >= n ->
@@ -145,23 +159,33 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
           | Done _ -> Hashtbl.replace resume_tbl e.Journal.key e
           | Crashed _ | Skipped _ -> ())
         entries);
+  (* The settle hook is observability, not control flow: a raising
+     subscriber (a vanished network client, say) must never take the
+     solve down with it. *)
+  let settled qr =
+    match on_settled with
+    | None -> ()
+    | Some f -> ( try f qr with _ -> ())
+  in
   let reports : query_report option array = Array.make n None in
   Array.iteri
     (fun i (key, q) ->
       match Hashtbl.find_opt resume_tbl key with
       | None -> ()
       | Some e ->
-          reports.(i) <-
-            Some
-              {
-                query = q;
-                outcome = e.Journal.outcome;
-                from_cache = false;
-                from_journal = true;
-                attempts = e.Journal.attempts;
-                dense_retry = e.Journal.dense_retry;
-                deadline_retry = e.Journal.deadline_retry;
-              })
+          let qr =
+            {
+              query = q;
+              outcome = e.Journal.outcome;
+              from_cache = false;
+              from_journal = true;
+              attempts = e.Journal.attempts;
+              dense_retry = e.Journal.dense_retry;
+              deadline_retry = e.Journal.deadline_retry;
+            }
+          in
+          settled qr;
+          reports.(i) <- Some qr)
     keyed;
   (* Seed the journal writer with the replayed entries (in input order)
      so the file on disk always describes the whole campaign. *)
@@ -189,19 +213,19 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
      share one suffix encoding.  This phase is sequential: it mutates
      the cache, and its cost is exactly what the cache is amortizing,
      paid once per distinct key. *)
-  let table : (int * Verify.bounds_spec, Encode.shared) Hashtbl.t =
-    Hashtbl.create 16
-  in
+  let cache = match cache with Some c -> c | None -> create_cache () in
   let hits = ref 0 and misses = ref 0 in
   (* A failed build is this query's failure, not the campaign's: the
      error is carried to [run_one] and recorded as a [Crashed] outcome.
      Failures are deliberately not cached — a later query on the same
      key retries the build (transient numerical trouble in the octagon
-     pruning LPs should not condemn every query of the key). *)
+     pruning LPs should not condemn every query of the key).  A caller
+     can pass its own [?cache] and keep it across runs — how the serve
+     daemon amortizes one client's encodings for every later client. *)
   let shared_for q =
     let cut = q.characterizer.Characterizer.cut in
     let key = (cut, q.bounds) in
-    match Hashtbl.find_opt table key with
+    match Mutex.protect cache.c_lock (fun () -> Hashtbl.find_opt cache.c_tbl key) with
     | Some shared ->
         incr hits;
         Metrics.incr m_cache_hits 1;
@@ -221,7 +245,8 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
         | shared ->
             incr misses;
             Metrics.incr m_cache_misses 1;
-            Hashtbl.add table key shared;
+            Mutex.protect cache.c_lock (fun () ->
+                Hashtbl.replace cache.c_tbl key shared);
             Ok (shared, false)
         | exception e ->
             Error (Printf.sprintf "encoding failed: %s" (Printexc.to_string e)))
@@ -248,6 +273,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
           ~pending:(List.length prepared)
       in
       let run_one (_i, key, q, shared_res) =
+        let finish qr = settled qr; qr in
         match shared_res with
         | Error reason ->
             journal_append
@@ -259,6 +285,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                 dense_retry = false;
                 deadline_retry = false;
               };
+            finish
             {
               query = q;
               outcome = Crashed reason;
@@ -281,6 +308,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
               dense_retry = false;
               deadline_retry = false;
             };
+          finish
           {
             query = q;
             outcome = Skipped skip_reason;
@@ -324,6 +352,7 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
               dense_retry = t.Retry.dense_retry;
               deadline_retry = t.Retry.deadline_retry;
             };
+          finish
           {
             query = q;
             outcome = Done result;
@@ -368,8 +397,14 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
           let qr =
             match cell with
             | Some (Ok r) -> r
-            | Some (Error e) -> crashed (Printexc.to_string e)
-            | None -> crashed "worker abandoned task"
+            | Some (Error e) ->
+                let qr = crashed (Printexc.to_string e) in
+                settled qr;
+                qr
+            | None ->
+                let qr = crashed "worker abandoned task" in
+                settled qr;
+                qr
           in
           reports.(i) <- Some qr)
         out
@@ -396,17 +431,19 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                   dense_retry = false;
                   deadline_retry = false;
                 };
-              reports.(i) <-
-                Some
-                  {
-                    query = q;
-                    outcome = Crashed reason;
-                    from_cache = false;
-                    from_journal = false;
-                    attempts = 1;
-                    dense_retry = false;
-                    deadline_retry = false;
-                  }
+              let qr =
+                {
+                  query = q;
+                  outcome = Crashed reason;
+                  from_cache = false;
+                  from_journal = false;
+                  attempts = 1;
+                  dense_retry = false;
+                  deadline_retry = false;
+                }
+              in
+              settled qr;
+              reports.(i) <- Some qr
           | Ok (shared, from_cache) -> (
               let t0 = Clock.now_s () in
               let plan_res =
@@ -445,17 +482,19 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                       dense_retry = false;
                       deadline_retry = false;
                     };
-                  reports.(i) <-
-                    Some
-                      {
-                        query = q;
-                        outcome = Done result;
-                        from_cache;
-                        from_journal = false;
-                        attempts = 1;
-                        dense_retry = false;
-                        deadline_retry = false;
-                      }
+                  let qr =
+                    {
+                      query = q;
+                      outcome = Done result;
+                      from_cache;
+                      from_journal = false;
+                      attempts = 1;
+                      dense_retry = false;
+                      deadline_retry = false;
+                    }
+                  in
+                  settled qr;
+                  reports.(i) <- Some qr
               | Ok plan ->
                   plans.(j) <-
                     Some
@@ -593,17 +632,19 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
                   dense_retry = dense.(j);
                   deadline_retry = dl.(j);
                 };
-              reports.(i) <-
-                Some
-                  {
-                    query = q;
-                    outcome;
-                    from_cache;
-                    from_journal = false;
-                    attempts = att;
-                    dense_retry = dense.(j);
-                    deadline_retry = dl.(j);
-                  })
+              let qr =
+                {
+                  query = q;
+                  outcome;
+                  from_cache;
+                  from_journal = false;
+                  attempts = att;
+                  dense_retry = dense.(j);
+                  deadline_retry = dl.(j);
+                }
+              in
+              settled qr;
+              reports.(i) <- Some qr)
         prepared_arr);
   let query_reports =
     Array.to_list reports
@@ -640,7 +681,10 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
   Option.iter Journal.close writer;
   {
     query_reports;
-    cache = { entries = Hashtbl.length table; hits = !hits; misses = !misses };
+    (* Entries built *by this run* — with a caller-held persistent
+       cache the table also carries prior runs' keys, which belong to
+       their own reports. *)
+    cache = { entries = !misses; hits = !hits; misses = !misses };
     runners;
     shard;
     budget_s;
@@ -862,6 +906,25 @@ let worst_exit_code entries =
       let c = code_of e in
       if severity c > severity worst then c else worst)
     0 entries
+
+(* Same severity ladder over a live report — the single definition the
+   CLI campaign command and the serve daemon both answer with, so a
+   streamed job and its batch twin can never disagree on the code. *)
+let report_exit_code report =
+  let any p = List.exists p report.query_reports in
+  let unsafe =
+    any (fun r ->
+        match r.outcome with
+        | Done { Verify.verdict = Verify.Unsafe _; _ } -> true
+        | _ -> false)
+  in
+  let unknown =
+    any (fun r ->
+        match r.outcome with
+        | Done { Verify.verdict = Verify.Unknown _; _ } -> true
+        | _ -> false)
+  in
+  if unsafe then 1 else if report.degraded then 4 else if unknown then 2 else 0
 
 (* The dpv-campaign/2 report of a merged partition, rebuilt from what
    the shard journals persist.  Whole-campaign totals come from the

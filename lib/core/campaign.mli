@@ -96,10 +96,23 @@ type query_report = {
 }
 
 type cache_stats = {
-  entries : int;  (** distinct [(cut, bounds)] keys built *)
+  entries : int;  (** distinct [(cut, bounds)] keys built by this run *)
   hits : int;     (** queries served from an existing entry *)
   misses : int;   (** queries that had to build their entry; [= entries] *)
 }
+
+type cache
+(** A shared-encoding cache that outlives one {!run}.  By default each
+    run builds and discards its own; a long-lived caller (the serve
+    daemon) creates one with {!create_cache} and passes it to every
+    run, so a [(cut, bounds)] prefix built for one job is served warm
+    to every later job.  Thread-safe: lookups and inserts are
+    mutex-protected. *)
+
+val create_cache : unit -> cache
+
+val cache_size : cache -> int
+(** Number of distinct [(cut, bounds)] entries currently resident. *)
 
 type report = {
   query_reports : query_report list;  (** in input query order *)
@@ -139,10 +152,26 @@ val run :
   ?resume:Journal.entry list ->
   ?absint:bool ->
   ?bisect:Verify.bisect_options ->
+  ?cache:cache ->
+  ?on_settled:(query_report -> unit) ->
   perception:Dpv_nn.Network.t ->
   query list ->
   report
 (** Execute every query against [perception].
+
+    [cache] supplies a persistent shared-encoding cache
+    ({!create_cache}) reused across runs; omitted, the run builds a
+    private one.  [cache_stats.entries]/[misses] always count only what
+    {e this} run built; [hits] includes warm hits against entries a
+    previous run left in a persistent cache.
+
+    [on_settled] is invoked once per query as its outcome settles
+    (solved, crashed, skipped, or replayed from the resume journal) —
+    the hook behind streamed serve verdicts.  It is called from worker
+    domains for solved queries, so it must be thread-safe; exceptions
+    it raises are swallowed (observability must not kill the solve).
+    Order is settle order, not input order — the report still lists
+    queries in input order.
 
     [absint] (default false) arms the DeepPoly branch-and-bound guide
     on every solve (see {!Verify.run_query}).  [bisect] (default off)
@@ -249,3 +278,8 @@ val worst_exit_code : Journal.entry list -> int
     applies to a live one: [1] if any query is unsafe (a
     counterexample must never be masked), else [4] if any crashed or
     was skipped, else [2] if any verdict is unknown, else [0]. *)
+
+val report_exit_code : report -> int
+(** The same severity ladder over a live {!report} — the one definition
+    the CLI campaign command and the serve daemon both answer with:
+    [1] unsafe, else [4] degraded, else [2] unknown, else [0]. *)

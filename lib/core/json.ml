@@ -8,7 +8,15 @@ type t =
 
 exception Parse_error of string
 
-type state = { src : string; mutable pos : int }
+(* [depth] tracks open containers so adversarial input (a network frame
+   is attacker-controlled) exhausts a configured budget with a clean
+   [Error] long before it exhausts the OCaml stack. *)
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable depth : int;
+  max_depth : int;
+}
 
 let error s fmt =
   Printf.ksprintf (fun msg ->
@@ -106,12 +114,27 @@ let parse_number s =
   | Some f -> f
   | None -> error s "invalid number %S" text
 
+let enter s =
+  s.depth <- s.depth + 1;
+  if s.depth > s.max_depth then
+    error s "nesting deeper than %d levels" s.max_depth
+
+let leave s = s.depth <- s.depth - 1
+
 let rec parse_value s =
   skip_ws s;
   match peek s with
   | None -> error s "unexpected end of input"
-  | Some '{' -> parse_obj s
-  | Some '[' -> parse_arr s
+  | Some '{' ->
+      enter s;
+      let v = parse_obj s in
+      leave s;
+      v
+  | Some '[' ->
+      enter s;
+      let v = parse_arr s in
+      leave s;
+      v
   | Some '"' -> Str (parse_string s)
   | Some 't' -> parse_literal s "true" (Bool true)
   | Some 'f' -> parse_literal s "false" (Bool false)
@@ -169,16 +192,82 @@ and parse_arr s =
     Arr (elements [])
   end
 
-let of_string src =
-  let s = { src; pos = 0 } in
-  try
-    let v = parse_value s in
-    skip_ws s;
-    (match peek s with
-    | Some c -> error s "trailing content starting with '%c'" c
-    | None -> ());
-    Ok v
-  with Parse_error msg -> Error msg
+let default_max_depth = 256
+
+let of_string ?(max_depth = default_max_depth) ?max_bytes src =
+  match max_bytes with
+  | Some limit when String.length src > limit ->
+      (* Reject on size alone, before the parser allocates anything
+         proportional to the payload: a hostile frame claiming (or
+         carrying) hundreds of megabytes costs O(1) to refuse. *)
+      Error
+        (Printf.sprintf "document of %d bytes exceeds the %d-byte limit"
+           (String.length src) limit)
+  | _ -> (
+      let s = { src; pos = 0; depth = 0; max_depth } in
+      try
+        let v = parse_value s in
+        skip_ws s;
+        (match peek s with
+        | Some c -> error s "trailing content starting with '%c'" c
+        | None -> ());
+        Ok v
+      with Parse_error msg -> Error msg)
+
+(* ---------------- writer ---------------- *)
+
+(* Compact single-line emission: what the serve joblog needs to persist
+   a submitted spec verbatim-enough to replay it (parse . to_string =
+   id up to float formatting, which %.17g makes lossless). *)
+let buf_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec buf_value b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.bprintf b "%d" (int_of_float f)
+      else Printf.bprintf b "%.17g" f
+  | Str s -> buf_escaped b s
+  | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          buf_value b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          buf_escaped b k;
+          Buffer.add_string b ": ";
+          buf_value b v)
+        fields;
+      Buffer.add_char b '}'
+
+let encode v =
+  let b = Buffer.create 256 in
+  buf_value b v;
+  Buffer.contents b
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields

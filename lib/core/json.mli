@@ -15,9 +15,24 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
-val of_string : string -> (t, string) result
+val default_max_depth : int
+(** Default container-nesting budget (256) — generous for every
+    document this project writes, tiny against the stack. *)
+
+val of_string : ?max_depth:int -> ?max_bytes:int -> string -> (t, string) result
 (** Parse a complete JSON document; [Error] carries a byte offset and a
-    description. *)
+    description.
+
+    Both limits exist for adversarial input (the serve protocol hands
+    this parser raw network frames): [max_depth] (default
+    {!default_max_depth}) bounds container nesting so a deeply nested
+    array yields an [Error] instead of a stack overflow, and
+    [max_bytes] (default unlimited) rejects oversized documents in O(1)
+    before any parsing allocation. *)
+
+val encode : t -> string
+(** Compact (single-line) emission; [of_string (encode v)] round-trips
+    every value this reader produces. *)
 
 val member : string -> t -> t option
 (** Object field lookup; [None] on missing keys and non-objects. *)

@@ -7,6 +7,9 @@ type site =
   | Journal_crash
   | Lp_unbounded
   | Absint_stale
+  | Serve_accept
+  | Serve_torn_frame
+  | Serve_client_gone
 
 let all_sites =
   [
@@ -18,6 +21,9 @@ let all_sites =
     ("journal-crash", Journal_crash);
     ("lp-unbounded", Lp_unbounded);
     ("absint-stale", Absint_stale);
+    ("serve-accept", Serve_accept);
+    ("serve-torn-frame", Serve_torn_frame);
+    ("serve-client-gone", Serve_client_gone);
   ]
 
 let site_index = function
@@ -29,8 +35,11 @@ let site_index = function
   | Journal_crash -> 5
   | Lp_unbounded -> 6
   | Absint_stale -> 7
+  | Serve_accept -> 8
+  | Serve_torn_frame -> 9
+  | Serve_client_gone -> 10
 
-let n_sites = 8
+let n_sites = 11
 
 let site_name s = fst (List.nth all_sites (site_index s))
 

@@ -47,6 +47,22 @@ type site =
                             harness is enabled) must detect the divergence
                             against a from-scratch propagation and fall
                             back *)
+  | Serve_accept        (** the server's accept loop hiccups once: the
+                            freshly accepted connection raises as if the
+                            peer vanished between [accept] and the
+                            handler handoff.  The loop must absorb it
+                            and keep listening — a transient accept
+                            failure is never a server exit *)
+  | Serve_torn_frame    (** a client frame arrives torn: the framed read
+                            reports truncation as if the peer died (or
+                            lied about its length) mid-frame.  The
+                            server must answer that connection with a
+                            framed error and close {e that} connection
+                            only *)
+  | Serve_client_gone   (** a streamed reply write fails as if the peer
+                            disconnected mid-stream.  The job must keep
+                            running to its journal — the server records
+                            the client loss and survives *)
 
 val all_sites : (string * site) list
 (** Kebab-case spec names, e.g. [("task-crash", Task_crash)]. *)

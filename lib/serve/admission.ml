@@ -1,0 +1,87 @@
+(* A bounded, priority-aware admission queue.  Backpressure is the
+   point: a full queue answers [Rejected] immediately — the client gets
+   an explicit busy reply with a retry hint — instead of blocking the
+   accept path or growing without bound under a submission storm. *)
+
+type 'a t = {
+  mutable items : (int * int * 'a) list;  (* (-priority, seq, item), sorted *)
+  mutable seq : int;
+  mutable capacity : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+type 'a admit = Admitted of int | Rejected of { queue_depth : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  {
+    items = [];
+    seq = 0;
+    capacity;
+    closed = false;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let depth q = Mutex.protect q.lock (fun () -> List.length q.items)
+
+(* Sorted insert on (-priority, seq): higher priority first, FIFO
+   within a priority.  The queue is capacity-bounded, so O(n) insertion
+   is bounded too. *)
+let insert items entry =
+  let rec go = function
+    | [] -> [ entry ]
+    | head :: rest ->
+        let (kp, ks, _), (hp, hs, _) = (entry, head) in
+        if (kp, ks) < (hp, hs) then entry :: head :: rest else head :: go rest
+  in
+  go items
+
+let submit ?before q ~priority item =
+  Mutex.protect q.lock (fun () ->
+      let depth = List.length q.items in
+      if q.closed || depth >= q.capacity then Rejected { queue_depth = depth }
+      else begin
+        (* The caller's pre-enqueue effect (journaling the job) runs
+           under the lock: once [submit] returns [Admitted], the job is
+           on disk and no consumer can have started it beforehand. *)
+        (match before with None -> () | Some f -> f ());
+        let entry = (-priority, q.seq, item) in
+        q.seq <- q.seq + 1;
+        q.items <- insert q.items entry;
+        Condition.signal q.nonempty;
+        let position =
+          let rec pos i = function
+            | [] -> i (* unreachable: entry was just inserted *)
+            | e :: rest -> if e == entry then i else pos (i + 1) rest
+          in
+          pos 0 q.items
+        in
+        Admitted position
+      end)
+
+let take q =
+  Mutex.protect q.lock (fun () ->
+      let rec wait () =
+        match q.items with
+        | (_, _, item) :: rest ->
+            q.items <- rest;
+            Some item
+        | [] ->
+            if q.closed then None
+            else begin
+              Condition.wait q.nonempty q.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let close q =
+  Mutex.protect q.lock (fun () ->
+      q.closed <- true;
+      let drained = List.map (fun (_, _, item) -> item) q.items in
+      q.items <- [];
+      Condition.broadcast q.nonempty;
+      drained)

@@ -1,0 +1,35 @@
+(** Bounded, priority-aware admission for the serve daemon.
+
+    Jobs wait here between acceptance and execution.  The queue is
+    capacity-bounded and never blocks a submitter: a full (or closed)
+    queue answers {!Rejected} immediately, which the server turns into
+    an explicit busy reply with a retry hint — backpressure over
+    silent loss.  Higher priority dequeues first; equal priorities are
+    FIFO.  All operations are thread-safe. *)
+
+type 'a t
+
+type 'a admit =
+  | Admitted of int  (** 0-based queue position at admission time *)
+  | Rejected of { queue_depth : int }
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val submit : ?before:(unit -> unit) -> 'a t -> priority:int -> 'a -> 'a admit
+(** Admit or reject, never block.  [before] (if given) runs under the
+    queue lock after the capacity check and before the item becomes
+    visible to {!take} — the server journals the job there, making
+    "admitted implies journaled before execution" atomic. *)
+
+val take : 'a t -> 'a option
+(** Block until an item is available (highest priority first) or the
+    queue is closed and empty — then [None]: the consumer's signal to
+    exit. *)
+
+val close : 'a t -> 'a list
+(** Stop admitting (subsequent {!submit}s reject) and return the items
+    still queued, emptying the queue — drain notifies their clients
+    and leaves the jobs to journal-based recovery. *)
+
+val depth : 'a t -> int

@@ -1,0 +1,25 @@
+(** Client-side plumbing for [dpv client] and the serve tests. *)
+
+val connect_unix : path:string -> Unix.file_descr
+val connect_tcp : port:int -> Unix.file_descr
+(** Both ignore [SIGPIPE] process-wide, same rationale as the
+    server. *)
+
+val rpc : Unix.file_descr -> string -> (string, string) result
+(** One request frame, one reply frame — ping, metrics, drain. *)
+
+type outcome =
+  | Finished of { exit_code : int }
+      (** the job's exit code, same severity ladder as [dpv campaign] *)
+  | Busy of { retry_after_s : float }
+      (** explicit backpressure; resubmit after the hint *)
+  | Failed of string
+
+val submit_and_stream :
+  Unix.file_descr ->
+  request:string ->
+  on_frame:(string -> unit) ->
+  outcome
+(** Send a submit frame and consume the stream ([accepted], then
+    [verdict]s, then [done]).  [on_frame] sees every raw reply
+    payload in arrival order. *)

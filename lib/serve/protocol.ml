@@ -1,0 +1,153 @@
+module Json = Dpv_core.Json
+module Campaign = Dpv_core.Campaign
+module Verify = Dpv_core.Verify
+module Metrics = Dpv_obs.Metrics
+
+let version = "dpv-serve/1"
+
+type request =
+  | Submit of {
+      name : string option;
+      priority : int;
+      budget_s : float option;
+      deadline_s : float option;
+      spec : Json.t;
+    }
+  | Metrics
+  | Ping
+  | Drain
+
+(* Submission envelope keys; everything else in an [op = "query"]
+   request is part of the spec it denotes. *)
+let envelope_keys = [ "op"; "name"; "priority"; "budget_s"; "deadline_s"; "query" ]
+
+let parse_request ?max_depth ?max_bytes payload =
+  match Json.of_string ?max_depth ?max_bytes payload with
+  | Error e -> Error (Printf.sprintf "invalid request JSON: %s" e)
+  | Ok req -> (
+      let str key = Option.bind (Json.member key req) Json.to_string in
+      let num key = Option.bind (Json.member key req) Json.to_float in
+      let int_def key default =
+        match Option.bind (Json.member key req) Json.to_int with
+        | Some i -> i
+        | None -> default
+      in
+      let envelope () =
+        (str "name", int_def "priority" 0, num "budget_s", num "deadline_s")
+      in
+      match str "op" with
+      | None -> Error "request is missing \"op\""
+      | Some "ping" -> Ok Ping
+      | Some "metrics" -> Ok Metrics
+      | Some "drain" -> Ok Drain
+      | Some "submit" -> (
+          match Json.member "spec" req with
+          | None -> Error "submit request is missing \"spec\""
+          | Some spec ->
+              let name, priority, budget_s, deadline_s = envelope () in
+              Ok (Submit { name; priority; budget_s; deadline_s; spec }))
+      | Some "query" -> (
+          (* Sugar: one query object becomes a one-query spec.  Any
+             non-envelope top-level keys (timeout_s, setup, ...) carry
+             over as spec-level keys. *)
+          match Json.member "query" req with
+          | None -> Error "query request is missing \"query\""
+          | Some q ->
+              let carried =
+                match req with
+                | Json.Obj fields ->
+                    List.filter
+                      (fun (k, _) -> not (List.mem k envelope_keys))
+                      fields
+                | _ -> []
+              in
+              let spec = Json.Obj (("queries", Json.Arr [ q ]) :: carried) in
+              let name, priority, budget_s, deadline_s = envelope () in
+              Ok (Submit { name; priority; budget_s; deadline_s; spec }))
+      | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+(* ---- responses (each the payload of one frame) ---- *)
+
+let busy ~retry_after_s ~queue_depth =
+  Json.encode
+    (Json.Obj
+       [
+         ("type", Json.Str "busy");
+         ("retry_after_s", Json.Num retry_after_s);
+         ("queue_depth", Json.Num (float_of_int queue_depth));
+       ])
+
+let error ~message =
+  Json.encode
+    (Json.Obj [ ("type", Json.Str "error"); ("message", Json.Str message) ])
+
+let accepted ~job ~position =
+  Json.encode
+    (Json.Obj
+       [
+         ("type", Json.Str "accepted");
+         ("job", Json.Str job);
+         ("position", Json.Num (float_of_int position));
+       ])
+
+let verdict_line (qr : Campaign.query_report) =
+  let fields =
+    [
+      ("type", Json.Str "verdict");
+      ("label", Json.Str qr.Campaign.query.Campaign.label);
+      ("outcome", Json.Str (Campaign.outcome_word qr.Campaign.outcome));
+    ]
+  in
+  let fields =
+    fields
+    @
+    match qr.Campaign.outcome with
+    | Campaign.Done r ->
+        [ ("verdict", Json.Str (Campaign.verdict_word r.Verify.verdict)) ]
+    | Campaign.Crashed reason | Campaign.Skipped reason ->
+        [ ("verdict", Json.Null); ("detail", Json.Str reason) ]
+  in
+  let fields =
+    fields
+    @ [
+        ("from_journal", Json.Bool qr.Campaign.from_journal);
+        ("attempts", Json.Num (float_of_int qr.Campaign.attempts));
+      ]
+  in
+  Json.encode (Json.Obj fields)
+
+let done_line ~job (report : Campaign.report) =
+  Json.encode
+    (Json.Obj
+       [
+         ("type", Json.Str "done");
+         ("job", Json.Str job);
+         ("exit_code", Json.Num (float_of_int (Campaign.report_exit_code report)));
+         ("degraded", Json.Bool report.Campaign.degraded);
+         ("crashed", Json.Num (float_of_int report.Campaign.crashed));
+         ("skipped", Json.Num (float_of_int report.Campaign.skipped));
+         ("resumed", Json.Num (float_of_int report.Campaign.resumed));
+         ("total_wall_s", Json.Num report.Campaign.total_wall_s);
+       ])
+
+(* The metrics snapshot is already JSON text (dpv-metrics/1); splice it
+   in rather than round-tripping it through the value type. *)
+let metrics_reply snapshot =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"type\": \"metrics\", \"metrics\": ";
+  Metrics.buf_snapshot b snapshot;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let pong ~jobs_running ~queue_depth =
+  Json.encode
+    (Json.Obj
+       [
+         ("type", Json.Str "pong");
+         ("server", Json.Str version);
+         ("jobs_running", Json.Num (float_of_int jobs_running));
+         ("queue_depth", Json.Num (float_of_int queue_depth));
+       ])
+
+let draining =
+  Json.encode (Json.Obj [ ("type", Json.Str "draining") ])

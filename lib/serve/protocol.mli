@@ -1,0 +1,44 @@
+(** The [dpv serve] request/response dialect.
+
+    Every frame payload is one JSON document.  Requests carry an ["op"]
+    key — [submit] (a campaign spec), [query] (sugar: one query object,
+    wrapped into a one-query spec), [metrics], [ping], [drain].
+    Responses carry a ["type"] key — [busy], [error], [accepted],
+    [verdict] (streamed, one per settled query), [done] (terminal,
+    with the job's exit code), [metrics], [pong], [draining]. *)
+
+module Json = Dpv_core.Json
+
+type request =
+  | Submit of {
+      name : string option;
+      priority : int;           (** higher dequeues first; default 0 *)
+      budget_s : float option;  (** campaign budget once running *)
+      deadline_s : float option;
+          (** wall-clock deadline minted at acceptance; queue wait
+              spends it, and the budget is carved from what remains *)
+      spec : Json.t;            (** a [dpv campaign] spec document *)
+    }
+  | Metrics
+  | Ping
+  | Drain
+
+val parse_request :
+  ?max_depth:int -> ?max_bytes:int -> string -> (request, string) result
+(** Parse one frame payload.  The limits are {!Json.of_string}'s —
+    the server passes its frame cap so a hostile payload is bounded
+    twice (framing and parsing). *)
+
+(** {2 Response payloads} *)
+
+val busy : retry_after_s:float -> queue_depth:int -> string
+val error : message:string -> string
+val accepted : job:string -> position:int -> string
+val verdict_line : Dpv_core.Campaign.query_report -> string
+val done_line : job:string -> Dpv_core.Campaign.report -> string
+val metrics_reply : Dpv_obs.Metrics.snapshot -> string
+val pong : jobs_running:int -> queue_depth:int -> string
+val draining : string
+
+val version : string
+(** ["dpv-serve/1"]. *)

@@ -1,0 +1,556 @@
+module Json = Dpv_core.Json
+module Campaign = Dpv_core.Campaign
+module Journal = Dpv_core.Journal
+module Specfile = Dpv_core.Specfile
+module Workflow = Dpv_core.Workflow
+module Clock = Dpv_linprog.Clock
+module Faults = Dpv_linprog.Faults
+module Metrics = Dpv_obs.Metrics
+module Trace = Dpv_obs.Trace
+
+let m_connections = Metrics.counter "serve.connections"
+let m_submissions = Metrics.counter "serve.submissions"
+let m_rejected_busy = Metrics.counter "serve.rejected_busy"
+let m_client_gone = Metrics.counter "serve.client_gone"
+let m_jobs_recovered = Metrics.counter "serve.jobs_recovered"
+let m_jobs_finished = Metrics.counter "serve.jobs_finished"
+let m_queue_depth = Metrics.gauge "serve.queue_depth"
+let m_job_ns = Metrics.histogram "serve.job_ns"
+
+type config = {
+  capacity : int;
+  runners : int;
+  retry_after_s : float;
+  max_frame_bytes : int;
+  state_dir : string;
+  settle_delay_s : float;
+}
+
+let default_config ~state_dir =
+  {
+    capacity = 4;
+    runners = 1;
+    retry_after_s = 1.0;
+    max_frame_bytes = 8 * 1024 * 1024;
+    state_dir;
+    settle_delay_s = 0.0;
+  }
+
+(* One client connection's write side.  Verdicts stream from worker
+   domains while the executor writes terminal frames, so every write
+   holds [wlock]; the first failed write flips [alive] and the job
+   carries on headless — a vanished client degrades nothing but its
+   own view. *)
+type reply = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  alive : bool Atomic.t;
+}
+
+(* The handler thread parks here while its submission streams, so one
+   connection never interleaves two jobs' streams. *)
+type waiter = {
+  w_lock : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_done : bool;
+}
+
+type job = {
+  id : string;
+  name : string;
+  priority : int;
+  budget_s : float option;
+  deadline : Clock.deadline;
+  runners : int;
+  milp_options : Dpv_linprog.Milp.options;
+  queries : Campaign.query list;
+  reply : reply option;   (* [None]: recovered, runs headless *)
+  waiter : waiter option;
+}
+
+type t = {
+  config : config;
+  perception : Dpv_nn.Network.t;
+  builder : Specfile.builder;
+  base : Specfile.parsed;
+  base_spec : Json.t;
+  cache : Campaign.cache;
+  queue : job Admission.t;
+  joblog_path : string;
+  (* jobs accepted and not yet finished (queued or running); the
+     capacity check and duplicate detection both read it, so both are
+     decided under [submit_lock]. *)
+  in_flight : (string, unit) Hashtbl.t;
+  submit_lock : Mutex.t;
+  in_system : int Atomic.t;
+  jobs_running : int Atomic.t;
+  draining : bool Atomic.t;
+  before_execute : (string -> unit) option;
+  recovered : int;
+  mutable executor : Thread.t option;
+}
+
+let job_id queries =
+  Digest.to_hex
+    (Digest.string (String.concat "" (List.map Campaign.query_key queries)))
+
+let signal_waiter = function
+  | None -> ()
+  | Some w ->
+      Mutex.protect w.w_lock (fun () ->
+          w.w_done <- true;
+          Condition.broadcast w.w_cond)
+
+let await_waiter w =
+  Mutex.protect w.w_lock (fun () ->
+      while not w.w_done do
+        Condition.wait w.w_cond w.w_lock
+      done)
+
+let send t ~job_id reply payload =
+  if Atomic.get reply.alive then
+    match Mutex.protect reply.wlock (fun () -> Frame.write reply.fd payload) with
+    | Ok () -> ()
+    | Error _ ->
+        (* Record the loss exactly once; the job keeps running to its
+           journal. *)
+        if Atomic.exchange reply.alive false then begin
+          Metrics.incr m_client_gone 1;
+          try Joblog.append ~path:t.joblog_path (Joblog.Client_gone { job = job_id })
+          with _ -> ()
+        end
+
+let job_journal_path t id =
+  Filename.concat t.config.state_dir ("job-" ^ id ^ ".jsonl")
+
+(* ---- execution ---- *)
+
+let execute t job =
+  let t0 = Clock.monotonic_ns () in
+  Trace.with_span ~args:[ ("job", job.id); ("name", job.name) ] "serve.job"
+  @@ fun () ->
+  (match t.before_execute with Some f -> f job.id | None -> ());
+  let journal_path = job_journal_path t job.id in
+  (* The per-job campaign journal is the replay store: a job killed (or
+     resubmitted) resumes from it bit-identically via the same --resume
+     machinery the batch CLI uses. *)
+  let resume =
+    if Sys.file_exists journal_path then
+      match Journal.load ~path:journal_path with
+      | Ok entries -> Some entries
+      | Error _ -> None
+    else None
+  in
+  (* Queue wait spends the client's deadline; the budget is carved from
+     what remains at the moment execution starts. *)
+  let budget_s = Clock.carve job.deadline job.budget_s in
+  let on_settled qr =
+    (match job.reply with
+    | Some r -> send t ~job_id:job.id r (Protocol.verdict_line qr)
+    | None -> ());
+    if t.config.settle_delay_s > 0.0 then Unix.sleepf t.config.settle_delay_s
+  in
+  let finish () =
+    Mutex.protect t.submit_lock (fun () -> Hashtbl.remove t.in_flight job.id);
+    Atomic.decr t.in_system
+  in
+  match
+    Campaign.run ~milp_options:job.milp_options ~runners:job.runners ?budget_s
+      ~journal:journal_path ?resume ~cache:t.cache ~on_settled
+      ~perception:t.perception job.queries
+  with
+  | report ->
+      let code = Campaign.report_exit_code report in
+      (try Joblog.append ~path:t.joblog_path (Joblog.Finished { job = job.id; exit_code = code })
+       with _ -> ());
+      (* Capacity is released before the done frame goes out: a client
+         that reacts to [done] by resubmitting immediately must not
+         race its own job's slot. *)
+      finish ();
+      (match job.reply with
+      | Some r -> send t ~job_id:job.id r (Protocol.done_line ~job:job.id report)
+      | None -> ());
+      Metrics.incr m_jobs_finished 1;
+      Metrics.observe m_job_ns (Clock.monotonic_ns () - t0);
+      signal_waiter job.waiter
+  | exception e ->
+      (* Fault isolation: a crashing job degrades that job only — the
+         pool, the queue and every other connection are untouched.
+         Exit 4 is the same degraded code a crashed batch campaign
+         earns. *)
+      let msg = Printexc.to_string e in
+      (try Joblog.append ~path:t.joblog_path (Joblog.Finished { job = job.id; exit_code = 4 })
+       with _ -> ());
+      finish ();
+      (match job.reply with
+      | Some r ->
+          send t ~job_id:job.id r
+            (Protocol.error ~message:(Printf.sprintf "job %s crashed: %s" job.id msg))
+      | None -> ());
+      Metrics.incr m_jobs_finished 1;
+      signal_waiter job.waiter
+
+let executor_loop t =
+  let rec loop () =
+    match Admission.take t.queue with
+    | None -> ()
+    | Some job ->
+        Atomic.incr t.jobs_running;
+        (try execute t job with _ -> signal_waiter job.waiter);
+        Atomic.decr t.jobs_running;
+        loop ()
+  in
+  loop ()
+
+(* ---- submission ---- *)
+
+(* Submissions may omit "seed"/"setup": they inherit the server's base
+   spec, so the common client (same pipeline, new queries) stays
+   small.  An explicit setup must match the server's — the resident
+   trained pipeline is fixed at startup. *)
+let resolve_spec t spec =
+  match spec with
+  | Json.Obj fields ->
+      let fields =
+        if List.mem_assoc "seed" fields then fields
+        else ("seed", Json.Num (float_of_int t.base.Specfile.seed)) :: fields
+      in
+      let fields =
+        if List.mem_assoc "setup" fields then fields
+        else
+          match Json.member "setup" t.base_spec with
+          | Some s -> ("setup", s) :: fields
+          | None -> fields
+      in
+      Json.Obj fields
+  | v -> v
+
+type prepared_job = {
+  p_spec : Json.t;         (* resolved; what the joblog persists *)
+  p_parsed : Specfile.parsed;
+  p_queries : Campaign.query list;
+  p_id : string;
+}
+
+let prepare_submission t spec =
+  let spec = resolve_spec t spec in
+  match Specfile.parse spec with
+  | Error e -> Error (Printf.sprintf "bad spec: %s" e)
+  | Ok parsed ->
+      if parsed.Specfile.setup <> t.base.Specfile.setup then
+        Error
+          "setup mismatch: this server's trained pipeline was prepared with \
+           a different setup/seed; omit \"setup\" and \"seed\" to inherit it"
+      else begin
+        match
+          Specfile.queries t.builder
+            ~default_cut:parsed.Specfile.setup.Workflow.cut
+            parsed.Specfile.query_specs
+        with
+        | Error e -> Error (Printf.sprintf "bad query: %s" e)
+        | Ok queries ->
+            Ok { p_spec = spec; p_parsed = parsed; p_queries = queries;
+                 p_id = job_id queries }
+      end
+
+type admit_result =
+  | Accepted of { job : string; position : int; waiter : waiter }
+  | Busy of { queue_depth : int }
+  | Refused of string
+
+let admit t ~name ~priority ~budget_s ~deadline_s ~reply prep =
+  let id = prep.p_id in
+  let name = Option.value name ~default:(String.sub id 0 8) in
+  let parsed = prep.p_parsed in
+  let w = { w_lock = Mutex.create (); w_cond = Condition.create (); w_done = false } in
+  let job =
+    {
+      id;
+      name;
+      priority;
+      budget_s;
+      deadline = Clock.deadline_after deadline_s;
+      runners =
+        Stdlib.min (Stdlib.max 1 parsed.Specfile.runners) t.config.runners;
+      milp_options = Specfile.milp_options parsed;
+      queries = prep.p_queries;
+      reply;
+      waiter = (match reply with None -> None | Some _ -> Some w);
+    }
+  in
+  Mutex.protect t.submit_lock (fun () ->
+      if Hashtbl.mem t.in_flight id then
+        (* The same job is already queued or running: an immediate
+           duplicate gains nothing (its verdicts land in the same
+           journal), so the client is told to come back — once the
+           twin finishes, resubmission replays from the journal. *)
+        Busy { queue_depth = Atomic.get t.in_system }
+      else if Atomic.get t.in_system >= t.config.capacity then begin
+        Metrics.incr m_rejected_busy 1;
+        Busy { queue_depth = Atomic.get t.in_system }
+      end
+      else begin
+        match
+          Admission.submit
+            ~before:(fun () ->
+              (* Journaled before the executor can see it: [Accepted]
+                 on disk is the no-lost-jobs guarantee.  A failing
+                 append aborts admission — an unjournalable job would
+                 be a silent non-guarantee. *)
+              Joblog.append ~path:t.joblog_path
+                (Joblog.Accepted
+                   {
+                     job = id;
+                     name;
+                     priority;
+                     budget_s;
+                     deadline_s;
+                     spec = prep.p_spec;
+                   });
+              Hashtbl.replace t.in_flight id ();
+              Atomic.incr t.in_system)
+            t.queue ~priority job
+        with
+        | Admission.Admitted position ->
+            Metrics.incr m_submissions 1;
+            Metrics.set_max m_queue_depth (Atomic.get t.in_system);
+            Accepted { job = id; position; waiter = w }
+        | Admission.Rejected { queue_depth } ->
+            Metrics.incr m_rejected_busy 1;
+            Busy { queue_depth }
+        | exception e ->
+            Refused
+              (Printf.sprintf "cannot journal job: %s" (Printexc.to_string e))
+      end)
+
+(* ---- connections ---- *)
+
+let handle_conn t fd =
+  Metrics.incr m_connections 1;
+  Trace.with_span "serve.conn" @@ fun () ->
+  let reply = { fd; wlock = Mutex.create (); alive = Atomic.make true } in
+  let direct payload =
+    ignore (Mutex.protect reply.wlock (fun () -> Frame.write fd payload))
+  in
+  let rec loop () =
+    match Frame.read ~max_bytes:t.config.max_frame_bytes fd with
+    | Error Frame.Closed -> ()
+    | Error (Frame.Torn msg) ->
+        (* The stream is no longer frame-aligned: answer with a framed
+           error and close this connection — and only this one. *)
+        direct (Protocol.error ~message:(Printf.sprintf "torn frame: %s" msg))
+    | Ok payload -> (
+        match Protocol.parse_request payload with
+        | Error msg ->
+            direct (Protocol.error ~message:msg);
+            loop ()
+        | Ok Protocol.Ping ->
+            direct
+              (Protocol.pong
+                 ~jobs_running:(Atomic.get t.jobs_running)
+                 ~queue_depth:(Admission.depth t.queue));
+            loop ()
+        | Ok Protocol.Metrics ->
+            direct (Protocol.metrics_reply (Metrics.snapshot ()));
+            loop ()
+        | Ok Protocol.Drain ->
+            direct Protocol.draining;
+            Atomic.set t.draining true;
+            loop ()
+        | Ok (Protocol.Submit { name; priority; budget_s; deadline_s; spec }) -> (
+            if Atomic.get t.draining then begin
+              direct Protocol.draining;
+              loop ()
+            end
+            else
+              match prepare_submission t spec with
+              | Error msg ->
+                  direct (Protocol.error ~message:msg);
+                  loop ()
+              | Ok prep -> (
+                  match
+                    admit t ~name ~priority ~budget_s ~deadline_s
+                      ~reply:(Some reply) prep
+                  with
+                  | Busy { queue_depth } ->
+                      direct
+                        (Protocol.busy ~retry_after_s:t.config.retry_after_s
+                           ~queue_depth);
+                      loop ()
+                  | Refused msg ->
+                      direct (Protocol.error ~message:msg);
+                      loop ()
+                  | Accepted { job; position; waiter } ->
+                      direct (Protocol.accepted ~job ~position);
+                      (* Park until the stream finishes, so a pipelined
+                         next request never interleaves two jobs'
+                         verdicts on this connection. *)
+                      await_waiter waiter;
+                      if Atomic.get reply.alive then loop ())))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* ---- lifecycle ---- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?config ?before_execute ~perception ~builder ~base ~base_spec () =
+  (* A client vanishing mid-write must be an [EPIPE] result, not a
+     process-killing signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let config =
+    match config with Some c -> c | None -> default_config ~state_dir:"_serve"
+  in
+  mkdir_p config.state_dir;
+  let joblog_path = Filename.concat config.state_dir "joblog.jsonl" in
+  let pending =
+    match Joblog.load ~path:joblog_path with
+    | Ok events -> Joblog.pending events
+    | Error _ -> []
+  in
+  let t =
+    {
+      config;
+      perception;
+      builder;
+      base;
+      base_spec;
+      cache = Campaign.create_cache ();
+      queue =
+        Admission.create
+          ~capacity:(Stdlib.max config.capacity (List.length pending));
+      joblog_path;
+      in_flight = Hashtbl.create 8;
+      submit_lock = Mutex.create ();
+      in_system = Atomic.make 0;
+      jobs_running = Atomic.make 0;
+      draining = Atomic.make false;
+      before_execute;
+      recovered = List.length pending;
+      executor = None;
+    }
+  in
+  (* Restart recovery: every accepted-but-unfinished job re-enters the
+     queue from its persisted spec, headless, before any client can
+     connect.  Its campaign journal then replays the queries that had
+     already settled. *)
+  List.iter
+    (fun (id, name, priority, budget_s, deadline_s, spec) ->
+      match prepare_submission t spec with
+      | Error _ -> ()  (* spec no longer parses: leave it journaled *)
+      | Ok prep ->
+          let prep = { prep with p_id = id } in
+          (match
+             Mutex.protect t.submit_lock (fun () ->
+                 if Hashtbl.mem t.in_flight id then `Dup
+                 else begin
+                   Hashtbl.replace t.in_flight id ();
+                   Atomic.incr t.in_system;
+                   `Fresh
+                 end)
+           with
+          | `Dup -> ()
+          | `Fresh ->
+              Metrics.incr m_jobs_recovered 1;
+              let job =
+                {
+                  id;
+                  name;
+                  priority;
+                  budget_s;
+                  (* The original acceptance instant is gone; the
+                     deadline restarts at recovery. *)
+                  deadline = Clock.deadline_after deadline_s;
+                  runners =
+                    Stdlib.min
+                      (Stdlib.max 1 prep.p_parsed.Specfile.runners)
+                      t.config.runners;
+                  milp_options = Specfile.milp_options prep.p_parsed;
+                  queries = prep.p_queries;
+                  reply = None;
+                  waiter = None;
+                }
+              in
+              ignore (Admission.submit t.queue ~priority job)))
+    pending;
+  t.executor <- Some (Thread.create executor_loop t);
+  t
+
+let recovered t = t.recovered
+
+let request_drain t = Atomic.set t.draining true
+
+let draining t = Atomic.get t.draining
+
+(* Stop admitting, notify queued clients, finish the running job, join
+   the executor.  Queued jobs stay journaled — restart recovery picks
+   them up; their clients are told so explicitly. *)
+let drain t =
+  Atomic.set t.draining true;
+  let queued = Admission.close t.queue in
+  List.iter
+    (fun job ->
+      (match job.reply with
+      | Some r ->
+          send t ~job_id:job.id r
+            (Protocol.error
+               ~message:
+                 (Printf.sprintf
+                    "server draining; job %s is journaled and will run on \
+                     restart"
+                    job.id))
+      | None -> ());
+      signal_waiter job.waiter)
+    queued;
+  match t.executor with
+  | None -> ()
+  | Some th ->
+      Thread.join th;
+      t.executor <- None
+
+let listen_unix ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let listen_tcp ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  fd
+
+let serve t listen_fd =
+  while not (Atomic.get t.draining) do
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ ->
+            if Faults.fire Faults.Serve_accept then begin
+              (* The injected accept hiccup: the connection dies between
+                 accept and handoff.  Absorbed — the loop keeps
+                 listening. *)
+              try Unix.close fd with Unix.Unix_error _ -> ()
+            end
+            else
+              ignore
+                (Thread.create
+                   (fun () -> try handle_conn t fd with _ -> ())
+                   ())
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+            ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  drain t

@@ -24,4 +24,5 @@ let () =
       ("extensions", Test_extensions.tests);
       ("certificate", Test_certificate.tests);
       ("determinism", Test_workflow_determinism.tests);
+      ("serve", Test_serve.tests);
     ]
