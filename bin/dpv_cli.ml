@@ -17,6 +17,7 @@ module Specfile = Dpv_core.Specfile
 module Json = Dpv_core.Json
 module Server = Dpv_serve.Server
 module Sclient = Dpv_serve.Client
+module Metrics = Dpv_obs.Metrics
 module Oracle = Dpv_scenario.Oracle
 module Generator = Dpv_scenario.Generator
 module Camera = Dpv_scenario.Camera
@@ -491,8 +492,8 @@ let port_arg =
   Arg.(value & opt (some int) None & info [ "port" ] ~doc)
 
 let serve_cmd =
-  let run cache_dir spec_path socket port state_dir capacity runners
-      retry_after_s settle_delay_s trace metrics =
+  let run cache_dir spec_path socket port metrics_addr slow_ms state_dir
+      capacity runners retry_after_s settle_delay_s trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     try
       let spec = load_spec spec_path in
@@ -506,6 +507,28 @@ let serve_cmd =
         | Some _, Some _ -> spec_error "give --socket or --port, not both"
         | None, None -> spec_error "a server needs --socket PATH or --port N"
       in
+      (* The scrape listener binds loopback only; accept a bare port or
+         an explicit loopback host for operator familiarity. *)
+      let scrape_port =
+        match metrics_addr with
+        | None -> None
+        | Some addr ->
+            let port_str =
+              match String.rindex_opt addr ':' with
+              | None -> addr
+              | Some i ->
+                  let host = String.sub addr 0 i in
+                  if host <> "127.0.0.1" && host <> "localhost" then
+                    spec_error
+                      "--metrics-addr serves loopback only (got host %S)" host;
+                  String.sub addr (i + 1) (String.length addr - i - 1)
+            in
+            (match int_of_string_opt port_str with
+            | Some p when p > 0 && p < 65536 -> Some p
+            | _ ->
+                spec_error "--metrics-addr wants PORT or 127.0.0.1:PORT, got %S"
+                  addr)
+      in
       let prepared = Workflow.prepare_cached ~cache_dir parsed.Specfile.setup in
       let config =
         {
@@ -514,6 +537,7 @@ let serve_cmd =
           runners;
           retry_after_s;
           settle_delay_s;
+          slow_ms;
         }
       in
       let server =
@@ -541,8 +565,16 @@ let serve_cmd =
             Format.printf "dpv-serve/1 listening on 127.0.0.1:%d@." port;
             Server.listen_tcp ~port
       in
+      let scrape_fd =
+        Option.map
+          (fun p ->
+            Format.printf "dpv-serve/1 metrics on http://127.0.0.1:%d/metrics@."
+              p;
+            Server.listen_tcp ~port:p)
+          scrape_port
+      in
       Format.print_flush ();
-      Server.serve server listen_fd;
+      Server.serve ?scrape_fd server listen_fd;
       Format.printf "drained@.";
       0
     with Spec_error msg ->
@@ -592,6 +624,24 @@ let serve_cmd =
              pacing: makes kill-mid-campaign land deterministically \
              between queries).")
   in
+  let metrics_addr =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Also serve OpenMetrics text scrapes over HTTP on this \
+             loopback address (PORT or 127.0.0.1:PORT) — point \
+             Prometheus (or curl) at it.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold: queries over this many milliseconds \
+             are appended to STATE_DIR/slowlog.jsonl with a per-phase \
+             time breakdown.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -599,12 +649,13 @@ let serve_cmd =
           submissions over a socket, stream verdicts, journal every \
           accepted job for crash recovery")
     Term.(
-      const run $ cache_dir $ spec_path $ socket_arg $ port_arg $ state_dir
-      $ capacity $ runners $ retry_after_s $ settle_delay_s $ trace_arg
-      $ metrics_arg)
+      const run $ cache_dir $ spec_path $ socket_arg $ port_arg $ metrics_addr
+      $ slow_ms $ state_dir $ capacity $ runners $ retry_after_s
+      $ settle_delay_s $ trace_arg $ metrics_arg)
 
 let client_cmd =
-  let run action spec_path socket port name priority budget_s deadline_s wait =
+  let run action spec_path socket port name priority budget_s deadline_s wait
+      trace_out =
     let connect () =
       try
         match (socket, port) with
@@ -665,17 +716,40 @@ let client_cmd =
                          | Some n -> [ ("name", Json.Str n) ])
                        @ [ ("priority", Json.Num (float_of_int priority)) ]
                        @ opt_num "budget_s" budget_s
-                       @ opt_num "deadline_s" deadline_s))
+                       @ opt_num "deadline_s" deadline_s
+                       @
+                       if trace_out = None then []
+                       else [ ("trace", Json.Bool true) ]))
+                in
+                (* The trace frame carries the job's Chrome-trace JSON
+                   as a string; peel it off the stream into the file
+                   the user asked for. *)
+                let on_frame line =
+                  match trace_out with
+                  | None -> print_endline line
+                  | Some file -> (
+                      match Json.of_string line with
+                      | Ok j
+                        when Json.member "type" j = Some (Json.Str "trace") -> (
+                          match
+                            Option.bind (Json.member "events" j) Json.to_string
+                          with
+                          | Some events ->
+                              let oc = open_out file in
+                              Fun.protect
+                                ~finally:(fun () -> close_out oc)
+                                (fun () -> output_string oc events);
+                              Format.eprintf "client: trace written to %s@."
+                                file
+                          | None -> print_endline line)
+                      | _ -> print_endline line)
                 in
                 (* Each attempt is one connection; on busy with --wait,
                    sleep out the server's hint and resubmit. *)
                 let rec attempt () =
                   let outcome =
                     with_conn @@ fun fd ->
-                    match
-                      Sclient.submit_and_stream fd ~request
-                        ~on_frame:print_endline
-                    with
+                    match Sclient.submit_and_stream fd ~request ~on_frame with
                     | Sclient.Finished { exit_code } -> exit_code
                     | Sclient.Busy { retry_after_s } ->
                         if wait then begin
@@ -739,6 +813,15 @@ let client_cmd =
             "On a busy reply, sleep out the server's retry hint and \
              resubmit instead of exiting 6.")
   in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Ask the server to trace this job and write its \
+             Chrome-trace JSON here (open in Perfetto); the trace \
+             frame is peeled off the verdict stream.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
@@ -747,7 +830,157 @@ let client_cmd =
           ping/metrics/drain")
     Term.(
       const run $ action $ spec_path $ socket_arg $ port_arg $ name_arg
-      $ priority $ budget_s $ deadline_s $ wait)
+      $ priority $ budget_s $ deadline_s $ wait $ trace_out)
+
+(* ---- top ---- *)
+
+let top_cmd =
+  let run socket port interval_s count =
+    let connect () =
+      try
+        match (socket, port) with
+        | Some path, None -> Ok (Sclient.connect_unix ~path)
+        | None, Some port -> Ok (Sclient.connect_tcp ~port)
+        | _ -> Error "give --socket PATH or --port N (not both)"
+      with Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+    in
+    (* One metrics poll over the persistent connection.  Passing the
+       previous reply's cursor makes the server answer with the delta
+       since that poll (counters and histograms subtract; rates and
+       point samples stay current), which is exactly what a live rate
+       display wants. *)
+    let fetch fd ~since =
+      let req =
+        Json.Obj
+          (("op", Json.Str "metrics")
+          ::
+          (match since with
+          | None -> []
+          | Some c -> [ ("since", Json.Num (float_of_int c)) ]))
+      in
+      match Sclient.rpc fd (Json.encode req) with
+      | Error e -> Error e
+      | Ok reply -> (
+          match Json.of_string reply with
+          | Error e -> Error (Printf.sprintf "unparseable reply: %s" e)
+          | Ok j -> (
+              let cursor = Option.bind (Json.member "cursor" j) Json.to_int in
+              let is_delta = Json.member "since" j <> None in
+              match Json.member "metrics" j with
+              | None -> Error "reply carries no metrics"
+              | Some m -> (
+                  match Dpv_core.Journal.parse_metrics ~line:0 m with
+                  | Error e -> Error e
+                  | Ok snap -> Ok (cursor, is_delta, snap))))
+    in
+    let fmt_ns ns =
+      if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+      else if ns >= 1e6 then Printf.sprintf "%.1fms" (ns /. 1e6)
+      else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+      else Printf.sprintf "%.0fns" ns
+    in
+    let render b ~is_delta snap =
+      let c name = Option.value ~default:0 (Metrics.counter_in snap name) in
+      let r name =
+        float_of_int (Option.value ~default:0 (Metrics.rate_in snap name))
+        /. 1000.0
+      in
+      let pct num den =
+        if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+      in
+      let quantiles name =
+        match Metrics.histogram_in snap name with
+        | Some h when h.Metrics.count > 0 ->
+            Printf.sprintf "p50 %s / p99 %s  (%d obs)"
+              (fmt_ns (Metrics.quantile_of_hist h ~q:0.5))
+              (fmt_ns (Metrics.quantile_of_hist h ~q:0.99))
+              h.Metrics.count
+        | _ -> "no observations"
+      in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+      line "dpv top — %s"
+        (if is_delta then Printf.sprintf "last %.1fs" interval_s
+         else "since server start");
+      line "  jobs in system   %.0f  (queue %.0f, finished %d)"
+        (r "serve.jobs_in_system")
+        (r "serve.queue_depth_now")
+        (c "serve.jobs_finished");
+      line "  solves/s         %.2f  (queries %d, nodes/s %.1f)"
+        (r "serve.solves_per_s") (c "campaign.queries") (r "milp.nodes_per_s");
+      let warm = c "simplex.warm_starts" and cold = c "simplex.cold_starts" in
+      line "  warm-start rate  %.1f%%  (warm %d / cold %d)"
+        (pct warm (warm + cold)) warm cold;
+      let prunes = c "absint.prunes" in
+      line "  prune rate       %.1f%%  (pruned %d vs %d MILP nodes)"
+        (pct prunes (prunes + c "milp.nodes"))
+        prunes (c "milp.nodes");
+      line "  journal          %.1f appends/s, %s"
+        (r "journal.appends_per_s")
+        (quantiles "journal.append_ns");
+      line "  lp solve         %s" (quantiles "milp.lp_solve_ns");
+      line "  gc               heap %.1f MiB, %.0f minor words/s, %.2f majors/s"
+        (r "gc.heap_words" *. 8.0 /. 1048576.0)
+        (r "gc.minor_words_per_s")
+        (r "gc.majors_per_s")
+    in
+    match connect () with
+    | Error msg ->
+        Format.eprintf "top: %s@." msg;
+        3
+    | Ok fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        let tty = Unix.isatty Unix.stdout in
+        (* Not a terminal: prime the cursor, wait one interval, print a
+           single delta block — scriptable and CI-friendly. *)
+        let rounds =
+          if not tty then 2 else if count > 0 then count else max_int
+        in
+        let rec loop i ~since =
+          match fetch fd ~since with
+          | Error msg ->
+              Format.eprintf "top: %s@." msg;
+              3
+          | Ok (cursor, is_delta, snap) ->
+              if tty || i > 0 then begin
+                let b = Buffer.create 512 in
+                render b ~is_delta snap;
+                if tty then print_string "\027[2J\027[H";
+                print_string (Buffer.contents b);
+                flush stdout
+              end;
+              if i + 1 >= rounds then 0
+              else begin
+                Unix.sleepf interval_s;
+                loop (i + 1) ~since:cursor
+              end
+        in
+        loop 0 ~since:None
+  in
+  let interval_s =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval-s" ] ~doc:"Seconds between refreshes.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "count" ]
+          ~doc:
+            "Stop after this many refreshes (0 = run until interrupted).  \
+             When stdout is not a terminal a single snapshot is printed \
+             regardless.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running dpv serve, polled over the metrics \
+          since-cursor: jobs in system, solve/prune rates, warm-start \
+          hit rate, journal-append and LP-solve latency percentiles.  \
+          Prints one snapshot and exits when stdout is not a terminal")
+    Term.(const run $ socket_arg $ port_arg $ interval_s $ count)
 
 (* ---- monitor ---- *)
 
@@ -1007,6 +1240,7 @@ let () =
         merge_journals_cmd;
         serve_cmd;
         client_cmd;
+        top_cmd;
         certify_cmd;
         check_cert_cmd;
         refine_cmd;

@@ -110,7 +110,7 @@ let skip_reason = "budget exhausted"
 
 let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
     ?budget_s ?journal ?resume ?(absint = false) ?bisect ?cache ?on_settled
-    ~perception queries =
+    ?(trace = "") ~perception queries =
   if runners < 1 then invalid_arg "Campaign.run: runners must be >= 1";
   (match shard with
   | Some (i, n) when n < 1 || i < 0 || i >= n ->
@@ -668,12 +668,21 @@ let run ?(milp_options = Verify.default_milp_options) ?(runners = 1) ?shard
      is what lets [merge_reports] sum shard snapshots into exact
      campaign totals. *)
   let metrics = Metrics.since ~before:metrics_before (Metrics.snapshot ()) in
+  (* Shard trailers are mandatory for merge; unsharded journals only
+     grow one when there is a trace id worth correlating (served jobs),
+     so plain batch journals stay one-line-per-query. *)
+  let meta_of i shards =
+    { Journal.shard = i; shard_count = shards; runners; total_wall_s; trace;
+      metrics }
+  in
   (match (shard, writer) with
   | Some (i, shards), Some w -> (
-      try
-        Journal.append_meta w
-          { Journal.shard = i; shard_count = shards; runners; total_wall_s;
-            metrics }
+      try Journal.append_meta w (meta_of i shards)
+      with Sys_error _ ->
+        Atomic.incr journal_write_failures;
+        Metrics.incr m_journal_failures 1)
+  | None, Some w when trace <> "" -> (
+      try Journal.append_meta w (meta_of 0 1)
       with Sys_error _ ->
         Atomic.incr journal_write_failures;
         Metrics.incr m_journal_failures 1)

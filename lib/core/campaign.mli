@@ -154,6 +154,7 @@ val run :
   ?bisect:Verify.bisect_options ->
   ?cache:cache ->
   ?on_settled:(query_report -> unit) ->
+  ?trace:string ->
   perception:Dpv_nn.Network.t ->
   query list ->
   report
@@ -219,7 +220,13 @@ val run :
     yields a valid empty report.  When a sharded run journals, it
     appends one {!Journal.meta} trailer carrying its metrics snapshot,
     which [dpv merge-journals] sums into whole-campaign totals.
-    Raises [Invalid_argument] unless [0 <= i < n]. *)
+    Raises [Invalid_argument] unless [0 <= i < n].
+
+    [trace] (default [""]) is a correlating trace id stamped into the
+    journal's meta trailer: when non-empty and the run journals, a
+    {!Journal.meta} trailer (unsharded: [shard = 0], [shard_count = 1])
+    is appended carrying it — how a served job's journal is tied back
+    to its joblog entry, protocol frames and spans. *)
 
 val verdict_word : Verify.verdict -> string
 (** ["safe"], ["unsafe"] or ["unknown"] — the JSON verdict field. *)

@@ -25,6 +25,7 @@ type meta = {
   shard_count : int;
   runners : int;
   total_wall_s : float;
+  trace : string;  (* correlating trace id; "" when the run had none *)
   metrics : Dpv_obs.Metrics.snapshot;
 }
 
@@ -121,6 +122,9 @@ let buf_metrics b (s : Dpv_obs.Metrics.snapshot) =
   Buffer.add_string b ", \"gauges\": ";
   obj s.Dpv_obs.Metrics.snap_gauges (fun (name, v) ->
       Printf.bprintf b "%S: %d" name v);
+  Buffer.add_string b ", \"rates\": ";
+  obj s.Dpv_obs.Metrics.snap_rates (fun (name, v) ->
+      Printf.bprintf b "%S: %d" name v);
   Buffer.add_string b ", \"histograms\": ";
   obj s.Dpv_obs.Metrics.snap_histograms (fun (name, h) ->
       Printf.bprintf b "%S: {\"count\": %d, \"sum_ns\": %d, \"buckets\": ["
@@ -137,8 +141,10 @@ let meta_to_line m =
   let b = Buffer.create 512 in
   Printf.bprintf b
     "{\"journal_meta\": 1, \"shard\": %d, \"shard_count\": %d, \
-     \"runners\": %d, \"total_wall_s\": %.17g, \"metrics\": "
+     \"runners\": %d, \"total_wall_s\": %.17g, "
     m.shard m.shard_count m.runners m.total_wall_s;
+  if m.trace <> "" then Printf.bprintf b "\"trace\": %S, " m.trace;
+  Buffer.add_string b "\"metrics\": ";
   buf_metrics b m.metrics;
   Buffer.add_string b "}";
   Buffer.contents b
@@ -460,6 +466,13 @@ let parse_metrics ~line j =
   in
   let* counters = Result.bind (fields "counters") ints in
   let* gauges = Result.bind (fields "gauges") ints in
+  (* "rates" arrived with dpv-obs/2; snapshots written before it simply
+     have none. *)
+  let* rates =
+    match Json.member "rates" j with
+    | Some (Json.Obj fs) -> ints fs
+    | _ -> Ok []
+  in
   let* hist_fields = fields "histograms" in
   let parse_hist (name, v) =
     let* count = field ~line "count" Json.to_int v in
@@ -492,6 +505,7 @@ let parse_metrics ~line j =
     {
       Dpv_obs.Metrics.snap_counters = sorted counters;
       snap_gauges = sorted gauges;
+      snap_rates = sorted rates;
       snap_histograms = sorted histograms;
     }
 
@@ -500,9 +514,13 @@ let parse_meta ~line j =
   let* shard_count = field ~line "shard_count" Json.to_int j in
   let* runners = field ~line "runners" Json.to_int j in
   let* total_wall_s = field ~line "total_wall_s" Json.to_float j in
+  let trace =
+    Option.value ~default:""
+      (Option.bind (Json.member "trace" j) Json.to_string)
+  in
   let* metrics_json = field ~line "metrics" Option.some j in
   let* metrics = parse_metrics ~line metrics_json in
-  Ok { shard; shard_count; runners; total_wall_s; metrics }
+  Ok { shard; shard_count; runners; total_wall_s; trace; metrics }
 
 let load_with_meta ~path =
   match In_channel.with_open_text path In_channel.input_all with

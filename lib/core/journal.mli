@@ -44,13 +44,20 @@ type meta = {
   shard_count : int;      (** total slices in the partition, [>= 1] *)
   runners : int;          (** pool runners the shard ran with *)
   total_wall_s : float;   (** the shard's campaign wall clock *)
+  trace : string;
+      (** trace id correlating this run with its spans, joblog entries
+          and protocol frames; [""] when the run had none (batch
+          campaigns, pre-dpv-obs/2 journals) — the field is then
+          omitted from the line *)
   metrics : Dpv_obs.Metrics.snapshot;
       (** the shard's [dpv-metrics/1] delta; [dpv merge-journals] sums
           these ({!Dpv_obs.Metrics.merge}) into exact campaign totals *)
 }
 (** Shard trailer.  A sharded campaign ([dpv campaign --shard i/n])
     appends exactly one meta line after its entries; unsharded journals
-    carry none, so their line count stays one-per-query. *)
+    carry none, so their line count stays one-per-query.  Served jobs
+    also append one (unsharded: [shard = 0], [shard_count = 1]) to
+    carry the job's trace id. *)
 
 type writer
 
@@ -102,3 +109,11 @@ val save : path:string -> entry list -> unit
 
 val result_of_entry : entry -> Verify.result option
 (** The replayable result: [Some] exactly for [Done] entries. *)
+
+val parse_metrics :
+  line:int -> Json.t -> (Dpv_obs.Metrics.snapshot, string) result
+(** Parse a [dpv-metrics/1] JSON object (the ["metrics"] member of a
+    meta trailer, a campaign report, or a serve metrics reply) back
+    into a snapshot.  [line] seeds error messages.  Derived fields
+    ([p50_ns] etc.) are ignored; a missing ["rates"] object (pre
+    dpv-obs/2) reads as empty. *)

@@ -53,7 +53,8 @@ let pp_metrics fmt (snap : Dpv_obs.Metrics.snapshot) =
     List.fold_left
       (fun acc (n, _) -> Stdlib.max acc (String.length n))
       0
-      (snap.Dpv_obs.Metrics.snap_counters @ snap.Dpv_obs.Metrics.snap_gauges)
+      (snap.Dpv_obs.Metrics.snap_counters @ snap.Dpv_obs.Metrics.snap_gauges
+      @ snap.Dpv_obs.Metrics.snap_rates)
     |> Stdlib.max 8
   in
   Format.fprintf fmt "@[<v>metrics (dpv-metrics/1):";
@@ -65,16 +66,22 @@ let pp_metrics fmt (snap : Dpv_obs.Metrics.snapshot) =
       Format.fprintf fmt "@,  %-*s %d (high water)" name_width name v)
     snap.Dpv_obs.Metrics.snap_gauges;
   List.iter
+    (fun (name, v) ->
+      (* Sampled gauges publish milli-units (a rate of 1500 is 1.5/s). *)
+      Format.fprintf fmt "@,  %-*s %.3f (sampled)" name_width name
+        (float_of_int v /. 1000.0))
+    snap.Dpv_obs.Metrics.snap_rates;
+  List.iter
     (fun (name, h) ->
       let count = h.Dpv_obs.Metrics.count in
       Format.fprintf fmt "@,  %-*s %d obs" name_width name count;
       if count > 0 then begin
-        Format.fprintf fmt ", mean %a"
-          pp_ns (h.Dpv_obs.Metrics.sum / count);
-        match List.rev h.Dpv_obs.Metrics.buckets with
-        | (upper, _) :: _ when upper <> max_int ->
-            Format.fprintf fmt ", max < %a" pp_ns upper
-        | _ -> ()
+        let q p =
+          int_of_float (Dpv_obs.Metrics.quantile_of_hist h ~q:p)
+        in
+        Format.fprintf fmt ", mean %a, p50 %a / p90 %a / p99 %a"
+          pp_ns (h.Dpv_obs.Metrics.sum / count)
+          pp_ns (q 0.5) pp_ns (q 0.9) pp_ns (q 0.99)
       end)
     snap.Dpv_obs.Metrics.snap_histograms;
   Format.fprintf fmt "@]"

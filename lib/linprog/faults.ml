@@ -10,6 +10,7 @@ type site =
   | Serve_accept
   | Serve_torn_frame
   | Serve_client_gone
+  | Serve_scrape
 
 let all_sites =
   [
@@ -24,6 +25,7 @@ let all_sites =
     ("serve-accept", Serve_accept);
     ("serve-torn-frame", Serve_torn_frame);
     ("serve-client-gone", Serve_client_gone);
+    ("serve-scrape", Serve_scrape);
   ]
 
 let site_index = function
@@ -38,8 +40,9 @@ let site_index = function
   | Serve_accept -> 8
   | Serve_torn_frame -> 9
   | Serve_client_gone -> 10
+  | Serve_scrape -> 11
 
-let n_sites = 11
+let n_sites = 12
 
 let site_name s = fst (List.nth all_sites (site_index s))
 

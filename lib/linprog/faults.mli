@@ -63,6 +63,12 @@ type site =
                             disconnected mid-stream.  The job must keep
                             running to its journal — the server records
                             the client loss and survives *)
+  | Serve_scrape        (** one metrics scrape response is torn: the
+                            HTTP responder declares more bytes than it
+                            sends and drops the connection mid-body.
+                            The endpoint must close {e that} connection
+                            only — the accept loop, running jobs and
+                            later scrapes are untouched *)
 
 val all_sites : (string * site) list
 (** Kebab-case spec names, e.g. [("task-crash", Task_crash)]. *)

@@ -1,0 +1,94 @@
+(* OpenMetrics / Prometheus text exposition of the metrics registry.
+   Pure snapshot -> string rendering: the scrape endpoint in dpv serve
+   calls [render (Metrics.snapshot ())] per GET, so this code never
+   touches the hot path and needs no locking of its own.
+
+   Mapping choices, pinned here because scrapers bake them in:
+   - names are sanitized to [a-zA-Z0-9_] and prefixed ["dpv_"], so
+     ["serve.job_ns"] becomes ["dpv_serve_job_ns"];
+   - counters expose a single [_total] sample (OpenMetrics counters
+     carry the suffix on the sample, not the family);
+   - high-water gauges expose their integer value; sampled gauges and
+     rates divide their milli-unit cell by 1000 back into a float;
+   - the log2-ns histograms become cumulative [_bucket{le="..."}]
+     series plus [_sum]/[_count], with the open top bucket at
+     [le="+Inf"] — bucket bounds stay in nanoseconds, matching the
+     [_ns] naming convention. *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "dpv_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* Rendered once per family when the label set is fixed, and per sample
+   for histograms (the [le] label varies). *)
+let labelset pairs =
+  match pairs with
+  | [] -> ""
+  | pairs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             pairs)
+      ^ "}"
+
+let render ?(labels = []) (snap : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  let base = labelset labels in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Printf.bprintf b "# TYPE %s counter\n%s_total%s %d\n" n n base v)
+    snap.Metrics.snap_counters;
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Printf.bprintf b "# TYPE %s gauge\n%s%s %d\n" n n base v)
+    snap.Metrics.snap_gauges;
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      (* Sampled cells hold milli-units; exposition restores the float. *)
+      Printf.bprintf b "# TYPE %s gauge\n%s%s %g\n" n n base
+        (float_of_int v /. 1000.0))
+    snap.Metrics.snap_rates;
+  List.iter
+    (fun (name, h) ->
+      let n = sanitize name in
+      Printf.bprintf b "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (upper, count) ->
+          cum := !cum + count;
+          if upper <> max_int then
+            Printf.bprintf b "%s_bucket%s %d\n" n
+              (labelset (labels @ [ ("le", string_of_int upper) ]))
+              !cum)
+        h.Metrics.buckets;
+      Printf.bprintf b "%s_bucket%s %d\n" n
+        (labelset (labels @ [ ("le", "+Inf") ]))
+        h.Metrics.count;
+      Printf.bprintf b "%s_sum%s %d\n" n base h.Metrics.sum;
+      Printf.bprintf b "%s_count%s %d\n" n base h.Metrics.count)
+    snap.Metrics.snap_histograms;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

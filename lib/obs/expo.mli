@@ -1,0 +1,26 @@
+(** OpenMetrics / Prometheus text exposition of a {!Metrics.snapshot}.
+
+    The live half of the metrics layer: where {!Metrics.to_json}
+    ([dpv-metrics/1]) is the archival schema embedded in campaign
+    reports, [Expo.render] is what the [dpv serve] scrape endpoint
+    returns to a polling Prometheus.  Pure rendering — take a snapshot,
+    get a string — so it is trivially safe to call from a scrape
+    handler thread while campaigns run. *)
+
+val sanitize : string -> string
+(** Map a registry name onto the exposition namespace: characters
+    outside [[a-zA-Z0-9_]] become ['_'] and the result is prefixed
+    ["dpv_"] (["serve.job_ns"] -> ["dpv_serve_job_ns"]). *)
+
+val escape_label : string -> string
+(** Escape a label {e value} per the text format: backslash, double
+    quote and newline become backslash-escaped sequences. *)
+
+val render : ?labels:(string * string) list -> Metrics.snapshot -> string
+(** The full exposition: one [# TYPE] line per family, counters as a
+    single [_total] sample, high-water gauges as integers, sampled
+    gauges/rates as floats (milli-units restored), histograms as
+    cumulative [_bucket] series keyed by an [le] label in ns (open
+    bucket [le] of [+Inf]) plus [_sum]/[_count], terminated by
+    [# EOF].  [labels] is attached to every sample (merged before
+    [le]). *)

@@ -5,7 +5,17 @@
    cells — no allocation, no locking, no formatting. *)
 
 type counter = { c_name : string; c_cell : int Atomic.t }
-type gauge = { g_name : string; g_cell : int Atomic.t }
+
+(* Two gauge kinds share one cell layout but mean different things
+   across processes: a high-water mark can be maxed when shard
+   snapshots merge, while a sampled rate is only meaningful in the
+   process that computed it — summing (or maxing) rates from
+   sequentially-run shards fabricates throughput that never existed.
+   The kind rides the snapshot and the JSON so downstream mergers can
+   tell them apart. *)
+type gauge_kind = High_water | Sampled
+
+type gauge = { g_name : string; g_kind : gauge_kind; g_cell : int Atomic.t }
 
 (* Log2 buckets over nanoseconds: bucket [i] counts observations v with
    2^(i-1) < v <= 2^i (bucket 0 catches <= 1 ns).  63 buckets cover the
@@ -37,14 +47,17 @@ let counter name =
       c)
     name
 
-let gauge name =
+let gauge_of_kind kind name =
   registered
     (fun n -> List.find_opt (fun g -> g.g_name = n) !gauges)
     (fun n ->
-      let g = { g_name = n; g_cell = Atomic.make 0 } in
+      let g = { g_name = n; g_kind = kind; g_cell = Atomic.make 0 } in
       gauges := g :: !gauges;
       g)
     name
+
+let gauge name = gauge_of_kind High_water name
+let sample name = gauge_of_kind Sampled name
 
 let histogram name =
   registered
@@ -78,6 +91,57 @@ let set_max g v =
 
 let gauge_value g = Atomic.get g.g_cell
 
+(* Last-writer-wins sample, for gauges fed by the background sampler
+   (queue depth right now, jobs in system right now).  Stored in
+   milli-units so every [snap_rates] value — point sample or windowed
+   rate — shares one convention and renderers divide by 1000 once. *)
+let set g v = Atomic.set g.g_cell (v * 1000)
+
+(* ---------------- rolling-window rate gauges ---------------- *)
+
+(* A rate gauge turns a cumulative series (a counter's value, GC minor
+   words) into events-per-second over a rolling window.  [tick] is
+   called off the hot path — by the sampler domain, on its own clock —
+   so a plain mutex-guarded deque of (ts, cumulative) samples is fine.
+   The published value is milli-events/second: integer gauges cannot
+   carry fractions and per-second rates of slow counters would round
+   to zero. *)
+type rate = {
+  r_gauge : gauge;
+  r_window_ns : int;
+  r_lock : Mutex.t;
+  mutable r_samples : (int * int) list;  (* (now_ns, cumulative), newest first *)
+}
+
+let rate ?(window_s = 10.0) name =
+  {
+    r_gauge = sample name;
+    r_window_ns = int_of_float (window_s *. 1e9);
+    r_lock = Mutex.create ();
+    r_samples = [];
+  }
+
+let rate_tick r ~now_ns cumulative =
+  Mutex.protect r.r_lock (fun () ->
+      (* Keep everything inside the window plus one older sample as the
+         baseline, so a freshly-full window still spans ~window_s. *)
+      let rec trim = function
+        | a :: (b :: _ as rest) when now_ns - fst b > r.r_window_ns ->
+            ignore a;
+            trim rest
+        | kept -> kept
+      in
+      r.r_samples <- (now_ns, cumulative) :: r.r_samples;
+      r.r_samples <- List.rev (trim (List.rev r.r_samples));
+      match (r.r_samples, List.rev r.r_samples) with
+      | (t1, v1) :: _, (t0, v0) :: _ when t1 > t0 ->
+          let per_s = float_of_int (v1 - v0) *. 1e9 /. float_of_int (t1 - t0) in
+          Atomic.set r.r_gauge.g_cell
+            (int_of_float (Float.max 0.0 (per_s *. 1000.0)))
+      | _ -> ())
+
+let rate_value r = Atomic.get r.r_gauge.g_cell
+
 let bucket_index v =
   if v <= 1 then 0
   else begin
@@ -105,7 +169,8 @@ type hist_snapshot = {
 
 type snapshot = {
   snap_counters : (string * int) list;
-  snap_gauges : (string * int) list;
+  snap_gauges : (string * int) list;     (* high-water gauges only *)
+  snap_rates : (string * int) list;      (* sampled gauges (milli-units) *)
   snap_histograms : (string * hist_snapshot) list;
 }
 
@@ -113,13 +178,18 @@ let by_name (a, _) (b, _) = compare (a : string) b
 
 let snapshot () =
   Mutex.protect registry_lock (fun () ->
+      let of_kind k =
+        List.filter_map
+          (fun g ->
+            if g.g_kind = k then Some (g.g_name, Atomic.get g.g_cell) else None)
+          !gauges
+      in
       {
         snap_counters =
           List.sort by_name
             (List.map (fun c -> (c.c_name, Atomic.get c.c_cell)) !counters);
-        snap_gauges =
-          List.sort by_name
-            (List.map (fun g -> (g.g_name, Atomic.get g.g_cell)) !gauges);
+        snap_gauges = List.sort by_name (of_kind High_water);
+        snap_rates = List.sort by_name (of_kind Sampled);
         snap_histograms =
           List.sort by_name
             (List.map
@@ -141,8 +211,9 @@ let snapshot () =
 
 (* What happened between two snapshots of the same process.  Counters
    and histogram totals subtract (a metric absent at [before] counts
-   from zero); gauges are high-water marks, for which subtraction is
-   meaningless, so the [after] value is reported. *)
+   from zero); gauges are high-water marks (and rates are point
+   samples), for which subtraction is meaningless, so the [after]
+   value is reported for both. *)
 let since ~before after =
   let base l name = Option.value (List.assoc_opt name l) ~default:0 in
   let sub_buckets before_b after_b =
@@ -158,6 +229,7 @@ let since ~before after =
         (fun (name, v) -> (name, v - base before.snap_counters name))
         after.snap_counters;
     snap_gauges = after.snap_gauges;
+    snap_rates = after.snap_rates;
     snap_histograms =
       List.map
         (fun (name, h) ->
@@ -174,7 +246,7 @@ let since ~before after =
   }
 
 let empty_snapshot =
-  { snap_counters = []; snap_gauges = []; snap_histograms = [] }
+  { snap_counters = []; snap_gauges = []; snap_rates = []; snap_histograms = [] }
 
 (* Combine snapshots from different processes — campaign shards whose
    journals are being merged into one report.  Counters and histogram
@@ -203,6 +275,10 @@ let merge a b =
   {
     snap_counters = merge_assoc ( + ) a.snap_counters b.snap_counters;
     snap_gauges = merge_assoc Stdlib.max a.snap_gauges b.snap_gauges;
+    (* Rates never sum: shards usually ran sequentially, so adding
+       their throughputs would fabricate parallelism.  Max is the
+       conservative "highest rate any shard sustained". *)
+    snap_rates = merge_assoc Stdlib.max a.snap_rates b.snap_rates;
     snap_histograms =
       merge_assoc
         (fun x y ->
@@ -216,7 +292,42 @@ let merge a b =
 
 let counter_in snap name = List.assoc_opt name snap.snap_counters
 let gauge_in snap name = List.assoc_opt name snap.snap_gauges
+let rate_in snap name = List.assoc_opt name snap.snap_rates
 let histogram_in snap name = List.assoc_opt name snap.snap_histograms
+
+(* ---------------- quantile estimation ---------------- *)
+
+(* A quantile estimated from the log2 buckets: find the bucket holding
+   the target rank and interpolate linearly inside it.  The log2
+   resolution bounds the error — the estimate lands in the same bucket
+   as the true sample, i.e. within a factor of 2.  The rank convention
+   matches {!Dpv_tensor.Stats.quantile} ([q * (count - 1)], linear in
+   the rank) so the two agree exactly on the endpoints. *)
+let quantile_of_hist h ~q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.quantile_of_hist: q must be in [0, 1]";
+  if h.count = 0 then 0.0
+  else begin
+    let target = (q *. float_of_int (h.count - 1)) +. 1.0 in
+    let rec walk cum = function
+      | [] -> 0.0 (* unreachable for a consistent snapshot *)
+      | (upper, n) :: rest ->
+          if float_of_int (cum + n) < target then walk (cum + n) rest
+          else begin
+            let lo =
+              if upper = max_int then float_of_int (1 lsl 62)
+              else if upper <= 1 then 0.0
+              else float_of_int (upper / 2)
+            in
+            if upper = max_int then lo
+            else
+              let hi = float_of_int upper in
+              let frac = (target -. float_of_int cum) /. float_of_int n in
+              lo +. (frac *. (hi -. lo))
+          end
+    in
+    walk 0 h.buckets
+  end
 
 let reset () =
   Mutex.protect registry_lock (fun () ->
@@ -250,10 +361,21 @@ let buf_snapshot ?(indent = "") b snap =
   Printf.bprintf b ",\n%s  \"gauges\": " indent;
   buf_obj b ~indent snap.snap_gauges (fun (name, v) ->
       Printf.bprintf b "%S: %d" name v);
+  (* Sampled rate gauges live under their own key so shard-merging
+     consumers cannot mistake them for summable or maxable-as-depth
+     values; histograms additionally carry derived percentiles. *)
+  Printf.bprintf b ",\n%s  \"rates\": " indent;
+  buf_obj b ~indent snap.snap_rates (fun (name, v) ->
+      Printf.bprintf b "%S: %d" name v);
   Printf.bprintf b ",\n%s  \"histograms\": " indent;
   buf_obj b ~indent snap.snap_histograms (fun (name, h) ->
-      Printf.bprintf b "%S: {\"count\": %d, \"sum_ns\": %d, \"buckets\": ["
-        name h.count h.sum;
+      Printf.bprintf b "%S: {\"count\": %d, \"sum_ns\": %d" name h.count h.sum;
+      if h.count > 0 then
+        Printf.bprintf b ", \"p50_ns\": %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f"
+          (quantile_of_hist h ~q:0.5)
+          (quantile_of_hist h ~q:0.9)
+          (quantile_of_hist h ~q:0.99);
+      Buffer.add_string b ", \"buckets\": [";
       List.iteri
         (fun i (up, n) ->
           if i > 0 then Buffer.add_string b ", ";

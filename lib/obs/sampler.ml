@@ -1,0 +1,38 @@
+(* Background sampler domain: the continuous-profiling tick behind
+   dpv serve.  One domain wakes on a fixed interval and calls the
+   caller's [sample] callback, which reads cheap sources (Gc.quick_stat,
+   queue depths, counter values) and publishes them through
+   [Metrics.set] / [Metrics.rate_tick].  Nothing here touches the solve
+   hot path: the cost of profiling is one mostly-sleeping domain.
+
+   The loop sleeps in short slices so [stop] takes effect within ~50 ms
+   regardless of the tick interval — serve drains must not hang behind
+   a sampler nap. *)
+
+type t = { stopped : bool Atomic.t; domain : unit Domain.t }
+
+let start ?(interval_s = 0.5) ~sample () =
+  if interval_s <= 0.0 then invalid_arg "Sampler.start: interval_s must be > 0";
+  let stopped = Atomic.make false in
+  let domain =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stopped) do
+          (* A failing probe must not kill the sampler: observability
+             degrades, the service does not. *)
+          (try sample ~now_ns:(Mclock.now_ns ()) with _ -> ());
+          let deadline = Unix.gettimeofday () +. interval_s in
+          let rec nap () =
+            if not (Atomic.get stopped) then begin
+              let left = deadline -. Unix.gettimeofday () in
+              if left > 0.0 then begin
+                Unix.sleepf (Float.min left 0.05);
+                nap ()
+              end
+            end
+          in
+          nap ()
+        done)
+  in
+  { stopped; domain }
+
+let stop t = if not (Atomic.exchange t.stopped true) then Domain.join t.domain

@@ -1,0 +1,20 @@
+(** Background sampler domain for continuous profiling.
+
+    [dpv serve] runs one of these to snapshot [Gc.quick_stat], the
+    admission queue depth, jobs-in-system and solver counters on a
+    fixed tick, publishing them as sampled gauges and rolling-window
+    rates ({!Metrics.sample}, {!Metrics.rate}).  Off by default outside
+    serve; zero hot-path cost — the solve path never sees it. *)
+
+type t
+
+val start : ?interval_s:float -> sample:(now_ns:int -> unit) -> unit -> t
+(** Spawn the sampler domain.  [sample] is called once per tick
+    (default every 0.5 s) with the monotonic clock reading to feed to
+    {!Metrics.rate_tick}; exceptions it raises are swallowed (a broken
+    probe degrades observability, not the service).  Raises
+    [Invalid_argument] if [interval_s <= 0]. *)
+
+val stop : t -> unit
+(** Stop and join the domain (latency bounded at ~50 ms regardless of
+    the interval).  Idempotent; later calls return immediately. *)

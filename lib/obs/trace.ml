@@ -37,7 +37,37 @@ let configure () =
 
 let disable () = Atomic.set armed false
 
-let record ev = Mutex.protect lock (fun () -> events := ev :: !events)
+(* Job-scoped arming for dpv serve: start collecting without discarding
+   whatever an already-armed global trace has buffered, and keep the
+   epoch stable across jobs so per-job extracts share one timeline. *)
+let arm () =
+  Mutex.protect lock (fun () ->
+      if !epoch_ns = 0 then epoch_ns := Mclock.now_ns ());
+  Atomic.set armed true
+
+(* ---------------- ambient job context ----------------
+
+   One global cell, not domain-local: the serve executor runs jobs one
+   at a time, and the pool workers it fans out to should inherit the
+   same job's trace id.  [record] stamps the id into every event's args
+   so a job's spans can be extracted later ([tagged_events]) even
+   though they interleave with other instrumentation in one buffer. *)
+
+let context_cell : string option Atomic.t = Atomic.make None
+let context () = Atomic.get context_cell
+
+let with_context id f =
+  let prev = Atomic.exchange context_cell (Some id) in
+  Fun.protect ~finally:(fun () -> Atomic.set context_cell prev) f
+
+let record ev =
+  let ev =
+    match (Atomic.get context_cell, ev) with
+    | Some id, Complete c -> Complete { c with args = ("trace", id) :: c.args }
+    | Some id, Instant i -> Instant { i with args = ("trace", id) :: i.args }
+    | _ -> ev
+  in
+  Mutex.protect lock (fun () -> events := ev :: !events)
 let tid () = (Domain.self () :> int)
 
 (* Explicit begin/end pair for hot sites that want to avoid even a
@@ -92,6 +122,17 @@ let name_thread label =
 
 let event_count () = Mutex.protect lock (fun () -> List.length !events)
 
+let tagged_events id =
+  let tagged = function
+    | Complete { args; _ } | Instant { args; _ } ->
+        List.exists (fun (k, v) -> k = "trace" && v = id) args
+    | Thread_name _ -> true
+    (* thread metas label the tracks the job's spans live on *)
+  in
+  Mutex.protect lock (fun () -> List.rev (List.filter tagged !events))
+
+let clear () = Mutex.protect lock (fun () -> events := [])
+
 (* ---------------- Chrome trace_event JSON ---------------- *)
 
 (* Timestamps are microseconds relative to [configure] time, with
@@ -131,10 +172,7 @@ let buf_event b pid epoch ev =
          \"tid\": %d, \"args\": {\"name\": %S}}"
         pid tid label
 
-let to_json () =
-  let evs, epoch =
-    Mutex.protect lock (fun () -> (List.rev !events, !epoch_ns))
-  in
+let json_of ~epoch evs =
   let pid = Unix.getpid () in
   (* Metadata first so viewers label threads before their first event. *)
   let metas, rest =
@@ -150,6 +188,16 @@ let to_json () =
     (metas @ rest);
   Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents b
+
+let to_json () =
+  let evs, epoch =
+    Mutex.protect lock (fun () -> (List.rev !events, !epoch_ns))
+  in
+  json_of ~epoch evs
+
+let events_to_json evs =
+  let epoch = Mutex.protect lock (fun () -> !epoch_ns) in
+  json_of ~epoch evs
 
 let write ~path =
   let oc = open_out path in

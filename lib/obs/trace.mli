@@ -15,6 +15,25 @@
     Timestamps come from {!Mclock} (monotonic), so spans survive
     wall-clock jumps. *)
 
+(** A buffered event, exposed concretely so dpv serve can extract a
+    job's spans ({!tagged_events}) and compute per-phase breakdowns for
+    the slow-query log without re-parsing JSON. *)
+type event =
+  | Complete of {
+      name : string;
+      ts_ns : int;
+      dur_ns : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      ts_ns : int;
+      tid : int;
+      args : (string * string) list;
+    }
+  | Thread_name of { tid : int; label : string }
+
 val enabled : unit -> bool
 (** One atomic load; the guard for hot-path instrumentation. *)
 
@@ -23,6 +42,28 @@ val configure : unit -> unit
 
 val disable : unit -> unit
 (** Stop collecting.  The buffer is kept ({!to_json} still works). *)
+
+val arm : unit -> unit
+(** Arm tracing {e without} clearing the buffer or restarting the
+    epoch (set only if never set).  Job-scoped collection in dpv serve:
+    arm before a traced job, extract with {!tagged_events}, then
+    {!disable} and {!clear} if no global trace was running. *)
+
+(** {2 Ambient job context}
+
+    A trace id installed with {!with_context} is stamped as a
+    [("trace", id)] argument into every event recorded while it is
+    active — including events from pool worker domains, since the
+    context is global (the serve executor runs one job at a time).
+    This is what correlates a job's spans with its protocol frames,
+    joblog entries and journal meta. *)
+
+val context : unit -> string option
+(** The ambient trace id, if one is installed. *)
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** [with_context id f] runs [f] with [id] as the ambient trace id,
+    restoring the previous context on exit (also on raise). *)
 
 val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span ~args name f] runs [f] and, when tracing is armed,
@@ -50,9 +91,24 @@ val name_thread : string -> unit
 val event_count : unit -> int
 (** Events buffered so far (tests; the disabled-path smoke asserts 0). *)
 
+val tagged_events : string -> event list
+(** The buffered events carrying [("trace", id)] (plus every
+    [Thread_name] meta, which labels the tracks they live on), oldest
+    first.  Non-destructive: the buffer keeps everything. *)
+
+val clear : unit -> unit
+(** Drop the buffered events (epoch kept).  Serve calls this after
+    extracting a job's spans when no global trace is running, so the
+    buffer never grows across jobs. *)
+
 val to_json : unit -> string
 (** The buffered trace as a Chrome [trace_event] JSON object
     ([{"traceEvents": [...], ...}]); metadata events first. *)
+
+val events_to_json : event list -> string
+(** Render a specific event list ({!tagged_events}) against the
+    current epoch — the per-job Chrome-trace payload streamed to
+    [dpv client --trace]. *)
 
 val write : path:string -> unit
 

@@ -45,7 +45,7 @@ let submit_and_stream fd ~request ~on_frame =
                 let str key = Option.bind (Json.member key v) Json.to_string in
                 let num key = Option.bind (Json.member key v) Json.to_float in
                 match str "type" with
-                | Some "accepted" | Some "verdict" -> loop ()
+                | Some "accepted" | Some "verdict" | Some "trace" -> loop ()
                 | Some "done" -> (
                     match Option.bind (Json.member "exit_code" v) Json.to_int with
                     | Some exit_code -> Finished { exit_code }

@@ -21,5 +21,5 @@ val submit_and_stream :
   on_frame:(string -> unit) ->
   outcome
 (** Send a submit frame and consume the stream ([accepted], then
-    [verdict]s, then [done]).  [on_frame] sees every raw reply
-    payload in arrival order. *)
+    [verdict]s, an optional [trace], then [done]).  [on_frame] sees
+    every raw reply payload in arrival order. *)

@@ -14,13 +14,14 @@ type event =
       priority : int;
       budget_s : float option;
       deadline_s : float option;
+      trace : string;
       spec : Json.t;
     }
   | Finished of { job : string; exit_code : int }
   | Client_gone of { job : string }
 
 let encode = function
-  | Accepted { job; name; priority; budget_s; deadline_s; spec } ->
+  | Accepted { job; name; priority; budget_s; deadline_s; trace; spec } ->
       let opt_num = function None -> Json.Null | Some f -> Json.Num f in
       Json.encode
         (Json.Obj
@@ -31,6 +32,7 @@ let encode = function
              ("priority", Json.Num (float_of_int priority));
              ("budget_s", opt_num budget_s);
              ("deadline_s", opt_num deadline_s);
+             ("trace", Json.Str trace);
              ("spec", spec);
            ])
   | Finished { job; exit_code } ->
@@ -73,6 +75,8 @@ let decode line =
                          ~default:0;
                      budget_s = num "budget_s";
                      deadline_s = num "deadline_s";
+                     (* pre-dpv-obs/2 joblogs have no trace id *)
+                     trace = Option.value (str "trace") ~default:"";
                      spec;
                    }))
       | Some "finished" -> (
@@ -145,8 +149,8 @@ let pending events =
     events;
   List.filter_map
     (function
-      | Accepted { job; name; priority; budget_s; deadline_s; spec }
+      | Accepted { job; name; priority; budget_s; deadline_s; trace; spec }
         when not (Hashtbl.mem finished job) ->
-          Some (job, name, priority, budget_s, deadline_s, spec)
+          Some (job, name, priority, budget_s, deadline_s, trace, spec)
       | _ -> None)
     events

@@ -19,6 +19,9 @@ type event =
       priority : int;
       budget_s : float option;
       deadline_s : float option;
+      trace : string;
+          (** the trace id correlating this job's frames, spans and
+              journal meta; [""] when read from a pre-dpv-obs/2 log *)
       spec : Json.t;  (** the submitted spec, replayable verbatim *)
     }
   | Finished of { job : string; exit_code : int }
@@ -38,7 +41,8 @@ val load : path:string -> (event list, string) result
 
 val pending :
   event list ->
-  (string * string * int * float option * float option * Json.t) list
-(** [(job, name, priority, budget_s, deadline_s, spec)] for every
-    accepted job with no finished event, in acceptance order — the
-    restart recovery work list. *)
+  (string * string * int * float option * float option * string * Json.t)
+  list
+(** [(job, name, priority, budget_s, deadline_s, trace, spec)] for
+    every accepted job with no finished event, in acceptance order —
+    the restart recovery work list. *)

@@ -11,15 +11,17 @@ type request =
       priority : int;
       budget_s : float option;
       deadline_s : float option;
+      trace : bool;
       spec : Json.t;
     }
-  | Metrics
+  | Metrics of { since : int option }
   | Ping
   | Drain
 
 (* Submission envelope keys; everything else in an [op = "query"]
    request is part of the spec it denotes. *)
-let envelope_keys = [ "op"; "name"; "priority"; "budget_s"; "deadline_s"; "query" ]
+let envelope_keys =
+  [ "op"; "name"; "priority"; "budget_s"; "deadline_s"; "trace"; "query" ]
 
 let parse_request ?max_depth ?max_bytes payload =
   match Json.of_string ?max_depth ?max_bytes payload with
@@ -33,19 +35,28 @@ let parse_request ?max_depth ?max_bytes payload =
         | None -> default
       in
       let envelope () =
-        (str "name", int_def "priority" 0, num "budget_s", num "deadline_s")
+        let trace =
+          match Json.member "trace" req with
+          | Some (Json.Bool b) -> b
+          | _ -> false
+        in
+        (str "name", int_def "priority" 0, num "budget_s", num "deadline_s",
+         trace)
       in
       match str "op" with
       | None -> Error "request is missing \"op\""
       | Some "ping" -> Ok Ping
-      | Some "metrics" -> Ok Metrics
+      | Some "metrics" ->
+          Ok
+            (Metrics
+               { since = Option.bind (Json.member "since" req) Json.to_int })
       | Some "drain" -> Ok Drain
       | Some "submit" -> (
           match Json.member "spec" req with
           | None -> Error "submit request is missing \"spec\""
           | Some spec ->
-              let name, priority, budget_s, deadline_s = envelope () in
-              Ok (Submit { name; priority; budget_s; deadline_s; spec }))
+              let name, priority, budget_s, deadline_s, trace = envelope () in
+              Ok (Submit { name; priority; budget_s; deadline_s; trace; spec }))
       | Some "query" -> (
           (* Sugar: one query object becomes a one-query spec.  Any
              non-envelope top-level keys (timeout_s, setup, ...) carry
@@ -62,8 +73,8 @@ let parse_request ?max_depth ?max_bytes payload =
                 | _ -> []
               in
               let spec = Json.Obj (("queries", Json.Arr [ q ]) :: carried) in
-              let name, priority, budget_s, deadline_s = envelope () in
-              Ok (Submit { name; priority; budget_s; deadline_s; spec }))
+              let name, priority, budget_s, deadline_s, trace = envelope () in
+              Ok (Submit { name; priority; budget_s; deadline_s; trace; spec }))
       | Some op -> Error (Printf.sprintf "unknown op %S" op))
 
 (* ---- responses (each the payload of one frame) ---- *)
@@ -81,13 +92,14 @@ let error ~message =
   Json.encode
     (Json.Obj [ ("type", Json.Str "error"); ("message", Json.Str message) ])
 
-let accepted ~job ~position =
+let accepted ~job ~position ~trace =
   Json.encode
     (Json.Obj
        [
          ("type", Json.Str "accepted");
          ("job", Json.Str job);
          ("position", Json.Num (float_of_int position));
+         ("trace", Json.Str trace);
        ])
 
 let verdict_line (qr : Campaign.query_report) =
@@ -116,12 +128,13 @@ let verdict_line (qr : Campaign.query_report) =
   in
   Json.encode (Json.Obj fields)
 
-let done_line ~job (report : Campaign.report) =
+let done_line ~job ?(trace = "") (report : Campaign.report) =
   Json.encode
     (Json.Obj
        [
          ("type", Json.Str "done");
          ("job", Json.Str job);
+         ("trace", Json.Str trace);
          ("exit_code", Json.Num (float_of_int (Campaign.report_exit_code report)));
          ("degraded", Json.Bool report.Campaign.degraded);
          ("crashed", Json.Num (float_of_int report.Campaign.crashed));
@@ -131,13 +144,36 @@ let done_line ~job (report : Campaign.report) =
        ])
 
 (* The metrics snapshot is already JSON text (dpv-metrics/1); splice it
-   in rather than round-tripping it through the value type. *)
-let metrics_reply snapshot =
+   in rather than round-tripping it through the value type.  [cursor]
+   names this snapshot for later delta polls; [since] echoes the base
+   cursor when the payload is a delta (absent: a full snapshot, either
+   because the client asked for one or its cursor aged out). *)
+let metrics_reply ?cursor ?since snapshot =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\"type\": \"metrics\", \"metrics\": ";
+  Buffer.add_string b "{\"type\": \"metrics\"";
+  (match cursor with
+  | Some c -> Printf.bprintf b ", \"cursor\": %d" c
+  | None -> ());
+  (match since with
+  | Some c -> Printf.bprintf b ", \"since\": %d" c
+  | None -> ());
+  Buffer.add_string b ", \"metrics\": ";
   Metrics.buf_snapshot b snapshot;
   Buffer.add_string b "}";
   Buffer.contents b
+
+(* The events payload is a complete Chrome trace_event document,
+   carried as a string so the client can write it to a file verbatim —
+   no float round-trip through the value type. *)
+let trace_reply ~job ~trace ~events =
+  Json.encode
+    (Json.Obj
+       [
+         ("type", Json.Str "trace");
+         ("job", Json.Str job);
+         ("trace", Json.Str trace);
+         ("events", Json.Str events);
+       ])
 
 let pong ~jobs_running ~queue_depth =
   Json.encode

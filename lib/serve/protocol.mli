@@ -2,10 +2,12 @@
 
     Every frame payload is one JSON document.  Requests carry an ["op"]
     key — [submit] (a campaign spec), [query] (sugar: one query object,
-    wrapped into a one-query spec), [metrics], [ping], [drain].
+    wrapped into a one-query spec), [metrics] (with an optional
+    ["since"] cursor for delta polls), [ping], [drain].
     Responses carry a ["type"] key — [busy], [error], [accepted],
-    [verdict] (streamed, one per settled query), [done] (terminal,
-    with the job's exit code), [metrics], [pong], [draining]. *)
+    [verdict] (streamed, one per settled query), [trace] (the job's
+    spans, when requested), [done] (terminal, with the job's exit
+    code), [metrics], [pong], [draining]. *)
 
 module Json = Dpv_core.Json
 
@@ -17,9 +19,15 @@ type request =
       deadline_s : float option;
           (** wall-clock deadline minted at acceptance; queue wait
               spends it, and the budget is carved from what remains *)
+      trace : bool;
+          (** stream the job's spans back as a [trace] frame before
+              [done] *)
       spec : Json.t;            (** a [dpv campaign] spec document *)
     }
-  | Metrics
+  | Metrics of { since : int option }
+      (** [since]: a cursor from an earlier metrics reply; the response
+          is then the delta since that snapshot ({!Dpv_obs.Metrics.since})
+          instead of the full registry *)
   | Ping
   | Drain
 
@@ -33,10 +41,26 @@ val parse_request :
 
 val busy : retry_after_s:float -> queue_depth:int -> string
 val error : message:string -> string
-val accepted : job:string -> position:int -> string
+
+val accepted : job:string -> position:int -> trace:string -> string
+(** Carries the job's trace id — the client-side end of the
+    correlation chain. *)
+
 val verdict_line : Dpv_core.Campaign.query_report -> string
-val done_line : job:string -> Dpv_core.Campaign.report -> string
-val metrics_reply : Dpv_obs.Metrics.snapshot -> string
+
+val done_line :
+  job:string -> ?trace:string -> Dpv_core.Campaign.report -> string
+
+val metrics_reply :
+  ?cursor:int -> ?since:int -> Dpv_obs.Metrics.snapshot -> string
+(** [cursor] names this snapshot for later [since] polls; [since]
+    (echoed from the request) marks the payload as a delta against
+    that cursor — absent, the payload is the full registry. *)
+
+val trace_reply : job:string -> trace:string -> events:string -> string
+(** [events] is a complete Chrome [trace_event] JSON document carried
+    as a string, written verbatim to the client's [--trace] file. *)
+
 val pong : jobs_running:int -> queue_depth:int -> string
 val draining : string
 

@@ -35,10 +35,18 @@ type config = {
   settle_delay_s : float;
       (** pause after each settled query — test pacing so a
           kill-mid-campaign lands deterministically between queries *)
+  slow_ms : float option;
+      (** slow-query threshold: any [campaign.query]/[campaign.subbox]
+          span over this many ms is appended to
+          [state_dir/slowlog.jsonl] as a structured JSON line with its
+          per-phase breakdown.  [None] (default) disables the log *)
+  sampler_interval_s : float;
+      (** continuous-profiling tick for the background sampler domain *)
 }
 
 val default_config : state_dir:string -> config
-(** capacity 4, runners 1, retry after 1s, 8 MiB frames, no delay. *)
+(** capacity 4, runners 1, retry after 1s, 8 MiB frames, no delay, no
+    slow log, 0.5 s sampler tick. *)
 
 type t
 
@@ -69,11 +77,17 @@ val listen_unix : path:string -> Unix.file_descr
 val listen_tcp : port:int -> Unix.file_descr
 (** Bind + listen on loopback. *)
 
-val serve : t -> Unix.file_descr -> unit
+val serve : ?scrape_fd:Unix.file_descr -> t -> Unix.file_descr -> unit
 (** Accept loop: one handler thread per connection, until a drain is
-    requested — then close the listener, run the drain, and return.
+    requested — then close the listener(s), run the drain, and return.
     The {!Dpv_linprog.Faults.Serve_accept} site injects an accept-time
-    hiccup here; the loop absorbs it. *)
+    hiccup here; the loop absorbs it.
+
+    [scrape_fd] (a second listener, typically {!listen_tcp}) serves
+    GET-only HTTP metrics scrapes in OpenMetrics text format
+    ({!Dpv_obs.Expo.render}) — one short-lived thread per scrape, any
+    failure (including the {!Dpv_linprog.Faults.Serve_scrape} injected
+    tear) closing that connection only. *)
 
 val request_drain : t -> unit
 (** Flag the drain; async-signal-safe (the CLI calls it from SIGTERM
@@ -83,6 +97,7 @@ val request_drain : t -> unit
 val draining : t -> bool
 
 val drain : t -> unit
-(** The drain itself: stop admitting, notify queued clients, finish
-    the running job, join the executor.  {!serve} calls this on the
-    way out; callers who never ran {!serve} can call it directly. *)
+(** The drain itself: stop admitting, notify queued clients, stop the
+    sampler domain, finish the running job, join the executor.
+    {!serve} calls this on the way out; callers who never ran {!serve}
+    can call it directly. *)

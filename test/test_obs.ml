@@ -129,6 +129,7 @@ let test_snapshot_merge () =
     {
       Metrics.snap_counters = counters;
       snap_gauges = gauges;
+      snap_rates = [];
       snap_histograms = histograms;
     }
   in
@@ -179,6 +180,272 @@ let test_metrics_json_parses () =
       match Option.bind (Json.member "schema" j) Json.to_string with
       | Some "dpv-metrics/1" -> ()
       | _ -> Alcotest.fail "schema field wrong or missing")
+
+(* ---- sampled gauges and rolling-window rates ---- *)
+
+let test_rate_window_and_sample_units () =
+  let r = Metrics.rate ~window_s:10.0 "test.obs.rate" in
+  (* 100 events over 2 simulated seconds -> 50/s -> 50000 milli. *)
+  Metrics.rate_tick r ~now_ns:0 1_000;
+  Metrics.rate_tick r ~now_ns:2_000_000_000 1_100;
+  Alcotest.(check int) "windowed rate in milli-events/s" 50_000
+    (Metrics.rate_value r);
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int)) "rates live under snap_rates" (Some 50_000)
+    (Metrics.rate_in snap "test.obs.rate");
+  Alcotest.(check (option int)) "not mixed into high-water gauges" None
+    (Metrics.gauge_in snap "test.obs.rate");
+  (* A sample outside the window evicts the old baseline. *)
+  Metrics.rate_tick r ~now_ns:30_000_000_000 1_100;
+  Metrics.rate_tick r ~now_ns:31_000_000_000 1_100;
+  Alcotest.(check int) "idle window decays to zero" 0 (Metrics.rate_value r);
+  (* Point samples share the milli-unit convention, so every value
+     under "rates" divides by 1000 uniformly. *)
+  let g = Metrics.sample "test.obs.sampled" in
+  Metrics.set g 7;
+  Alcotest.(check (option int)) "set stores milli-units" (Some 7_000)
+    (Metrics.rate_in (Metrics.snapshot ()) "test.obs.sampled");
+  (* In-process delta keeps the point sample; cross-process merge takes
+     the max and never sums throughputs. *)
+  let before = Metrics.snapshot () in
+  Metrics.set g 3;
+  let delta = Metrics.since ~before (Metrics.snapshot ()) in
+  Alcotest.(check (option int)) "since keeps the after sample" (Some 3_000)
+    (Metrics.rate_in delta "test.obs.sampled");
+  let with_rates rates = { Metrics.empty_snapshot with Metrics.snap_rates = rates } in
+  let m = Metrics.merge (with_rates [ ("r", 5_000) ]) (with_rates [ ("r", 2_000) ]) in
+  Alcotest.(check (list (pair string int)))
+    "merge keeps the larger rate, never the sum"
+    [ ("r", 5_000) ]
+    m.Metrics.snap_rates
+
+(* ---- histogram quantiles ---- *)
+
+(* Rebuild the bucket layout [observe] would produce, without touching
+   the global registry (tests share one process). *)
+let hist_of_samples samples =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let u = Metrics.bucket_upper (Metrics.bucket_index v) in
+      Hashtbl.replace tbl u
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl u)))
+    samples;
+  {
+    Metrics.count = List.length samples;
+    sum = List.fold_left ( + ) 0 samples;
+    buckets =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []);
+  }
+
+let test_quantile_edge_cases () =
+  let empty = { Metrics.count = 0; sum = 0; buckets = [] } in
+  Alcotest.(check (float 0.0)) "empty histogram -> 0" 0.0
+    (Metrics.quantile_of_hist empty ~q:0.5);
+  (match Metrics.quantile_of_hist empty ~q:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q outside [0,1] must raise");
+  (match Metrics.quantile_of_hist empty ~q:(-0.1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative q must raise");
+  (* All mass in one bucket: every quantile stays inside that bucket. *)
+  let h = hist_of_samples [ 100; 100; 100; 100 ] in
+  let upper = Metrics.bucket_upper (Metrics.bucket_index 100) in
+  List.iter
+    (fun q ->
+      let est = Metrics.quantile_of_hist h ~q in
+      if est <= float_of_int (upper / 2) || est > float_of_int upper then
+        Alcotest.failf "q=%.2f estimate %f escapes bucket (%d, %d]" q est
+          (upper / 2) upper)
+    [ 0.0; 0.5; 0.9; 1.0 ]
+
+(* The estimator promises bucket resolution: the estimate lives in the
+   log2 bucket of the order statistic at the target rank, hence within
+   a factor of 2 of the sample quantile Stats.quantile interpolates
+   between the same bracketing statistics. *)
+let qcheck_quantile_tracks_stats =
+  QCheck.Test.make ~count:300
+    ~name:"quantile_of_hist tracks Stats.quantile to bucket resolution"
+    QCheck.(
+      make
+        ~print:Print.(list int)
+        Gen.(
+          list_size (1 -- 60)
+            (oneof
+               [
+                 int_bound 15;
+                 int_bound 2_000;
+                 int_bound 5_000_000;
+                 int_bound 2_000_000_000;
+               ])))
+    (fun samples ->
+      let h = hist_of_samples samples in
+      let sorted = Array.of_list samples in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let arr = Array.map float_of_int sorted in
+      List.for_all
+        (fun q ->
+          let est = Metrics.quantile_of_hist h ~q in
+          let truth = Dpv_tensor.Stats.quantile arr ~q in
+          (* Same rank conventions as the implementations. *)
+          let pos = q *. float_of_int (n - 1) in
+          let lo_idx = int_of_float (Float.floor pos) in
+          let hi_idx = Stdlib.min (lo_idx + 1) (n - 1) in
+          let target = pos +. 1.0 in
+          let r = Stdlib.min n (Stdlib.max 1 (int_of_float (Float.ceil target))) in
+          let v = sorted.(r - 1) in
+          let u = Metrics.bucket_upper (Metrics.bucket_index v) in
+          let eps = 1e-6 in
+          (* est interpolates inside the bucket of the rank-r sample. *)
+          est >= (float_of_int (u / 2) -. eps)
+          && est <= float_of_int u +. eps
+          (* truth interpolates between the bracketing statistics... *)
+          && truth >= float_of_int sorted.(lo_idx) -. eps
+          && truth <= float_of_int sorted.(hi_idx) +. eps
+          (* ...so the two agree to a factor of 2 through the shared
+             order statistics (plus 1 for the v <= 1 bucket). *)
+          && est <= (2.0 *. float_of_int (Stdlib.max 1 sorted.(hi_idx))) +. eps
+          && est >= (float_of_int sorted.(lo_idx) /. 2.0) -. 1.0)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+(* ---- OpenMetrics exposition ---- *)
+
+let test_expo_render_format () =
+  let h = { Metrics.count = 3; sum = 300; buckets = [ (128, 2); (512, 1) ] } in
+  let snap =
+    {
+      Metrics.snap_counters = [ ("serve.scrapes", 7) ];
+      snap_gauges = [ ("pool.max_queue_depth", 4) ];
+      snap_rates = [ ("serve.solves_per_s", 2_500) ];
+      snap_histograms = [ ("journal.append_ns", h) ];
+    }
+  in
+  let out = Dpv_obs.Expo.render ~labels:[ ("shard", "a\"b\\c\nd") ] snap in
+  let expect needle =
+    if not (contains ~needle out) then
+      Alcotest.failf "exposition misses %S in:\n%s" needle out
+  in
+  expect "# TYPE dpv_serve_scrapes counter\n";
+  expect "dpv_serve_scrapes_total{shard=\"a\\\"b\\\\c\\nd\"} 7\n";
+  expect "# TYPE dpv_pool_max_queue_depth gauge\n";
+  expect "dpv_pool_max_queue_depth{shard=\"a\\\"b\\\\c\\nd\"} 4\n";
+  (* milli-units restored to a float *)
+  expect "# TYPE dpv_serve_solves_per_s gauge\n";
+  expect "dpv_serve_solves_per_s{shard=\"a\\\"b\\\\c\\nd\"} 2.5\n";
+  (* cumulative buckets, +Inf closing at the total count *)
+  expect "# TYPE dpv_journal_append_ns histogram\n";
+  expect "dpv_journal_append_ns_bucket{shard=\"a\\\"b\\\\c\\nd\",le=\"128\"} 2\n";
+  expect "dpv_journal_append_ns_bucket{shard=\"a\\\"b\\\\c\\nd\",le=\"512\"} 3\n";
+  expect "dpv_journal_append_ns_bucket{shard=\"a\\\"b\\\\c\\nd\",le=\"+Inf\"} 3\n";
+  expect "dpv_journal_append_ns_sum{shard=\"a\\\"b\\\\c\\nd\"} 300\n";
+  expect "dpv_journal_append_ns_count{shard=\"a\\\"b\\\\c\\nd\"} 3\n";
+  let len = String.length out in
+  Alcotest.(check bool) "terminated by # EOF" true
+    (len >= 6 && String.sub out (len - 6) 6 = "# EOF\n")
+
+let qcheck_expo_escaping_sound =
+  QCheck.Test.make ~count:300
+    ~name:"expo sanitizes names and escapes label values"
+    QCheck.(pair printable_string printable_string)
+    (fun (name, label_value) ->
+      let sanitized = Dpv_obs.Expo.sanitize name in
+      let name_ok =
+        String.length sanitized > 4
+        = (String.length name > 0)
+        && String.for_all
+             (function
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+               | _ -> false)
+             sanitized
+      in
+      let escaped = Dpv_obs.Expo.escape_label label_value in
+      (* No raw newline or unescaped quote may survive: the sample must
+         stay on one line of the exposition. *)
+      let escaped_ok =
+        (not (String.contains escaped '\n'))
+        &&
+        let rec scan i =
+          if i >= String.length escaped then true
+          else
+            match escaped.[i] with
+            | '\\' -> i + 1 < String.length escaped && scan (i + 2)
+            | '"' -> false
+            | _ -> scan (i + 1)
+        in
+        scan 0
+      in
+      let out =
+        Dpv_obs.Expo.render
+          ~labels:[ ("job", label_value) ]
+          {
+            Metrics.empty_snapshot with
+            Metrics.snap_counters = [ ((if name = "" then "x" else name), 1) ];
+          }
+      in
+      (* 2 lines for the counter family + the terminator. *)
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+      in
+      name_ok && escaped_ok && List.length lines = 3)
+
+(* ---- cumulative-bucket consistency against live scrape data ---- *)
+
+let test_expo_buckets_cumulative () =
+  (* Render the real registry (whatever earlier tests observed) and
+     check every histogram's bucket series is nondecreasing and closed
+     by +Inf at the count. *)
+  let snap = Metrics.snapshot () in
+  let out = Dpv_obs.Expo.render snap in
+  List.iter
+    (fun (name, h) ->
+      let n = Dpv_obs.Expo.sanitize name in
+      let prefix = n ^ "_bucket{le=" in
+      let cums =
+        List.filter_map
+          (fun line ->
+            if
+              String.length line > String.length prefix
+              && String.sub line 0 (String.length prefix) = prefix
+            then
+              match String.rindex_opt line ' ' with
+              | Some i ->
+                  int_of_string_opt
+                    (String.sub line (i + 1) (String.length line - i - 1))
+              | None -> None
+            else None)
+          (String.split_on_char '\n' out)
+      in
+      if cums = [] then Alcotest.failf "histogram %s has no bucket lines" name;
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      if not (nondecreasing cums) then
+        Alcotest.failf "histogram %s buckets not cumulative" name;
+      Alcotest.(check int)
+        (name ^ ": +Inf bucket equals count")
+        h.Metrics.count
+        (List.nth cums (List.length cums - 1)))
+    snap.Metrics.snap_histograms
+
+(* ---- report pretty-printer percentiles ---- *)
+
+let test_report_prints_percentiles () =
+  let snap =
+    {
+      Metrics.empty_snapshot with
+      Metrics.snap_rates = [ ("serve.solves_per_s", 1_500) ];
+      snap_histograms =
+        [ ("lp_ns", hist_of_samples [ 100; 200; 400; 800; 1_600 ]) ];
+    }
+  in
+  let text = Format.asprintf "%a" Dpv_core.Report.pp_metrics snap in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle text) then
+        Alcotest.failf "pp_metrics misses %S in:\n%s" needle text)
+    [ "p50 "; "p90 "; "p99 "; "5 obs"; "1.500 (sampled)" ]
 
 (* ---- tracing: disabled path ---- *)
 
@@ -300,6 +567,58 @@ let test_pool_worker_spans () =
           if not (List.mem (tid e) worker_tids) then
             Alcotest.fail "task span on a non-worker track")
         task_spans)
+
+(* ---- tracing: ambient per-job context ---- *)
+
+let test_trace_context_tags_events () =
+  Alcotest.(check (option string)) "no ambient context by default" None
+    (Trace.context ());
+  with_trace (fun () ->
+      Trace.with_context "job-A" (fun () ->
+          Alcotest.(check (option string)) "context visible inside"
+            (Some "job-A") (Trace.context ());
+          Trace.with_context "job-B" (fun () ->
+              Alcotest.(check (option string)) "nested context wins"
+                (Some "job-B") (Trace.context ());
+              Trace.instant "ctx.instB");
+          Alcotest.(check (option string)) "outer context restored"
+            (Some "job-A") (Trace.context ());
+          Trace.with_span "ctx.spanA" (fun () -> ()));
+      Alcotest.(check (option string)) "context cleared after" None
+        (Trace.context ());
+      Trace.with_span "ctx.untagged" (fun () -> ());
+      let names evs =
+        List.filter_map
+          (function
+            | Trace.Complete { name; _ } -> Some name
+            | Trace.Instant { name; _ } -> Some name
+            | Trace.Thread_name _ -> None)
+          evs
+      in
+      let a = names (Trace.tagged_events "job-A") in
+      Alcotest.(check bool) "A keeps its span" true (List.mem "ctx.spanA" a);
+      Alcotest.(check bool) "A drops B's instant" false
+        (List.mem "ctx.instB" a);
+      Alcotest.(check bool) "A drops untagged spans" false
+        (List.mem "ctx.untagged" a);
+      let b = names (Trace.tagged_events "job-B") in
+      Alcotest.(check bool) "B keeps its instant" true
+        (List.mem "ctx.instB" b);
+      Alcotest.(check bool) "B drops A's span" false (List.mem "ctx.spanA" b);
+      (* The filtered slice renders as a standalone Chrome trace with
+         the id stamped into the span args. *)
+      let json =
+        match Json.of_string (Trace.events_to_json (Trace.tagged_events "job-A")) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "filtered trace does not parse: %s" e
+      in
+      let span = span_event json "ctx.spanA" in
+      match
+        Option.bind (Json.member "args" span) (fun a ->
+            Option.bind (Json.member "trace" a) Json.to_string)
+      with
+      | Some "job-A" -> ()
+      | _ -> Alcotest.fail "span args missing the trace id")
 
 (* ---- campaign round-trip ---- *)
 
@@ -542,8 +861,21 @@ let tests =
     Alcotest.test_case "snapshot merge (cross-process)" `Quick
       test_snapshot_merge;
     Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    Alcotest.test_case "rate windows and sample units" `Quick
+      test_rate_window_and_sample_units;
+    Alcotest.test_case "quantile edge cases" `Quick test_quantile_edge_cases;
+    QCheck_alcotest.to_alcotest qcheck_quantile_tracks_stats;
+    Alcotest.test_case "OpenMetrics exposition format" `Quick
+      test_expo_render_format;
+    QCheck_alcotest.to_alcotest qcheck_expo_escaping_sound;
+    Alcotest.test_case "exposition buckets are cumulative" `Quick
+      test_expo_buckets_cumulative;
+    Alcotest.test_case "report prints percentiles" `Quick
+      test_report_prints_percentiles;
     Alcotest.test_case "disabled tracing emits nothing" `Quick
       test_disabled_path_emits_nothing;
+    Alcotest.test_case "trace context tags and filters events" `Quick
+      test_trace_context_tags_events;
     Alcotest.test_case "spans nest" `Quick test_span_nesting;
     Alcotest.test_case "spans survive exceptions" `Quick
       test_span_exception_reraised;

@@ -212,6 +212,7 @@ let test_joblog_roundtrip_and_pending () =
          priority = 2;
          budget_s = Some 1.5;
          deadline_s = None;
+         trace = "t-aaa";
          spec = sample_spec;
        });
   Joblog.append ~path
@@ -222,6 +223,7 @@ let test_joblog_roundtrip_and_pending () =
          priority = 0;
          budget_s = None;
          deadline_s = Some 30.0;
+         trace = "t-bbb";
          spec = sample_spec;
        });
   Joblog.append ~path (Joblog.Client_gone { job = "aaa" });
@@ -229,7 +231,8 @@ let test_joblog_roundtrip_and_pending () =
   let events = ok (Joblog.load ~path) in
   Alcotest.(check int) "all four events load" 4 (List.length events);
   (match List.nth events 0 with
-  | Joblog.Accepted { job; name; priority; budget_s; deadline_s; spec } ->
+  | Joblog.Accepted { job; name; priority; budget_s; deadline_s; trace; spec }
+    ->
       Alcotest.(check string) "job id round-trips" "aaa" job;
       Alcotest.(check string) "name round-trips" "first" name;
       Alcotest.(check int) "priority round-trips" 2 priority;
@@ -237,11 +240,13 @@ let test_joblog_roundtrip_and_pending () =
         budget_s;
       Alcotest.(check (option (float 1e-9))) "deadline round-trips" None
         deadline_s;
+      Alcotest.(check string) "trace id round-trips" "t-aaa" trace;
       Alcotest.(check bool) "spec round-trips" true (spec = sample_spec)
   | _ -> Alcotest.fail "first event should be Accepted");
   match Joblog.pending events with
-  | [ ("bbb", "second", 0, None, Some d, _) ] ->
-      Alcotest.(check (float 1e-9)) "pending keeps the deadline" 30.0 d
+  | [ ("bbb", "second", 0, None, Some d, trace, _) ] ->
+      Alcotest.(check (float 1e-9)) "pending keeps the deadline" 30.0 d;
+      Alcotest.(check string) "pending carries the trace id" "t-bbb" trace
   | p ->
       Alcotest.failf "finished job must not be pending (got %d)" (List.length p)
 
@@ -293,6 +298,7 @@ let test_resume_skips_meta_trailer () =
       shard_count = 1;
       runners = 1;
       total_wall_s = report.Campaign.total_wall_s;
+      trace = "";
       metrics = Metrics.snapshot ();
     };
   Journal.close w;
@@ -802,6 +808,412 @@ let test_fault_serve_client_gone_job_survives () =
   Alcotest.(check int) "the verdict reached the journal" 1
     (List.length entries)
 
+(* ---- observability e2e: scrape endpoint, trace correlation,
+   since-cursor, slow log (dpv-obs/2) ---- *)
+
+(* [with_server] plus a loopback scrape listener on an ephemeral port. *)
+let with_scrape_server ?(tune = fun c -> c) ?before_execute f =
+  let dir = temp_dir "dpv-serve" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let spec, parsed, prepared = Lazy.force pipeline in
+  let state_dir = Filename.concat dir "state" in
+  let config = tune (Server.default_config ~state_dir) in
+  let server =
+    Server.create ~config ?before_execute
+      ~perception:prepared.Workflow.perception
+      ~builder:(Specfile.builder prepared) ~base:parsed ~base_spec:spec ()
+  in
+  let sock = Filename.concat dir "dpv.sock" in
+  let listen_fd = Server.listen_unix ~path:sock in
+  let scrape_fd = Server.listen_tcp ~port:0 in
+  let scrape_port =
+    match Unix.getsockname scrape_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "scrape listener is not inet"
+  in
+  let th =
+    Thread.create (fun () -> Server.serve ~scrape_fd server listen_fd) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_drain server;
+      Thread.join th)
+    (fun () -> f server ~sock ~state_dir ~scrape_port)
+
+let http_request ~port request =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      ignore (Unix.write_substring fd request 0 (String.length request));
+      let b = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes b chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            ()
+      in
+      drain ();
+      Buffer.contents b)
+
+let scrape ~port =
+  http_request ~port "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n"
+
+let http_body response =
+  let n = String.length response in
+  let rec find i =
+    if i + 4 > n then
+      Alcotest.failf "no header/body split in %S" response
+    else if String.sub response i 4 = "\r\n\r\n" then
+      String.sub response (i + 4) (n - i - 4)
+    else find (i + 1)
+  in
+  find 0
+
+(* The value of sample line [name <int>] in an exposition body (the
+   test server attaches no labels). *)
+let sample_value body name =
+  List.find_map
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = name ->
+          int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+      | _ -> None)
+    (String.split_on_char '\n' body)
+
+let test_serve_scrape_endpoint_live () =
+  let before, wait_entered, release = gate () in
+  with_scrape_server ~before_execute:before
+  @@ fun _server ~sock ~state_dir:_ ~scrape_port:port ->
+  (* Park the executor mid-job so the scrape observably lands while a
+     job is in the system. *)
+  let res = ref None in
+  let t =
+    Thread.create
+      (fun () ->
+        res := Some (submit_collect sock (submission ~name:"scraped" [ query_obj "sq" ])))
+      ()
+  in
+  wait_entered ();
+  let r1 = scrape ~port in
+  Alcotest.(check bool) "HTTP 200" true (contains r1 "HTTP/1.1 200 OK");
+  Alcotest.(check bool) "OpenMetrics content type" true
+    (contains r1 "text/plain; version=0.0.4");
+  let b1 = http_body r1 in
+  Alcotest.(check bool) "typed counter family" true
+    (contains b1 "# TYPE dpv_serve_submissions counter");
+  Alcotest.(check bool) "histogram family present" true
+    (contains b1 "# TYPE dpv_journal_append_ns histogram");
+  Alcotest.(check bool) "terminated by # EOF" true (contains b1 "# EOF\n");
+  Alcotest.(check bool) "the in-flight submission is counted" true
+    (Option.value ~default:0 (sample_value b1 "dpv_serve_submissions_total")
+    >= 1);
+  release ();
+  Thread.join t;
+  ignore (finished_code (fst (Option.get !res)));
+  (* Second scrape after the job: every counter is monotone and the
+     scrape itself was counted. *)
+  let b2 = http_body (scrape ~port) in
+  let totals body =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ' ' with
+        | Some i ->
+            let name = String.sub line 0 i in
+            if
+              String.length name > 6
+              && String.sub name (String.length name - 6) 6 = "_total"
+            then
+              Option.map (fun v -> (name, v)) (sample_value body name)
+            else None
+        | None -> None)
+      (String.split_on_char '\n' body)
+  in
+  List.iter
+    (fun (name, v1) ->
+      match sample_value b2 name with
+      | Some v2 ->
+          if v2 < v1 then
+            Alcotest.failf "counter %s went backwards: %d -> %d" name v1 v2
+      | None -> Alcotest.failf "counter %s vanished between scrapes" name)
+    (totals b1);
+  Alcotest.(check bool) "scrapes count themselves" true
+    (Option.value ~default:0 (sample_value b2 "dpv_serve_scrapes_total")
+    > Option.value ~default:0 (sample_value b1 "dpv_serve_scrapes_total"));
+  (* Non-GET methods are refused without killing the listener. *)
+  let bad = http_request ~port "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n" in
+  Alcotest.(check bool) "POST answers 405" true (contains bad "405");
+  Alcotest.(check bool) "listener survives the refusal" true
+    (contains (scrape ~port) "# EOF")
+
+let test_fault_serve_scrape_isolates_connection () =
+  with_scrape_server @@ fun _server ~sock ~state_dir:_ ~scrape_port:port ->
+  with_faults [ (Faults.Serve_scrape, 1) ] @@ fun () ->
+  (* The injected tear declares more bytes than it sends: the body we
+     receive before the connection drops is short of the header's
+     Content-Length. *)
+  let torn = scrape ~port in
+  let declared =
+    List.find_map
+      (fun line ->
+        let line = String.trim line in
+        let prefix = "Content-Length:" in
+        let pl = String.length prefix in
+        if String.length line > pl && String.sub line 0 pl = prefix then
+          int_of_string_opt
+            (String.trim (String.sub line pl (String.length line - pl)))
+        else None)
+      (String.split_on_char '\n' torn)
+  in
+  (match declared with
+  | Some n ->
+      Alcotest.(check bool) "the body is torn short" true
+        (String.length (http_body torn) < n)
+  | None -> Alcotest.failf "torn response has no Content-Length: %S" torn);
+  Alcotest.(check int) "the tear fired" 1 (Faults.fired Faults.Serve_scrape);
+  (* Only that connection died: the next scrape is whole, and jobs are
+     untouched. *)
+  let whole = scrape ~port in
+  Alcotest.(check bool) "next scrape is complete" true
+    (contains (http_body whole) "# EOF\n");
+  let outcome, _ =
+    submit_collect sock (submission ~name:"post-tear" [ query_obj "pt" ])
+  in
+  Alcotest.(check int) "jobs still run" 0 (finished_code outcome)
+
+let is_hex c = match c with '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+let test_serve_trace_correlation_e2e () =
+  with_server @@ fun _server ~sock ~state_dir ->
+  let request =
+    Json.encode
+      (Json.Obj
+         [
+           ("op", Json.Str "submit");
+           ("spec", Json.Obj [ ("queries", Json.Arr [ query_obj "tq" ]) ]);
+           ("name", Json.Str "traced");
+           ("trace", Json.Bool true);
+         ])
+  in
+  let outcome, frames = submit_collect sock request in
+  Alcotest.(check int) "traced job exits clean" 0 (finished_code outcome);
+  let tid =
+    match string_frames frames ~ty:"accepted" "trace" with
+    | [ t ] -> t
+    | _ -> Alcotest.fail "accepted frame must mint a trace id"
+  in
+  Alcotest.(check bool) "trace id is 16 hex chars" true
+    (String.length tid = 16 && String.for_all is_hex tid);
+  let job =
+    match string_frames frames ~ty:"accepted" "job" with
+    | [ j ] -> j
+    | _ -> Alcotest.fail "no job id"
+  in
+  Alcotest.(check (list string)) "done frame carries the same id" [ tid ]
+    (string_frames frames ~ty:"done" "trace");
+  (* The trace frame: one per traced job, its events string a complete
+     Chrome trace whose spans are all stamped with the id. *)
+  Alcotest.(check (list string)) "trace frame carries the id" [ tid ]
+    (string_frames frames ~ty:"trace" "trace");
+  let events_doc =
+    match string_frames frames ~ty:"trace" "events" with
+    | [ e ] -> e
+    | _ -> Alcotest.fail "expected exactly one trace frame"
+  in
+  (match Json.of_string events_doc with
+  | Error e -> Alcotest.failf "trace events do not parse: %s" e
+  | Ok doc ->
+      let evs =
+        Option.value ~default:[]
+          (Option.bind (Json.member "traceEvents" doc) Json.to_list)
+      in
+      let has_span name =
+        List.exists
+          (fun e -> Option.bind (Json.member "name" e) Json.to_string = Some name)
+          evs
+      in
+      Alcotest.(check bool) "serve.job span present" true
+        (has_span "serve.job");
+      Alcotest.(check bool) "campaign.query span present" true
+        (has_span "campaign.query");
+      List.iter
+        (fun e ->
+          match Option.bind (Json.member "ph" e) Json.to_string with
+          | Some ("X" | "i") -> (
+              match
+                Option.bind (Json.member "args" e) (fun a ->
+                    Option.bind (Json.member "trace" a) Json.to_string)
+              with
+              | Some t when t = tid -> ()
+              | _ ->
+                  Alcotest.failf "event %s not stamped with the job's id"
+                    (Option.value ~default:"?"
+                       (Option.bind (Json.member "name" e) Json.to_string)))
+          | _ -> ())
+        evs);
+  (* Joblog correlation: the Accepted entry carries the same id. *)
+  let events =
+    ok (Joblog.load ~path:(Filename.concat state_dir "joblog.jsonl"))
+  in
+  Alcotest.(check bool) "joblog Accepted carries the id" true
+    (List.exists
+       (function
+         | Joblog.Accepted { job = j; trace; _ } -> j = job && trace = tid
+         | _ -> false)
+       events);
+  (* Journal-meta correlation: the per-job campaign journal's trailer
+     carries it too. *)
+  let _, metas =
+    ok
+      (Journal.load_with_meta
+         ~path:(Filename.concat state_dir ("job-" ^ job ^ ".jsonl")))
+  in
+  (match metas with
+  | [ m ] ->
+      Alcotest.(check string) "journal meta carries the id" tid
+        m.Journal.trace
+  | _ -> Alcotest.fail "expected exactly one meta trailer");
+  (* A job submitted without trace:true streams no trace frame. *)
+  let _, untraced =
+    submit_collect sock
+      (submission ~name:"untraced" [ query_obj ~psi:"far-left:20" "uq" ])
+  in
+  Alcotest.(check (list string)) "no trace frame unless asked" []
+    (string_frames untraced ~ty:"trace" "trace")
+
+let test_serve_metrics_since_cursor () =
+  with_server @@ fun _server ~sock ~state_dir:_ ->
+  let outcome, _ =
+    submit_collect sock (submission ~name:"c1" [ query_obj "cq" ])
+  in
+  ignore (finished_code outcome);
+  let fd = Sclient.connect_unix ~path:sock in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let poll since =
+    let req =
+      Json.Obj
+        (("op", Json.Str "metrics")
+        ::
+        (match since with
+        | None -> []
+        | Some c -> [ ("since", Json.Num (float_of_int c)) ]))
+    in
+    match Sclient.rpc fd (Json.encode req) with
+    | Error e -> Alcotest.failf "metrics rpc failed: %s" e
+    | Ok reply -> (
+        match Json.of_string reply with
+        | Error e -> Alcotest.failf "metrics reply does not parse: %s" e
+        | Ok j ->
+            let cursor =
+              match Option.bind (Json.member "cursor" j) Json.to_int with
+              | Some c -> c
+              | None -> Alcotest.fail "reply mints no cursor"
+            in
+            let echoed = Option.bind (Json.member "since" j) Json.to_int in
+            let snap =
+              match Json.member "metrics" j with
+              | Some m -> ok (Journal.parse_metrics ~line:0 m)
+              | None -> Alcotest.fail "no metrics in reply"
+            in
+            (cursor, echoed, snap))
+  in
+  let subs snap =
+    Option.value ~default:0 (Metrics.counter_in snap "serve.submissions")
+  in
+  let c1, e1, full = poll None in
+  Alcotest.(check (option int)) "first poll is a full snapshot" None e1;
+  Alcotest.(check bool) "full snapshot counts the job" true (subs full >= 1);
+  let c2, e2, idle = poll (Some c1) in
+  Alcotest.(check (option int)) "cursor echoed back" (Some c1) e2;
+  Alcotest.(check int) "idle delta is zero" 0 (subs idle);
+  let outcome, _ =
+    submit_collect sock
+      (submission ~name:"c2" [ query_obj ~psi:"far-left:20" "cq2" ])
+  in
+  ignore (finished_code outcome);
+  let _, e3, delta = poll (Some c2) in
+  Alcotest.(check (option int)) "second cursor echoed" (Some c2) e3;
+  Alcotest.(check int) "delta counts exactly the one new job" 1 (subs delta);
+  (* An unknown (or evicted) cursor degrades to a full snapshot. *)
+  let _, e4, full2 = poll (Some 999_999) in
+  Alcotest.(check (option int)) "unknown cursor is not echoed" None e4;
+  Alcotest.(check bool) "and yields full totals again" true
+    (subs full2 >= 2)
+
+let test_serve_slowlog_phases () =
+  with_server ~tune:(fun c -> { c with Server.slow_ms = Some 0.0 })
+  @@ fun _server ~sock ~state_dir ->
+  let outcome, frames =
+    submit_collect sock (submission ~name:"slow" [ query_obj "sq" ])
+  in
+  Alcotest.(check int) "job exits clean" 0 (finished_code outcome);
+  let job =
+    match string_frames frames ~ty:"accepted" "job" with
+    | [ j ] -> j
+    | _ -> Alcotest.fail "no job id"
+  in
+  let tid =
+    match string_frames frames ~ty:"accepted" "trace" with
+    | [ t ] -> t
+    | _ -> Alcotest.fail "no trace id"
+  in
+  Alcotest.(check (list string)) "slow logging streams no trace frame" []
+    (string_frames frames ~ty:"trace" "trace");
+  (* The slow log is appended before the done frame, so it is already
+     on disk. *)
+  let slurp path = In_channel.with_open_text path In_channel.input_all in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n'
+         (slurp (Filename.concat state_dir "slowlog.jsonl")))
+  in
+  Alcotest.(check int) "one slow line for the one query" 1 (List.length lines);
+  match Json.of_string (List.hd lines) with
+  | Error e -> Alcotest.failf "slow line does not parse: %s" e
+  | Ok j ->
+      let str key = Option.bind (Json.member key j) Json.to_string in
+      let num key = Option.bind (Json.member key j) Json.to_float in
+      Alcotest.(check (option string)) "correlated by job" (Some job)
+        (str "job");
+      Alcotest.(check (option string)) "correlated by trace id" (Some tid)
+        (str "trace");
+      Alcotest.(check (option string)) "names the span" (Some "campaign.query")
+        (str "span");
+      Alcotest.(check (option string)) "names the query" (Some "sq")
+        (str "label");
+      let wall =
+        match num "wall_ms" with
+        | Some w -> w
+        | None -> Alcotest.fail "no wall_ms"
+      in
+      Alcotest.(check bool) "wall clock positive" true (wall > 0.0);
+      let phases =
+        match Json.member "phases" j with
+        | Some p -> p
+        | None -> Alcotest.fail "no phase breakdown"
+      in
+      let phase key =
+        match Option.bind (Json.member key phases) Json.to_float with
+        | Some v -> v
+        | None -> Alcotest.failf "phase %s missing" key
+      in
+      let total =
+        phase "resolve_bounds_ms" +. phase "encode_ms" +. phase "tighten_ms"
+        +. phase "milp_ms"
+      in
+      Alcotest.(check bool) "phases are nonnegative and contained" true
+        (total >= 0.0 && total <= wall +. 0.5);
+      Alcotest.(check bool) "the MILP phase was attributed" true
+        (phase "milp_ms" > 0.0)
+
 (* ---- kill-and-restart recovery e2e (spawned server process) ---- *)
 
 (* Resolved relative to the test binary, so the test also runs when
@@ -1001,6 +1413,13 @@ let tests =
      test_fault_serve_torn_frame_isolates_connection);
     ("serve: fault client gone, job survives", `Slow,
      test_fault_serve_client_gone_job_survives);
+    ("serve: scrape endpoint live", `Slow, test_serve_scrape_endpoint_live);
+    ("serve: fault scrape isolates connection", `Slow,
+     test_fault_serve_scrape_isolates_connection);
+    ("serve: trace correlation e2e", `Slow,
+     test_serve_trace_correlation_e2e);
+    ("serve: metrics since cursor", `Slow, test_serve_metrics_since_cursor);
+    ("serve: slow log phases", `Slow, test_serve_slowlog_phases);
     ("serve: kill and restart recovers without loss", `Slow,
      test_kill_and_restart_recovers_without_loss);
   ]
